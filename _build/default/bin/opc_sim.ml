@@ -1,0 +1,390 @@
+(* opc_sim — command-line driver for the One Phase Commit simulator.
+
+   Subcommands:
+     fig6      reproduce the paper's Figure 6
+     table1    reproduce the paper's Table I (analytic + measured)
+     sweep     ablation sweeps (disk | net | conc | colo | batch | dirs)
+     run       run a custom workload and print the metrics
+     replay    replay a namespace-operation trace file
+     trace     print a protocol timeline for one distributed CREATE
+     faults    crash-point consistency matrix *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_conv =
+  let parse s =
+    match Opc.Acp.Protocol.of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  Arg.conv (parse, Opc.Acp.Protocol.pp)
+
+let protocol_arg =
+  let doc = "Protocol: prn (2pc), prc, ep or 1pc." in
+  Arg.(value & opt protocol_conv Opc.Acp.Protocol.Opc & info [ "p"; "protocol" ] ~doc)
+
+let count_arg default =
+  let doc = "Number of operations." in
+  Arg.(value & opt int default & info [ "n"; "count" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let servers_arg =
+  let doc = "Metadata servers in the cluster." in
+  Arg.(value & opt int 4 & info [ "servers" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* fig6                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 count =
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [ "protocol"; "paper [ops/s]"; "measured [ops/s]"; "mean latency" ]
+  in
+  List.iter
+    (fun protocol ->
+      let p = Opc.Experiment.run_fig6_point ~count protocol in
+      Opc.Metrics.Table.add_row t
+        [
+          Opc.Acp.Protocol.name protocol;
+          Fmt.str "%.2f" (Opc.Experiment.paper_fig6 protocol);
+          Fmt.str "%.2f" p.Opc.Experiment.throughput;
+          Fmt.str "%a" Opc.Simkit.Time.pp_span p.Opc.Experiment.mean_latency;
+        ])
+    Opc.Acp.Protocol.all;
+  Opc.Metrics.Table.print t
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (ops/s per protocol).")
+    Term.(const fig6 $ count_arg 100)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Opc.Metrics.Table.print (Opc.Acp.Cost_model.table ());
+  Fmt.pr "@.Instrumented totals per transaction (must match the analytic \
+          columns):@.";
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:[ "protocol"; "sync/txn"; "async/txn"; "ACP msgs/txn" ]
+  in
+  List.iter
+    (fun kind ->
+      let m = Opc.Experiment.run_table1_measured kind in
+      Opc.Metrics.Table.add_row t
+        [
+          Opc.Acp.Protocol.name kind;
+          Fmt.str "%.2f" m.Opc.Experiment.sync_writes_per_txn;
+          Fmt.str "%.2f" m.Opc.Experiment.async_writes_per_txn;
+          Fmt.str "%.2f" m.Opc.Experiment.acp_messages_per_txn;
+        ])
+    Opc.Acp.Protocol.all;
+  Opc.Metrics.Table.print t
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table I (analytic and measured).")
+    Term.(const table1 $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_sweep ~x_label points =
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        (x_label :: List.map Opc.Acp.Protocol.name Opc.Acp.Protocol.all)
+  in
+  List.iter
+    (fun (p : Opc.Experiment.sweep_point) ->
+      Opc.Metrics.Table.add_row t
+        (Fmt.str "%g" p.Opc.Experiment.x
+        :: List.map
+             (fun k -> Fmt.str "%.1f" (List.assoc k p.Opc.Experiment.series))
+             Opc.Acp.Protocol.all))
+    points;
+  Opc.Metrics.Table.print t
+
+let sweep kind count =
+  match kind with
+  | "disk" ->
+      print_sweep ~x_label:"KB/s"
+        (Opc.Experiment.sweep_disk_bandwidth ~count ())
+  | "net" ->
+      print_sweep ~x_label:"latency us"
+        (Opc.Experiment.sweep_network_latency ~count ())
+  | "conc" -> print_sweep ~x_label:"in flight" (Opc.Experiment.sweep_concurrency ())
+  | "colo" ->
+      print_sweep ~x_label:"p(colocated)"
+        (Opc.Experiment.sweep_colocation ~count ())
+  | "batch" ->
+      print_sweep ~x_label:"batch" (Opc.Experiment.sweep_batching ~count ())
+  | "dirs" ->
+      print_sweep ~x_label:"dirs" (Opc.Experiment.sweep_directories ~count ())
+  | other ->
+      Fmt.epr "unknown sweep %S (disk|net|conc|colo|batch|dirs)@." other
+
+let sweep_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND" ~doc:"disk, net, conc, colo, batch or dirs.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Ablation sweeps of the Figure 6 experiment.")
+    Term.(const sweep $ kind $ count_arg 100)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run protocol servers clients ops seed =
+  let config =
+    {
+      Opc.Config.default with
+      servers;
+      protocol;
+      placement = Opc.Mds.Placement.Hash;
+      seed;
+    }
+  in
+  let cluster = Opc.Cluster.create config in
+  let root = Opc.Cluster.root cluster in
+  let dirs =
+    Array.init (max 1 (servers / 2)) (fun i ->
+        Opc.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "dir%d" i) ~server:(i mod servers) ())
+  in
+  let rng = Opc.Simkit.Rng.create ~seed in
+  let wl =
+    Opc.Workload.closed_loop cluster ~dirs ~clients ~ops_per_client:ops ~rng
+      ()
+  in
+  (match Opc.Cluster.settle cluster with
+  | Opc.Cluster.Quiescent -> ()
+  | _ -> failwith "cluster did not settle");
+  let stats = Opc.Workload.stats wl in
+  Fmt.pr "%a@." Opc.Workload.pp_stats stats;
+  Fmt.pr "throughput: %.1f committed ops/s@."
+    (Opc.Workload.throughput_per_s stats);
+  Opc.Report.print (Opc.Report.collect cluster);
+  match Opc.Cluster.check_invariants cluster with
+  | [] -> Fmt.pr "invariants: OK@."
+  | vs ->
+      List.iter
+        (fun v -> Fmt.pr "VIOLATION %a@." Opc.Mds.Invariant.pp_violation v)
+        vs;
+      exit 1
+
+let run_cmd =
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~doc:"Operations per client.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a mixed create/delete/rename workload.")
+    Term.(const run $ protocol_arg $ servers_arg $ clients $ ops $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay protocol servers concurrency file =
+  let text =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Opc.Workload.parse_script text with
+  | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 2
+  | Ok script ->
+      let config =
+        {
+          Opc.Config.default with
+          servers;
+          protocol;
+          placement = Opc.Mds.Placement.Hash;
+        }
+      in
+      let cluster = Opc.Cluster.create config in
+      let wl = Opc.Workload.replay cluster ~concurrency script in
+      (match Opc.Cluster.settle cluster with
+      | Opc.Cluster.Quiescent -> ()
+      | _ -> failwith "replay did not settle");
+      Fmt.pr "%a@." Opc.Workload.pp_stats (Opc.Workload.stats wl);
+      Opc.Report.print (Opc.Report.collect cluster);
+      (match Opc.Cluster.check_invariants cluster with
+      | [] -> Fmt.pr "invariants: OK@."
+      | vs ->
+          List.iter
+            (fun v ->
+              Fmt.pr "VIOLATION %a@." Opc.Mds.Invariant.pp_violation v)
+            vs;
+          exit 1)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (one operation per line).")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrency" ] ~doc:"Operations kept in flight.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a namespace-operation trace file.")
+    Term.(const replay $ protocol_arg $ servers_arg $ concurrency $ file)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace protocol =
+  let config =
+    {
+      Opc.Config.default with
+      servers = 2;
+      protocol;
+      placement = Opc.Mds.Placement.Spread;
+      record_trace = true;
+    }
+  in
+  let cluster = Opc.Cluster.create config in
+  let dir =
+    Opc.Cluster.add_directory cluster ~parent:(Opc.Cluster.root cluster)
+      ~name:"d" ~server:0 ()
+  in
+  Opc.Cluster.submit cluster
+    (Opc.Mds.Op.create_file ~parent:dir ~name:"file1")
+    ~on_done:(fun outcome ->
+      Fmt.pr "%a   client <- %a@." Opc.Simkit.Time.pp
+        (Opc.Cluster.now cluster)
+        Opc.Acp.Txn.pp_outcome outcome);
+  (match Opc.Cluster.settle cluster with
+  | Opc.Cluster.Quiescent -> ()
+  | _ -> failwith "did not settle");
+  List.iter
+    (fun (e : Opc.Simkit.Trace.entry) ->
+      match e.kind with
+      | "send" | "log.force" | "log.append" | "log.durable" | "txn.commit"
+      | "txn.abort" ->
+          Fmt.pr "%a   %-6s %-12s %s@." Opc.Simkit.Time.pp e.time e.source
+            e.kind e.detail
+      | _ -> ())
+    (Opc.Simkit.Trace.entries (Opc.Cluster.trace cluster))
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the message/log timeline of one distributed CREATE.")
+    Term.(const trace $ protocol_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  Fmt.pr
+    "Crash-point matrix: one distributed CREATE, a crash injected every \
+     2 ms,@.coordinator and worker, all protocols. C = committed, A = \
+     aborted;@.every cell also passed the atomicity and invariant \
+     checks.@.@.";
+  let grid = List.init 31 (fun i -> 2 * i) in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun server ->
+          let cells =
+            List.map
+              (fun ms ->
+                let config =
+                  {
+                    Opc.Config.default with
+                    servers = 2;
+                    protocol;
+                    placement = Opc.Mds.Placement.Spread;
+                    txn_timeout = Opc.Simkit.Time.span_ms 300;
+                    heartbeat_interval = Opc.Simkit.Time.span_ms 20;
+                    detector_timeout = Opc.Simkit.Time.span_ms 100;
+                    restart_delay = Opc.Simkit.Time.span_ms 50;
+                  }
+                in
+                let cluster = Opc.Cluster.create config in
+                let dir =
+                  Opc.Cluster.add_directory cluster
+                    ~parent:(Opc.Cluster.root cluster)
+                    ~name:"d" ~server:0 ()
+                in
+                let outcome = ref None in
+                Opc.Cluster.submit cluster
+                  (Opc.Mds.Op.create_file ~parent:dir ~name:"f")
+                  ~on_done:(fun o -> outcome := Some o);
+                Opc.Fault.crash_at cluster ~server
+                  ~at:(Opc.Simkit.Time.of_ns (ms * 1_000_000));
+                (match Opc.Cluster.settle cluster with
+                | Opc.Cluster.Quiescent -> ()
+                | _ -> failwith "faults: did not settle");
+                (match Opc.Cluster.check_invariants cluster with
+                | [] -> ()
+                | _ -> failwith "faults: invariant violation");
+                match !outcome with
+                | Some Opc.Acp.Txn.Committed -> "C"
+                | Some (Opc.Acp.Txn.Aborted _) -> "A"
+                | None -> failwith "faults: no reply")
+              grid
+          in
+          Fmt.pr "%-4s crash %s  %s@."
+            (Opc.Acp.Protocol.name protocol)
+            (if server = 0 then "coord " else "worker")
+            (String.concat "" cells))
+        [ 0; 1 ])
+    Opc.Acp.Protocol.all;
+  Fmt.pr "@.(time axis: 0ms .. 60ms in 2ms steps)@."
+
+let faults_cmd =
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Crash-point consistency matrix across all protocols.")
+    Term.(const faults $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "opc_sim" ~version:"1.0.0"
+       ~doc:
+         "Simulator for 'One Phase Commit: A Low Overhead Atomic \
+          Commitment Protocol for Scalable Metadata Services' (CLUSTER \
+          2012).")
+    [
+      fig6_cmd;
+      table1_cmd;
+      sweep_cmd;
+      run_cmd;
+      replay_cmd;
+      trace_cmd;
+      faults_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

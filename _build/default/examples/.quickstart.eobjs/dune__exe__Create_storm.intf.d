@@ -1,0 +1,1 @@
+examples/create_storm.mli:

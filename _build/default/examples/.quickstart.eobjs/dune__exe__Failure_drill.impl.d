@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Acp Cluster Config Fault Fmt List Mds Opc Simkit

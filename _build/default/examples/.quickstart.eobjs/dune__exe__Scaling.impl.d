@@ -1,0 +1,1 @@
+examples/scaling.ml: Acp Array Experiment Fmt List Metrics Opc Sys

@@ -1,0 +1,54 @@
+(* The paper's motivating workload (§I, §IV): an HPC application creates
+   a large number of files in one directory, whose entries are spread
+   over the metadata cluster so that every CREATE is a distributed
+   transaction. Reproduces the Figure 6 comparison at a configurable
+   storm size and also shows the §VI aggregation extension.
+
+   Run with: dune exec examples/create_storm.exe [count] *)
+
+let storm_size () =
+  if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100
+
+let () =
+  let count = storm_size () in
+  Fmt.pr "Creating %d files in one shared directory (4 servers, %s)@.@."
+    count "1us methods, 100us network, 400KB/s shared SAN";
+
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [ "protocol"; "ops/s"; "mean latency"; "mean lock hold"; "aborted" ]
+  in
+  List.iter
+    (fun protocol ->
+      let p = Opc.Experiment.run_fig6_point ~count protocol in
+      Opc.Metrics.Table.add_row t
+        [
+          Opc.Acp.Protocol.name protocol;
+          Fmt.str "%.2f" p.Opc.Experiment.throughput;
+          Fmt.str "%a" Opc.Simkit.Time.pp_span p.Opc.Experiment.mean_latency;
+          Fmt.str "%a" Opc.Simkit.Time.pp_span p.Opc.Experiment.mean_lock_hold;
+          string_of_int p.Opc.Experiment.aborted;
+        ])
+    Opc.Acp.Protocol.all;
+  Opc.Metrics.Table.print t;
+
+  Fmt.pr "@.With operation aggregation (1PC, the paper's future work):@.";
+  let t =
+    Opc.Metrics.Table.create ~columns:[ "batch size"; "ops/s"; "speedup" ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun batch ->
+      let p =
+        Opc.Experiment.run_batched_point ~count ~batch Opc.Acp.Protocol.Opc
+      in
+      if batch = 1 then base := p.Opc.Experiment.throughput;
+      Opc.Metrics.Table.add_row t
+        [
+          string_of_int batch;
+          Fmt.str "%.1f" p.Opc.Experiment.throughput;
+          Fmt.str "%.2fx" (p.Opc.Experiment.throughput /. !base);
+        ])
+    [ 1; 4; 16 ];
+  Opc.Metrics.Table.print t

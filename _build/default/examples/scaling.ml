@@ -1,0 +1,48 @@
+(* Scaling study: how the protocols respond to a faster disk, to
+   metadata locality, and to offered concurrency — the knobs a
+   deployment actually controls.
+
+   Run with: dune exec examples/scaling.exe [quick] *)
+
+open Opc
+
+let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick"
+
+let print_sweep ~title ~x_label points =
+  Fmt.pr "@.%s@." title;
+  let t =
+    Metrics.Table.create
+      ~columns:
+        (x_label :: List.map Acp.Protocol.name Acp.Protocol.all
+        @ [ "1PC/PrN" ])
+  in
+  List.iter
+    (fun (p : Experiment.sweep_point) ->
+      let v k = List.assoc k p.Experiment.series in
+      let ratio = v Acp.Protocol.Opc /. v Acp.Protocol.Prn in
+      Metrics.Table.add_row t
+        (Fmt.str "%g" p.Experiment.x
+        :: List.map
+             (fun k -> Fmt.str "%.1f" (v k))
+             Acp.Protocol.all
+        @ [ Fmt.str "%.2fx" ratio ]))
+    points;
+  Metrics.Table.print t
+
+let () =
+  let count = if quick then 30 else 100 in
+  print_sweep ~title:"Throughput [ops/s] vs shared-disk bandwidth [KB/s]"
+    ~x_label:"KB/s"
+    (Experiment.sweep_disk_bandwidth
+       ~bandwidths:(if quick then [ 200; 400; 1600 ] else [ 100; 200; 400; 800; 1600; 3200 ])
+       ~count ());
+  print_sweep ~title:"Throughput [ops/s] vs colocation probability"
+    ~x_label:"p(colocated)"
+    (Experiment.sweep_colocation
+       ~probabilities:(if quick then [ 0.0; 0.5; 1.0 ] else [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ])
+       ~count ());
+  print_sweep ~title:"Throughput [ops/s] vs offered concurrency"
+    ~x_label:"in flight"
+    (Experiment.sweep_concurrency
+       ~counts:(if quick then [ 1; 8; 64 ] else [ 1; 2; 4; 8; 16; 32; 64; 128 ])
+       ())

@@ -1,0 +1,1 @@
+lib/acp/codec.ml: Buffer Char Fmt List Log_record Mds String Txn

@@ -1,0 +1,1 @@
+lib/acp/codec.mli: Buffer Log_record Mds

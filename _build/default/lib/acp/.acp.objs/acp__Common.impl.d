@@ -1,0 +1,1 @@
+lib/acp/common.ml: Context Fmt Int List Locks Mds Simkit Txn

@@ -1,0 +1,1 @@
+lib/acp/common.mli: Context Mds Simkit Txn

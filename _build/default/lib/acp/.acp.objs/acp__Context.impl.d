@@ -1,0 +1,1 @@
+lib/acp/context.ml: Locks Log_record Log_scan Mds Metrics Netsim Simkit Txn Wire

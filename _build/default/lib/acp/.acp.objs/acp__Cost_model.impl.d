@@ -1,0 +1,1 @@
+lib/acp/cost_model.ml: Fmt List Metrics Protocol

@@ -1,0 +1,1 @@
+lib/acp/cost_model.mli: Format Metrics Protocol

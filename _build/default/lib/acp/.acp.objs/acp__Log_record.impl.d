@@ -1,0 +1,1 @@
+lib/acp/log_record.ml: Fmt List Mds Txn

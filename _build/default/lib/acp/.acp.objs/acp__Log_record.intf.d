@@ -1,0 +1,1 @@
+lib/acp/log_record.mli: Format Mds Txn

@@ -1,0 +1,1 @@
+lib/acp/log_scan.ml: Hashtbl List Log_record Mds Txn

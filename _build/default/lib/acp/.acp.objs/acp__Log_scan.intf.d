@@ -1,0 +1,1 @@
+lib/acp/log_scan.mli: Log_record Mds Txn

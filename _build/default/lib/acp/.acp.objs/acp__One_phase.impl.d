@@ -1,0 +1,1 @@
+lib/acp/one_phase.ml: Common Context Fmt Hashtbl List Log_record Log_scan Mds Metrics Netsim Simkit Txn Wire

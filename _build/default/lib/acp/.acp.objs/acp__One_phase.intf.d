@@ -1,0 +1,1 @@
+lib/acp/one_phase.mli: Context Netsim Txn Wire

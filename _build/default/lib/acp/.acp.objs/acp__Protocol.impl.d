@@ -1,0 +1,1 @@
+lib/acp/protocol.ml: Fmt Netsim One_phase String Two_phase Txn Wire

@@ -1,0 +1,1 @@
+lib/acp/protocol.mli: Context Format Netsim Txn Wire

@@ -1,0 +1,1 @@
+lib/acp/two_phase.ml: Common Context Fmt Hashtbl Int List Log_record Log_scan Mds Netsim Set Simkit Txn Wire

@@ -1,0 +1,1 @@
+lib/acp/two_phase.mli: Context Netsim Txn Wire

@@ -1,0 +1,1 @@
+lib/acp/txn.ml: Fmt Int Mds

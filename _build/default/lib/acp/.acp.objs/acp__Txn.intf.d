@@ -1,0 +1,1 @@
+lib/acp/txn.mli: Format Mds

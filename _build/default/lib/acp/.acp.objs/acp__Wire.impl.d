@@ -1,0 +1,1 @@
+lib/acp/wire.ml: Fmt List Mds Txn

@@ -1,0 +1,1 @@
+lib/acp/wire.mli: Format Mds Txn

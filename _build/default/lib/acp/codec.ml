@@ -1,0 +1,271 @@
+exception Malformed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Malformed s)) fmt
+
+module Prim = struct
+  (* Unsigned LEB128 over OCaml's 63-bit non-negative ints. *)
+  let write_varint buf n =
+    if n < 0 then invalid_arg "Codec: negative varint";
+    let rec go n =
+      if n < 0x80 then Buffer.add_char buf (Char.chr n)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let read_varint s pos =
+    let rec go shift acc count =
+      if count > 9 then fail "varint too long";
+      if !pos >= String.length s then fail "truncated varint";
+      let b = Char.code s.[!pos] in
+      incr pos;
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc (count + 1)
+    in
+    go 0 0 0
+
+  let write_string buf s =
+    write_varint buf (String.length s);
+    Buffer.add_string buf s
+
+  let read_string s pos =
+    let len = read_varint s pos in
+    if !pos + len > String.length s then fail "truncated string";
+    let out = String.sub s !pos len in
+    pos := !pos + len;
+    out
+end
+
+open Prim
+
+let write_list buf write xs =
+  write_varint buf (List.length xs);
+  List.iter (write buf) xs
+
+let read_list s pos read =
+  let n = read_varint s pos in
+  List.init n (fun _ -> read s pos)
+
+let write_tag buf t = Buffer.add_char buf (Char.chr t)
+
+let read_tag s pos =
+  if !pos >= String.length s then fail "truncated tag";
+  let t = Char.code s.[!pos] in
+  incr pos;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_kind buf = function
+  | Mds.Update.File -> write_tag buf 0
+  | Mds.Update.Directory -> write_tag buf 1
+
+let read_kind s pos =
+  match read_tag s pos with
+  | 0 -> Mds.Update.File
+  | 1 -> Mds.Update.Directory
+  | t -> fail "unknown inode kind %d" t
+
+let write_update buf (u : Mds.Update.t) =
+  match u with
+  | Create_inode { ino; kind; nlink } ->
+      write_tag buf 0;
+      write_varint buf ino;
+      write_kind buf kind;
+      write_varint buf nlink
+  | Link { dir; name; target } ->
+      write_tag buf 1;
+      write_varint buf dir;
+      write_string buf name;
+      write_varint buf target
+  | Unlink { dir; name } ->
+      write_tag buf 2;
+      write_varint buf dir;
+      write_string buf name
+  | Ref { ino } ->
+      write_tag buf 3;
+      write_varint buf ino
+  | Unref { ino } ->
+      write_tag buf 4;
+      write_varint buf ino
+  | Touch { ino } ->
+      write_tag buf 5;
+      write_varint buf ino
+
+let read_update s pos : Mds.Update.t =
+  match read_tag s pos with
+  | 0 ->
+      let ino = read_varint s pos in
+      let kind = read_kind s pos in
+      let nlink = read_varint s pos in
+      Create_inode { ino; kind; nlink }
+  | 1 ->
+      let dir = read_varint s pos in
+      let name = read_string s pos in
+      let target = read_varint s pos in
+      Link { dir; name; target }
+  | 2 ->
+      let dir = read_varint s pos in
+      let name = read_string s pos in
+      Unlink { dir; name }
+  | 3 -> Ref { ino = read_varint s pos }
+  | 4 -> Unref { ino = read_varint s pos }
+  | 5 -> Touch { ino = read_varint s pos }
+  | t -> fail "unknown update tag %d" t
+
+(* ------------------------------------------------------------------ *)
+(* Operations and plans                                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_op buf (op : Mds.Op.t) =
+  match op with
+  | Create { parent; name; kind } ->
+      write_tag buf 0;
+      write_varint buf parent;
+      write_string buf name;
+      write_kind buf kind
+  | Delete { parent; name } ->
+      write_tag buf 1;
+      write_varint buf parent;
+      write_string buf name
+  | Rename { src_dir; src_name; dst_dir; dst_name } ->
+      write_tag buf 2;
+      write_varint buf src_dir;
+      write_string buf src_name;
+      write_varint buf dst_dir;
+      write_string buf dst_name
+
+let read_op s pos : Mds.Op.t =
+  match read_tag s pos with
+  | 0 ->
+      let parent = read_varint s pos in
+      let name = read_string s pos in
+      let kind = read_kind s pos in
+      Create { parent; name; kind }
+  | 1 ->
+      let parent = read_varint s pos in
+      let name = read_string s pos in
+      Delete { parent; name }
+  | 2 ->
+      let src_dir = read_varint s pos in
+      let src_name = read_string s pos in
+      let dst_dir = read_varint s pos in
+      let dst_name = read_string s pos in
+      Rename { src_dir; src_name; dst_dir; dst_name }
+  | t -> fail "unknown op tag %d" t
+
+let write_side buf (side : Mds.Plan.side) =
+  write_varint buf side.Mds.Plan.server;
+  write_list buf write_varint side.Mds.Plan.lock_oids;
+  write_list buf write_update side.Mds.Plan.updates
+
+let read_side s pos : Mds.Plan.side =
+  let server = read_varint s pos in
+  let lock_oids = read_list s pos read_varint in
+  let updates = read_list s pos read_update in
+  { Mds.Plan.server; lock_oids; updates }
+
+let write_plan buf (plan : Mds.Plan.t) =
+  write_op buf plan.Mds.Plan.op;
+  (match plan.Mds.Plan.new_ino with
+  | None -> write_tag buf 0
+  | Some ino ->
+      write_tag buf 1;
+      write_varint buf ino);
+  write_side buf plan.Mds.Plan.coordinator;
+  write_list buf write_side plan.Mds.Plan.workers
+
+let read_plan s pos : Mds.Plan.t =
+  let op = read_op s pos in
+  let new_ino =
+    match read_tag s pos with
+    | 0 -> None
+    | 1 -> Some (read_varint s pos)
+    | t -> fail "unknown option tag %d" t
+  in
+  let coordinator = read_side s pos in
+  let workers = read_list s pos read_side in
+  { Mds.Plan.op; new_ino; coordinator; workers }
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_txn buf (id : Txn.id) =
+  write_varint buf id.Txn.origin;
+  write_varint buf id.Txn.seq
+
+let read_txn s pos =
+  let origin = read_varint s pos in
+  let seq = read_varint s pos in
+  { Txn.origin; seq }
+
+let write_record buf (r : Log_record.t) =
+  match r with
+  | Started { txn; participants } ->
+      write_tag buf 0;
+      write_txn buf txn;
+      write_list buf write_varint participants
+  | Redo { txn; plan } ->
+      write_tag buf 1;
+      write_txn buf txn;
+      write_plan buf plan
+  | Updates { txn; updates } ->
+      write_tag buf 2;
+      write_txn buf txn;
+      write_list buf write_update updates
+  | Prepared { txn } ->
+      write_tag buf 3;
+      write_txn buf txn
+  | Committed { txn } ->
+      write_tag buf 4;
+      write_txn buf txn
+  | Aborted { txn } ->
+      write_tag buf 5;
+      write_txn buf txn
+  | Ended { txn } ->
+      write_tag buf 6;
+      write_txn buf txn
+
+let read_record s pos : Log_record.t =
+  match read_tag s pos with
+  | 0 ->
+      let txn = read_txn s pos in
+      let participants = read_list s pos read_varint in
+      Started { txn; participants }
+  | 1 ->
+      let txn = read_txn s pos in
+      let plan = read_plan s pos in
+      Redo { txn; plan }
+  | 2 ->
+      let txn = read_txn s pos in
+      let updates = read_list s pos read_update in
+      Updates { txn; updates }
+  | 3 -> Prepared { txn = read_txn s pos }
+  | 4 -> Committed { txn = read_txn s pos }
+  | 5 -> Aborted { txn = read_txn s pos }
+  | 6 -> Ended { txn = read_txn s pos }
+  | t -> fail "unknown record tag %d" t
+
+let with_buffer write x =
+  let buf = Buffer.create 64 in
+  write buf x;
+  Buffer.contents buf
+
+let decode_all read s =
+  let pos = ref 0 in
+  let v = read s pos in
+  if !pos <> String.length s then fail "trailing bytes";
+  v
+
+let encode_record = with_buffer write_record
+let decode_record = decode_all read_record
+let encoded_size r = String.length (encode_record r)
+let encode_update = with_buffer write_update
+let decode_update = decode_all read_update
+let encode_plan = with_buffer write_plan
+let decode_plan = decode_all read_plan

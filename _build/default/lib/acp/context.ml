@@ -1,0 +1,35 @@
+type t = {
+  engine : Simkit.Engine.t;
+  self : Netsim.Address.t;
+  self_server : int;
+  address_of : int -> Netsim.Address.t;
+  send : dst:Netsim.Address.t -> Wire.t -> unit;
+  force : Log_record.t list -> on_durable:(unit -> unit) -> unit;
+  append_async : ?on_durable:(unit -> unit) -> Log_record.t list -> unit;
+  log_gc : Txn.id -> unit;
+  own_log : unit -> Log_record.t list;
+  fence_and_read :
+    target:Netsim.Address.t -> on_read:(Log_scan.image list -> unit) -> unit;
+  locks : Locks.Lock_manager.t;
+  store : Mds.Store.t;
+  harden : Txn.id -> Mds.Update.t list -> unit;
+  is_hardened : Txn.id -> bool;
+  compute : n:int -> (unit -> unit) -> unit;
+  set_timer :
+    label:string ->
+    after:Simkit.Time.span ->
+    (unit -> unit) ->
+    Simkit.Engine.handle;
+  timeout : Simkit.Time.span;
+  suspects : Netsim.Address.t -> bool;
+  ledger : Metrics.Ledger.t;
+  trace : Simkit.Trace.t;
+  client_reply : Txn.id -> Txn.outcome -> unit;
+  mark : Txn.id -> string -> unit;
+}
+
+let trace_txn t txn ~kind detail =
+  Simkit.Trace.emitf t.trace
+    ~time:(Simkit.Engine.now t.engine)
+    ~source:(Netsim.Address.name t.self)
+    ~kind "%a %s" Txn.pp_id txn detail

@@ -1,0 +1,51 @@
+(** Services a protocol engine runs against.
+
+    One context per metadata server, assembled by the cluster layer. The
+    protocols only ever touch the world through these closures, which
+    keeps them independent of the wiring (and lets tests drive them
+    against miniature harnesses).
+
+    Conventions:
+    - [send] delivers asynchronously with network latency; messages to
+      crashed or partitioned nodes vanish.
+    - [force]/[append_async] target this server's own log partition;
+      [force]'s callback fires at durability (never after a crash).
+    - [harden txn updates] advances the durable metadata image exactly
+      once per transaction (idempotent across recovery replays).
+    - [mark] timestamps named per-transaction milestones ("locked",
+      "replied", ...) for the latency-decomposition experiments. *)
+
+type t = {
+  engine : Simkit.Engine.t;
+  self : Netsim.Address.t;
+  self_server : int;  (** this server's slot *)
+  address_of : int -> Netsim.Address.t;  (** slot -> address *)
+  send : dst:Netsim.Address.t -> Wire.t -> unit;
+  force : Log_record.t list -> on_durable:(unit -> unit) -> unit;
+  append_async : ?on_durable:(unit -> unit) -> Log_record.t list -> unit;
+  log_gc : Txn.id -> unit;  (** drop this transaction's records *)
+  own_log : unit -> Log_record.t list;  (** durable records (recovery) *)
+  fence_and_read :
+    target:Netsim.Address.t -> on_read:(Log_scan.image list -> unit) -> unit;
+      (** 1PC recovery: fence the target, then read its partition. *)
+  locks : Locks.Lock_manager.t;
+  store : Mds.Store.t;
+  harden : Txn.id -> Mds.Update.t list -> unit;
+  is_hardened : Txn.id -> bool;
+  compute : n:int -> (unit -> unit) -> unit;
+      (** continue after [n] object-method latencies *)
+  set_timer :
+    label:string ->
+    after:Simkit.Time.span ->
+    (unit -> unit) ->
+    Simkit.Engine.handle;
+  timeout : Simkit.Time.span;  (** protocol timeout (votes, decisions) *)
+  suspects : Netsim.Address.t -> bool;  (** failure-detector verdict *)
+  ledger : Metrics.Ledger.t;
+  trace : Simkit.Trace.t;
+  client_reply : Txn.id -> Txn.outcome -> unit;
+  mark : Txn.id -> string -> unit;
+}
+
+val trace_txn : t -> Txn.id -> kind:string -> string -> unit
+(** Emit a trace entry attributed to this server about a transaction. *)

@@ -1,0 +1,27 @@
+(** Recovery log scan.
+
+    Folds a durable record sequence into one summary per transaction —
+    the question a restarting server actually asks its log ("what was
+    the last thing I knew about t3.17?"). Used by every protocol's
+    recovery procedure and by the 1PC coordinator when it reads a fenced
+    worker's partition. *)
+
+type image = {
+  id : Txn.id;
+  started : bool;
+  participants : int list;  (** from [Started], if present *)
+  plan : Mds.Plan.t option;  (** from [Redo], if present *)
+  updates : Mds.Update.t list;  (** concatenation of [Updates] records *)
+  prepared : bool;
+  committed : bool;
+  aborted : bool;
+  ended : bool;
+}
+
+val scan : Log_record.t list -> image list
+(** One image per transaction, in order of first appearance. *)
+
+val find : Log_record.t list -> Txn.id -> image option
+
+val in_doubt : image -> bool
+(** Started or prepared, with no committed/aborted/ended outcome. *)

@@ -1,0 +1,454 @@
+type cphase =
+  | C_starting  (* STARTED+REDO force or local work in progress *)
+  | C_working  (* UPDATE_REQ out, waiting for UPDATED *)
+  | C_recovering  (* fencing the worker / reading its log *)
+  | C_committing  (* client answered; own commit force in flight *)
+  | C_aborting
+
+type coord = {
+  id : Txn.id;
+  worker : int;
+  worker_updates : Mds.Update.t list;
+  own_updates : Mds.Update.t list;
+  own_lock_oids : int list;
+  mutable phase : cphase;
+  mutable undo_list : Mds.Update.t list;
+  mutable retries : int;
+  timer : Simkit.Engine.handle option ref;
+}
+
+type work = {
+  w_id : Txn.id;
+  coordinator : int;
+  w_updates : Mds.Update.t list;
+  mutable committed : bool;  (* force completed, awaiting ACK *)
+  w_timer : Simkit.Engine.handle option ref;
+}
+
+type t = {
+  ctx : Context.t;
+  coords : (int * int, coord) Hashtbl.t;
+  works : (int * int, work) Hashtbl.t;
+}
+
+let max_soft_retries = 2
+
+let key (id : Txn.id) = (id.origin, id.seq)
+
+let create ctx =
+  { ctx; coords = Hashtbl.create 64; works = Hashtbl.create 64 }
+
+let outstanding t = Hashtbl.length t.coords + Hashtbl.length t.works
+
+let send_to t server msg =
+  t.ctx.Context.send ~dst:(t.ctx.Context.address_of server) msg
+
+let trace t id ~kind detail = Context.trace_txn t.ctx id ~kind detail
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let coord_drop t c = Hashtbl.remove t.coords (key c.id)
+
+(* The worker committed (its UPDATED arrived, or its log said so after
+   fencing): answer the client and release the directory lock at once —
+   the paper's critical-path cut — then commit our own side and let the
+   worker finalize. *)
+let coord_worker_committed t c =
+  Common.cancel_timer c.timer;
+  c.phase <- C_committing;
+  t.ctx.Context.client_reply c.id Txn.Committed;
+  t.ctx.Context.mark c.id "replied";
+  Common.release t.ctx c.id;
+  t.ctx.Context.mark c.id "released";
+  trace t c.id ~kind:"txn.commit" "worker committed; replying early";
+  t.ctx.Context.force
+    [
+      Log_record.Updates { txn = c.id; updates = c.own_updates };
+      Log_record.Committed { txn = c.id };
+    ]
+    ~on_durable:(fun () ->
+      t.ctx.Context.harden c.id c.own_updates;
+      send_to t c.worker (Wire.Ack { txn = c.id });
+      t.ctx.Context.log_gc c.id;
+      coord_drop t c)
+
+let coord_abort t c reason =
+  Common.cancel_timer c.timer;
+  c.phase <- C_aborting;
+  Common.undo t.ctx c.undo_list;
+  c.undo_list <- [];
+  trace t c.id ~kind:"txn.abort" reason;
+  (* The abort must be durable before the client hears it, or a crash
+     would re-execute the transaction from the REDO record and could
+     contradict the reply. *)
+  t.ctx.Context.force
+    [ Log_record.Aborted { txn = c.id } ]
+    ~on_durable:(fun () ->
+      Common.release t.ctx c.id;
+      t.ctx.Context.mark c.id "released";
+      t.ctx.Context.client_reply c.id (Txn.Aborted reason);
+      t.ctx.Context.mark c.id "replied";
+      t.ctx.Context.log_gc c.id;
+      coord_drop t c)
+
+(* Fence the unresponsive worker and decide from its log partition
+   (§III-C, second case). *)
+let coord_fence_and_decide t c =
+  if c.phase = C_working then begin
+    c.phase <- C_recovering;
+    Common.cancel_timer c.timer;
+    t.ctx.Context.ledger |> fun l -> Metrics.Ledger.incr l "acp.fence";
+    trace t c.id ~kind:"txn.fence"
+      (Fmt.str "fencing unresponsive worker %d" c.worker);
+    t.ctx.Context.fence_and_read
+      ~target:(t.ctx.Context.address_of c.worker)
+      ~on_read:(fun images ->
+        if c.phase = C_recovering then
+          match
+            List.find_opt
+              (fun (img : Log_scan.image) -> Txn.id_equal img.id c.id)
+              images
+          with
+          | Some img when img.committed ->
+              trace t c.id ~kind:"txn.fence" "worker log says COMMITTED";
+              coord_worker_committed t c
+          | Some _ | None ->
+              trace t c.id ~kind:"txn.fence" "no commit record; aborting";
+              coord_abort t c "worker failed before committing")
+  end
+
+let rec arm_updated_timer t c =
+  Common.cancel_timer c.timer;
+  c.timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"1pc.updated_timeout"
+         ~after:t.ctx.Context.timeout (fun () ->
+           c.timer := None;
+           if c.phase = C_working then
+             if
+               t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
+               || c.retries >= max_soft_retries
+             then coord_fence_and_decide t c
+             else begin
+               (* Alive but slow (or a lost message): retry — the worker
+                  deduplicates. *)
+               c.retries <- c.retries + 1;
+               send_to t c.worker
+                 (Wire.Update_req
+                    {
+                      txn = c.id;
+                      updates = c.worker_updates;
+                      piggyback_prepare = false;
+                      one_phase = true;
+                    });
+               arm_updated_timer t c
+             end))
+
+(* [replayed] marks recovery re-execution. A replayed transaction may
+   already have committed at the worker, so it must never abort without
+   consulting the worker's log: lock waits are retried instead of timing
+   out, and a local validation failure is only an abort after a
+   fence-and-read confirms the worker never committed. *)
+let rec coord_run t c ~replayed =
+  Common.acquire_locks t.ctx ~txn:c.id ~oids:c.own_lock_oids
+    ~on_granted:(fun () ->
+      if c.phase = C_starting then begin
+        t.ctx.Context.mark c.id "locked";
+        Common.apply_updates t.ctx c.own_updates ~k:(fun result ->
+            match (result, c.phase) with
+            | Ok inverses, C_starting ->
+                c.undo_list <- inverses;
+                c.phase <- C_working;
+                send_to t c.worker
+                  (Wire.Update_req
+                     {
+                       txn = c.id;
+                       updates = c.worker_updates;
+                       piggyback_prepare = false;
+                       one_phase = true;
+                     });
+                arm_updated_timer t c
+            | Ok inverses, _ -> Common.undo t.ctx inverses
+            | Error e, C_starting ->
+                let reason =
+                  Fmt.str "local update failed: %a" Mds.State.pp_error e
+                in
+                if not replayed then coord_abort t c reason
+                else begin
+                  c.phase <- C_recovering;
+                  t.ctx.Context.fence_and_read
+                    ~target:(t.ctx.Context.address_of c.worker)
+                    ~on_read:(fun images ->
+                      let committed =
+                        List.exists
+                          (fun (img : Log_scan.image) ->
+                            Txn.id_equal img.id c.id && img.committed)
+                          images
+                      in
+                      if committed then
+                        (* Serialization should make this unreachable:
+                           surface it loudly rather than diverge. *)
+                        failwith
+                          (Fmt.str
+                             "1PC recovery: replay of %a failed locally \
+                              after the worker committed (%s)"
+                             Txn.pp_id c.id reason)
+                      else begin
+                        c.phase <- C_starting;
+                        coord_abort t c reason
+                      end)
+                end
+            | Error _, _ -> ())
+      end)
+    ~on_timeout:(fun () ->
+      if c.phase = C_starting then
+        if replayed then coord_run t c ~replayed
+        else coord_abort t c "lock timeout at coordinator")
+
+let coord_of_plan (txn : Txn.t) =
+  match txn.plan.Mds.Plan.workers with
+  | [ w ] ->
+      {
+        id = txn.id;
+        worker = w.Mds.Plan.server;
+        worker_updates = w.Mds.Plan.updates;
+        own_updates = txn.plan.Mds.Plan.coordinator.updates;
+        own_lock_oids = txn.plan.Mds.Plan.coordinator.lock_oids;
+        phase = C_starting;
+        undo_list = [];
+        retries = 0;
+        timer = ref None;
+      }
+  | [] -> invalid_arg "One_phase.submit: local plan needs no ACP"
+  | _ :: _ :: _ ->
+      invalid_arg
+        "One_phase.submit: 1PC handles exactly one worker (route wider \
+         plans to 2PC)"
+
+let submit t (txn : Txn.t) =
+  let c = coord_of_plan txn in
+  Hashtbl.replace t.coords (key c.id) c;
+  t.ctx.Context.mark c.id "submit";
+  trace t c.id ~kind:"txn.start" "1PC coordinator";
+  t.ctx.Context.force
+    [
+      Log_record.Started { txn = c.id; participants = [ c.worker ] };
+      Log_record.Redo { txn = c.id; plan = txn.plan };
+    ]
+    ~on_durable:(fun () -> if c.phase = C_starting then coord_run t c ~replayed:false)
+
+let coord_on_updated t c ~ok =
+  match c.phase with
+  | C_working ->
+      if ok then coord_worker_committed t c
+      else coord_abort t c "worker rejected updates"
+  | C_starting | C_recovering | C_committing | C_aborting -> ()
+
+let coord_on_ack_req t ~src txn =
+  match Hashtbl.find_opt t.coords (key txn) with
+  | Some _ ->
+      (* Still committing our side; the ACK will go out when it is done. *)
+      ()
+  | None ->
+      (* Finished (and possibly checkpointed) long ago: the worker only
+         needs its acknowledgement. *)
+      t.ctx.Context.send ~dst:src (Wire.Ack { txn })
+
+(* ------------------------------------------------------------------ *)
+(* Worker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let work_drop t w = Hashtbl.remove t.works (key w.w_id)
+
+let rec arm_ack_req_timer t w =
+  Common.cancel_timer w.w_timer;
+  w.w_timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"1pc.ack_req"
+         ~after:t.ctx.Context.timeout (fun () ->
+           w.w_timer := None;
+           if w.committed then begin
+             send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
+             arm_ack_req_timer t w
+           end))
+
+let work_on_update_req t ~src txn updates =
+  match Hashtbl.find_opt t.works (key txn) with
+  | Some w when w.committed ->
+      (* Coordinator retry racing our reply. *)
+      t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+  | Some _ -> ()
+  | None ->
+      if t.ctx.Context.is_hardened txn then
+        (* Committed in a previous incarnation. *)
+        t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+      else begin
+        let w =
+          {
+            w_id = txn;
+            coordinator = txn.origin;
+            w_updates = updates;
+            committed = false;
+            w_timer = ref None;
+          }
+        in
+        Hashtbl.replace t.works (key txn) w;
+        trace t txn ~kind:"txn.start" "1PC worker";
+        Common.acquire_locks t.ctx ~txn
+          ~oids:(Common.lock_oids_of_updates updates)
+          ~on_granted:(fun () ->
+            Common.apply_updates t.ctx updates ~k:(function
+              | Ok _inverses ->
+                  (* Commit in the same breath: force updates and the
+                     COMMITTED record in one write, then tell the
+                     coordinator. *)
+                  t.ctx.Context.force
+                    [
+                      Log_record.Updates { txn; updates };
+                      Log_record.Committed { txn };
+                    ]
+                    ~on_durable:(fun () ->
+                      w.committed <- true;
+                      t.ctx.Context.harden txn updates;
+                      Common.release t.ctx txn;
+                      trace t txn ~kind:"txn.commit" "worker committed";
+                      send_to t w.coordinator
+                        (Wire.Updated { txn; ok = true });
+                      arm_ack_req_timer t w)
+              | Error e ->
+                  trace t txn ~kind:"txn.reject"
+                    (Fmt.str "%a" Mds.State.pp_error e);
+                  Common.release t.ctx txn;
+                  work_drop t w;
+                  send_to t w.coordinator (Wire.Updated { txn; ok = false })))
+          ~on_timeout:(fun () ->
+            Common.release t.ctx txn;
+            work_drop t w;
+            send_to t w.coordinator (Wire.Updated { txn; ok = false }))
+      end
+
+let work_on_ack t txn =
+  match Hashtbl.find_opt t.works (key txn) with
+  | Some w when w.committed ->
+      Common.cancel_timer w.w_timer;
+      let id = w.w_id in
+      t.ctx.Context.append_async
+        [ Log_record.Ended { txn = id } ]
+        ~on_durable:(fun () -> t.ctx.Context.log_gc id);
+      work_drop t w
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let on_message t ~src (msg : Wire.t) =
+  match msg with
+  | Wire.Update_req { txn; updates; one_phase; _ } ->
+      if not one_phase then
+        invalid_arg "One_phase.on_message: two-phase update request";
+      work_on_update_req t ~src txn updates
+  | Wire.Updated { txn; ok } -> (
+      match Hashtbl.find_opt t.coords (key txn) with
+      | Some c -> coord_on_updated t c ~ok
+      | None -> ())
+  | Wire.Ack { txn } -> work_on_ack t txn
+  | Wire.Ack_req { txn } -> coord_on_ack_req t ~src txn
+  | Wire.Decision_req { txn } ->
+      (* A 2PC worker asking us (mixed-protocol cluster); answer from the
+         log like PrC would. *)
+      let committed =
+        match Log_scan.find (t.ctx.Context.own_log ()) txn with
+        | Some img -> img.committed
+        | None -> t.ctx.Context.is_hardened txn
+      in
+      t.ctx.Context.send ~dst:src (Wire.Decision { txn; committed })
+  | Wire.Prepare _ | Wire.Prepared _ | Wire.Commit _ | Wire.Abort _
+  | Wire.Decision _ ->
+      ()
+
+let on_suspect t peer =
+  let server = Netsim.Address.index peer in
+  Hashtbl.iter
+    (fun _ c ->
+      if c.worker = server && c.phase = C_working then
+        coord_fence_and_decide t c)
+    t.coords
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (§III-C, restart cases)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let recover_coordinator t (img : Log_scan.image) =
+  if img.committed then begin
+    (* Decided before the crash; the generic pass hardened the updates.
+       The worker may still be waiting for its acknowledgement. *)
+    (match img.participants with
+    | [ w ] -> send_to t w (Wire.Ack { txn = img.id })
+    | _ -> ());
+    t.ctx.Context.client_reply img.id Txn.Committed;
+    t.ctx.Context.log_gc img.id
+  end
+  else if img.aborted then begin
+    t.ctx.Context.client_reply img.id (Txn.Aborted "aborted before crash");
+    t.ctx.Context.log_gc img.id
+  end
+  else
+    (* STARTED with no outcome: re-execute from the REDO record. *)
+    match img.plan with
+    | None ->
+        (* The crash hit between the force's two records? Impossible:
+           they are one atomic write. A missing plan means a foreign log
+           format; drop the transaction. *)
+        t.ctx.Context.log_gc img.id
+    | Some plan ->
+        trace t img.id ~kind:"txn.recover" "re-executing from REDO";
+        let c = coord_of_plan { Txn.id = img.id; plan } in
+        Hashtbl.replace t.coords (key c.id) c;
+        coord_run t c ~replayed:true
+
+let recover_worker t (img : Log_scan.image) =
+  if img.committed && not img.ended then begin
+    (* Ask for the acknowledgement so the log can be finalized. *)
+    let w =
+      {
+        w_id = img.id;
+        coordinator = img.id.origin;
+        w_updates = img.updates;
+        committed = true;
+        w_timer = ref None;
+      }
+    in
+    Hashtbl.replace t.works (key w.w_id) w;
+    trace t w.w_id ~kind:"txn.recover" "asking coordinator to resend ACK";
+    send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
+    arm_ack_req_timer t w
+  end
+  else t.ctx.Context.log_gc img.id
+
+(* Mirror of Two_phase.owns_image: 1PC coordinator images always carry a
+   REDO plan (forced atomically with STARTED) and 1PC workers never write
+   PREPARED. *)
+let owns_image t (img : Log_scan.image) =
+  if img.id.origin = t.ctx.Context.self_server then img.plan <> None
+  else img.committed && not img.prepared
+
+let owns t id =
+  Hashtbl.mem t.coords (key id) || Hashtbl.mem t.works (key id)
+
+let recover t =
+  let images = Log_scan.scan (t.ctx.Context.own_log ()) in
+  List.iter
+    (fun (img : Log_scan.image) ->
+      if img.committed && img.updates <> [] then
+        t.ctx.Context.harden img.id img.updates)
+    images;
+  List.iter
+    (fun (img : Log_scan.image) ->
+      if owns_image t img then
+        if img.id.origin = t.ctx.Context.self_server then
+          recover_coordinator t img
+        else recover_worker t img)
+    images

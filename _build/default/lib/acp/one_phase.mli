@@ -1,0 +1,42 @@
+(** The paper's One Phase Commit protocol (§III).
+
+    Two-server transactions only (CREATE/DELETE; the cluster layer routes
+    wider plans to 2PC). The voting phase is gone: the coordinator forces
+    a STARTED+REDO record, performs its update, and asks the worker to
+    update {e and commit} in one shot. When the worker's UPDATED arrives
+    the coordinator replies to the client and releases its locks
+    immediately — its own commit is forced off the client's critical path
+    — then acknowledges so the worker can finalize (ENDED, asynchronous)
+    and garbage-collect.
+
+    Recovery leans on the shared-storage architecture: a coordinator that
+    cannot reach its worker {b fences} it (STONITH via the cluster) and
+    reads the worker's log partition — COMMITTED there means commit, an
+    empty partition means abort. A restarted coordinator re-executes
+    in-doubt transactions from the REDO record; a restarted worker with
+    COMMITTED but no ENDED asks the coordinator to resend the
+    acknowledgement. *)
+
+type t
+
+val create : Context.t -> t
+val submit : t -> Txn.t -> unit
+(** @raise Invalid_argument unless the plan has exactly one worker. *)
+
+val on_message : t -> src:Netsim.Address.t -> Wire.t -> unit
+
+val recover : t -> unit
+(** §III-C restart procedure. Call once on a fresh instance. In-doubt
+    coordinator transactions are re-executed in original log order, which
+    realizes the paper's rule that a rebooted coordinator completes
+    outstanding requests in arrival order before serving new ones. *)
+
+val on_suspect : t -> Netsim.Address.t -> unit
+(** Heartbeat detector verdict: start fence-and-read recovery for every
+    transaction currently waiting on that worker. *)
+
+val outstanding : t -> int
+
+val owns : t -> Txn.id -> bool
+(** This engine currently holds state for the transaction, in either
+    role (message-routing hook for servers hosting two engines). *)

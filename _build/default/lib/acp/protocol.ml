@@ -1,0 +1,60 @@
+type kind = Prn | Prc | Ep | Opc
+
+let all = [ Prn; Prc; Ep; Opc ]
+
+let name = function
+  | Prn -> "PrN"
+  | Prc -> "PrC"
+  | Ep -> "EP"
+  | Opc -> "1PC"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "prn" | "2pc" -> Some Prn
+  | "prc" -> Some Prc
+  | "ep" -> Some Ep
+  | "1pc" | "opc" -> Some Opc
+  | _ -> None
+
+let pp ppf k = Fmt.string ppf (name k)
+
+let max_workers = function Prn | Prc | Ep -> None | Opc -> Some 1
+
+type instance = {
+  kind : kind;
+  submit : Txn.t -> unit;
+  on_message : src:Netsim.Address.t -> Wire.t -> unit;
+  recover : unit -> unit;
+  on_suspect : Netsim.Address.t -> unit;
+  outstanding : unit -> int;
+  owns : Txn.id -> bool;
+}
+
+let of_two_phase kind variant ctx =
+  let t = Two_phase.create variant ctx in
+  {
+    kind;
+    submit = Two_phase.submit t;
+    on_message = (fun ~src msg -> Two_phase.on_message t ~src msg);
+    recover = (fun () -> Two_phase.recover t);
+    on_suspect = Two_phase.on_suspect t;
+    outstanding = (fun () -> Two_phase.outstanding t);
+    owns = Two_phase.owns t;
+  }
+
+let instantiate kind ctx =
+  match kind with
+  | Prn -> of_two_phase Prn Two_phase.prn ctx
+  | Prc -> of_two_phase Prc Two_phase.prc ctx
+  | Ep -> of_two_phase Ep Two_phase.ep ctx
+  | Opc ->
+      let t = One_phase.create ctx in
+      {
+        kind = Opc;
+        submit = One_phase.submit t;
+        on_message = (fun ~src msg -> One_phase.on_message t ~src msg);
+        recover = (fun () -> One_phase.recover t);
+        on_suspect = One_phase.on_suspect t;
+        outstanding = (fun () -> One_phase.outstanding t);
+        owns = One_phase.owns t;
+      }

@@ -1,0 +1,39 @@
+(** Protocol registry.
+
+    A uniform closure-record interface over the four commitment
+    protocols, so the cluster layer can hold "whatever protocol this
+    server runs" without a functor. A fresh instance per server boot:
+    crashing a node is modelled by dropping its instance (all volatile
+    protocol state lives inside) and creating + recovering a new one. *)
+
+type kind = Prn | Prc | Ep | Opc
+
+val all : kind list
+(** In the paper's presentation order: PrN, PrC, EP, 1PC. *)
+
+val name : kind -> string
+(** ["PrN"], ["PrC"], ["EP"], ["1PC"]. *)
+
+val of_name : string -> kind option
+(** Case-insensitive; also accepts ["2pc"] for PrN and ["opc"] for 1PC. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val max_workers : kind -> int option
+(** [Some 1] for 1PC (two-server transactions only); [None] = unlimited
+    for the 2PC family. *)
+
+type instance = {
+  kind : kind;
+  submit : Txn.t -> unit;
+  on_message : src:Netsim.Address.t -> Wire.t -> unit;
+  recover : unit -> unit;
+  on_suspect : Netsim.Address.t -> unit;
+  outstanding : unit -> int;
+  owns : Txn.id -> bool;
+      (** currently holds state for this transaction in either role
+          (routing hook for servers hosting a 1PC engine plus its 2PC
+          fallback) *)
+}
+
+val instantiate : kind -> Context.t -> instance

@@ -1,0 +1,739 @@
+type variant = {
+  variant_name : string;
+  presume_commit : bool;
+  early_prepare : bool;
+}
+
+let prn = { variant_name = "PrN"; presume_commit = false; early_prepare = false }
+let prc = { variant_name = "PrC"; presume_commit = true; early_prepare = false }
+let ep = { variant_name = "EP"; presume_commit = true; early_prepare = true }
+
+module ISet = Set.Make (Int)
+
+type cphase =
+  | Working  (* gathering UPDATED (and, under EP, votes) *)
+  | Voting  (* PREPAREs sent, gathering votes *)
+  | Committing  (* COMMITTED force in flight *)
+  | Committed_waiting_acks  (* PrN commit epilogue *)
+  | Aborting  (* ABORTED force in flight *)
+  | Aborted_waiting_acks
+
+type coord = {
+  id : Txn.id;
+  workers : int list;
+  worker_updates : (int * Mds.Update.t list) list;  (* for the initial send *)
+  own_updates : Mds.Update.t list;
+  own_lock_oids : int list;
+  mutable phase : cphase;
+  mutable local_done : bool;
+  mutable undo_list : Mds.Update.t list;
+  mutable updated_from : ISet.t;
+  mutable self_prepared : bool;
+  mutable votes : ISet.t;
+  mutable acks : ISet.t;
+  timer : Simkit.Engine.handle option ref;
+}
+
+type wstate =
+  | W_locking
+  | W_updated  (* updated, waiting for PREPARE (non-EP) *)
+  | W_preparing  (* prepare force in flight *)
+  | W_prepared  (* voted yes, waiting for the decision *)
+  | W_finishing  (* decision applied, final write in flight *)
+
+type work = {
+  w_id : Txn.id;
+  coordinator : int;
+  w_updates : Mds.Update.t list;
+  mutable w_undo : Mds.Update.t list;
+  mutable wstate : wstate;
+  mutable pending_decision : [ `Commit | `Abort ] option;
+      (* decision that arrived while still locking (recovery races) *)
+  w_timer : Simkit.Engine.handle option ref;
+}
+
+type t = {
+  v : variant;
+  ctx : Context.t;
+  coords : (int * int, coord) Hashtbl.t;
+  works : (int * int, work) Hashtbl.t;
+}
+
+let key (id : Txn.id) = (id.origin, id.seq)
+
+let create v ctx =
+  { v; ctx; coords = Hashtbl.create 64; works = Hashtbl.create 64 }
+
+let variant t = t.v
+let outstanding t = Hashtbl.length t.coords + Hashtbl.length t.works
+
+let send_to t server msg =
+  t.ctx.Context.send ~dst:(t.ctx.Context.address_of server) msg
+
+let trace t id ~kind detail = Context.trace_txn t.ctx id ~kind detail
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let coord_drop t c = Hashtbl.remove t.coords (key c.id)
+
+let all_workers_in set workers =
+  List.for_all (fun w -> ISet.mem w set) workers
+
+(* Commit epilogue shared by the live path and recovery. *)
+let rec coord_commit_decided t c =
+  c.phase <- Committing;
+  Common.cancel_timer c.timer;
+  t.ctx.Context.force
+    [ Log_record.Committed { txn = c.id } ]
+    ~on_durable:(fun () ->
+      if c.phase = Committing then begin
+        t.ctx.Context.harden c.id c.own_updates;
+        Common.release t.ctx c.id;
+        t.ctx.Context.mark c.id "released";
+        trace t c.id ~kind:"txn.commit" "coordinator committed";
+        if t.v.presume_commit then begin
+          (* PrC/EP: reply, forward the decision, finalize the log. *)
+          t.ctx.Context.client_reply c.id Txn.Committed;
+          t.ctx.Context.mark c.id "replied";
+          List.iter
+            (fun w -> send_to t w (Wire.Commit { txn = c.id }))
+            c.workers;
+          t.ctx.Context.log_gc c.id;
+          coord_drop t c
+        end
+        else begin
+          (* PrN: the client learns the outcome only after every worker
+             acknowledged. *)
+          c.phase <- Committed_waiting_acks;
+          List.iter
+            (fun w -> send_to t w (Wire.Commit { txn = c.id }))
+            c.workers;
+          arm_ack_resend t c
+        end
+      end)
+
+and coord_abort_decided t c reason =
+  c.phase <- Aborting;
+  Common.cancel_timer c.timer;
+  Common.undo t.ctx c.undo_list;
+  c.undo_list <- [];
+  trace t c.id ~kind:"txn.abort" reason;
+  t.ctx.Context.force
+    [ Log_record.Aborted { txn = c.id } ]
+    ~on_durable:(fun () ->
+      if c.phase = Aborting then begin
+        Common.release t.ctx c.id;
+        t.ctx.Context.mark c.id "released";
+        t.ctx.Context.client_reply c.id (Txn.Aborted reason);
+        t.ctx.Context.mark c.id "replied";
+        c.phase <- Aborted_waiting_acks;
+        List.iter (fun w -> send_to t w (Wire.Abort { txn = c.id })) c.workers;
+        if all_workers_in c.acks c.workers then coord_finalize t c
+        else arm_ack_resend t c
+      end)
+
+and coord_finalize t c =
+  Common.cancel_timer c.timer;
+  (* Checkpoint once the ENDED record itself is durable, so the log
+     really drains (the record would otherwise outlive the GC). *)
+  let id = c.id in
+  t.ctx.Context.log_gc id;
+  t.ctx.Context.append_async
+    [ Log_record.Ended { txn = id } ]
+    ~on_durable:(fun () -> t.ctx.Context.log_gc id);
+  coord_drop t c
+
+and arm_ack_resend t c =
+  Common.cancel_timer c.timer;
+  c.timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"2pc.ack_resend"
+         ~after:t.ctx.Context.timeout (fun () ->
+           c.timer := None;
+           match c.phase with
+           | Committed_waiting_acks ->
+               List.iter
+                 (fun w ->
+                   if not (ISet.mem w c.acks) then
+                     send_to t w (Wire.Commit { txn = c.id }))
+                 c.workers;
+               arm_ack_resend t c
+           | Aborted_waiting_acks ->
+               List.iter
+                 (fun w ->
+                   if not (ISet.mem w c.acks) then
+                     send_to t w (Wire.Abort { txn = c.id }))
+                 c.workers;
+               arm_ack_resend t c
+           | Working | Voting | Committing | Aborting -> ()))
+
+let coord_check_votes t c =
+  let vote_phase_ok =
+    match c.phase with
+    | Voting -> true
+    | Working -> t.v.early_prepare
+    | Committing | Committed_waiting_acks | Aborting | Aborted_waiting_acks
+      ->
+        false
+  in
+  if
+    vote_phase_ok && c.local_done && c.self_prepared
+    && all_workers_in c.votes c.workers
+  then coord_commit_decided t c
+
+let coord_self_prepare t c =
+  t.ctx.Context.force
+    [
+      Log_record.Updates { txn = c.id; updates = c.own_updates };
+      Log_record.Prepared { txn = c.id };
+    ]
+    ~on_durable:(fun () ->
+      match c.phase with
+      | Working | Voting ->
+          c.self_prepared <- true;
+          coord_check_votes t c
+      | Committing | Committed_waiting_acks | Aborting
+      | Aborted_waiting_acks ->
+          ())
+
+let coord_enter_voting t c =
+  if
+    c.phase = Working && (not t.v.early_prepare) && c.local_done
+    && all_workers_in c.updated_from c.workers
+  then begin
+    c.phase <- Voting;
+    List.iter (fun w -> send_to t w (Wire.Prepare { txn = c.id })) c.workers;
+    coord_self_prepare t c
+  end
+
+let arm_vote_timer t c =
+  Common.cancel_timer c.timer;
+  c.timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"2pc.vote_timeout"
+         ~after:t.ctx.Context.timeout (fun () ->
+           c.timer := None;
+           match c.phase with
+           | Working | Voting ->
+               coord_abort_decided t c "timeout collecting votes"
+           | Committing | Committed_waiting_acks | Aborting
+           | Aborted_waiting_acks ->
+               ()))
+
+let submit t (txn : Txn.t) =
+  let plan = txn.plan in
+  if plan.Mds.Plan.workers = [] then
+    invalid_arg "Two_phase.submit: local plan needs no ACP";
+  let c =
+    {
+      id = txn.id;
+      workers = List.map (fun s -> s.Mds.Plan.server) plan.Mds.Plan.workers;
+      worker_updates =
+        List.map
+          (fun s -> (s.Mds.Plan.server, s.Mds.Plan.updates))
+          plan.Mds.Plan.workers;
+      own_updates = plan.Mds.Plan.coordinator.updates;
+      own_lock_oids = plan.Mds.Plan.coordinator.lock_oids;
+      phase = Working;
+      local_done = false;
+      undo_list = [];
+      updated_from = ISet.empty;
+      self_prepared = false;
+      votes = ISet.empty;
+      acks = ISet.empty;
+      timer = ref None;
+    }
+  in
+  Hashtbl.replace t.coords (key c.id) c;
+  t.ctx.Context.mark c.id "submit";
+  trace t c.id ~kind:"txn.start" (Fmt.str "%s coordinator" t.v.variant_name);
+  t.ctx.Context.force
+    [ Log_record.Started { txn = c.id; participants = c.workers } ]
+    ~on_durable:(fun () ->
+      if c.phase = Working then
+        Common.acquire_locks t.ctx ~txn:c.id ~oids:c.own_lock_oids
+          ~on_granted:(fun () ->
+            if c.phase = Working then begin
+              t.ctx.Context.mark c.id "locked";
+              arm_vote_timer t c;
+              List.iter
+                (fun (w, updates) ->
+                  send_to t w
+                    (Wire.Update_req
+                       {
+                         txn = c.id;
+                         updates;
+                         piggyback_prepare = t.v.early_prepare;
+                         one_phase = false;
+                       }))
+                c.worker_updates;
+              Common.apply_updates t.ctx c.own_updates ~k:(fun result ->
+                  match (result, c.phase) with
+                  | Ok inverses, (Working | Voting) ->
+                      c.undo_list <- inverses;
+                      c.local_done <- true;
+                      if t.v.early_prepare then coord_self_prepare t c
+                      else coord_enter_voting t c;
+                      coord_check_votes t c
+                  | Ok inverses, _ ->
+                      (* Already aborted (e.g. vote timeout): undo. *)
+                      Common.undo t.ctx inverses
+                  | Error e, (Working | Voting) ->
+                      coord_abort_decided t c
+                        (Fmt.str "local update failed: %a" Mds.State.pp_error
+                           e)
+                  | Error _, _ -> ())
+            end)
+          ~on_timeout:(fun () ->
+            if c.phase = Working then
+              coord_abort_decided t c "lock timeout at coordinator"))
+
+let coord_on_updated t c ~src_server ~ok =
+  match c.phase with
+  | Working when ok ->
+      c.updated_from <- ISet.add src_server c.updated_from;
+      if t.v.early_prepare then begin
+        (* Under EP the worker's UPDATED is its PREPARED vote. *)
+        c.votes <- ISet.add src_server c.votes;
+        coord_check_votes t c
+      end
+      else coord_enter_voting t c
+  | (Working | Voting) when not ok ->
+      coord_abort_decided t c
+        (Fmt.str "worker %d rejected updates" src_server)
+  | _ -> ()
+
+let coord_on_prepared t c ~src_server ~vote =
+  match c.phase with
+  | Voting when vote ->
+      c.votes <- ISet.add src_server c.votes;
+      coord_check_votes t c
+  | Voting -> coord_abort_decided t c (Fmt.str "worker %d voted no" src_server)
+  | Working when t.v.early_prepare && vote ->
+      (* A re-vote provoked by coordinator recovery. *)
+      c.votes <- ISet.add src_server c.votes;
+      coord_check_votes t c
+  | Working when t.v.early_prepare ->
+      coord_abort_decided t c (Fmt.str "worker %d voted no" src_server)
+  | _ -> ()
+
+let coord_on_ack t c ~src_server =
+  c.acks <- ISet.add src_server c.acks;
+  match c.phase with
+  | Committed_waiting_acks when all_workers_in c.acks c.workers ->
+      t.ctx.Context.client_reply c.id Txn.Committed;
+      t.ctx.Context.mark c.id "replied";
+      coord_finalize t c
+  | Aborted_waiting_acks when all_workers_in c.acks c.workers ->
+      coord_finalize t c
+  | _ -> ()
+
+let coord_on_decision_req t ~src txn =
+  let answer committed =
+    t.ctx.Context.send ~dst:src (Wire.Decision { txn; committed })
+  in
+  match Hashtbl.find_opt t.coords (key txn) with
+  | Some c -> (
+      match c.phase with
+      | Committed_waiting_acks -> answer true
+      | Aborting | Aborted_waiting_acks -> answer false
+      | Working | Voting | Committing ->
+          (* Not decided yet; the worker will ask again. *)
+          ())
+  | None -> (
+      match Log_scan.find (t.ctx.Context.own_log ()) txn with
+      | Some img when img.committed -> answer true
+      | Some img when img.aborted -> answer false
+      | Some _ | None ->
+          (* No outcome on record: PrC/EP presume commit; PrN retains its
+             log until the worker acknowledged, so an unknown transaction
+             can only have been aborted and forgotten. *)
+          answer t.v.presume_commit)
+
+(* ------------------------------------------------------------------ *)
+(* Worker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let work_drop t w = Hashtbl.remove t.works (key w.w_id)
+
+let rec arm_decision_timer t w =
+  Common.cancel_timer w.w_timer;
+  w.w_timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"2pc.decision_req"
+         ~after:t.ctx.Context.timeout (fun () ->
+           w.w_timer := None;
+           if w.wstate = W_prepared then begin
+             send_to t w.coordinator (Wire.Decision_req { txn = w.w_id });
+             arm_decision_timer t w
+           end))
+
+(* A worker that updated but never received PREPARE may abandon
+   unilaterally — it has not voted, so the coordinator (which must have
+   aborted on its own timeout) stays consistent. Twice the protocol
+   timeout leaves the coordinator the first move. *)
+let arm_abandon_timer t w =
+  Common.cancel_timer w.w_timer;
+  w.w_timer :=
+    Some
+      (t.ctx.Context.set_timer ~label:"2pc.worker_abandon"
+         ~after:(Simkit.Time.mul_span t.ctx.Context.timeout 2) (fun () ->
+           w.w_timer := None;
+           if w.wstate = W_updated then begin
+             trace t w.w_id ~kind:"txn.abandon"
+               "worker abandoned before voting";
+             Common.undo t.ctx w.w_undo;
+             Common.release t.ctx w.w_id;
+             work_drop t w
+           end))
+
+let rec work_force_prepare t w ~reply_with_updated =
+  w.wstate <- W_preparing;
+  t.ctx.Context.force
+    [
+      Log_record.Updates { txn = w.w_id; updates = w.w_updates };
+      Log_record.Prepared { txn = w.w_id };
+    ]
+    ~on_durable:(fun () ->
+      if w.wstate = W_preparing then begin
+        w.wstate <- W_prepared;
+        if reply_with_updated then
+          send_to t w.coordinator (Wire.Updated { txn = w.w_id; ok = true })
+        else
+          send_to t w.coordinator
+            (Wire.Prepared { txn = w.w_id; vote = true });
+        arm_decision_timer t w;
+        match w.pending_decision with
+        | Some d ->
+            w.pending_decision <- None;
+            apply_decision t w d
+        | None -> ()
+      end)
+
+and apply_decision t w = function
+  | `Commit ->
+      Common.cancel_timer w.w_timer;
+      w.wstate <- W_finishing;
+      if t.v.presume_commit then begin
+        (* PrC/EP: the COMMITTED record is asynchronous and there is no
+           acknowledgement; locks are released as soon as the decision is
+           known. *)
+        Common.release t.ctx w.w_id;
+        trace t w.w_id ~kind:"txn.commit" "worker committed (async)";
+        let id = w.w_id and updates = w.w_updates in
+        t.ctx.Context.append_async
+          [ Log_record.Committed { txn = id } ]
+          ~on_durable:(fun () ->
+            t.ctx.Context.harden id updates;
+            t.ctx.Context.log_gc id);
+        work_drop t w
+      end
+      else
+        t.ctx.Context.force
+          [ Log_record.Committed { txn = w.w_id } ]
+          ~on_durable:(fun () ->
+            if w.wstate = W_finishing then begin
+              t.ctx.Context.harden w.w_id w.w_updates;
+              Common.release t.ctx w.w_id;
+              trace t w.w_id ~kind:"txn.commit" "worker committed";
+              send_to t w.coordinator (Wire.Ack { txn = w.w_id });
+              t.ctx.Context.log_gc w.w_id;
+              work_drop t w
+            end)
+  | `Abort ->
+      Common.cancel_timer w.w_timer;
+      w.wstate <- W_finishing;
+      Common.undo t.ctx w.w_undo;
+      w.w_undo <- [];
+      Common.release t.ctx w.w_id;
+      trace t w.w_id ~kind:"txn.abort" "worker aborted";
+      t.ctx.Context.force
+        [ Log_record.Aborted { txn = w.w_id } ]
+        ~on_durable:(fun () ->
+          send_to t w.coordinator (Wire.Ack { txn = w.w_id });
+          t.ctx.Context.log_gc w.w_id;
+          work_drop t w)
+
+let work_on_update_req t ~src txn updates piggyback_prepare =
+  if Hashtbl.mem t.works (key txn) then ()
+    (* duplicate — first execution wins *)
+  else if t.ctx.Context.is_hardened txn then
+    t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+  else begin
+    let w =
+      {
+        w_id = txn;
+        coordinator = txn.origin;
+        w_updates = updates;
+        w_undo = [];
+        wstate = W_locking;
+        pending_decision = None;
+        w_timer = ref None;
+      }
+    in
+    Hashtbl.replace t.works (key txn) w;
+    trace t txn ~kind:"txn.start" (Fmt.str "%s worker" t.v.variant_name);
+    Common.acquire_locks t.ctx ~txn ~oids:(Common.lock_oids_of_updates updates)
+      ~on_granted:(fun () ->
+        match w.pending_decision with
+        | Some `Abort ->
+            Common.release t.ctx txn;
+            work_drop t w
+        | Some `Commit | None ->
+            Common.apply_updates t.ctx updates ~k:(function
+              | Ok inverses ->
+                  w.w_undo <- inverses;
+                  if piggyback_prepare then
+                    work_force_prepare t w ~reply_with_updated:true
+                  else begin
+                    w.wstate <- W_updated;
+                    send_to t w.coordinator
+                      (Wire.Updated { txn; ok = true });
+                    arm_abandon_timer t w
+                  end
+              | Error e ->
+                  trace t txn ~kind:"txn.reject"
+                    (Fmt.str "%a" Mds.State.pp_error e);
+                  Common.release t.ctx txn;
+                  work_drop t w;
+                  send_to t w.coordinator (Wire.Updated { txn; ok = false })))
+      ~on_timeout:(fun () ->
+        Common.release t.ctx txn;
+        work_drop t w;
+        send_to t w.coordinator (Wire.Updated { txn; ok = false }))
+  end
+
+let work_on_prepare t ~src txn =
+  match Hashtbl.find_opt t.works (key txn) with
+  | Some w -> (
+      match w.wstate with
+      | W_updated ->
+          Common.cancel_timer w.w_timer;
+          work_force_prepare t w ~reply_with_updated:false
+      | W_prepared ->
+          t.ctx.Context.send ~dst:src (Wire.Prepared { txn; vote = true })
+      | W_locking | W_preparing | W_finishing -> ())
+  | None ->
+      let vote = t.ctx.Context.is_hardened txn in
+      t.ctx.Context.send ~dst:src (Wire.Prepared { txn; vote })
+
+let work_on_decision t ~src txn decision =
+  match Hashtbl.find_opt t.works (key txn) with
+  | Some w -> (
+      match w.wstate with
+      | W_prepared | W_updated -> apply_decision t w decision
+      | W_locking -> w.pending_decision <- Some decision
+      | W_preparing -> w.pending_decision <- Some decision
+      | W_finishing -> ())
+  | None -> (
+      (* No state: either never started (abort trivially) or committed
+         and checkpointed long ago (the paper's "reply ACKNOWLEDGE"
+         case). Either way the coordinator just needs its ACK. *)
+      match decision with
+      | `Commit | `Abort -> t.ctx.Context.send ~dst:src (Wire.Ack { txn }))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let on_message t ~src (msg : Wire.t) =
+  let src_server = Netsim.Address.index src in
+  match msg with
+  | Wire.Update_req { txn; updates; piggyback_prepare; one_phase } ->
+      if one_phase then
+        invalid_arg "Two_phase.on_message: one-phase update request";
+      work_on_update_req t ~src txn updates piggyback_prepare
+  | Wire.Updated { txn; ok } -> (
+      match Hashtbl.find_opt t.coords (key txn) with
+      | Some c -> coord_on_updated t c ~src_server ~ok
+      | None -> ())
+  | Wire.Prepare { txn } -> work_on_prepare t ~src txn
+  | Wire.Prepared { txn; vote } -> (
+      match Hashtbl.find_opt t.coords (key txn) with
+      | Some c -> coord_on_prepared t c ~src_server ~vote
+      | None -> ())
+  | Wire.Commit { txn } -> work_on_decision t ~src txn `Commit
+  | Wire.Abort { txn } -> work_on_decision t ~src txn `Abort
+  | Wire.Ack { txn } -> (
+      match Hashtbl.find_opt t.coords (key txn) with
+      | Some c -> coord_on_ack t c ~src_server
+      | None -> ())
+  | Wire.Decision_req { txn } -> coord_on_decision_req t ~src txn
+  | Wire.Decision { txn; committed } ->
+      work_on_decision t ~src txn (if committed then `Commit else `Abort)
+  | Wire.Ack_req { txn } ->
+      (* 1PC-only traffic; answering ACK is harmless and keeps mixed
+         clusters live. *)
+      t.ctx.Context.send ~dst:src (Wire.Ack { txn })
+
+let on_suspect _t _peer = ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (§II-C)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let recover_coordinator t (img : Log_scan.image) =
+  let reconstruct phase =
+    let c =
+      {
+        id = img.id;
+        workers = img.participants;
+        worker_updates = [];
+        own_updates = img.updates;
+        own_lock_oids = Common.lock_oids_of_updates img.updates;
+        phase;
+        local_done = true;
+        undo_list = [];
+        updated_from = ISet.of_list img.participants;
+        self_prepared = true;
+        votes = ISet.empty;
+        acks = ISet.empty;
+        timer = ref None;
+      }
+    in
+    Hashtbl.replace t.coords (key c.id) c;
+    c
+  in
+  if not img.started then begin
+    (* A single-server (no-ACP) transaction's image: its one forced write
+       carried updates + COMMITTED, so there is nothing to resolve. *)
+    if img.committed then t.ctx.Context.client_reply img.id Txn.Committed;
+    t.ctx.Context.log_gc img.id
+  end
+  else if img.ended then t.ctx.Context.log_gc img.id
+  else if img.committed then
+    if t.v.presume_commit then begin
+      (* Crashed between deciding and finalizing: the updates were
+         hardened by the generic pass; replay the epilogue. *)
+      t.ctx.Context.client_reply img.id Txn.Committed;
+      List.iter
+        (fun w -> send_to t w (Wire.Commit { txn = img.id }))
+        img.participants;
+      t.ctx.Context.log_gc img.id
+    end
+    else begin
+      let c = reconstruct Committed_waiting_acks in
+      trace t c.id ~kind:"txn.recover" "resending COMMIT";
+      List.iter (fun w -> send_to t w (Wire.Commit { txn = c.id })) c.workers;
+      arm_ack_resend t c
+    end
+  else if img.aborted then begin
+    let c = reconstruct Aborted_waiting_acks in
+    trace t c.id ~kind:"txn.recover" "resending ABORT";
+    t.ctx.Context.client_reply c.id (Txn.Aborted "aborted before crash");
+    List.iter (fun w -> send_to t w (Wire.Abort { txn = c.id })) c.workers;
+    arm_ack_resend t c
+  end
+  else if img.prepared then begin
+    (* Prepared but undecided: re-lock, replay our updates and re-run the
+       voting phase ("resubmit the PREPARE request"). *)
+    let c = reconstruct Voting in
+    trace t c.id ~kind:"txn.recover" "re-voting after crash";
+    Common.acquire_locks t.ctx ~txn:c.id ~oids:c.own_lock_oids
+      ~on_granted:(fun () ->
+        if c.phase = Voting then begin
+          c.undo_list <- Common.replay t.ctx c.own_updates;
+          arm_vote_timer t c;
+          List.iter
+            (fun w -> send_to t w (Wire.Prepare { txn = c.id }))
+            c.workers;
+          coord_check_votes t c
+        end)
+      ~on_timeout:(fun () ->
+        if c.phase = Voting then
+          coord_abort_decided t c "lock timeout during recovery")
+  end
+  else begin
+    (* STARTED only: the updates died with the cache; abort (§II-C). *)
+    let c = reconstruct Aborting in
+    c.local_done <- false;
+    c.self_prepared <- false;
+    trace t c.id ~kind:"txn.recover" "aborting unprepared transaction";
+    t.ctx.Context.force
+      [ Log_record.Aborted { txn = c.id } ]
+      ~on_durable:(fun () ->
+        if c.phase = Aborting then begin
+          t.ctx.Context.client_reply c.id (Txn.Aborted "coordinator crashed");
+          c.phase <- Aborted_waiting_acks;
+          List.iter
+            (fun w -> send_to t w (Wire.Abort { txn = c.id }))
+            c.workers;
+          if all_workers_in c.acks c.workers then coord_finalize t c
+          else arm_ack_resend t c
+        end)
+  end
+
+let rec recover_worker t (img : Log_scan.image) =
+  if img.committed || img.aborted || img.ended then
+    (* Outcome already durable; the generic pass hardened committed
+       updates. Just drop the records. *)
+    t.ctx.Context.log_gc img.id
+  else if img.prepared then begin
+    (* Blocked in-doubt: re-lock, replay, ask for the outcome. *)
+    let w =
+      {
+        w_id = img.id;
+        coordinator = img.id.origin;
+        w_updates = img.updates;
+        w_undo = [];
+        wstate = W_locking;
+        pending_decision = None;
+        w_timer = ref None;
+      }
+    in
+    Hashtbl.replace t.works (key w.w_id) w;
+    trace t w.w_id ~kind:"txn.recover" "worker in doubt, asking coordinator";
+    Common.acquire_locks t.ctx ~txn:w.w_id
+      ~oids:(Common.lock_oids_of_updates img.updates)
+      ~on_granted:(fun () ->
+        w.w_undo <- Common.replay t.ctx w.w_updates;
+        w.wstate <- W_prepared;
+        match w.pending_decision with
+        | Some d ->
+            w.pending_decision <- None;
+            apply_decision t w d
+        | None ->
+            send_to t w.coordinator (Wire.Decision_req { txn = w.w_id });
+            arm_decision_timer t w)
+      ~on_timeout:(fun () ->
+        (* Locks cannot be stolen from an in-doubt transaction in this
+           simulator (recovery runs before new work), so a timeout here
+           means severe contention between recovered transactions; keep
+           trying. *)
+        trace t w.w_id ~kind:"txn.recover" "re-lock timeout; retrying";
+        Common.release t.ctx w.w_id;
+        work_drop t w;
+        recover_worker t img)
+  end
+  else t.ctx.Context.log_gc img.id
+
+(* A server can host a 1PC engine alongside this one (1PC nodes fall
+   back to PrN for multi-worker plans), so recovery must only touch this
+   family's transactions: coordinator images carrying a REDO plan and
+   worker images that never prepared are 1PC's. *)
+let owns_image t (img : Log_scan.image) =
+  if img.id.origin = t.ctx.Context.self_server then img.plan = None
+  else img.prepared
+
+let owns t id =
+  Hashtbl.mem t.coords (key id) || Hashtbl.mem t.works (key id)
+
+let recover t =
+  let images = Log_scan.scan (t.ctx.Context.own_log ()) in
+  (* Pass 1: make every committed transaction's effects durable in the
+     metadata image (idempotent). *)
+  List.iter
+    (fun (img : Log_scan.image) ->
+      if img.committed && img.updates <> [] then
+        t.ctx.Context.harden img.id img.updates)
+    images;
+  (* Pass 2: resume or resolve, in original log order. *)
+  List.iter
+    (fun (img : Log_scan.image) ->
+      if owns_image t img then
+        if img.id.origin = t.ctx.Context.self_server then
+          recover_coordinator t img
+        else recover_worker t img)
+    images

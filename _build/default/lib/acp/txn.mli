@@ -1,0 +1,25 @@
+(** Transaction identity and outcomes.
+
+    A transaction is one distributed namespace operation in flight. Its
+    id is globally unique without coordination: the coordinating server's
+    slot plus a per-server sequence number. *)
+
+type id = { origin : int;  (** coordinator's server slot *) seq : int }
+
+type outcome =
+  | Committed
+  | Aborted of string  (** human-readable reason *)
+
+type t = { id : id; plan : Mds.Plan.t }
+(** What the coordinator holds when a transaction starts. *)
+
+val id_equal : id -> id -> bool
+val id_compare : id -> id -> int
+
+val owner_token : id -> int
+(** Dense injective encoding of an id for use as a lock-manager owner.
+    Supports up to 2{^20} servers and 2{^42} transactions per server. *)
+
+val pp_id : Format.formatter -> id -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val is_committed : outcome -> bool

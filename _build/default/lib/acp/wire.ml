@@ -1,0 +1,69 @@
+type t =
+  | Update_req of {
+      txn : Txn.id;
+      updates : Mds.Update.t list;
+      piggyback_prepare : bool;
+      one_phase : bool;
+    }
+  | Updated of { txn : Txn.id; ok : bool }
+  | Prepare of { txn : Txn.id }
+  | Prepared of { txn : Txn.id; vote : bool }
+  | Commit of { txn : Txn.id }
+  | Abort of { txn : Txn.id }
+  | Ack of { txn : Txn.id }
+  | Decision_req of { txn : Txn.id }
+  | Decision of { txn : Txn.id; committed : bool }
+  | Ack_req of { txn : Txn.id }
+
+let txn = function
+  | Update_req { txn; _ }
+  | Updated { txn; _ }
+  | Prepare { txn }
+  | Prepared { txn; _ }
+  | Commit { txn }
+  | Abort { txn }
+  | Ack { txn }
+  | Decision_req { txn }
+  | Decision { txn; _ }
+  | Ack_req { txn } ->
+      txn
+
+let is_baseline = function
+  | Update_req _ | Updated _ -> true
+  | Prepare _ | Prepared _ | Commit _ | Abort _ | Ack _ | Decision_req _
+  | Decision _ | Ack_req _ ->
+      false
+
+let label = function
+  | Update_req _ -> "update_req"
+  | Updated _ -> "updated"
+  | Prepare _ -> "prepare"
+  | Prepared _ -> "prepared"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Ack _ -> "ack"
+  | Decision_req _ -> "decision_req"
+  | Decision _ -> "decision"
+  | Ack_req _ -> "ack_req"
+
+let pp ppf m =
+  match m with
+  | Update_req { txn; updates; piggyback_prepare; one_phase } ->
+      Fmt.pf ppf "UPDATE_REQ %a (%d update(s)%s%s)" Txn.pp_id txn
+        (List.length updates)
+        (if piggyback_prepare then ", +prepare" else "")
+        (if one_phase then ", 1pc" else "")
+  | Updated { txn; ok } ->
+      Fmt.pf ppf "UPDATED %a (%s)" Txn.pp_id txn (if ok then "ok" else "failed")
+  | Prepare { txn } -> Fmt.pf ppf "PREPARE %a" Txn.pp_id txn
+  | Prepared { txn; vote } ->
+      Fmt.pf ppf "%s %a" (if vote then "PREPARED" else "NOT-PREPARED")
+        Txn.pp_id txn
+  | Commit { txn } -> Fmt.pf ppf "COMMIT %a" Txn.pp_id txn
+  | Abort { txn } -> Fmt.pf ppf "ABORT %a" Txn.pp_id txn
+  | Ack { txn } -> Fmt.pf ppf "ACK %a" Txn.pp_id txn
+  | Decision_req { txn } -> Fmt.pf ppf "DECISION_REQ %a" Txn.pp_id txn
+  | Decision { txn; committed } ->
+      Fmt.pf ppf "DECISION %a (%s)" Txn.pp_id txn
+        (if committed then "commit" else "abort")
+  | Ack_req { txn } -> Fmt.pf ppf "ACK_REQ %a" Txn.pp_id txn

@@ -1,0 +1,41 @@
+(** Inter-MDS protocol messages.
+
+    One message type serves all four protocols; each uses the subset its
+    state machine needs. The [Update_req]/[Updated] pair is the {e
+    baseline} traffic any distributed namespace operation needs even
+    without an atomic commitment protocol; everything else is ACP
+    overhead — the distinction Table I draws with its "additional
+    messages" columns. *)
+
+type t =
+  | Update_req of {
+      txn : Txn.id;
+      updates : Mds.Update.t list;  (** the receiving worker's side *)
+      piggyback_prepare : bool;  (** EP: this request is also PREPARE *)
+      one_phase : bool;  (** 1PC: commit immediately after updating *)
+    }
+  | Updated of { txn : Txn.id; ok : bool }
+      (** Worker's reply. Under EP it doubles as the PREPARED vote, under
+          1PC it means "updated {e and committed}". [ok = false] is a
+          NO vote: the updates failed validation and nothing was kept. *)
+  | Prepare of { txn : Txn.id }
+  | Prepared of { txn : Txn.id; vote : bool }
+      (** [vote = false] is NOT-PREPARED. *)
+  | Commit of { txn : Txn.id }
+  | Abort of { txn : Txn.id }
+  | Ack of { txn : Txn.id }
+  | Decision_req of { txn : Txn.id }
+      (** Blocked prepared worker asking the coordinator for the
+          outcome. *)
+  | Decision of { txn : Txn.id; committed : bool }
+  | Ack_req of { txn : Txn.id }
+      (** 1PC worker asking the coordinator to resend ACKNOWLEDGE. *)
+
+val txn : t -> Txn.id
+val is_baseline : t -> bool
+(** [Update_req]/[Updated] — traffic that exists even without an ACP. *)
+
+val label : t -> string
+(** Short tag for tracing and ledger keys, e.g. ["prepare"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cluster/batching.ml: Acp Cluster Hashtbl List Mds Metrics Simkit

@@ -1,0 +1,1 @@
+lib/cluster/batching.mli: Acp Cluster Mds Simkit

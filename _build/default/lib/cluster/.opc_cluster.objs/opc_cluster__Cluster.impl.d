@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Acp Array Config Fmt Hashtbl List Mds Metrics Msg Netsim Node Simkit Storage

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Acp Config Mds Metrics Msg Netsim Node Simkit Storage

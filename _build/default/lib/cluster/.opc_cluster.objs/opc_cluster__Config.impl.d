@@ -1,0 +1,1 @@
+lib/cluster/config.ml: Acp Mds Netsim Simkit Storage

@@ -1,0 +1,1 @@
+lib/cluster/fault.ml: Cluster Fmt List Simkit

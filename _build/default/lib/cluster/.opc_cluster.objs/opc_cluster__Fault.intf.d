@@ -1,0 +1,1 @@
+lib/cluster/fault.mli: Cluster Format Simkit

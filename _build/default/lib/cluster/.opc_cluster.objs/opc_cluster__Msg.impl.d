@@ -1,0 +1,1 @@
+lib/cluster/msg.ml: Acp Fmt

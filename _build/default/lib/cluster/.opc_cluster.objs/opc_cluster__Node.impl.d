@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Acp Config Fmt Hashtbl List Locks Mds Metrics Msg Netsim Printf Simkit Storage

@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Acp Config Locks Mds Metrics Msg Netsim Simkit Storage

@@ -1,0 +1,1 @@
+lib/cluster/report.ml: Array Cluster Fmt List Locks Metrics Netsim Node Simkit Storage

@@ -1,0 +1,1 @@
+lib/cluster/report.mli: Cluster Format Locks Netsim Simkit Storage

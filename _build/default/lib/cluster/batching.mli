@@ -1,0 +1,43 @@
+(** Operation aggregation (§VI, the paper's future-work extension).
+
+    The server managing a hot parent directory can aggregate many
+    namespace operations into one big transaction: lock the directory
+    once and amortize the expensive log writes over a whole block of
+    requests. This module implements that batching in front of
+    {!Cluster.submit}:
+
+    - CREATE and DELETE operations (the paper's "creation and/or
+      deletion of a high number of files per second in the same
+      directory") are buffered per (parent directory, worker server)
+      pair — grouping by worker keeps every merged transaction a
+      two-server transaction, so it still runs under 1PC;
+    - a group flushes when it reaches [max_batch] operations or when
+      [window] elapses after its first buffered operation;
+    - a flushed group becomes one merged plan ({!Mds.Plan.merge}) and one
+      commit; every buffered operation receives the batch's outcome
+      (atomic per batch, by construction);
+    - anything that cannot be batched (renames, planning failures,
+      local or multi-worker plans) passes through unbatched.
+
+    Semantics note: batching preserves atomicity and isolation per
+    batch, but a validation failure of {e any} member aborts the whole
+    batch — the trade the paper's aggregation implies. *)
+
+type t
+
+type stats = {
+  batches : int;  (** merged transactions flushed *)
+  batched_ops : int;  (** operations that travelled inside a batch *)
+  passthrough : int;  (** operations submitted individually *)
+}
+
+val create :
+  Cluster.t -> window:Simkit.Time.span -> max_batch:int -> t
+(** @raise Invalid_argument if [max_batch < 1]. *)
+
+val submit : t -> Mds.Op.t -> on_done:(Acp.Txn.outcome -> unit) -> unit
+
+val flush_all : t -> unit
+(** Flush every pending group immediately (end of a burst). *)
+
+val stats : t -> stats

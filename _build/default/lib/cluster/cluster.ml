@@ -1,0 +1,399 @@
+type waiting = {
+  submitted_at : Simkit.Time.t;
+  mutable callback : (Acp.Txn.outcome -> unit) option;
+}
+
+type t = {
+  config : Config.t;
+  engine : Simkit.Engine.t;
+  rng : Simkit.Rng.t;
+  trace : Simkit.Trace.t;
+  ledger : Metrics.Ledger.t;
+  network : Msg.t Netsim.Network.t;
+  san : Acp.Log_record.t Storage.San.t;
+  placement : Mds.Placement.t;
+  mutable planner : Mds.Planner.t option;  (* set after nodes exist *)
+  mutable nodes : Node.t array;
+  root : Mds.Update.ino;
+  waiting : (int * int, waiting) Hashtbl.t;
+  marks : (int * int, (string * Simkit.Time.t) list ref) Hashtbl.t;
+  latency_committed : Metrics.Histogram.t;
+  latency_aborted : Metrics.Histogram.t;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable next_seq : int;
+  mutable next_ino : Mds.Update.ino;
+  mutable pending_reads : int;
+}
+
+let config t = t.config
+let engine t = t.engine
+let trace t = t.trace
+let ledger t = t.ledger
+let network t = t.network
+let san t = t.san
+let placement t = t.placement
+let root t = t.root
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let now t = Simkit.Engine.now t.engine
+
+let key (id : Acp.Txn.id) = (id.origin, id.seq)
+
+let planner t =
+  match t.planner with Some p -> p | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Reply routing and milestones                                        *)
+(* ------------------------------------------------------------------ *)
+
+let client_reply t id outcome =
+  match Hashtbl.find_opt t.waiting (key id) with
+  | Some w -> (
+      match w.callback with
+      | Some f ->
+          w.callback <- None;
+          Hashtbl.remove t.waiting (key id);
+          let latency = Simkit.Time.diff (now t) w.submitted_at in
+          (match outcome with
+          | Acp.Txn.Committed ->
+              t.committed <- t.committed + 1;
+              Metrics.Ledger.incr t.ledger "txn.committed";
+              Metrics.Histogram.record t.latency_committed latency
+          | Acp.Txn.Aborted _ ->
+              t.aborted <- t.aborted + 1;
+              Metrics.Ledger.incr t.ledger "txn.aborted";
+              Metrics.Histogram.record t.latency_aborted latency);
+          f outcome
+      | None ->
+          Hashtbl.remove t.waiting (key id);
+          Metrics.Ledger.incr t.ledger "reply.duplicate")
+  | None -> Metrics.Ledger.incr t.ledger "reply.duplicate"
+
+let mark t id label =
+  let cell =
+    match Hashtbl.find_opt t.marks (key id) with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.marks (key id) r;
+        r
+  in
+  cell := (label, now t) :: !cell
+
+let marks t id =
+  match Hashtbl.find_opt t.marks (key id) with
+  | Some r -> List.rev !r
+  | None -> []
+
+let mark_span t id ~from_ ~to_ =
+  let ms = marks t id in
+  match (List.assoc_opt from_ ms, List.assoc_opt to_ ms) with
+  | Some a, Some b when Simkit.Time.( >= ) b a -> Some (Simkit.Time.diff b a)
+  | _ -> None
+
+let all_mark_spans t ~from_ ~to_ =
+  Hashtbl.fold
+    (fun (origin, seq) _ acc ->
+      match mark_span t { Acp.Txn.origin; seq } ~from_ ~to_ with
+      | Some span -> span :: acc
+      | None -> acc)
+    t.marks []
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create (config : Config.t) =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Cluster.create: " ^ msg));
+  let engine = Simkit.Engine.create () in
+  let rng = Simkit.Rng.create ~seed:config.seed in
+  let trace =
+    if config.record_trace then Simkit.Trace.create ()
+    else Simkit.Trace.disabled ()
+  in
+  let ledger = Metrics.Ledger.create () in
+  let network =
+    Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace
+      config.network
+  in
+  let size =
+    if config.encoded_sizes then Acp.Codec.encoded_size
+    else Acp.Log_record.size config.sizing
+  in
+  let san = Storage.San.create ~engine ~trace ~size config.san in
+  let placement =
+    Mds.Placement.create
+      ~rng:(Simkit.Rng.split rng)
+      ~strategy:config.placement ~servers:config.servers ()
+  in
+  let root = 0 in
+  Mds.Placement.assign_root placement root ~server:0;
+  let t =
+    {
+      config;
+      engine;
+      rng;
+      trace;
+      ledger;
+      network;
+      san;
+      placement;
+      planner = None;
+      nodes = [||];
+      root;
+      waiting = Hashtbl.create 1024;
+      marks = Hashtbl.create 1024;
+      latency_committed = Metrics.Histogram.create ();
+      latency_aborted = Metrics.Histogram.create ();
+      committed = 0;
+      aborted = 0;
+      next_seq = 0;
+      next_ino = 1;
+      pending_reads = 0;
+    }
+  in
+  let services : Node.services =
+    {
+      engine;
+      trace;
+      network;
+      san;
+      ledger;
+      config;
+      client_reply = (fun id outcome -> client_reply t id outcome);
+      stonith =
+        (fun victim ->
+          let server = Netsim.Address.index victim in
+          let n = t.nodes.(server) in
+          Metrics.Ledger.incr ledger "node.stonith";
+          Node.crash n;
+          (* A STONITH power-cycles its victim: it comes back after the
+             reboot delay regardless of the auto-restart policy. *)
+          ignore
+            (Simkit.Engine.schedule engine ~label:"stonith.reboot"
+               ~after:config.restart_delay (fun () -> Node.restart n)));
+      mark = (fun id label -> mark t id label);
+    }
+  in
+  let nodes =
+    Array.init config.servers (fun server ->
+        Node.create services ~server
+          ~root:(if server = 0 then Some root else None))
+  in
+  t.nodes <- nodes;
+  let lookup ~server ~dir ~name =
+    Mds.State.lookup (Mds.Store.volatile (Node.store nodes.(server))) ~dir ~name
+  in
+  t.planner <-
+    Some
+      (Mds.Planner.create ~placement
+         ~next_ino:(fun () ->
+           let ino = t.next_ino in
+           t.next_ino <- ino + 1;
+           ino)
+         ~lookup);
+  Array.iter Node.boot nodes;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add_directory t ~parent ~name ?server () =
+  let parent_server = Mds.Placement.node_of t.placement parent in
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  (match server with
+  | Some s -> Mds.Placement.assign_root t.placement ino ~server:s
+  | None -> ignore (Mds.Placement.place t.placement ~parent_server ino));
+  let dir_server = Mds.Placement.node_of t.placement ino in
+  let link = Mds.Update.Link { dir = parent; name; target = ino } in
+  let create =
+    Mds.Update.Create_inode { ino; kind = Mds.Update.Directory; nlink = 1 }
+  in
+  let apply server u =
+    let store = Node.store t.nodes.(server) in
+    ignore (Mds.State.apply_exn (Mds.Store.volatile store) u);
+    ignore (Mds.State.apply_exn (Mds.Store.durable store) u)
+  in
+  apply parent_server link;
+  apply dir_server create;
+  ino
+
+(* ------------------------------------------------------------------ *)
+(* Client API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Rejections that never become transactions (planning failure, downed
+   coordinator) answer synchronously — there is no protocol activity to
+   wait for, and the caller must see the reply even if it never runs the
+   engine again. *)
+let finish_immediately t on_done outcome =
+  (match outcome with
+  | Acp.Txn.Committed -> t.committed <- t.committed + 1
+  | Acp.Txn.Aborted _ ->
+      t.aborted <- t.aborted + 1;
+      Metrics.Ledger.incr t.ledger "txn.rejected");
+  on_done outcome
+
+let plan t op =
+  match Mds.Planner.plan (planner t) op with
+  | Ok plan -> Ok plan
+  | Error e -> Error (Fmt.str "plan: %a" Mds.Planner.pp_error e)
+
+let submit_plan t plan ~on_done =
+  let coordinator = plan.Mds.Plan.coordinator.Mds.Plan.server in
+  let node = t.nodes.(coordinator) in
+  if not (Node.is_serving node) then
+    finish_immediately t on_done (Acp.Txn.Aborted "coordinator down")
+  else begin
+    let id = { Acp.Txn.origin = coordinator; seq = t.next_seq } in
+    t.next_seq <- t.next_seq + 1;
+    Hashtbl.replace t.waiting (key id)
+      { submitted_at = now t; callback = Some on_done };
+    Metrics.Ledger.incr t.ledger "txn.submitted";
+    Metrics.Ledger.incr t.ledger
+      (if plan.Mds.Plan.workers = [] then "txn.plan.local"
+       else "txn.plan.distributed");
+    let txn = { Acp.Txn.id; plan } in
+    if plan.Mds.Plan.workers = [] then Node.run_local node txn
+    else Node.submit node txn
+  end
+
+let submit t op ~on_done =
+  match plan t op with
+  | Error reason -> finish_immediately t on_done (Acp.Txn.Aborted reason)
+  | Ok plan -> submit_plan t plan ~on_done
+
+let pending_replies t = Hashtbl.length t.waiting
+
+(* Reads are served by the directory's owner under a shared lock; they
+   borrow the transaction id space for their lock-owner tokens and are
+   tracked for quiescence like any other outstanding work. *)
+let run_read t ~dir ~read ~on_done =
+  match Mds.Placement.node_of t.placement dir with
+  | exception Not_found -> on_done (Error "unknown directory")
+  | server ->
+      let node = t.nodes.(server) in
+      if not (Node.is_serving node) then
+        on_done (Error "directory server down")
+      else begin
+        let id = { Acp.Txn.origin = server; seq = t.next_seq } in
+        t.next_seq <- t.next_seq + 1;
+        t.pending_reads <- t.pending_reads + 1;
+        Node.run_read node ~owner:(Acp.Txn.owner_token id) ~dir ~read
+          ~on_done:(fun result ->
+            t.pending_reads <- t.pending_reads - 1;
+            on_done result)
+      end
+
+let lookup t ~dir ~name ~on_done =
+  run_read t ~dir ~read:(fun state -> Mds.State.lookup state ~dir ~name)
+    ~on_done
+
+let readdir t ~dir ~on_done =
+  run_read t ~dir
+    ~read:(fun state ->
+      match Mds.State.list_dir state dir with
+      | Some entries -> entries
+      | None -> [])
+    ~on_done
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Client requests whose coordinator lost every trace of them (crash
+   before the STARTED/redo record was durable) would otherwise wait
+   forever: after recovery has reconstructed everything it can, abort
+   the rest. *)
+let sweep_orphans t server =
+  let n = t.nodes.(server) in
+  let log_has id =
+    List.exists
+      (fun r -> Acp.Txn.id_equal (Acp.Log_record.txn r) id)
+      (Storage.Wal.durable (Node.wal n))
+  in
+  let orphans =
+    Hashtbl.fold
+      (fun (origin, seq) _ acc ->
+        let id = { Acp.Txn.origin; seq } in
+        if origin = server && (not (Node.owns n id)) && not (log_has id)
+        then id :: acc
+        else acc)
+      t.waiting []
+  in
+  List.iter
+    (fun id -> client_reply t id (Acp.Txn.Aborted "lost in coordinator crash"))
+    orphans
+
+let crash t server =
+  Node.crash t.nodes.(server);
+  if t.config.auto_restart then
+    ignore
+      (Simkit.Engine.schedule t.engine ~label:"auto.restart"
+         ~after:t.config.restart_delay (fun () ->
+           Node.restart t.nodes.(server);
+           sweep_orphans t server))
+
+let restart t server =
+  Node.restart t.nodes.(server);
+  sweep_orphans t server
+
+let partition t left right =
+  let addr s = Node.address t.nodes.(s) in
+  Netsim.Network.partition t.network (List.map addr left)
+    (List.map addr right)
+
+let heal t = Netsim.Network.heal t.network
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_for t span =
+  let stop = Simkit.Time.add (now t) span in
+  ignore (Simkit.Engine.run ~until:stop t.engine)
+
+type settle_outcome = Quiescent | Deadline_exceeded | Stuck
+
+(* Quiescent means nothing is left to resolve anywhere: every client
+   answered, no protocol state on any live node, nothing in flight, the
+   disk idle, and — crucially — every log partition checkpointed empty.
+   A crashed node with log records still has recovery work ahead of it
+   (its auto-restart or STONITH reboot is a pending event), so the
+   system is not yet done. *)
+let quiescent t =
+  pending_replies t = 0
+  && t.pending_reads = 0
+  && Array.for_all (fun n -> Node.outstanding n = 0) t.nodes
+  && Netsim.Network.in_flight t.network = 0
+  && List.for_all
+       (fun d -> Storage.Disk.queue_depth d = 0)
+       (Storage.San.devices t.san)
+  && Array.for_all (fun n -> Storage.Wal.durable (Node.wal n) = []) t.nodes
+
+let settle ?(deadline = Simkit.Time.span_s 600) t =
+  let stop = Simkit.Time.add (now t) deadline in
+  let rec loop () =
+    if quiescent t then Quiescent
+    else if Simkit.Time.( > ) (now t) stop then Deadline_exceeded
+    else if Simkit.Engine.step t.engine then loop ()
+    else Stuck
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  Mds.Invariant.check ~placement:t.placement ~root:t.root
+    ~states:(Array.map (fun n -> Mds.Store.durable (Node.store n)) t.nodes)
+
+let txn_counts t = (t.committed, t.aborted)
+let latency_committed t = t.latency_committed
+let latency_aborted t = t.latency_aborted

@@ -1,0 +1,45 @@
+type t = {
+  servers : int;
+  protocol : Acp.Protocol.kind;
+  placement : Mds.Placement.strategy;
+  network : Netsim.Network.config;
+  san : Storage.San.config;
+  sizing : Acp.Log_record.sizing;
+  encoded_sizes : bool;
+  method_latency : Simkit.Time.span;
+  txn_timeout : Simkit.Time.span;
+  heartbeat_interval : Simkit.Time.span;
+  detector_timeout : Simkit.Time.span;
+  restart_delay : Simkit.Time.span;
+  auto_restart : bool;
+  seed : int;
+  record_trace : bool;
+}
+
+let default =
+  {
+    servers = 4;
+    protocol = Acp.Protocol.Opc;
+    placement = Mds.Placement.Hash;
+    network = Netsim.Network.default_config;
+    san = Storage.San.default_config;
+    sizing = Acp.Log_record.default_sizing;
+    encoded_sizes = false;
+    method_latency = Simkit.Time.span_us 1;
+    txn_timeout = Simkit.Time.span_s 30;
+    heartbeat_interval = Simkit.Time.span_ms 50;
+    detector_timeout = Simkit.Time.span_ms 250;
+    restart_delay = Simkit.Time.span_ms 100;
+    auto_restart = true;
+    seed = 42;
+    record_trace = false;
+  }
+
+let validate t =
+  if t.servers <= 0 then Error "servers must be positive"
+  else if
+    Simkit.Time.compare_span t.heartbeat_interval t.detector_timeout >= 0
+  then Error "heartbeat interval must be shorter than the detector timeout"
+  else if Simkit.Time.span_to_ns t.txn_timeout = 0 then
+    Error "zero transaction timeout"
+  else Ok ()

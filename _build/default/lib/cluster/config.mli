@@ -1,0 +1,37 @@
+(** Cluster simulation parameters.
+
+    {!default} is the paper's §IV setup: 1 µs computational latency per
+    object method, 100 µs network latency, a 400 KB/s shared disk.
+    Timeouts, heartbeat cadence and restart latency are ours (the paper
+    does not publish them); failure experiments tighten them for speed.
+
+    [txn_timeout] doubles as the lock-acquisition timeout and the
+    protocols' retransmission period, so it must comfortably exceed the
+    longest lock queue a workload builds (Figure 6 queues ~100
+    transactions behind one directory lock at ~40 ms each). *)
+
+type t = {
+  servers : int;
+  protocol : Acp.Protocol.kind;
+  placement : Mds.Placement.strategy;
+  network : Netsim.Network.config;
+  san : Storage.San.config;
+  sizing : Acp.Log_record.sizing;
+  encoded_sizes : bool;
+      (** charge each record its exact {!Acp.Codec} footprint instead of
+          the calibrated [sizing] constants (robustness ablation) *)
+  method_latency : Simkit.Time.span;  (** per object read/write method *)
+  txn_timeout : Simkit.Time.span;
+  heartbeat_interval : Simkit.Time.span;
+  detector_timeout : Simkit.Time.span;
+  restart_delay : Simkit.Time.span;  (** reboot time after crash/STONITH *)
+  auto_restart : bool;  (** crashed nodes come back automatically *)
+  seed : int;
+  record_trace : bool;  (** keep a full event trace (examples/tests) *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Sanity-check parameter relationships (e.g. detector timeout vs
+    heartbeat interval). *)

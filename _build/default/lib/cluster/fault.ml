@@ -1,0 +1,48 @@
+type event =
+  | Crash of { server : int; at : Simkit.Time.t }
+  | Restart of { server : int; at : Simkit.Time.t }
+  | Partition of { left : int list; right : int list; at : Simkit.Time.t }
+  | Heal of { at : Simkit.Time.t }
+
+let pp_event ppf = function
+  | Crash { server; at } ->
+      Fmt.pf ppf "crash mds%d @ %a" server Simkit.Time.pp at
+  | Restart { server; at } ->
+      Fmt.pf ppf "restart mds%d @ %a" server Simkit.Time.pp at
+  | Partition { left; right; at } ->
+      Fmt.pf ppf "partition %a | %a @ %a"
+        Fmt.(list ~sep:comma int)
+        left
+        Fmt.(list ~sep:comma int)
+        right Simkit.Time.pp at
+  | Heal { at } -> Fmt.pf ppf "heal @ %a" Simkit.Time.pp at
+
+let crash_at cluster ~server ~at =
+  ignore
+    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.crash"
+       ~at (fun () -> Cluster.crash cluster server))
+
+let restart_at cluster ~server ~at =
+  ignore
+    (Simkit.Engine.schedule_at (Cluster.engine cluster)
+       ~label:"fault.restart" ~at (fun () -> Cluster.restart cluster server))
+
+let partition_at cluster ~left ~right ~at =
+  ignore
+    (Simkit.Engine.schedule_at (Cluster.engine cluster)
+       ~label:"fault.partition" ~at (fun () ->
+         Cluster.partition cluster left right))
+
+let heal_at cluster ~at =
+  ignore
+    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.heal"
+       ~at (fun () -> Cluster.heal cluster))
+
+let inject cluster events =
+  List.iter
+    (function
+      | Crash { server; at } -> crash_at cluster ~server ~at
+      | Restart { server; at } -> restart_at cluster ~server ~at
+      | Partition { left; right; at } -> partition_at cluster ~left ~right ~at
+      | Heal { at } -> heal_at cluster ~at)
+    events

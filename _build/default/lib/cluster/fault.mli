@@ -1,0 +1,26 @@
+(** Scheduled fault injection.
+
+    Thin wrappers that arm cluster faults at absolute simulated times —
+    the vocabulary of the failure experiments: crash/restart a server,
+    partition the network, heal it. A {!plan} bundles several events for
+    crash-sweep harnesses. *)
+
+type event =
+  | Crash of { server : int; at : Simkit.Time.t }
+  | Restart of { server : int; at : Simkit.Time.t }
+  | Partition of { left : int list; right : int list; at : Simkit.Time.t }
+  | Heal of { at : Simkit.Time.t }
+
+val pp_event : Format.formatter -> event -> unit
+
+val crash_at : Cluster.t -> server:int -> at:Simkit.Time.t -> unit
+val restart_at : Cluster.t -> server:int -> at:Simkit.Time.t -> unit
+
+val partition_at :
+  Cluster.t -> left:int list -> right:int list -> at:Simkit.Time.t -> unit
+
+val heal_at : Cluster.t -> at:Simkit.Time.t -> unit
+
+val inject : Cluster.t -> event list -> unit
+(** Arm a whole plan. Events in the past raise (the engine refuses
+    retroactive scheduling). *)

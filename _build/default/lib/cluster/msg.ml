@@ -1,0 +1,5 @@
+type t = Acp of Acp.Wire.t | Heartbeat
+
+let pp ppf = function
+  | Acp w -> Acp.Wire.pp ppf w
+  | Heartbeat -> Fmt.string ppf "HEARTBEAT"

@@ -1,0 +1,7 @@
+(** Cluster network payload: protocol traffic plus heartbeats. *)
+
+type t =
+  | Acp of Acp.Wire.t
+  | Heartbeat
+
+val pp : Format.formatter -> t -> unit

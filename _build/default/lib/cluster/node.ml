@@ -1,0 +1,493 @@
+type services = {
+  engine : Simkit.Engine.t;
+  trace : Simkit.Trace.t;
+  network : Msg.t Netsim.Network.t;
+  san : Acp.Log_record.t Storage.San.t;
+  ledger : Metrics.Ledger.t;
+  config : Config.t;
+  client_reply : Acp.Txn.id -> Acp.Txn.outcome -> unit;
+  stonith : Netsim.Address.t -> unit;
+  mark : Acp.Txn.id -> string -> unit;
+}
+
+type t = {
+  sv : services;
+  server : int;
+  address : Netsim.Address.t;
+  wal : Acp.Log_record.t Storage.Wal.t;
+  store : Mds.Store.t;
+  hardened : (int * int, unit) Hashtbl.t;  (* survives crashes *)
+  mutable up : bool;
+  mutable serving : bool;  (* up and past recovery *)
+  mutable epoch : int;
+  mutable locks : Locks.Lock_manager.t;
+  mutable detector : Netsim.Failure_detector.t option;
+  mutable primary : Acp.Protocol.instance option;
+  mutable fallback : Acp.Protocol.instance option;
+}
+
+let address t = t.address
+let server t = t.server
+let is_up t = t.up
+let is_serving t = t.up && t.serving
+let store t = t.store
+let locks t = t.locks
+let wal t = t.wal
+
+let name t = Netsim.Address.name t.address
+
+let trace_node t ~kind detail =
+  Simkit.Trace.emit t.sv.trace
+    ~time:(Simkit.Engine.now t.sv.engine)
+    ~source:(name t) ~kind detail
+
+let key (id : Acp.Txn.id) = (id.origin, id.seq)
+
+(* Every registered endpoint is a metadata server; everyone but us is a
+   peer (clients do not sit on the simulated interconnect). *)
+let peers t =
+  List.filter
+    (fun a -> not (Netsim.Address.equal a t.address))
+    (Netsim.Network.endpoints t.sv.network)
+
+(* ------------------------------------------------------------------ *)
+(* Message routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* With a 1PC primary and a PrN fallback on the same server, route each
+   message to the engine that owns the transaction; unknown transactions
+   go by message shape (1PC traffic to the primary, 2PC traffic to the
+   fallback, whose unknown-transaction answers are the conservative
+   ones). *)
+let dispatch t ~src (wire : Acp.Wire.t) =
+  match (t.primary, t.fallback) with
+  | Some p, None -> p.Acp.Protocol.on_message ~src wire
+  | Some p, Some fb ->
+      let id = Acp.Wire.txn wire in
+      if p.Acp.Protocol.owns id then p.Acp.Protocol.on_message ~src wire
+      else if fb.Acp.Protocol.owns id then
+        fb.Acp.Protocol.on_message ~src wire
+      else
+        let target =
+          match wire with
+          | Acp.Wire.Update_req { one_phase; _ } -> if one_phase then p else fb
+          | Acp.Wire.Ack_req _ -> p
+          | Acp.Wire.Prepare _ | Acp.Wire.Prepared _ | Acp.Wire.Commit _
+          | Acp.Wire.Abort _ | Acp.Wire.Decision _ | Acp.Wire.Decision_req _
+            ->
+              fb
+          | Acp.Wire.Updated _ | Acp.Wire.Ack _ -> p
+        in
+        target.Acp.Protocol.on_message ~src wire
+  | None, _ -> ()
+
+let handle_envelope t (env : Msg.t Netsim.Network.envelope) =
+  if t.up then begin
+    (match t.detector with
+    | Some d -> Netsim.Failure_detector.heard_from d env.src
+    | None -> ());
+    match env.payload with
+    | Msg.Heartbeat -> ()
+    | Msg.Acp wire ->
+        (* A server still replaying its log does not serve protocol
+           traffic; peers retransmit on their timers. *)
+        if t.serving then dispatch t ~src:env.src wire
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let address_of t slot =
+  match List.nth_opt (Netsim.Network.endpoints t.sv.network) slot with
+  | Some a -> a
+  | None -> invalid_arg "Node.address_of: unknown server slot"
+
+let make_context t =
+  let epoch = t.epoch in
+  let alive () = t.up && t.epoch = epoch in
+  let guard f = if alive () then f () in
+  {
+    Acp.Context.engine = t.sv.engine;
+    self = t.address;
+    self_server = t.server;
+    address_of = address_of t;
+    send =
+      (fun ~dst wire ->
+        guard (fun () ->
+            Metrics.Ledger.incr t.sv.ledger "msg.total";
+            Metrics.Ledger.incr t.sv.ledger ("msg." ^ Acp.Wire.label wire);
+            if not (Acp.Wire.is_baseline wire) then
+              Metrics.Ledger.incr t.sv.ledger "msg.acp";
+            Simkit.Trace.emitf t.sv.trace
+              ~time:(Simkit.Engine.now t.sv.engine)
+              ~source:(name t) ~kind:"send" "%a -> %a" Acp.Wire.pp wire
+              Netsim.Address.pp dst;
+            Netsim.Network.send t.sv.network ~src:t.address ~dst
+              (Msg.Acp wire)));
+    force =
+      (fun records ~on_durable ->
+        guard (fun () ->
+            Metrics.Ledger.incr t.sv.ledger "log.sync";
+            Storage.Wal.force t.wal records ~on_durable:(fun () ->
+                guard on_durable)));
+    append_async =
+      (fun ?on_durable records ->
+        guard (fun () ->
+            Metrics.Ledger.incr t.sv.ledger "log.async";
+            let on_durable =
+              match on_durable with
+              | None -> fun () -> ()
+              | Some f -> fun () -> guard f
+            in
+            Storage.Wal.append_async ~on_durable t.wal records));
+    log_gc =
+      (fun txn ->
+        Storage.Wal.gc t.wal ~keep:(fun r ->
+            not (Acp.Txn.id_equal (Acp.Log_record.txn r) txn)));
+    own_log = (fun () -> Storage.Wal.durable t.wal);
+    fence_and_read =
+      (fun ~target ~on_read ->
+        guard (fun () ->
+            Storage.San.fence t.sv.san ~victim:target ~on_fenced:(fun () ->
+                if alive () then begin
+                  t.sv.stonith target;
+                  Storage.San.read_partition t.sv.san ~reader:t.address
+                    ~target
+                    ~on_read:(fun records ->
+                      if alive () then on_read (Acp.Log_scan.scan records))
+                end)));
+    locks = t.locks;
+    store = t.store;
+    harden =
+      (fun txn updates ->
+        if not (Hashtbl.mem t.hardened (key txn)) then begin
+          Hashtbl.replace t.hardened (key txn) ();
+          Mds.Store.commit_durable t.store updates;
+          (* During recovery the cache was rebuilt from the durable image
+             *before* this transaction was applied to it, so the volatile
+             view lacks these updates too; in normal operation the
+             executing transaction already applied them. *)
+          if not t.serving then
+            Mds.Store.replay_durable_to_volatile t.store updates
+        end);
+    is_hardened = (fun txn -> Hashtbl.mem t.hardened (key txn));
+    compute =
+      (fun ~n k ->
+        let span = Simkit.Time.mul_span t.sv.config.Config.method_latency n in
+        ignore
+          (Simkit.Engine.schedule t.sv.engine ~label:"compute" ~after:span
+             (fun () -> guard k)));
+    set_timer =
+      (fun ~label ~after f ->
+        Simkit.Engine.schedule t.sv.engine ~label ~after (fun () -> guard f));
+    timeout = t.sv.config.Config.txn_timeout;
+    suspects =
+      (fun peer ->
+        match t.detector with
+        | Some d -> Netsim.Failure_detector.is_suspected d peer
+        | None -> false);
+    ledger = t.sv.ledger;
+    trace = t.sv.trace;
+    client_reply =
+      (fun txn outcome -> guard (fun () -> t.sv.client_reply txn outcome));
+    mark = (fun txn label -> guard (fun () -> t.sv.mark txn label));
+  }
+
+(* The context's locks field is captured at build time, but the manager
+   is replaced on restart — so contexts are rebuilt (with the new epoch)
+   on every boot, never reused across incarnations. *)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create sv ~server ~root =
+  let holder = ref None in
+  let address =
+    Netsim.Network.register sv.network
+      ~name:(Printf.sprintf "mds%d" server)
+      (fun env ->
+        match !holder with Some t -> handle_envelope t env | None -> ())
+  in
+  let wal = Storage.San.add_partition sv.san ~owner:address in
+  let t =
+    {
+      sv;
+      server;
+      address;
+      wal;
+      store =
+        Mds.Store.create ~name:(Netsim.Address.name address) ~root;
+      hardened = Hashtbl.create 256;
+      up = false;
+      serving = false;
+      epoch = 0;
+      locks =
+        Locks.Lock_manager.create ~engine:sv.engine ~trace:sv.trace
+          ~name:(Netsim.Address.name address ^ ".locks")
+          ();
+      detector = None;
+      primary = None;
+      fallback = None;
+    }
+  in
+  holder := Some t;
+  t
+
+let rec heartbeat_loop t epoch =
+  if t.up && t.epoch = epoch then begin
+    List.iter
+      (fun peer ->
+        Netsim.Network.send t.sv.network ~src:t.address ~dst:peer
+          Msg.Heartbeat)
+      (peers t);
+    ignore
+      (Simkit.Engine.schedule t.sv.engine ~label:"heartbeat"
+         ~after:t.sv.config.Config.heartbeat_interval (fun () ->
+           heartbeat_loop t epoch))
+  end
+
+let bring_up t ~recover =
+  t.up <- true;
+  t.epoch <- t.epoch + 1;
+  Netsim.Network.set_up t.sv.network t.address;
+  Storage.San.unfence t.sv.san t.address;
+  Storage.Wal.restart t.wal;
+  t.locks <-
+    Locks.Lock_manager.create ~engine:t.sv.engine ~trace:t.sv.trace
+      ~name:(name t ^ ".locks")
+      ();
+  let ctx = make_context t in
+  let primary = Acp.Protocol.instantiate t.sv.config.Config.protocol ctx in
+  let fallback =
+    match Acp.Protocol.max_workers t.sv.config.Config.protocol with
+    | Some _ -> Some (Acp.Protocol.instantiate Acp.Protocol.Prn ctx)
+    | None -> None
+  in
+  t.primary <- Some primary;
+  t.fallback <- fallback;
+  let epoch = t.epoch in
+  let on_suspect peer =
+    if t.up && t.epoch = epoch then begin
+      trace_node t ~kind:"detector"
+        (Printf.sprintf "suspecting %s" (Netsim.Address.name peer));
+      primary.Acp.Protocol.on_suspect peer;
+      match fallback with
+      | Some fb -> fb.Acp.Protocol.on_suspect peer
+      | None -> ()
+    end
+  in
+  let detector =
+    Netsim.Failure_detector.create ~engine:t.sv.engine
+      ~timeout:t.sv.config.Config.detector_timeout
+      ~peers:(peers t) ~on_suspect ()
+  in
+  t.detector <- Some detector;
+  Netsim.Failure_detector.start detector;
+  heartbeat_loop t epoch;
+  if not recover then t.serving <- true
+  else begin
+    (* Recovery first reads the whole log partition back from the
+       shared device — charged like any other I/O — and only then
+       resolves in-doubt transactions and resumes service. *)
+    t.serving <- false;
+    let bytes = Storage.Wal.durable_bytes t.wal in
+    let outcome =
+      Storage.Disk.submit
+        (Storage.San.device_for t.sv.san t.address)
+        ~initiator:(Netsim.Address.index t.address)
+        ~bytes
+        ~label:(name t ^ ".recovery.scan")
+        ~on_complete:(fun () ->
+          if t.up && t.epoch = epoch then begin
+            trace_node t ~kind:"node.recover" "running recovery";
+            primary.Acp.Protocol.recover ();
+            (match fallback with
+            | Some fb -> fb.Acp.Protocol.recover ()
+            | None -> ());
+            t.serving <- true
+          end)
+        ()
+    in
+    match outcome with
+    | `Accepted -> ()
+    | `Rejected ->
+        (* Still fenced at the instant of reboot (our unfence raced a
+           concurrent fence): come back through another power cycle. *)
+        trace_node t ~kind:"node.recover" "recovery scan rejected (fenced)"
+  end
+
+let boot t =
+  if not t.up then begin
+    trace_node t ~kind:"node.boot" "first start";
+    bring_up t ~recover:false
+  end
+
+let crash t =
+  if t.up then begin
+    trace_node t ~kind:"node.crash" "power off";
+    Metrics.Ledger.incr t.sv.ledger "node.crash";
+    t.up <- false;
+    t.serving <- false;
+    t.epoch <- t.epoch + 1;
+    Netsim.Network.set_down t.sv.network t.address;
+    (* Host-queued I/O dies with the host: only the transfer already in
+       service at the device completes. The restart path readmits us
+       (via San.unfence). Without this, writes issued before the crash
+       would surface in the log after recovery already scanned it. *)
+    Storage.San.expel_everywhere t.sv.san
+      ~initiator:(Netsim.Address.index t.address);
+    Storage.Wal.crash t.wal;
+    Mds.Store.crash t.store;
+    (match t.detector with
+    | Some d -> Netsim.Failure_detector.stop d
+    | None -> ());
+    t.detector <- None;
+    t.primary <- None;
+    t.fallback <- None
+  end
+
+let restart t =
+  if not t.up then begin
+    trace_node t ~kind:"node.restart" "power on";
+    Metrics.Ledger.incr t.sv.ledger "node.restart";
+    bring_up t ~recover:true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let submit t (txn : Acp.Txn.t) =
+  if not t.up then invalid_arg "Node.submit: node is down";
+  match (t.primary, t.fallback) with
+  | Some p, None -> p.Acp.Protocol.submit txn
+  | Some p, Some fb ->
+      let workers = List.length txn.plan.Mds.Plan.workers in
+      let fits =
+        match Acp.Protocol.max_workers p.Acp.Protocol.kind with
+        | None -> true
+        | Some m -> workers <= m
+      in
+      if fits then p.Acp.Protocol.submit txn
+      else begin
+        Metrics.Ledger.incr t.sv.ledger "txn.fallback";
+        fb.Acp.Protocol.submit txn
+      end
+  | None, _ -> assert false
+
+(* A single-server operation commits with one forced log write and no
+   protocol at all — the paper's no-ACP baseline. *)
+let run_local t (txn : Acp.Txn.t) =
+  if not t.up then invalid_arg "Node.run_local: node is down";
+  let epoch = t.epoch in
+  let alive () = t.up && t.epoch = epoch in
+  let id = txn.id in
+  let side = txn.plan.Mds.Plan.coordinator in
+  let owner = Acp.Txn.owner_token id in
+  t.sv.mark id "submit";
+  Metrics.Ledger.incr t.sv.ledger "txn.local";
+  let release () =
+    Locks.Lock_manager.release_all t.locks ~owner
+  in
+  let rec lock_all = function
+    | [] ->
+        t.sv.mark id "locked";
+        let n = List.length side.Mds.Plan.updates in
+        let span = Simkit.Time.mul_span t.sv.config.Config.method_latency n in
+        ignore
+          (Simkit.Engine.schedule t.sv.engine ~label:"local.compute"
+             ~after:span (fun () ->
+               if alive () then begin
+                 let rec apply inverses = function
+                   | [] -> Ok inverses
+                   | u :: rest -> (
+                       match Mds.Store.apply_volatile t.store u with
+                       | Ok inv -> apply (inv :: inverses) rest
+                       | Error e ->
+                           Mds.Store.undo_volatile t.store inverses;
+                           Error e)
+                 in
+                 match apply [] side.Mds.Plan.updates with
+                 | Ok _ ->
+                     Metrics.Ledger.incr t.sv.ledger "log.sync";
+                     Storage.Wal.force t.wal
+                       [
+                         Acp.Log_record.Updates
+                           { txn = id; updates = side.Mds.Plan.updates };
+                         Acp.Log_record.Committed { txn = id };
+                       ]
+                       ~on_durable:(fun () ->
+                         if alive () then begin
+                           if not (Hashtbl.mem t.hardened (key id)) then begin
+                             Hashtbl.replace t.hardened (key id) ();
+                             Mds.Store.commit_durable t.store
+                               side.Mds.Plan.updates
+                           end;
+                           release ();
+                           t.sv.mark id "released";
+                           t.sv.client_reply id Acp.Txn.Committed;
+                           t.sv.mark id "replied";
+                           Storage.Wal.gc t.wal ~keep:(fun r ->
+                               not
+                                 (Acp.Txn.id_equal (Acp.Log_record.txn r) id))
+                         end)
+                 | Error e ->
+                     release ();
+                     t.sv.client_reply id
+                       (Acp.Txn.Aborted
+                          (Fmt.str "%a" Mds.State.pp_error e))
+               end))
+    | oid :: rest ->
+        Locks.Lock_manager.acquire t.locks ~owner ~oid
+          ~mode:Locks.Lock_manager.Exclusive
+          ~timeout:t.sv.config.Config.txn_timeout
+          ~on_grant:(fun () -> if alive () then lock_all rest)
+          ~on_timeout:(fun () ->
+            if alive () then begin
+              release ();
+              t.sv.client_reply id (Acp.Txn.Aborted "local lock timeout")
+            end)
+          ()
+  in
+  lock_all side.Mds.Plan.lock_oids
+
+(* Unlike the transaction paths, a read always answers its caller —
+   even when the node crashes mid-read (the client of a real MDS would
+   see its RPC fail). Lock-manager cleanups are skipped for a dead
+   incarnation; its whole lock table was discarded. *)
+let run_read t ~owner ~dir ~read ~on_done =
+  if not t.up then invalid_arg "Node.run_read: node is down";
+  let epoch = t.epoch in
+  let alive () = t.up && t.epoch = epoch in
+  let locks = t.locks in
+  Metrics.Ledger.incr t.sv.ledger "txn.read";
+  Locks.Lock_manager.acquire locks ~owner ~oid:dir
+    ~mode:Locks.Lock_manager.Shared ~timeout:t.sv.config.Config.txn_timeout
+    ~on_grant:(fun () ->
+      ignore
+        (Simkit.Engine.schedule t.sv.engine ~label:"read.compute"
+           ~after:t.sv.config.Config.method_latency (fun () ->
+             if alive () then begin
+               let result = read (Mds.Store.volatile t.store) in
+               Locks.Lock_manager.release_all locks ~owner;
+               on_done (Ok result)
+             end
+             else on_done (Error "server crashed during read"))))
+    ~on_timeout:(fun () ->
+      if alive () then Locks.Lock_manager.release_all locks ~owner;
+      on_done (Error "read lock timeout"))
+    ()
+
+let outstanding t =
+  match (t.primary, t.fallback) with
+  | Some p, Some fb -> p.Acp.Protocol.outstanding () + fb.Acp.Protocol.outstanding ()
+  | Some p, None -> p.Acp.Protocol.outstanding ()
+  | None, _ -> 0
+
+let owns t id =
+  match (t.primary, t.fallback) with
+  | Some p, Some fb -> p.Acp.Protocol.owns id || fb.Acp.Protocol.owns id
+  | Some p, None -> p.Acp.Protocol.owns id
+  | None, _ -> false

@@ -1,0 +1,1 @@
+lib/core/opc.ml: Acp Experiment Locks Mds Metrics Netsim Opc_cluster Simkit Storage Workload

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Acp Array List Mds Metrics Netsim Opc_cluster Printf Simkit Storage Workload

@@ -1,0 +1,128 @@
+(** Reproduction runners for the paper's evaluation (§IV).
+
+    Each function builds a fresh cluster, drives the paper's workload and
+    returns the measured series; the benchmark harness prints them next
+    to the published numbers. Everything is deterministic given the
+    configuration's seed. *)
+
+(** {1 Figure 6 — distributed namespace operations per second} *)
+
+type fig6_point = {
+  protocol : Acp.Protocol.kind;
+  throughput : float;  (** committed distributed operations per second *)
+  committed : int;
+  aborted : int;
+  mean_latency : Simkit.Time.span;
+  mean_lock_hold : Simkit.Time.span;
+      (** coordinator-side lock hold (locked -> released), averaged *)
+}
+
+val paper_fig6 : Acp.Protocol.kind -> float
+(** The published series: PrN 15, PrC 15.06, EP 16, 1PC 24 ops/s. *)
+
+val fig6_config : Opc_cluster.Config.t
+(** The §IV parameters: 1 µs methods, 100 µs network, 400 KB/s disk,
+    [Spread] placement (every operation distributed), plus this
+    reproduction's calibrated record sizing (see EXPERIMENTS.md). *)
+
+val run_fig6_point :
+  ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->
+  fig6_point
+(** One bar of Figure 6: [count] (default 100) concurrent CREATEs in the
+    same directory, coordinated by the directory's server. *)
+
+val run_fig6 :
+  ?config:Opc_cluster.Config.t -> ?count:int -> unit -> fig6_point list
+(** All four protocols. *)
+
+(** {1 Table I — protocol cost accounting} *)
+
+type measured_costs = {
+  kind : Acp.Protocol.kind;
+  sync_writes_per_txn : float;
+  async_writes_per_txn : float;
+  acp_messages_per_txn : float;
+}
+
+val run_table1_measured :
+  ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->
+  measured_costs
+(** Run [count] (default 20) isolated distributed CREATEs (one at a
+    time, so no batching blurs the accounting) and average the ledger's
+    write/message counters per transaction. The totals must equal the
+    analytic {!Acp.Cost_model.failure_free} columns — the test suite
+    asserts it. *)
+
+val run_abort_measured :
+  ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->
+  measured_costs
+(** Same accounting for the canonical abort: each measured CREATE
+    collides with an existing name at the worker, which votes NO. Must
+    equal {!Acp.Cost_model.worker_rejected} (the §II-D claim that PrC
+    aborts cost exactly what PrN aborts cost is a test). *)
+
+(** {1 Sweeps (ablation experiments)} *)
+
+type sweep_point = { x : float; series : (Acp.Protocol.kind * float) list }
+
+val sweep_disk_bandwidth :
+  ?bandwidths:int list -> ?count:int -> unit -> sweep_point list
+(** Figure-6 throughput as the shared disk speeds up;
+    [x] = bandwidth in KB/s. *)
+
+val sweep_network_latency :
+  ?latencies_us:int list -> ?count:int -> unit -> sweep_point list
+
+val sweep_concurrency : ?counts:int list -> unit -> sweep_point list
+(** [x] = offered concurrent operations. *)
+
+val sweep_colocation :
+  ?probabilities:float list -> ?count:int -> unit -> sweep_point list
+(** Locality ablation: probability that a file lands on its parent's
+    server (0 = every operation distributed, as in Figure 6). *)
+
+val run_batched_point :
+  ?config:Opc_cluster.Config.t ->
+  ?count:int ->
+  batch:int ->
+  Acp.Protocol.kind ->
+  fig6_point
+(** Figure-6 workload submitted through the §VI aggregation layer with
+    batches of up to [batch] operations ([batch = 1] disables
+    batching). *)
+
+val sweep_batching :
+  ?batch_sizes:int list -> ?count:int -> unit -> sweep_point list
+(** Throughput vs batch size (the paper's future-work claim: aggregation
+    amortizes log writes over blocks of requests). *)
+
+val sweep_directories :
+  ?dir_counts:int list -> ?count:int -> ?independent_disks:bool -> unit ->
+  sweep_point list
+(** Coordinator-scaling ablation: the 100-CREATE burst spread evenly
+    over [x] directories, each owned by a different server. On the
+    paper's shared device, adding coordinators barely helps — the single
+    400 KB/s spindle is the global bottleneck; with
+    [independent_disks = true] throughput scales with the directory
+    count. *)
+
+val compare_group_commit :
+  ?count:int -> unit -> (Acp.Protocol.kind * float * float) list
+(** Log-manager ablation: Figure-6 throughput without and with WAL
+    group commit (many forces coalesced into one transfer while the
+    device is busy). Returns (protocol, plain, grouped). Every protocol
+    gains; 1PC gains the most — its single lock-held force per
+    transaction coalesces across the whole burst, whereas the 2PC
+    family's voting round trips keep interrupting the batchable
+    windows. *)
+
+val compare_shared_vs_independent :
+  ?count:int -> unit -> (Acp.Protocol.kind * float * float) list
+(** Architecture ablation: Figure-6 throughput on the paper's single
+    shared device vs one equally fast device per server
+    ([San.shared_device = false]). Returns (protocol, shared,
+    independent). With private devices the coordinator's and worker's
+    forces overlap and every protocol speeds up; 1PC's client-visible
+    burst rate gains the most because its only lock-held force gets a
+    dedicated device and its coordinator-side commits drain off the
+    client path. *)

@@ -1,0 +1,38 @@
+(** One Phase Commit — reproduction of Congiu et al., CLUSTER 2012.
+
+    Facade re-exporting the whole stack under one namespace. A typical
+    program builds a {!Cluster} from a {!Config}, populates directories,
+    submits {!Mds.Op} operations and reads the metrics back — see
+    [examples/quickstart.ml].
+
+    Layers (bottom-up):
+    - {!Simkit} — deterministic discrete-event kernel
+    - {!Netsim} — cluster interconnect with partitions and a heartbeat
+      failure detector
+    - {!Storage} — shared disk, write-ahead logs, SAN fencing
+    - {!Locks} — two-phase-locking lock manager
+    - {!Mds} — inodes, dentries, placement, plans, invariants
+    - {!Acp} — the commitment protocols: PrN (2PC), PrC, EP and the
+      paper's 1PC
+    - {!Cluster} (with {!Config}, {!Node}, {!Fault}, {!Msg}) — the
+      assembled metadata service
+    - {!Workload} — operation generators
+    - {!Experiment} — runners reproducing the paper's Table I and
+      Figure 6, plus ablation sweeps *)
+
+module Simkit = Simkit
+module Netsim = Netsim
+module Storage = Storage
+module Locks = Locks
+module Mds = Mds
+module Acp = Acp
+module Metrics = Metrics
+module Config = Opc_cluster.Config
+module Msg = Opc_cluster.Msg
+module Node = Opc_cluster.Node
+module Cluster = Opc_cluster.Cluster
+module Batching = Opc_cluster.Batching
+module Report = Opc_cluster.Report
+module Fault = Opc_cluster.Fault
+module Workload = Workload
+module Experiment = Experiment

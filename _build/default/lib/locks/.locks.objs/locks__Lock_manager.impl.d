@@ -1,0 +1,1 @@
+lib/locks/lock_manager.ml: Fmt Hashtbl List Queue Simkit

@@ -1,0 +1,227 @@
+type mode = Shared | Exclusive
+
+let pp_mode ppf = function
+  | Shared -> Fmt.string ppf "S"
+  | Exclusive -> Fmt.string ppf "X"
+
+let compatible a b =
+  match (a, b) with Shared, Shared -> true | _, _ -> false
+
+type waiter = {
+  owner : int;
+  mode : mode;
+  enqueued_at : Simkit.Time.t;
+  on_grant : unit -> unit;
+  on_timeout : unit -> unit;
+  mutable timer : Simkit.Engine.handle option;
+  mutable live : bool;  (* false once granted, timed out or cancelled *)
+}
+
+type entry = {
+  mutable holders : (int * mode) list;  (* newest first *)
+  queue : waiter Queue.t;
+}
+
+type stats = {
+  acquired : int;
+  waited : int;
+  timeouts : int;
+  total_wait : Simkit.Time.span;
+  max_queue : int;
+}
+
+type t = {
+  engine : Simkit.Engine.t;
+  trace : Simkit.Trace.t;
+  name : string;
+  table : (int, entry) Hashtbl.t;
+  mutable acquired : int;
+  mutable waited : int;
+  mutable timeouts : int;
+  mutable total_wait : Simkit.Time.span;
+  mutable max_queue : int;
+}
+
+let create ~engine ?trace ~name () =
+  let trace =
+    match trace with Some t -> t | None -> Simkit.Trace.disabled ()
+  in
+  {
+    engine;
+    trace;
+    name;
+    table = Hashtbl.create 64;
+    acquired = 0;
+    waited = 0;
+    timeouts = 0;
+    total_wait = Simkit.Time.zero_span;
+    max_queue = 0;
+  }
+
+let entry t oid =
+  match Hashtbl.find_opt t.table oid with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; queue = Queue.create () } in
+      Hashtbl.replace t.table oid e;
+      e
+
+let live_queue_length e =
+  Queue.fold (fun acc w -> if w.live then acc + 1 else acc) 0 e.queue
+
+(* A waiter can be granted when every current holder is compatible —
+   except that a holder upgrading Shared -> Exclusive only needs to be the
+   sole holder. *)
+let grantable e w =
+  let others = List.filter (fun (o, _) -> o <> w.owner) e.holders in
+  let self = List.mem_assoc w.owner e.holders in
+  match (self, w.mode) with
+  | true, Exclusive -> others = []
+  | true, Shared -> true
+  | false, m -> List.for_all (fun (_, hm) -> compatible m hm) others
+
+let record_grant t w =
+  t.acquired <- t.acquired + 1;
+  let now = Simkit.Engine.now t.engine in
+  let wait = Simkit.Time.diff now w.enqueued_at in
+  if Simkit.Time.span_to_ns wait > 0 then begin
+    t.waited <- t.waited + 1;
+    t.total_wait <- Simkit.Time.add_span t.total_wait wait
+  end
+
+let set_holder e ~owner ~mode =
+  e.holders <- (owner, mode) :: List.remove_assoc owner e.holders
+
+let grant t oid e w =
+  w.live <- false;
+  (match w.timer with Some h -> Simkit.Engine.cancel h | None -> ());
+  set_holder e ~owner:w.owner ~mode:w.mode;
+  record_grant t w;
+  Simkit.Trace.emitf t.trace
+    ~time:(Simkit.Engine.now t.engine)
+    ~source:t.name ~kind:"lock.grant" "txn %d %a oid %d" w.owner pp_mode
+    w.mode oid;
+  ignore (Simkit.Engine.defer t.engine ~label:"lock.grant" w.on_grant)
+
+(* Grant the longest compatible live prefix of the queue. Upgrades are
+   handled naturally: an upgrading waiter at the head is granted as soon
+   as the other holders drain. *)
+let rec pump t oid e =
+  match Queue.peek_opt e.queue with
+  | None -> ()
+  | Some w when not w.live ->
+      ignore (Queue.take e.queue);
+      pump t oid e
+  | Some w ->
+      if grantable e w then begin
+        ignore (Queue.take e.queue);
+        grant t oid e w;
+        pump t oid e
+      end
+
+let acquire t ~owner ~oid ~mode ?timeout ~on_grant
+    ?(on_timeout = fun () -> ()) () =
+  let e = entry t oid in
+  let held = List.assoc_opt owner e.holders in
+  match (held, mode) with
+  | Some Exclusive, _ | Some Shared, Shared ->
+      (* Re-entrant, already strong enough. *)
+      ignore (Simkit.Engine.defer t.engine ~label:"lock.reentrant" on_grant)
+  | (None | Some Shared), _ ->
+      let w =
+        {
+          owner;
+          mode;
+          enqueued_at = Simkit.Engine.now t.engine;
+          on_grant;
+          on_timeout;
+          timer = None;
+          live = true;
+        }
+      in
+      let empty_queue = live_queue_length e = 0 in
+      if empty_queue && grantable e w then grant t oid e w
+      else begin
+        Queue.add w e.queue;
+        let depth = live_queue_length e in
+        if depth > t.max_queue then t.max_queue <- depth;
+        Simkit.Trace.emitf t.trace
+          ~time:(Simkit.Engine.now t.engine)
+          ~source:t.name ~kind:"lock.wait" "txn %d %a oid %d (depth %d)"
+          owner pp_mode mode oid depth;
+        match timeout with
+        | None -> ()
+        | Some span ->
+            let h =
+              Simkit.Engine.schedule t.engine ~label:"lock.timeout"
+                ~after:span (fun () ->
+                  if w.live then begin
+                    w.live <- false;
+                    t.timeouts <- t.timeouts + 1;
+                    Simkit.Trace.emitf t.trace
+                      ~time:(Simkit.Engine.now t.engine)
+                      ~source:t.name ~kind:"lock.timeout" "txn %d oid %d"
+                      owner oid;
+                    (* The dead waiter may have been blocking the head. *)
+                    pump t oid e;
+                    w.on_timeout ()
+                  end)
+            in
+            w.timer <- Some h
+      end
+
+let cancel_waiters e ~owner =
+  Queue.iter
+    (fun w ->
+      if w.live && w.owner = owner then begin
+        w.live <- false;
+        match w.timer with
+        | Some h -> Simkit.Engine.cancel h
+        | None -> ()
+      end)
+    e.queue
+
+let release t ~owner ~oid =
+  match Hashtbl.find_opt t.table oid with
+  | None -> ()
+  | Some e ->
+      let had = List.mem_assoc owner e.holders in
+      e.holders <- List.remove_assoc owner e.holders;
+      cancel_waiters e ~owner;
+      if had then
+        Simkit.Trace.emitf t.trace
+          ~time:(Simkit.Engine.now t.engine)
+          ~source:t.name ~kind:"lock.release" "txn %d oid %d" owner oid;
+      pump t oid e
+
+let release_all t ~owner =
+  Hashtbl.iter
+    (fun oid e ->
+      if List.mem_assoc owner e.holders || live_queue_length e > 0 then begin
+        e.holders <- List.remove_assoc owner e.holders;
+        cancel_waiters e ~owner;
+        pump t oid e
+      end)
+    t.table
+
+let holds t ~owner ~oid =
+  match Hashtbl.find_opt t.table oid with
+  | None -> None
+  | Some e -> List.assoc_opt owner e.holders
+
+let holders t ~oid =
+  match Hashtbl.find_opt t.table oid with None -> [] | Some e -> e.holders
+
+let queue_length t ~oid =
+  match Hashtbl.find_opt t.table oid with
+  | None -> 0
+  | Some e -> live_queue_length e
+
+let stats t =
+  {
+    acquired = t.acquired;
+    waited = t.waited;
+    timeouts = t.timeouts;
+    total_wait = t.total_wait;
+    max_queue = t.max_queue;
+  }

@@ -1,0 +1,1 @@
+lib/mds/invariant.ml: Array Dump Fmt Hashtbl List Option Placement State Store Update

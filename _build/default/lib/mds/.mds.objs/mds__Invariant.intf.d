@@ -1,0 +1,1 @@
+lib/mds/invariant.mli: Format Placement State Store Update

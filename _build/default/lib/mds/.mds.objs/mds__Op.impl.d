@@ -1,0 +1,1 @@
+lib/mds/op.ml: Fmt Update

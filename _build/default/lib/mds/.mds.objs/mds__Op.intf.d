@@ -1,0 +1,1 @@
+lib/mds/op.mli: Format Update

@@ -1,0 +1,1 @@
+lib/mds/placement.ml: Float Hashtbl Simkit Update

@@ -1,0 +1,1 @@
+lib/mds/placement.mli: Simkit Update

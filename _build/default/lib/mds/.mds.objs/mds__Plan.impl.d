@@ -1,0 +1,1 @@
+lib/mds/plan.ml: Fmt Hashtbl Int List Op Update

@@ -1,0 +1,1 @@
+lib/mds/plan.mli: Format Op Update

@@ -1,0 +1,1 @@
+lib/mds/planner.ml: Fmt Int List Op Placement Plan String Update

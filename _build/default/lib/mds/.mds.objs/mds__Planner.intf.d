@@ -1,0 +1,1 @@
+lib/mds/planner.mli: Format Op Placement Plan Update

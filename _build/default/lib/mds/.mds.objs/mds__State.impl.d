@@ -1,0 +1,1 @@
+lib/mds/state.ml: Fmt Hashtbl Int List String Update

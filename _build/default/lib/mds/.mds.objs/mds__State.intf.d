@@ -1,0 +1,1 @@
+lib/mds/state.mli: Format Update

@@ -1,0 +1,1 @@
+lib/mds/store.ml: List State

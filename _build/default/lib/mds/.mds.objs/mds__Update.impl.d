@@ -1,0 +1,1 @@
+lib/mds/update.ml: Fmt

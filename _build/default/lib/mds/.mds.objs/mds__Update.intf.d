@@ -1,0 +1,1 @@
+lib/mds/update.mli: Format

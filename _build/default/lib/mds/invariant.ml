@@ -1,0 +1,99 @@
+type violation = { rule : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.rule v.detail
+
+let check ~placement ~root ~states =
+  let violations = ref [] in
+  let bad rule fmt =
+    Fmt.kstr (fun detail -> violations := { rule; detail } :: !violations) fmt
+  in
+  let n = Array.length states in
+  (* Gather all inodes and where they physically are. *)
+  let locations : (Update.ino, int list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun server st ->
+      List.iter
+        (fun (ino, _) ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt locations ino)
+          in
+          Hashtbl.replace locations ino (server :: prev))
+        (State.inodes st))
+    states;
+  (* Count references from every dentry in the cluster and validate
+     targets. *)
+  let refs : (Update.ino, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun server st ->
+      List.iter
+        (fun (dir, (info : State.inode_info)) ->
+          if info.kind = Update.Directory then
+            match State.list_dir st dir with
+            | None -> ()
+            | Some entries ->
+                List.iter
+                  (fun (name, target) ->
+                    Hashtbl.replace refs target
+                      (1
+                      + Option.value ~default:0 (Hashtbl.find_opt refs target));
+                    match Hashtbl.find_opt locations target with
+                    | Some _ -> ()
+                    | None ->
+                        bad "dangling-ref"
+                          "dentry %d/%S on server %d points to missing inode \
+                           %d"
+                          dir name server target)
+                  entries)
+        (State.inodes st))
+    states;
+  (* Per-inode checks. *)
+  Hashtbl.iter
+    (fun ino servers ->
+      (match servers with
+      | [ _ ] -> ()
+      | servers ->
+          bad "duplicate-inode" "inode %d exists on servers %a" ino
+            Fmt.(Dump.list int)
+            servers);
+      let server = List.hd servers in
+      (match Hashtbl.find_opt locations ino with
+      | Some _ when not (Placement.placed placement ino) ->
+          bad "placement" "inode %d exists but was never placed" ino
+      | Some _ ->
+          let expected = Placement.node_of placement ino in
+          if not (List.mem expected servers) then
+            bad "placement" "inode %d on server %d, placement says %d" ino
+              server expected
+      | None -> ());
+      let referenced =
+        Option.value ~default:0 (Hashtbl.find_opt refs ino)
+      in
+      let info =
+        match State.inode states.(server) ino with
+        | Some i -> i
+        | None -> assert false
+      in
+      let expected_nlink =
+        if ino = root then referenced + 1 (* implicit super-root ref *)
+        else referenced
+      in
+      if ino <> root && referenced = 0 then
+        bad "orphan" "inode %d (nlink=%d) is referenced by no dentry" ino
+          info.nlink;
+      if info.nlink <> expected_nlink then
+        bad "nlink" "inode %d has nlink=%d but %d reference(s)" ino
+          info.nlink expected_nlink)
+    locations;
+  ignore n;
+  List.rev !violations
+
+let check_store ~placement ~root ~stores view =
+  let states =
+    Array.map
+      (fun s ->
+        match view with
+        | `Durable -> Store.durable s
+        | `Volatile -> Store.volatile s)
+      stores
+  in
+  check ~placement ~root ~states

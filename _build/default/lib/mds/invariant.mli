@@ -1,0 +1,36 @@
+(** Global namespace invariants (§II).
+
+    The whole point of an atomic commitment protocol is that these hold
+    across failures. Checked over the {e durable} views of every server
+    (what would survive a whole-cluster power loss):
+
+    + {b No dangling references} — every dentry's target inode exists on
+      the server that owns it ("if there is a name that references a
+      file, then that file exists").
+    + {b No orphaned inodes} — every inode except the root is referenced
+      by at least one dentry somewhere ("if a file exists, it is
+      referenced at least once in the namespace").
+    + {b Reference counts are true} — each inode's [nlink] equals the
+      number of dentries that point at it.
+    + {b Placement honesty} — every inode lives on the server the
+      placement table says it does, and nowhere else. *)
+
+type violation = {
+  rule : string;  (** short rule id, e.g. ["dangling-ref"] *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  placement:Placement.t ->
+  root:Update.ino ->
+  states:State.t array ->
+  violation list
+(** [states.(i)] is server [i]'s durable state. Returns all violations
+    (empty = consistent). *)
+
+val check_store :
+  placement:Placement.t -> root:Update.ino -> stores:Store.t array ->
+  [ `Durable | `Volatile ] -> violation list
+(** Convenience wrapper selecting a view of each store. *)

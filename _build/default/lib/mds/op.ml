@@ -1,0 +1,30 @@
+type t =
+  | Create of { parent : Update.ino; name : string; kind : Update.kind }
+  | Delete of { parent : Update.ino; name : string }
+  | Rename of {
+      src_dir : Update.ino;
+      src_name : string;
+      dst_dir : Update.ino;
+      dst_name : string;
+    }
+
+let create_file ~parent ~name = Create { parent; name; kind = Update.File }
+let mkdir ~parent ~name = Create { parent; name; kind = Update.Directory }
+let delete ~parent ~name = Delete { parent; name }
+
+let rename ~src_dir ~src_name ~dst_dir ~dst_name =
+  Rename { src_dir; src_name; dst_dir; dst_name }
+
+let pp ppf = function
+  | Create { parent; name; kind = Update.File } ->
+      Fmt.pf ppf "CREATE %d/%S" parent name
+  | Create { parent; name; kind = Update.Directory } ->
+      Fmt.pf ppf "MKDIR %d/%S" parent name
+  | Delete { parent; name } -> Fmt.pf ppf "DELETE %d/%S" parent name
+  | Rename { src_dir; src_name; dst_dir; dst_name } ->
+      Fmt.pf ppf "RENAME %d/%S -> %d/%S" src_dir src_name dst_dir dst_name
+
+let label = function
+  | Create _ -> "create"
+  | Delete _ -> "delete"
+  | Rename _ -> "rename"

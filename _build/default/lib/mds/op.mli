@@ -1,0 +1,31 @@
+(** Namespace operations.
+
+    The client-visible requests of the metadata service — the paper's
+    CREATE, DELETE and RENAME. An operation names directories and files
+    by (parent inode, name) pairs; the {!Planner} turns it into per-server
+    update lists. *)
+
+type t =
+  | Create of { parent : Update.ino; name : string; kind : Update.kind }
+  | Delete of { parent : Update.ino; name : string }
+  | Rename of {
+      src_dir : Update.ino;
+      src_name : string;
+      dst_dir : Update.ino;
+      dst_name : string;
+    }
+
+val create_file : parent:Update.ino -> name:string -> t
+val mkdir : parent:Update.ino -> name:string -> t
+val delete : parent:Update.ino -> name:string -> t
+
+val rename :
+  src_dir:Update.ino ->
+  src_name:string ->
+  dst_dir:Update.ino ->
+  dst_name:string ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val label : t -> string
+(** Short tag: ["create"], ["delete"], ["rename"]. *)

@@ -1,0 +1,62 @@
+type strategy = Hash | Round_robin | Colocate of float | Spread
+
+type t = {
+  strategy : strategy;
+  servers : int;
+  rng : Simkit.Rng.t option;
+  table : (Update.ino, int) Hashtbl.t;
+  mutable next_rr : int;
+}
+
+(* Knuth multiplicative hash: spreads consecutive inode numbers. *)
+let hash_ino ino servers =
+  let h = ino * 0x9E3779B1 land max_int in
+  h mod servers
+
+let create ?rng ~strategy ~servers () =
+  if servers <= 0 then invalid_arg "Placement.create: servers <= 0";
+  (match strategy with
+  | Colocate _ when rng = None ->
+      invalid_arg "Placement.create: Colocate needs an rng"
+  | _ -> ());
+  { strategy; servers; rng; table = Hashtbl.create 256; next_rr = 0 }
+
+let servers t = t.servers
+
+let assign_root t ino ~server =
+  if server < 0 || server >= t.servers then
+    invalid_arg "Placement.assign_root: server out of range";
+  Hashtbl.replace t.table ino server
+
+let place t ~parent_server ino =
+  if Hashtbl.mem t.table ino then
+    invalid_arg "Placement.place: inode already placed";
+  let server =
+    match t.strategy with
+    | Hash -> hash_ino ino t.servers
+    | Round_robin ->
+        let s = t.next_rr in
+        t.next_rr <- (t.next_rr + 1) mod t.servers;
+        s
+    | Colocate p -> (
+        match t.rng with
+        | None -> assert false
+        | Some rng ->
+            if Simkit.Rng.bernoulli rng (Float.max 0.0 (Float.min 1.0 p))
+            then parent_server
+            else hash_ino ino t.servers)
+    | Spread ->
+        if t.servers = 1 then 0
+        else
+          let slot = hash_ino ino (t.servers - 1) in
+          if slot >= parent_server then slot + 1 else slot
+  in
+  Hashtbl.replace t.table ino server;
+  server
+
+let node_of t ino =
+  match Hashtbl.find_opt t.table ino with
+  | Some s -> s
+  | None -> raise Not_found
+
+let placed t ino = Hashtbl.mem t.table ino

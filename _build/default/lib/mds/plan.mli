@@ -1,0 +1,40 @@
+(** Execution plan of a namespace operation.
+
+    The planner's output: for each participating server, the updates it
+    must apply and the objects it must lock (all exclusive — namespace
+    mutations conflict with any concurrent access to the same object).
+    The {e coordinator} side belongs to the server that received the
+    client request (the parent directory's owner); the remaining sides
+    are {e workers}. An operation whose objects all live on one server
+    has no workers and commits locally without any ACP. *)
+
+type side = {
+  server : int;  (** placement slot of the owning MDS *)
+  lock_oids : Update.ino list;  (** objects to lock, ascending, deduped *)
+  updates : Update.t list;  (** in execution order *)
+}
+
+type t = {
+  op : Op.t;
+  new_ino : Update.ino option;  (** inode allocated by a CREATE *)
+  coordinator : side;
+  workers : side list;  (** distinct servers, none equal to coordinator *)
+}
+
+val is_distributed : t -> bool
+val participants : t -> int
+(** Total servers involved (1 for a local plan). *)
+
+val side_for : t -> server:int -> side option
+
+val merge : t list -> t option
+(** Aggregate several plans into one transaction (the paper's §VI
+    future-work optimization: the parent directory's server batches many
+    namespace operations, locking the directory once and amortizing log
+    writes). All plans must share the same coordinator server; updates
+    are concatenated in order per side, lock sets unioned. [None] for an
+    empty list or mismatched coordinators. The merged [op] and [new_ino]
+    are those of the first plan (the batch commits atomically, so
+    callers track per-operation results themselves). *)
+
+val pp : Format.formatter -> t -> unit

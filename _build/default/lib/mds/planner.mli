@@ -1,0 +1,36 @@
+(** Operation planner.
+
+    Decomposes a namespace operation into a {!Plan.t}: which servers
+    participate, what each must lock and update. Planning runs at the
+    coordinator before the transaction starts; it reads the current
+    namespace through the [lookup] callback (the coordinator's view) and
+    allocates/places new inodes through the {!Placement} table.
+
+    Planning validates what can be validated up front (the parent exists
+    and is a directory, a DELETE target is present); races that slip
+    through — e.g. two concurrent CREATEs of the same name — are caught
+    later by update validation under locks, and the transaction aborts. *)
+
+type t
+
+type error =
+  | Unknown_directory of Update.ino  (** not placed / never created *)
+  | Entry_not_found of Update.ino * string
+  | Entry_exists of Update.ino * string
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  placement:Placement.t ->
+  next_ino:(unit -> Update.ino) ->
+  lookup:(server:int -> dir:Update.ino -> name:string -> Update.ino option) ->
+  t
+(** [lookup] reads a directory entry on the given server's current
+    (volatile) state. *)
+
+val plan : t -> Op.t -> (Plan.t, error) result
+(** CREATE allocates and places the new inode as a side effect (wasted if
+    the transaction later aborts — exactly as a real inode allocator
+    would). RENAME merges sides landing on the same server and can span
+    up to four servers when source directory, destination directory, the
+    moved inode and an overwritten target all live apart. *)

@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  mutable volatile_state : State.t;
+  durable_state : State.t;
+}
+
+let create ~name ~root =
+  let volatile_state = State.create () and durable_state = State.create () in
+  (match root with
+  | Some ino ->
+      State.add_root volatile_state ino;
+      State.add_root durable_state ino
+  | None -> ());
+  { name; volatile_state; durable_state }
+
+let name t = t.name
+
+let apply_volatile t u = State.apply t.volatile_state u
+
+let undo_volatile t inverses =
+  List.iter (fun inv -> ignore (State.apply_exn t.volatile_state inv)) inverses
+
+let commit_durable t updates =
+  List.iter (fun u -> ignore (State.apply_exn t.durable_state u)) updates
+
+let replay_durable_to_volatile t updates =
+  List.iter (fun u -> ignore (State.apply_exn t.volatile_state u)) updates
+
+let crash t = t.volatile_state <- State.copy t.durable_state
+
+let volatile t = t.volatile_state
+let durable t = t.durable_state
+
+let in_sync t = State.equal t.volatile_state t.durable_state

@@ -1,0 +1,1 @@
+lib/metrics/ledger.ml: Fmt Hashtbl List Stdlib String

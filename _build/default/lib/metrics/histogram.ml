@@ -1,0 +1,81 @@
+type t = {
+  mutable samples : int array;  (* ns values, sorted iff [sorted] *)
+  mutable len : int;
+  mutable sorted : bool;
+  mutable total_ns : int;
+}
+
+let create () =
+  { samples = [||]; len = 0; sorted = true; total_ns = 0 }
+
+let record t span =
+  let v = Simkit.Time.span_to_ns span in
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (max 64 (2 * t.len)) 0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false;
+  t.total_ns <- t.total_ns + v
+
+let count t = t.len
+let is_empty t = t.len = 0
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort Int.compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let mean t =
+  if t.len = 0 then Simkit.Time.zero_span
+  else Simkit.Time.span_ns (t.total_ns / t.len)
+
+let min_value t =
+  if t.len = 0 then Simkit.Time.zero_span
+  else begin
+    ensure_sorted t;
+    Simkit.Time.span_ns t.samples.(0)
+  end
+
+let max_value t =
+  if t.len = 0 then Simkit.Time.zero_span
+  else begin
+    ensure_sorted t;
+    Simkit.Time.span_ns t.samples.(t.len - 1)
+  end
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Histogram.percentile: rank outside [0, 100]";
+  if t.len = 0 then Simkit.Time.zero_span
+  else begin
+    ensure_sorted t;
+    (* nearest-rank *)
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = max 0 (min (t.len - 1) (rank - 1)) in
+    Simkit.Time.span_ns t.samples.(idx)
+  end
+
+let total t = Simkit.Time.span_ns t.total_ns
+
+let merge a b =
+  let m = create () in
+  for i = 0 to a.len - 1 do
+    record m (Simkit.Time.span_ns a.samples.(i))
+  done;
+  for i = 0 to b.len - 1 do
+    record m (Simkit.Time.span_ns b.samples.(i))
+  done;
+  m
+
+let pp_summary ppf t =
+  if t.len = 0 then Fmt.string ppf "n=0"
+  else
+    Fmt.pf ppf "n=%d mean=%a p50=%a p95=%a max=%a" t.len Simkit.Time.pp_span
+      (mean t) Simkit.Time.pp_span (percentile t 50.0) Simkit.Time.pp_span
+      (percentile t 95.0) Simkit.Time.pp_span (max_value t)

@@ -1,0 +1,31 @@
+(** Latency histogram.
+
+    Records duration samples and reports count, mean, min/max and
+    percentiles. Samples are kept exactly (this is a simulator — sample
+    counts are modest and exactness beats approximation for asserting on
+    results), sorted lazily on first query after an insert. *)
+
+type t
+
+val create : unit -> t
+val record : t -> Simkit.Time.span -> unit
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> Simkit.Time.span
+(** Zero when empty. *)
+
+val min_value : t -> Simkit.Time.span
+val max_value : t -> Simkit.Time.span
+(** Zero when empty. *)
+
+val percentile : t -> float -> Simkit.Time.span
+(** [percentile t 50.0] is the median (nearest-rank). Zero when empty.
+    @raise Invalid_argument if the rank is outside [0, 100]. *)
+
+val total : t -> Simkit.Time.span
+
+val merge : t -> t -> t
+(** New histogram with the samples of both. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n / mean / p50 / p95 / max] summary. *)

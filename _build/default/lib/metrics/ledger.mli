@@ -1,0 +1,27 @@
+(** Named counters.
+
+    A ledger is a flat registry of integer counters identified by string
+    keys (["msg.prepare"], ["log.sync"], ...). Protocol code bumps
+    counters unconditionally; experiments snapshot and difference ledgers
+    to attribute costs to phases of a run. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 for a never-bumped key. *)
+
+val keys : t -> string list
+(** All keys ever bumped, sorted. *)
+
+val snapshot : t -> (string * int) list
+(** Sorted association list of all counters. *)
+
+val diff : after:t -> before:(string * int) list -> (string * int) list
+(** Per-key difference between a live ledger and an earlier {!snapshot}.
+    Keys absent from [before] count from zero. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type row = Cells of string list | Separator
+
+type t = { columns : string list; arity : int; mutable rows : row list }
+
+let create ~columns =
+  { columns; arity = List.length columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+            cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let pad s w =
+    let s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+    s
+  in
+  let hline () =
+    Array.iter
+      (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad c widths.(i));
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  hline ();
+  emit t.columns;
+  hline ();
+  List.iter
+    (function Separator -> hline () | Cells cells -> emit cells)
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Renders aligned ASCII tables in the style of the paper's Table I so
+    that `dune exec bench/main.exe` output is directly comparable with
+    the publication. *)
+
+type t
+
+val create : columns:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from [columns]. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t "%s|%d|%f" ...] — cells separated by ['|'] in one
+    format string, for call-site brevity. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)

@@ -1,0 +1,1 @@
+lib/netsim/address.mli: Format

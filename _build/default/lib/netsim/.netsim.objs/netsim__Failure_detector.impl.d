@@ -1,0 +1,1 @@
+lib/netsim/failure_detector.ml: Address List Simkit

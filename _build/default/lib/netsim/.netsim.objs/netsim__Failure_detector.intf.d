@@ -1,0 +1,1 @@
+lib/netsim/failure_detector.mli: Address Simkit

@@ -1,0 +1,9 @@
+type t = { index : int; name : string }
+
+let index t = t.index
+let name t = t.name
+let equal a b = Int.equal a.index b.index
+let compare a b = Int.compare a.index b.index
+let hash t = t.index
+let pp ppf t = Fmt.string ppf t.name
+let unsafe_make ~index ~name = { index; name }

@@ -1,0 +1,24 @@
+(** Node addresses.
+
+    An address identifies one endpoint registered with a {!Network}. It is
+    a dense small integer plus a human-readable name; the integer indexes
+    the network's internal tables. Addresses are only meaningful within the
+    network that issued them. *)
+
+type t
+
+val index : t -> int
+(** Dense index assigned by the issuing network. *)
+
+val name : t -> string
+(** Human-readable name, e.g. ["mds1"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val unsafe_make : index:int -> name:string -> t
+(** For {!Network} only. *)

@@ -1,0 +1,96 @@
+type peer_state = {
+  address : Address.t;
+  mutable last_heard : Simkit.Time.t;
+  mutable suspected : bool;
+}
+
+type t = {
+  engine : Simkit.Engine.t;
+  timeout : Simkit.Time.span;
+  sweep_interval : Simkit.Time.span;
+  peers : peer_state list;
+  on_suspect : Address.t -> unit;
+  on_alive : Address.t -> unit;
+  mutable running : bool;
+  mutable sweep : Simkit.Engine.handle option;
+}
+
+let create ~engine ~timeout ?sweep_interval ~peers ~on_suspect
+    ?(on_alive = fun _ -> ()) () =
+  let sweep_interval =
+    match sweep_interval with
+    | Some s -> s
+    | None ->
+        let q = Simkit.Time.span_to_ns timeout / 4 in
+        Simkit.Time.span_ns (max 1 q)
+  in
+  let now = Simkit.Engine.now engine in
+  let peers =
+    List.map
+      (fun address -> { address; last_heard = now; suspected = false })
+      peers
+  in
+  {
+    engine;
+    timeout;
+    sweep_interval;
+    peers;
+    on_suspect;
+    on_alive;
+    running = false;
+    sweep = None;
+  }
+
+let find t a =
+  List.find_opt (fun p -> Address.equal p.address a) t.peers
+
+let check_peer t now p =
+  if (not p.suspected)
+     && Simkit.Time.( >= ) now (Simkit.Time.add p.last_heard t.timeout)
+  then begin
+    p.suspected <- true;
+    t.on_suspect p.address
+  end
+
+let rec arm t =
+  let h =
+    Simkit.Engine.schedule t.engine ~label:"detector.sweep"
+      ~after:t.sweep_interval (fun () ->
+        if t.running then begin
+          let now = Simkit.Engine.now t.engine in
+          List.iter (check_peer t now) t.peers;
+          arm t
+        end)
+  in
+  t.sweep <- Some h
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    arm t
+  end
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (match t.sweep with Some h -> Simkit.Engine.cancel h | None -> ());
+    t.sweep <- None
+  end
+
+let heard_from t a =
+  match find t a with
+  | None -> ()
+  | Some p ->
+      p.last_heard <- Simkit.Engine.now t.engine;
+      if p.suspected then begin
+        p.suspected <- false;
+        t.on_alive p.address
+      end
+
+let is_suspected t a =
+  match find t a with None -> false | Some p -> p.suspected
+
+let suspected t =
+  List.filter_map
+    (fun p -> if p.suspected then Some p.address else None)
+    t.peers

@@ -1,0 +1,45 @@
+(** Heartbeat-based failure detector.
+
+    The paper's clusters detect failed metadata servers by the absence of
+    heart-beat messages (§III-A, §III-C). This module implements the local
+    half of that scheme: the owner feeds it "I heard from peer [p]"
+    notifications (heartbeats or any other traffic) and it declares a peer
+    {e suspected} when nothing has been heard for [timeout]. Like every
+    real timeout-based detector it is unreliable: a network partition is
+    indistinguishable from a crash, which is exactly why the 1PC recovery
+    path must fence before touching a suspect's log.
+
+    The detector sweeps its peer table every [sweep_interval] engine
+    ticks. Suspicion is edge-triggered: [on_suspect] fires once per
+    transition alive→suspected, [on_alive] once per suspected→alive. *)
+
+type t
+
+val create :
+  engine:Simkit.Engine.t ->
+  timeout:Simkit.Time.span ->
+  ?sweep_interval:Simkit.Time.span ->
+  peers:Address.t list ->
+  on_suspect:(Address.t -> unit) ->
+  ?on_alive:(Address.t -> unit) ->
+  unit ->
+  t
+(** All peers start alive with a full timeout budget from creation time.
+    [sweep_interval] defaults to [timeout / 4] (minimum 1 ns). The detector
+    is created stopped; call {!start}. *)
+
+val start : t -> unit
+(** Begin periodic sweeps. Idempotent. *)
+
+val stop : t -> unit
+(** Cease sweeping and callbacks. Idempotent; [start] re-arms. *)
+
+val heard_from : t -> Address.t -> unit
+(** Record traffic from a peer at the current engine time. If the peer was
+    suspected it becomes alive again and [on_alive] fires. Unknown peers
+    are ignored. *)
+
+val is_suspected : t -> Address.t -> bool
+
+val suspected : t -> Address.t list
+(** Currently suspected peers, in peer-list order. *)

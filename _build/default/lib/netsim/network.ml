@@ -1,0 +1,218 @@
+type 'msg envelope = {
+  src : Address.t;
+  dst : Address.t;
+  sent_at : Simkit.Time.t;
+  payload : 'msg;
+}
+
+type config = {
+  latency : Simkit.Time.span;
+  jitter : Simkit.Time.span;
+  drop_probability : float;
+  duplicate_probability : float;
+}
+
+let default_config =
+  {
+    latency = Simkit.Time.span_us 100;
+    jitter = Simkit.Time.zero_span;
+    drop_probability = 0.0;
+    duplicate_probability = 0.0;
+  }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  duplicated : int;
+  dropped_loss : int;
+  dropped_down : int;
+  dropped_partition : int;
+}
+
+type 'msg endpoint = {
+  address : Address.t;
+  handler : 'msg envelope -> unit;
+  mutable up : bool;
+}
+
+type 'msg t = {
+  engine : Simkit.Engine.t;
+  rng : Simkit.Rng.t;
+  trace : Simkit.Trace.t;
+  config : config;
+  mutable eps : 'msg endpoint array;
+  mutable n : int;
+  cuts : (int * int, unit) Hashtbl.t;  (* ordered pairs, lo first *)
+  (* Next admissible delivery time per ordered (src, dst) pair, to keep
+     links FIFO under jitter. *)
+  link_clock : (int * int, Simkit.Time.t) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable duplicated : int;
+  mutable dropped_loss : int;
+  mutable dropped_down : int;
+  mutable dropped_partition : int;
+  mutable in_flight : int;
+}
+
+let create ~engine ~rng ?trace config =
+  if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
+    invalid_arg "Network.create: drop_probability outside [0, 1]";
+  if
+    config.duplicate_probability < 0.0 || config.duplicate_probability > 1.0
+  then invalid_arg "Network.create: duplicate_probability outside [0, 1]";
+  let trace =
+    match trace with Some t -> t | None -> Simkit.Trace.disabled ()
+  in
+  {
+    engine;
+    rng;
+    trace;
+    config;
+    eps = [||];
+    n = 0;
+    cuts = Hashtbl.create 16;
+    link_clock = Hashtbl.create 64;
+    sent = 0;
+    delivered = 0;
+    duplicated = 0;
+    dropped_loss = 0;
+    dropped_down = 0;
+    dropped_partition = 0;
+    in_flight = 0;
+  }
+
+let register t ~name handler =
+  let address = Address.unsafe_make ~index:t.n ~name in
+  let ep = { address; handler; up = true } in
+  if t.n = Array.length t.eps then begin
+    let bigger = Array.make (max 8 (2 * t.n)) ep in
+    Array.blit t.eps 0 bigger 0 t.n;
+    t.eps <- bigger
+  end;
+  t.eps.(t.n) <- ep;
+  t.n <- t.n + 1;
+  address
+
+let endpoints t =
+  List.init t.n (fun i -> t.eps.(i).address)
+
+let endpoint t a =
+  let i = Address.index a in
+  if i < 0 || i >= t.n then invalid_arg "Network: foreign address";
+  t.eps.(i)
+
+let pair a b =
+  let ia = Address.index a and ib = Address.index b in
+  if ia <= ib then (ia, ib) else (ib, ia)
+
+let reachable t a b = not (Hashtbl.mem t.cuts (pair a b))
+
+let set_up t a = (endpoint t a).up <- true
+let set_down t a = (endpoint t a).up <- false
+let is_up t a = (endpoint t a).up
+
+let partition t left right =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Address.equal a b) then
+            Hashtbl.replace t.cuts (pair a b) ())
+        right)
+    left
+
+let heal t = Hashtbl.reset t.cuts
+let heal_pair t a b = Hashtbl.remove t.cuts (pair a b)
+
+let trace_drop t ~src ~dst reason =
+  Simkit.Trace.emitf t.trace
+    ~time:(Simkit.Engine.now t.engine)
+    ~source:(Address.name src) ~kind:"net.drop" "%s -> %a (%s)"
+    (Address.name src) Address.pp dst reason
+
+(* One-way delay: fixed latency plus uniform jitter, then pushed forward if
+   needed so this link never reorders. *)
+let delivery_time t ~src ~dst =
+  let delay =
+    Simkit.Time.add_span t.config.latency
+      (if Simkit.Time.span_to_ns t.config.jitter = 0 then
+         Simkit.Time.zero_span
+       else Simkit.Rng.uniform_span t.rng t.config.jitter)
+  in
+  let naive = Simkit.Time.add (Simkit.Engine.now t.engine) delay in
+  let key = (Address.index src, Address.index dst) in
+  let at =
+    match Hashtbl.find_opt t.link_clock key with
+    | Some floor when Simkit.Time.( < ) naive floor -> floor
+    | _ -> naive
+  in
+  Hashtbl.replace t.link_clock key at;
+  at
+
+let send t ~src ~dst payload =
+  let src_ep = endpoint t src and dst_ep = endpoint t dst in
+  if not src_ep.up then begin
+    t.dropped_down <- t.dropped_down + 1;
+    trace_drop t ~src ~dst "source down"
+  end
+  else if not (reachable t src dst) then begin
+    t.dropped_partition <- t.dropped_partition + 1;
+    trace_drop t ~src ~dst "partitioned"
+  end
+  else if
+    t.config.drop_probability > 0.0
+    && Simkit.Rng.bernoulli t.rng t.config.drop_probability
+  then begin
+    t.dropped_loss <- t.dropped_loss + 1;
+    trace_drop t ~src ~dst "loss"
+  end
+  else begin
+    t.sent <- t.sent + 1;
+    let sent_at = Simkit.Engine.now t.engine in
+    let copies =
+      if
+        t.config.duplicate_probability > 0.0
+        && Simkit.Rng.bernoulli t.rng t.config.duplicate_probability
+      then begin
+        t.duplicated <- t.duplicated + 1;
+        2
+      end
+      else 1
+    in
+    for _ = 1 to copies do
+      t.in_flight <- t.in_flight + 1;
+      let at = delivery_time t ~src ~dst in
+      let deliver () =
+        t.in_flight <- t.in_flight - 1;
+        if not dst_ep.up then begin
+          t.dropped_down <- t.dropped_down + 1;
+          trace_drop t ~src ~dst "destination down"
+        end
+        else if not (reachable t src dst) then begin
+          t.dropped_partition <- t.dropped_partition + 1;
+          trace_drop t ~src ~dst "partitioned in flight"
+        end
+        else begin
+          t.delivered <- t.delivered + 1;
+          Simkit.Trace.emitf t.trace ~time:at ~source:(Address.name dst)
+            ~kind:"net.recv" "from %a" Address.pp src;
+          dst_ep.handler { src; dst; sent_at; payload }
+        end
+      in
+      ignore
+        (Simkit.Engine.schedule_at t.engine ~label:"net.deliver" ~at deliver)
+    done
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    duplicated = t.duplicated;
+    dropped_loss = t.dropped_loss;
+    dropped_down = t.dropped_down;
+    dropped_partition = t.dropped_partition;
+  }
+
+let in_flight t = t.in_flight

@@ -1,0 +1,93 @@
+(** Cluster interconnect model.
+
+    The network delivers opaque payloads between registered endpoints with
+    a configurable one-way latency (fixed plus optional uniform jitter),
+    optional random loss, link partitions, and per-endpoint up/down state
+    (a crashed node neither sends nor receives). Per ordered pair of
+    endpoints, delivery is FIFO even under jitter, matching a TCP-like
+    transport: a message never overtakes an earlier message on the same
+    link.
+
+    Delivery is an engine event: the destination's handler runs at
+    [send time + latency]. Messages to a down or partitioned destination
+    are silently dropped (counted in {!stats}) — exactly the behaviour the
+    commit protocols must tolerate. *)
+
+type 'msg envelope = {
+  src : Address.t;
+  dst : Address.t;
+  sent_at : Simkit.Time.t;
+  payload : 'msg;
+}
+
+type config = {
+  latency : Simkit.Time.span;  (** fixed one-way latency *)
+  jitter : Simkit.Time.span;  (** uniform extra delay in [0, jitter] *)
+  drop_probability : float;  (** independent loss per message, in [0, 1] *)
+  duplicate_probability : float;
+      (** probability a delivered message arrives twice (back to back on
+          the FIFO link) — retransmission artifacts the protocols must
+          deduplicate *)
+}
+
+val default_config : config
+(** 100 µs latency — the paper's simulation parameter — no jitter, no
+    loss, no duplication. *)
+
+type 'msg t
+
+type stats = {
+  sent : int;  (** accepted for transmission *)
+  delivered : int;  (** including duplicate deliveries *)
+  duplicated : int;
+  dropped_loss : int;  (** lost to [drop_probability] *)
+  dropped_down : int;  (** destination (or source) down at send/delivery *)
+  dropped_partition : int;  (** link cut by a partition *)
+}
+
+val create :
+  engine:Simkit.Engine.t ->
+  rng:Simkit.Rng.t ->
+  ?trace:Simkit.Trace.t ->
+  config ->
+  'msg t
+
+val register : 'msg t -> name:string -> ('msg envelope -> unit) -> Address.t
+(** Register an endpoint with its delivery handler. Handlers run from
+    engine events with the clock at the delivery instant. *)
+
+val endpoints : 'msg t -> Address.t list
+(** All registered endpoints, in registration order. *)
+
+val send : 'msg t -> src:Address.t -> dst:Address.t -> 'msg -> unit
+(** Queue a message. Loss, partitions and down-state are evaluated at both
+    send time and delivery time (a node that crashes while a message is in
+    flight does not receive it). Self-sends are delivered with the same
+    latency as any other message. *)
+
+val set_up : 'msg t -> Address.t -> unit
+val set_down : 'msg t -> Address.t -> unit
+(** Mark an endpoint crashed: it no longer receives, and [send] from it is
+    dropped. In-flight messages *to* it are dropped at delivery time;
+    in-flight messages *from* it (sent before the crash) still arrive, as
+    on a real network. *)
+
+val is_up : 'msg t -> Address.t -> bool
+
+val partition : 'msg t -> Address.t list -> Address.t list -> unit
+(** [partition t left right] cuts every link between a node in [left] and
+    a node in [right], both directions. Cumulative with previous cuts. *)
+
+val heal : 'msg t -> unit
+(** Remove all partitions. *)
+
+val heal_pair : 'msg t -> Address.t -> Address.t -> unit
+(** Remove the cut between two specific nodes, if any. *)
+
+val reachable : 'msg t -> Address.t -> Address.t -> bool
+(** No partition between the two nodes (ignores up/down state). *)
+
+val stats : 'msg t -> stats
+
+val in_flight : 'msg t -> int
+(** Messages accepted but not yet delivered or dropped. *)

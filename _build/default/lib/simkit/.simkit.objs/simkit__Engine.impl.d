@@ -1,0 +1,1 @@
+lib/simkit/engine.ml: Heap Int Time

@@ -1,0 +1,1 @@
+lib/simkit/time.ml: Float Fmt Int

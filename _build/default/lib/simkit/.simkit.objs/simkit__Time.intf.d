@@ -1,0 +1,1 @@
+lib/simkit/time.mli: Format

@@ -1,0 +1,1 @@
+lib/simkit/timeline.ml: Buffer Fmt List String Time Trace

@@ -1,0 +1,1 @@
+lib/simkit/timeline.mli: Trace

@@ -1,0 +1,1 @@
+lib/simkit/trace.ml: Fmt Format List String Time

@@ -1,0 +1,120 @@
+type t = {
+  mutable clock : Time.t;
+  queue : handle Heap.t;
+  mutable next_seq : int;
+  mutable dispatched : int;
+  mutable cancelled_in_queue : int;
+}
+
+and handle = {
+  owner : t;
+  at : Time.t;
+  seq : int;
+  label : string;
+  callback : unit -> unit;
+  mutable state : [ `Pending | `Cancelled | `Done ];
+}
+
+exception Event_failure of string * exn
+
+(* Events compare by (timestamp, sequence number): FIFO among equal
+   timestamps, hence full determinism. *)
+let cmp_handle a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:cmp_handle ();
+    next_seq = 0;
+    dispatched = 0;
+    cancelled_in_queue = 0;
+  }
+
+let now t = t.clock
+
+let enqueue t ~at ~label callback =
+  let h = { owner = t; at; seq = t.next_seq; label; callback; state = `Pending } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue h;
+  h
+
+let schedule t ?(label = "event") ~after f =
+  enqueue t ~at:(Time.add t.clock after) ~label f
+
+let schedule_at t ?(label = "event") ~at f =
+  if Time.( < ) at t.clock then
+    invalid_arg "Engine.schedule_at: time in the past";
+  enqueue t ~at ~label f
+
+let defer t ?(label = "deferred") f = enqueue t ~at:t.clock ~label f
+
+let cancel h =
+  if h.state = `Pending then begin
+    h.state <- `Cancelled;
+    h.owner.cancelled_in_queue <- h.owner.cancelled_in_queue + 1
+  end
+
+let is_pending h = h.state = `Pending
+
+let pending t = Heap.length t.queue - t.cancelled_in_queue
+let dispatched t = t.dispatched
+
+(* Pop skipping tombstones left by [cancel]. *)
+let rec pop_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some h when h.state = `Cancelled ->
+      t.cancelled_in_queue <- t.cancelled_in_queue - 1;
+      pop_live t
+  | Some h -> Some h
+
+let rec peek_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some h when h.state = `Cancelled ->
+      ignore (Heap.pop t.queue);
+      t.cancelled_in_queue <- t.cancelled_in_queue - 1;
+      peek_live t
+  | Some h -> Some h
+
+let dispatch t h =
+  t.clock <- h.at;
+  h.state <- `Done;
+  t.dispatched <- t.dispatched + 1;
+  try h.callback () with exn -> raise (Event_failure (h.label, exn))
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some h ->
+      dispatch t h;
+      true
+
+type outcome = Drained | Reached_limit | Reached_until
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> -1 | Some n -> n) in
+  let rec loop () =
+    if !budget = 0 then Reached_limit
+    else
+      match peek_live t with
+      | None -> Drained
+      | Some h -> (
+          match until with
+          | Some stop when Time.( > ) h.at stop ->
+              t.clock <- stop;
+              Reached_until
+          | _ ->
+              (match pop_live t with
+              | Some h -> dispatch t h
+              | None -> assert false);
+              if !budget > 0 then decr budget;
+              loop ())
+  in
+  let outcome = loop () in
+  (match (outcome, until) with
+  | Drained, Some stop when Time.( < ) t.clock stop -> t.clock <- stop
+  | _ -> ());
+  outcome

@@ -1,0 +1,68 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and a priority queue of pending events.
+    [run] repeatedly pops the earliest event, advances the clock to its
+    timestamp and executes its callback; callbacks schedule further events.
+    Events with equal timestamps execute in scheduling (FIFO) order, so a
+    run is a deterministic function of the initial schedule and the
+    callbacks — there is no hidden nondeterminism anywhere in the kernel.
+
+    Callbacks must not raise: an escaping exception aborts the run and is
+    re-raised to the caller of [run] wrapped in [Event_failure] with the
+    event's label, because a half-dispatched simulation has no meaningful
+    state to continue from. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+exception Event_failure of string * exn
+(** [Event_failure (label, exn)]: the callback of the event labelled
+    [label] raised [exn]. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero} and no pending events. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> ?label:string -> after:Time.span -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after]. [label] names the
+    event in error reports and debugging dumps (default ["event"]). *)
+
+val schedule_at : t -> ?label:string -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val defer : t -> ?label:string -> (unit -> unit) -> handle
+(** [defer t f] schedules [f] at the current instant, after all events
+    already scheduled for this instant. Useful to break call cycles. *)
+
+val cancel : handle -> unit
+(** Cancel the event if it has not been dispatched yet; otherwise a no-op.
+    Idempotent. *)
+
+val is_pending : handle -> bool
+(** Whether the event is still scheduled (neither dispatched nor
+    cancelled). *)
+
+type outcome =
+  | Drained  (** the event queue became empty *)
+  | Reached_limit  (** stopped after dispatching [max_events] events *)
+  | Reached_until  (** the next event lies beyond [until] *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> outcome
+(** Run events in order. With [until], stops (without dispatching) when the
+    next event's timestamp exceeds [until] and advances the clock to
+    [until]. With [max_events], stops after that many dispatches. A stopped
+    engine can be [run] again to continue. *)
+
+val step : t -> bool
+(** Dispatch exactly one event. [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-cancelled events. *)
+
+val dispatched : t -> int
+(** Total events dispatched since creation. *)

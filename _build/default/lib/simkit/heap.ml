@@ -1,0 +1,92 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) ~cmp () =
+  if capacity < 1 then invalid_arg "Heap.create: capacity < 1";
+  { cmp; arr = [||]; len = 0 }
+
+let length h = h.len
+let is_empty h = h.len = 0
+
+(* The backing array is allocated lazily on the first push so that [create]
+   needs no witness element. Once allocated, unused slots keep stale
+   elements; they are unreachable through the API and are overwritten on
+   reuse, which is fine for the simulation workloads this serves. *)
+let ensure_capacity h x =
+  if h.len = Array.length h.arr then
+    if h.len = 0 then h.arr <- Array.make 64 x
+    else begin
+      let bigger = Array.make (2 * h.len) h.arr.(0) in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.arr.(i) h.arr.(parent) < 0 then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.len && h.cmp h.arr.(left) h.arr.(!smallest) < 0 then
+    smallest := left;
+  if right < h.len && h.cmp h.arr.(right) h.arr.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  ensure_capacity h x;
+  h.arr.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = h.len <- 0
+
+let fold_unordered f acc h =
+  let acc = ref acc in
+  for i = 0 to h.len - 1 do
+    acc := f !acc h.arr.(i)
+  done;
+  !acc
+
+let to_sorted_list h =
+  let copy = { cmp = h.cmp; arr = Array.sub h.arr 0 h.len; len = h.len } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,45 @@
+(** Array-backed binary min-heap.
+
+    The heap is the core data structure of the event engine: every pending
+    simulation event lives in it, keyed by (timestamp, sequence number). It
+    is written for predictable O(log n) push/pop with no allocation beyond
+    the backing array, and supports lazy deletion through client-side
+    tombstones (see {!Engine}).
+
+    Elements are compared with the [cmp] function given at creation time;
+    ties are broken by nothing — callers that need a deterministic order
+    must encode the tie-break in the element itself. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first).
+    [capacity] is the initial size of the backing array (default 64).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. Amortised O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove every element. Does not shrink the backing array. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: the heap contents in ascending order. O(n log n);
+    intended for tests and debugging. *)
+
+val fold_unordered : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over elements in unspecified order without disturbing the heap. *)

@@ -1,0 +1,66 @@
+type t = int
+type span = int
+
+let zero = 0
+
+let of_ns n =
+  if n < 0 then invalid_arg "Time.of_ns: negative" else n
+
+let to_ns t = t
+
+let span_ns n =
+  if n < 0 then invalid_arg "Time.span_ns: negative" else n
+
+let span_us n = span_ns (n * 1_000)
+let span_ms n = span_ns (n * 1_000_000)
+let span_s n = span_ns (n * 1_000_000_000)
+
+let span_of_float_s s =
+  if not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Time.span_of_float_s: negative or not finite"
+  else Float.to_int (Float.round (s *. 1e9))
+
+let span_to_ns d = d
+let span_to_float_s d = float_of_int d /. 1e9
+let zero_span = 0
+
+let add t d = t + d
+
+let diff later earlier =
+  if later < earlier then invalid_arg "Time.diff: later < earlier"
+  else later - earlier
+
+let add_span a b = a + b
+
+let sub_span a b =
+  if a < b then invalid_arg "Time.sub_span: underflow" else a - b
+
+let mul_span d k =
+  if k < 0 then invalid_arg "Time.mul_span: negative factor" else d * k
+
+let max_span a b = if a >= b then a else b
+let min_span a b = if a <= b then a else b
+
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : int) b = a <= b
+let ( < ) (a : int) b = a < b
+let ( >= ) (a : int) b = a >= b
+let ( > ) (a : int) b = a > b
+
+let compare_span = Int.compare
+
+let to_float_s t = float_of_int t /. 1e9
+
+(* Pick the largest unit in which the value prints with at most three
+   fractional digits of interest. *)
+let pp_ns ppf n =
+  let f = float_of_int n in
+  if n = 0 then Fmt.string ppf "0s"
+  else if n < 1_000 then Fmt.pf ppf "%dns" n
+  else if n < 1_000_000 then Fmt.pf ppf "%.3gus" (f /. 1e3)
+  else if n < 1_000_000_000 then Fmt.pf ppf "%.4gms" (f /. 1e6)
+  else Fmt.pf ppf "%.6gs" (f /. 1e9)
+
+let pp ppf t = pp_ns ppf t
+let pp_span ppf d = pp_ns ppf d

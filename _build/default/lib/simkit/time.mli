@@ -1,0 +1,78 @@
+(** Simulated time.
+
+    Simulated time is an integer count of nanoseconds since the start of the
+    simulation. A 63-bit OCaml integer holds about 292 simulated years at
+    nanosecond resolution, which is far beyond any experiment in this
+    repository. All simulation components (engine, network, disks, timeouts)
+    speak this type; wall-clock time never appears inside a simulation. *)
+
+type t = private int
+(** A point in simulated time, in nanoseconds. Totally ordered. *)
+
+type span = private int
+(** A duration in nanoseconds. May be zero; never negative. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val of_ns : int -> t
+(** [of_ns n] is the instant [n] nanoseconds after the epoch.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_ns : t -> int
+(** Nanoseconds since the epoch. *)
+
+val span_ns : int -> span
+(** [span_ns n] is a duration of [n] nanoseconds.
+    @raise Invalid_argument if [n < 0]. *)
+
+val span_us : int -> span
+(** Microseconds. *)
+
+val span_ms : int -> span
+(** Milliseconds. *)
+
+val span_s : int -> span
+(** Seconds. *)
+
+val span_of_float_s : float -> span
+(** [span_of_float_s s] is [s] seconds rounded to the nearest nanosecond.
+    @raise Invalid_argument if [s] is negative or not finite. *)
+
+val span_to_ns : span -> int
+val span_to_float_s : span -> float
+
+val zero_span : span
+
+val add : t -> span -> t
+(** [add t d] is the instant [d] after [t]. *)
+
+val diff : t -> t -> span
+(** [diff later earlier] is the duration between the two instants.
+    @raise Invalid_argument if [later < earlier]. *)
+
+val add_span : span -> span -> span
+val sub_span : span -> span -> span
+(** [sub_span a b] requires [a >= b]. @raise Invalid_argument otherwise. *)
+
+val mul_span : span -> int -> span
+val max_span : span -> span -> span
+val min_span : span -> span -> span
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val compare_span : span -> span -> int
+
+val to_float_s : t -> float
+(** Seconds since the epoch, as a float (for reporting only). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable instant, e.g. ["12.304ms"]. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** Human-readable duration with an adaptive unit. *)

@@ -1,0 +1,54 @@
+let truncate width s =
+  if String.length s <= width then s else String.sub s 0 (width - 1) ^ "~"
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render ?sources ?(keep = fun _ -> true) ?(column_width = 28) entries =
+  let entries = List.filter keep entries in
+  let sources =
+    match sources with
+    | Some s -> s
+    | None ->
+        List.fold_left
+          (fun acc (e : Trace.entry) ->
+            if List.mem e.source acc then acc else acc @ [ e.source ])
+          [] entries
+  in
+  let entries =
+    List.filter (fun (e : Trace.entry) -> List.mem e.source sources) entries
+  in
+  let time_width =
+    List.fold_left
+      (fun acc (e : Trace.entry) ->
+        max acc (String.length (Fmt.str "%a" Time.pp e.time)))
+      4 entries
+  in
+  let buf = Buffer.create 1024 in
+  let row time cells =
+    Buffer.add_string buf (pad time_width time);
+    List.iter
+      (fun cell ->
+        Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad column_width (truncate column_width cell)))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  row "time" sources;
+  Buffer.add_string buf (String.make time_width '-');
+  List.iter
+    (fun _ ->
+      Buffer.add_string buf "-+-";
+      Buffer.add_string buf (String.make column_width '-'))
+    sources;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (e : Trace.entry) ->
+      let cell = e.kind ^ " " ^ e.detail in
+      row
+        (Fmt.str "%a" Time.pp e.time)
+        (List.map (fun s -> if s = e.source then cell else "") sources))
+    entries;
+  Buffer.contents buf
+
+let print ?sources ?keep ?column_width trace =
+  print_string (render ?sources ?keep ?column_width (Trace.entries trace))

@@ -1,0 +1,33 @@
+(** ASCII swimlane rendering of traces.
+
+    Turns a trace into a timeline with one column per source — the
+    textual equivalent of the paper's protocol figures:
+
+    {v
+    time      | mds0                 | mds1
+    ----------+----------------------+---------------------
+    0s        | force STARTED        |
+    10.24ms   | send UPDATE_REQ t0.0 |
+    10.34ms   |                      | force UPDATES+COMMIT
+    v}
+
+    Sources become columns in order of first appearance (or as given);
+    entries are rendered as ["<kind> <detail>"], truncated to the column
+    width. Entries from unlisted sources are dropped. *)
+
+val render :
+  ?sources:string list ->
+  ?keep:(Trace.entry -> bool) ->
+  ?column_width:int ->
+  Trace.entry list ->
+  string
+(** [keep] filters entries (default: keep all); [column_width] defaults
+    to 28 characters. *)
+
+val print :
+  ?sources:string list ->
+  ?keep:(Trace.entry -> bool) ->
+  ?column_width:int ->
+  Trace.t ->
+  unit
+(** Render a trace's entries to stdout. *)

@@ -1,0 +1,40 @@
+type entry = { time : Time.t; source : string; kind : string; detail : string }
+
+type t = { recording : bool; mutable entries : entry list; mutable length : int }
+
+let create () = { recording = true; entries = []; length = 0 }
+let disabled () = { recording = false; entries = []; length = 0 }
+let is_recording t = t.recording
+
+let emit t ~time ~source ~kind detail =
+  if t.recording then begin
+    t.entries <- { time; source; kind; detail } :: t.entries;
+    t.length <- t.length + 1
+  end
+
+let emitf t ~time ~source ~kind fmt =
+  Format.kasprintf (fun detail -> emit t ~time ~source ~kind detail) fmt
+
+let entries t = List.rev t.entries
+let length t = t.length
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let matches ?source ?kind e =
+  (match source with None -> true | Some s -> String.equal e.source s)
+  && match kind with None -> true | Some k -> String.equal e.kind k
+
+let count ?source ?kind t =
+  List.fold_left
+    (fun acc e -> if matches ?source ?kind e then acc + 1 else acc)
+    0 t.entries
+
+let find_all ?source ?kind t = List.filter (matches ?source ?kind) (entries t)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%a %-10s %-14s %s" Time.pp e.time e.source e.kind e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,1 @@
+lib/storage/san.ml: Disk Hashtbl List Netsim Printf Simkit Wal

@@ -1,0 +1,1 @@
+lib/storage/san.mli: Disk Netsim Simkit Wal

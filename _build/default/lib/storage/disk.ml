@@ -1,0 +1,149 @@
+type config = { bandwidth_bytes_per_s : int; block_bytes : int }
+
+let default_config = { bandwidth_bytes_per_s = 400_000; block_bytes = 4096 }
+
+type request = {
+  initiator : int;
+  bytes : int;
+  label : string;
+  on_complete : unit -> unit;
+}
+
+type stats = {
+  requests_completed : int;
+  bytes_transferred : int;
+  requests_dropped : int;
+  requests_rejected : int;
+  busy_time : Simkit.Time.span;
+}
+
+type t = {
+  engine : Simkit.Engine.t;
+  trace : Simkit.Trace.t;
+  config : config;
+  waiting : request Queue.t;
+  mutable in_service : request option;
+  mutable service_done_at : Simkit.Time.t;
+  expelled : (int, unit) Hashtbl.t;
+  mutable requests_completed : int;
+  mutable bytes_transferred : int;
+  mutable requests_dropped : int;
+  mutable requests_rejected : int;
+  mutable busy_time : Simkit.Time.span;
+}
+
+let create ~engine ?trace config =
+  if config.bandwidth_bytes_per_s <= 0 then
+    invalid_arg "Disk.create: bandwidth <= 0";
+  if config.block_bytes <= 0 then invalid_arg "Disk.create: block_bytes <= 0";
+  let trace =
+    match trace with Some t -> t | None -> Simkit.Trace.disabled ()
+  in
+  {
+    engine;
+    trace;
+    config;
+    waiting = Queue.create ();
+    in_service = None;
+    service_done_at = Simkit.Time.zero;
+    expelled = Hashtbl.create 8;
+    requests_completed = 0;
+    bytes_transferred = 0;
+    requests_dropped = 0;
+    requests_rejected = 0;
+    busy_time = Simkit.Time.zero_span;
+  }
+
+let transfer_span t ~bytes =
+  if bytes < 0 then invalid_arg "Disk.transfer_span: negative size";
+  let blocks = (bytes + t.config.block_bytes - 1) / t.config.block_bytes in
+  let payload = blocks * t.config.block_bytes in
+  (* ns = bytes * 1e9 / bandwidth; sizes in this simulator are far below
+     the ~9.2e9-byte overflow point of this product. *)
+  Simkit.Time.span_ns (payload * 1_000_000_000 / t.config.bandwidth_bytes_per_s)
+
+let is_expelled t ~initiator = Hashtbl.mem t.expelled initiator
+
+let rec start_next t =
+  match Queue.take_opt t.waiting with
+  | None -> t.in_service <- None
+  | Some req ->
+      if is_expelled t ~initiator:req.initiator then begin
+        (* Dropped while waiting: skip without servicing. *)
+        t.requests_dropped <- t.requests_dropped + 1;
+        start_next t
+      end
+      else begin
+        t.in_service <- Some req;
+        let span = transfer_span t ~bytes:req.bytes in
+        let now = Simkit.Engine.now t.engine in
+        t.service_done_at <- Simkit.Time.add now span;
+        t.busy_time <- Simkit.Time.add_span t.busy_time span;
+        Simkit.Trace.emitf t.trace ~time:now ~source:"disk" ~kind:"io.start"
+          "%s (%dB, %a)" req.label req.bytes Simkit.Time.pp_span span;
+        ignore
+          (Simkit.Engine.schedule t.engine ~label:"disk.complete" ~after:span
+             (fun () ->
+               t.in_service <- None;
+               t.requests_completed <- t.requests_completed + 1;
+               t.bytes_transferred <- t.bytes_transferred + req.bytes;
+               Simkit.Trace.emitf t.trace
+                 ~time:(Simkit.Engine.now t.engine)
+                 ~source:"disk" ~kind:"io.done" "%s" req.label;
+               req.on_complete ();
+               start_next t))
+      end
+
+let submit t ~initiator ~bytes ?(label = "io") ~on_complete () =
+  if bytes < 0 then invalid_arg "Disk.submit: negative size";
+  if is_expelled t ~initiator then begin
+    t.requests_rejected <- t.requests_rejected + 1;
+    `Rejected
+  end
+  else begin
+    Queue.add { initiator; bytes; label; on_complete } t.waiting;
+    if t.in_service = None then start_next t;
+    `Accepted
+  end
+
+let expel t ~initiator =
+  if not (is_expelled t ~initiator) then begin
+    Hashtbl.replace t.expelled initiator ();
+    (* Queued requests from the victim are purged eagerly so that
+       [queue_depth] reflects reality; the in-service request, if the
+       victim's, still completes. *)
+    let survivors = Queue.create () in
+    Queue.iter
+      (fun req ->
+        if req.initiator = initiator then
+          t.requests_dropped <- t.requests_dropped + 1
+        else Queue.add req survivors)
+      t.waiting;
+    Queue.clear t.waiting;
+    Queue.transfer survivors t.waiting
+  end
+
+let readmit t ~initiator = Hashtbl.remove t.expelled initiator
+
+let queue_depth t =
+  Queue.length t.waiting + match t.in_service with Some _ -> 1 | None -> 0
+
+let busy_until t =
+  let now = Simkit.Engine.now t.engine in
+  match t.in_service with
+  | None -> now
+  | Some _ ->
+      (* The waiting queue extends beyond the in-service request. *)
+      Queue.fold
+        (fun acc req -> Simkit.Time.add acc (transfer_span t ~bytes:req.bytes))
+        t.service_done_at t.waiting
+      |> fun finish -> if Simkit.Time.( < ) finish now then now else finish
+
+let stats t =
+  {
+    requests_completed = t.requests_completed;
+    bytes_transferred = t.bytes_transferred;
+    requests_dropped = t.requests_dropped;
+    requests_rejected = t.requests_rejected;
+    busy_time = t.busy_time;
+  }

@@ -1,0 +1,145 @@
+type config = {
+  disk : Disk.config;
+  fencing_delay : Simkit.Time.span;
+  header_bytes : int;
+  shared_device : bool;
+  group_commit : bool;
+}
+
+let default_config =
+  {
+    disk = Disk.default_config;
+    fencing_delay = Simkit.Time.span_ms 10;
+    header_bytes = 64;
+    shared_device = true;
+    group_commit = false;
+  }
+
+type 'r t = {
+  engine : Simkit.Engine.t;
+  trace : Simkit.Trace.t;
+  config : config;
+  shared : Disk.t option;  (* the single device, when shared *)
+  mutable partition_devices : (int * Disk.t) list;  (* owner -> device *)
+  size : 'r -> int;
+  partitions : (int, 'r Wal.t) Hashtbl.t;
+  fenced : (int, unit) Hashtbl.t;
+}
+
+let create ~engine ?trace ~size config =
+  let trace =
+    match trace with Some t -> t | None -> Simkit.Trace.disabled ()
+  in
+  {
+    engine;
+    trace;
+    config;
+    shared =
+      (if config.shared_device then
+         Some (Disk.create ~engine ~trace config.disk)
+       else None);
+    partition_devices = [];
+    size;
+    partitions = Hashtbl.create 8;
+    fenced = Hashtbl.create 8;
+  }
+
+let disk t =
+  match t.shared with
+  | Some d -> d
+  | None -> invalid_arg "San.disk: no shared device (see San.devices)"
+
+let devices t =
+  match t.shared with
+  | Some d -> [ d ]
+  | None -> List.map snd t.partition_devices
+
+let device_of t idx =
+  match t.shared with
+  | Some d -> d
+  | None -> (
+      match List.assoc_opt idx t.partition_devices with
+      | Some d -> d
+      | None -> invalid_arg "San: unknown partition")
+
+let device_for t a = device_of t (Netsim.Address.index a)
+
+let expel_everywhere t ~initiator =
+  List.iter (fun d -> Disk.expel d ~initiator) (devices t)
+
+let readmit_everywhere t ~initiator =
+  List.iter (fun d -> Disk.readmit d ~initiator) (devices t)
+
+let add_partition t ~owner =
+  let idx = Netsim.Address.index owner in
+  if Hashtbl.mem t.partitions idx then
+    invalid_arg "San.add_partition: owner already registered";
+  let device =
+    match t.shared with
+    | Some d -> d
+    | None ->
+        let d = Disk.create ~engine:t.engine ~trace:t.trace t.config.disk in
+        t.partition_devices <- (idx, d) :: t.partition_devices;
+        d
+  in
+  let wal =
+    Wal.create ~engine:t.engine ~disk:device
+      ~owner:(Netsim.Address.name owner) ~initiator:idx ~size:t.size
+      ~header_bytes:t.config.header_bytes
+      ~group_commit:t.config.group_commit ~trace:t.trace ()
+  in
+  Hashtbl.replace t.partitions idx wal;
+  wal
+
+let wal t owner = Hashtbl.find t.partitions (Netsim.Address.index owner)
+
+let is_fenced t a = Hashtbl.mem t.fenced (Netsim.Address.index a)
+
+let fence t ~victim ~on_fenced =
+  let idx = Netsim.Address.index victim in
+  expel_everywhere t ~initiator:idx;
+  Hashtbl.replace t.fenced idx ();
+  Simkit.Trace.emitf t.trace
+    ~time:(Simkit.Engine.now t.engine)
+    ~source:"san" ~kind:"fence" "victim %a" Netsim.Address.pp victim;
+  ignore
+    (Simkit.Engine.schedule t.engine ~label:"san.fenced"
+       ~after:t.config.fencing_delay on_fenced)
+
+let unfence t a =
+  let idx = Netsim.Address.index a in
+  Hashtbl.remove t.fenced idx;
+  readmit_everywhere t ~initiator:idx
+
+let read_partition t ~reader ~target ~on_read =
+  let wal = wal t target in
+  if not (Netsim.Address.equal reader target || is_fenced t target) then
+    invalid_arg
+      (Printf.sprintf
+         "San.read_partition: %s reading %s's log without fencing \
+          (split-brain hazard)"
+         (Netsim.Address.name reader)
+         (Netsim.Address.name target));
+  let bytes = Wal.durable_bytes wal in
+  let outcome =
+    Disk.submit
+      (device_of t (Netsim.Address.index target))
+      ~initiator:(Netsim.Address.index reader)
+      ~bytes
+      ~label:
+        (Printf.sprintf "%s.read(%s)"
+           (Netsim.Address.name reader)
+           (Netsim.Address.name target))
+      ~on_complete:(fun () -> on_read (Wal.durable wal))
+      ()
+  in
+  match outcome with
+  | `Accepted -> ()
+  | `Rejected ->
+      (* The reader itself is fenced: it is about to be power-cycled, so
+         the read silently never completes — exactly what the victim of a
+         STONITH observes. *)
+      Simkit.Trace.emitf t.trace
+        ~time:(Simkit.Engine.now t.engine)
+        ~source:"san" ~kind:"read.rejected" "%a reading %a"
+        Netsim.Address.pp reader Netsim.Address.pp target

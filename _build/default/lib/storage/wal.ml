@@ -1,0 +1,205 @@
+type 'r batch = {
+  b_records : 'r list;
+  b_bytes : int;
+  b_sync : bool;
+  b_epoch : int;
+  b_on_durable : unit -> unit;
+}
+
+type 'r t = {
+  engine : Simkit.Engine.t;
+  disk : Disk.t;
+  owner : string;
+  initiator : int;
+  size : 'r -> int;
+  header_bytes : int;
+  group_commit : bool;
+  pending : 'r batch Queue.t;  (* group-commit buffer *)
+  mutable inflight : bool;  (* a group request is at the device *)
+  trace : Simkit.Trace.t;
+  mutable durable_records : 'r list;  (* reversed *)
+  mutable durable_count : int;
+  mutable durable_bytes : int;
+  mutable epoch : int;  (* bumped by [crash]; stale callbacks are dropped *)
+  mutable sync_writes : int;
+  mutable async_writes : int;
+  mutable rejected_writes : int;
+}
+
+type stats = {
+  sync_writes : int;
+  async_writes : int;
+  rejected_writes : int;
+  records_durable : int;
+  bytes_durable : int;
+}
+
+let create ~engine ~disk ~owner ~initiator ~size ?(header_bytes = 64)
+    ?(group_commit = false) ?trace () =
+  if header_bytes < 0 then invalid_arg "Wal.create: negative header_bytes";
+  let trace =
+    match trace with Some t -> t | None -> Simkit.Trace.disabled ()
+  in
+  {
+    engine;
+    disk;
+    owner;
+    initiator;
+    size;
+    header_bytes;
+    group_commit;
+    pending = Queue.create ();
+    inflight = false;
+    trace;
+    durable_records = [];
+    durable_count = 0;
+    durable_bytes = 0;
+    epoch = 0;
+    sync_writes = 0;
+    async_writes = 0;
+    rejected_writes = 0;
+  }
+
+let owner t = t.owner
+
+let write_bytes t records =
+  List.fold_left (fun acc r -> acc + t.size r + t.header_bytes) 0 records
+  |> max t.header_bytes
+
+let commit_records t records bytes =
+  List.iter (fun r -> t.durable_records <- r :: t.durable_records) records;
+  t.durable_count <- t.durable_count + List.length records;
+  t.durable_bytes <- t.durable_bytes + bytes
+
+let count_accepted (t : _ t) ~sync =
+  if sync then t.sync_writes <- t.sync_writes + 1
+  else t.async_writes <- t.async_writes + 1
+
+(* Group commit: drain everything buffered into one device request. *)
+let rec flush_group (t : _ t) =
+  if Queue.is_empty t.pending then t.inflight <- false
+  else begin
+    let batches = List.of_seq (Queue.to_seq t.pending) in
+    Queue.clear t.pending;
+    let bytes = List.fold_left (fun acc b -> acc + b.b_bytes) 0 batches in
+    let outcome =
+      Disk.submit t.disk ~initiator:t.initiator ~bytes
+        ~label:(Printf.sprintf "%s.log.group(%d)" t.owner (List.length batches))
+        ~on_complete:(fun () ->
+          List.iter
+            (fun b ->
+              commit_records t b.b_records b.b_bytes;
+              if t.epoch = b.b_epoch then b.b_on_durable ())
+            batches;
+          Simkit.Trace.emitf t.trace
+            ~time:(Simkit.Engine.now t.engine)
+            ~source:t.owner ~kind:"log.group" "%d batch(es), %dB"
+            (List.length batches) bytes;
+          flush_group t)
+        ()
+    in
+    match outcome with
+    | `Accepted ->
+        t.inflight <- true;
+        List.iter (fun b -> count_accepted t ~sync:b.b_sync) batches
+    | `Rejected ->
+        t.rejected_writes <- t.rejected_writes + List.length batches;
+        t.inflight <- false
+
+  end
+
+let submit_grouped t ~sync records ~on_durable =
+  Queue.add
+    {
+      b_records = records;
+      b_bytes = write_bytes t records;
+      b_sync = sync;
+      b_epoch = t.epoch;
+      b_on_durable = on_durable;
+    }
+    t.pending;
+  Simkit.Trace.emitf t.trace
+    ~time:(Simkit.Engine.now t.engine)
+    ~source:t.owner
+    ~kind:(if sync then "log.force" else "log.append")
+    "%d record(s) (grouped)" (List.length records);
+  if not t.inflight then flush_group t
+
+let submit t ~sync records ~on_durable =
+  if t.group_commit then submit_grouped t ~sync records ~on_durable
+  else
+  let bytes = write_bytes t records in
+  let epoch = t.epoch in
+  let label =
+    Printf.sprintf "%s.log.%s" t.owner (if sync then "force" else "async")
+  in
+  let outcome =
+    Disk.submit t.disk ~initiator:t.initiator ~bytes ~label
+      ~on_complete:(fun () ->
+        commit_records t records bytes;
+        Simkit.Trace.emitf t.trace
+          ~time:(Simkit.Engine.now t.engine)
+          ~source:t.owner ~kind:"log.durable" "%d record(s), %dB"
+          (List.length records) bytes;
+        if t.epoch = epoch then on_durable ())
+      ()
+  in
+  match outcome with
+  | `Accepted ->
+      if sync then t.sync_writes <- t.sync_writes + 1
+      else t.async_writes <- t.async_writes + 1;
+      Simkit.Trace.emitf t.trace
+        ~time:(Simkit.Engine.now t.engine)
+        ~source:t.owner
+        ~kind:(if sync then "log.force" else "log.append")
+        "%d record(s), %dB" (List.length records) bytes
+  | `Rejected ->
+      t.rejected_writes <- t.rejected_writes + 1;
+      Simkit.Trace.emitf t.trace
+        ~time:(Simkit.Engine.now t.engine)
+        ~source:t.owner ~kind:"log.rejected" "%d record(s)"
+        (List.length records)
+
+let force t records ~on_durable = submit t ~sync:true records ~on_durable
+
+let append_async ?(on_durable = fun () -> ()) t records =
+  submit t ~sync:false records ~on_durable
+
+let durable t = List.rev t.durable_records
+let durable_bytes t = t.durable_bytes
+
+let crash t =
+  t.epoch <- t.epoch + 1;
+  (* Buffered-but-unsubmitted group-commit appends die with the host,
+     and so may a group request still queued at the device (the fencing/
+     crash expel discards it without completing) — its completion will
+     never re-arm the pump, so reset it here. A surviving in-service
+     request completing later just pumps once more, which is harmless. *)
+  Queue.clear t.pending;
+  t.inflight <- false
+let restart t = ignore t
+
+let gc t ~keep =
+  let kept = List.filter keep t.durable_records in
+  let removed = t.durable_count - List.length kept in
+  if removed > 0 then begin
+    (* Recompute the footprint of the survivors. *)
+    let bytes =
+      List.fold_left (fun acc r -> acc + t.size r + t.header_bytes) 0 kept
+    in
+    t.durable_records <- kept;
+    t.durable_count <- List.length kept;
+    t.durable_bytes <- bytes;
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:t.owner ~kind:"log.gc" "%d record(s) collected" removed
+  end
+
+let stats (t : _ t) =
+  {
+    sync_writes = t.sync_writes;
+    async_writes = t.async_writes;
+    rejected_writes = t.rejected_writes;
+    records_durable = t.durable_count;
+    bytes_durable = t.durable_bytes;
+  }

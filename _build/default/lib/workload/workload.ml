@@ -1,0 +1,331 @@
+type stats = {
+  submitted : int;
+  committed : int;
+  aborted : int;
+  reads : int;
+  first_submit : Simkit.Time.t;
+  last_reply : Simkit.Time.t;
+}
+
+let throughput_per_s stats =
+  if stats.committed = 0 then 0.0
+  else
+    let span =
+      Simkit.Time.span_to_float_s
+        (Simkit.Time.diff stats.last_reply stats.first_submit)
+    in
+    if span <= 0.0 then 0.0 else float_of_int stats.committed /. span
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d submitted, %d committed, %d aborted, %d reads, %.4gs wall"
+    s.submitted s.committed s.aborted s.reads
+    (Simkit.Time.span_to_float_s (Simkit.Time.diff s.last_reply s.first_submit))
+
+let rec submit_with_retries cluster ~retries op ~on_done =
+  Opc_cluster.Cluster.submit cluster op ~on_done:(fun outcome ->
+      match outcome with
+      | Acp.Txn.Aborted _ when retries > 0 ->
+          submit_with_retries cluster ~retries:(retries - 1) op ~on_done
+      | outcome -> on_done outcome)
+
+type t = {
+  cluster : Opc_cluster.Cluster.t;
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable reads : int;
+  mutable first_submit : Simkit.Time.t;
+  mutable last_reply : Simkit.Time.t;
+}
+
+let stats t =
+  {
+    submitted = t.submitted;
+    committed = t.committed;
+    aborted = t.aborted;
+    reads = t.reads;
+    first_submit = t.first_submit;
+    last_reply = t.last_reply;
+  }
+
+let done_ t = t.committed + t.aborted >= t.submitted
+
+let fresh cluster =
+  {
+    cluster;
+    submitted = 0;
+    committed = 0;
+    aborted = 0;
+    reads = 0;
+    first_submit = Opc_cluster.Cluster.now cluster;
+    last_reply = Simkit.Time.zero;
+  }
+
+let submit t op ~k =
+  t.submitted <- t.submitted + 1;
+  Opc_cluster.Cluster.submit t.cluster op ~on_done:(fun outcome ->
+      t.last_reply <- Opc_cluster.Cluster.now t.cluster;
+      (match outcome with
+      | Acp.Txn.Committed -> t.committed <- t.committed + 1
+      | Acp.Txn.Aborted _ -> t.aborted <- t.aborted + 1);
+      k outcome)
+
+let storm cluster ~dir ~count ?(prefix = "f") () =
+  let t = fresh cluster in
+  for i = 0 to count - 1 do
+    submit t
+      (Mds.Op.create_file ~parent:dir ~name:(Printf.sprintf "%s%d" prefix i))
+      ~k:(fun _ -> ())
+  done;
+  t
+
+let churn cluster ~dir ~files ~rounds =
+  let t = fresh cluster in
+  let rec create_then_delete client round =
+    if round < rounds then
+      let name = Printf.sprintf "churn%d" client in
+      submit t (Mds.Op.create_file ~parent:dir ~name) ~k:(fun outcome ->
+          match outcome with
+          | Acp.Txn.Committed ->
+              submit t (Mds.Op.delete ~parent:dir ~name) ~k:(fun _ ->
+                  create_then_delete client (round + 1))
+          | Acp.Txn.Aborted _ -> create_then_delete client (round + 1))
+  in
+  for client = 0 to files - 1 do
+    create_then_delete client 0
+  done;
+  t
+
+type mix = {
+  create_weight : int;
+  delete_weight : int;
+  rename_weight : int;
+  lookup_weight : int;
+}
+
+let default_mix =
+  { create_weight = 70; delete_weight = 20; rename_weight = 10;
+    lookup_weight = 0 }
+
+(* Files the generator has committed and not yet deleted/renamed-away,
+   per directory: the pool deletes and renames draw from. *)
+type live_files = (Mds.Update.ino, string list ref) Hashtbl.t
+
+let pool_add (pool : live_files) dir name =
+  match Hashtbl.find_opt pool dir with
+  | Some l -> l := name :: !l
+  | None -> Hashtbl.replace pool dir (ref [ name ])
+
+let pool_take (pool : live_files) rng dir =
+  match Hashtbl.find_opt pool dir with
+  | Some ({ contents = _ :: _ } as l) ->
+      let arr = Array.of_list !l in
+      let i = Simkit.Rng.int rng (Array.length arr) in
+      let name = arr.(i) in
+      l := List.filteri (fun j _ -> j <> i) !l;
+      Some name
+  | _ -> None
+
+let closed_loop cluster ~dirs ~clients ~ops_per_client
+    ?(mix = default_mix) ?(zipf_s = 0.9) ~rng () =
+  if Array.length dirs = 0 then invalid_arg "Workload.closed_loop: no dirs";
+  let t = fresh cluster in
+  let pool : live_files = Hashtbl.create 16 in
+  let total_weight =
+    mix.create_weight + mix.delete_weight + mix.rename_weight
+    + mix.lookup_weight
+  in
+  if total_weight <= 0 then invalid_arg "Workload.closed_loop: empty mix";
+  let counter = ref 0 in
+  let pick_dir () =
+    dirs.(Simkit.Rng.zipf rng ~n:(Array.length dirs) ~s:zipf_s)
+  in
+  let fresh_name client =
+    incr counter;
+    Printf.sprintf "c%d_%d" client !counter
+  in
+  let rec step client remaining =
+    if remaining > 0 then begin
+      let dir = pick_dir () in
+      let roll = Simkit.Rng.int rng total_weight in
+      let continue_ _ = step client (remaining - 1) in
+      if roll < mix.create_weight then begin
+        let name = fresh_name client in
+        submit t (Mds.Op.create_file ~parent:dir ~name) ~k:(fun outcome ->
+            (match outcome with
+            | Acp.Txn.Committed -> pool_add pool dir name
+            | Acp.Txn.Aborted _ -> ());
+            continue_ outcome)
+      end
+      else if roll < mix.create_weight + mix.delete_weight then
+        match pool_take pool rng dir with
+        | Some name ->
+            submit t (Mds.Op.delete ~parent:dir ~name) ~k:continue_
+        | None ->
+            (* Nothing to delete here yet: create instead. *)
+            let name = fresh_name client in
+            submit t (Mds.Op.create_file ~parent:dir ~name)
+              ~k:(fun outcome ->
+                (match outcome with
+                | Acp.Txn.Committed -> pool_add pool dir name
+                | Acp.Txn.Aborted _ -> ());
+                continue_ outcome)
+      else if
+        roll < mix.create_weight + mix.delete_weight + mix.lookup_weight
+      then begin
+        (* Shared-lock read of a (possibly absent) name. *)
+        let name =
+          match Hashtbl.find_opt pool dir with
+          | Some { contents = n :: _ } -> n
+          | _ -> "missing"
+        in
+        Opc_cluster.Cluster.lookup t.cluster ~dir ~name ~on_done:(fun _ ->
+            t.reads <- t.reads + 1;
+            t.last_reply <- Opc_cluster.Cluster.now t.cluster;
+            step client (remaining - 1))
+      end
+      else
+        let dst = pick_dir () in
+        match pool_take pool rng dir with
+        | Some name ->
+            let dst_name = fresh_name client in
+            submit t
+              (Mds.Op.rename ~src_dir:dir ~src_name:name ~dst_dir:dst
+                 ~dst_name)
+              ~k:(fun outcome ->
+                (match outcome with
+                | Acp.Txn.Committed -> pool_add pool dst dst_name
+                | Acp.Txn.Aborted _ -> pool_add pool dir name);
+                continue_ outcome)
+        | None ->
+            let name = fresh_name client in
+            submit t (Mds.Op.create_file ~parent:dir ~name)
+              ~k:(fun outcome ->
+                (match outcome with
+                | Acp.Txn.Committed -> pool_add pool dir name
+                | Acp.Txn.Aborted _ -> ());
+                continue_ outcome)
+    end
+  in
+  for client = 0 to clients - 1 do
+    step client ops_per_client
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Trace replay                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type script_op =
+  | S_create of string
+  | S_mkdir of string
+  | S_delete of string
+  | S_rename of string * string
+
+let pp_script_op ppf = function
+  | S_create p -> Fmt.pf ppf "create %s" p
+  | S_mkdir p -> Fmt.pf ppf "mkdir %s" p
+  | S_delete p -> Fmt.pf ppf "delete %s" p
+  | S_rename (a, b) -> Fmt.pf ppf "rename %s %s" a b
+
+let valid_path p = String.length p > 1 && p.[0] = '/'
+
+let parse_script text =
+  let parse_line lineno line =
+    let words =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | [] -> Ok None
+    | w :: _ when String.length w > 0 && w.[0] = '#' -> Ok None
+    | [ "create"; p ] when valid_path p -> Ok (Some (S_create p))
+    | [ "mkdir"; p ] when valid_path p -> Ok (Some (S_mkdir p))
+    | [ "delete"; p ] when valid_path p -> Ok (Some (S_delete p))
+    | [ "rename"; a; b ] when valid_path a && valid_path b ->
+        Ok (Some (S_rename (a, b)))
+    | _ -> Error (Printf.sprintf "line %d: cannot parse %S" lineno line)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some op) -> go (lineno + 1) (op :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+(* Resolve /a/b/c to (inode of /a/b, "c") by walking the live namespace
+   through the owning servers' volatile state. *)
+let split_path path =
+  match List.rev (List.filter (fun c -> c <> "") (String.split_on_char '/' path)) with
+  | [] -> Error "empty path"
+  | leaf :: rev_parents -> Ok (List.rev rev_parents, leaf)
+
+let resolve_parent cluster path =
+  match split_path path with
+  | Error _ as e -> e
+  | Ok (parents, leaf) ->
+      let placement = Opc_cluster.Cluster.placement cluster in
+      let rec walk dir = function
+        | [] -> Ok (dir, leaf)
+        | component :: rest -> (
+            match Mds.Placement.node_of placement dir with
+            | exception Not_found -> Error "unplaced directory"
+            | server -> (
+                let node = Opc_cluster.Cluster.node cluster server in
+                match
+                  Mds.State.lookup
+                    (Mds.Store.volatile (Opc_cluster.Node.store node))
+                    ~dir ~name:component
+                with
+                | Some ino -> walk ino rest
+                | None ->
+                    Error (Printf.sprintf "no such directory: %s" component)))
+      in
+      walk (Opc_cluster.Cluster.root cluster) parents
+
+let replay cluster ?(concurrency = 1) script =
+  if concurrency < 1 then invalid_arg "Workload.replay: concurrency < 1";
+  let t = fresh cluster in
+  let queue = Queue.create () in
+  List.iter (fun op -> Queue.add op queue) script;
+  let to_op = function
+    | S_create p ->
+        Result.map
+          (fun (parent, name) -> Mds.Op.create_file ~parent ~name)
+          (resolve_parent cluster p)
+    | S_mkdir p ->
+        Result.map
+          (fun (parent, name) -> Mds.Op.mkdir ~parent ~name)
+          (resolve_parent cluster p)
+    | S_delete p ->
+        Result.map
+          (fun (parent, name) -> Mds.Op.delete ~parent ~name)
+          (resolve_parent cluster p)
+    | S_rename (a, b) -> (
+        match (resolve_parent cluster a, resolve_parent cluster b) with
+        | Ok (src_dir, src_name), Ok (dst_dir, dst_name) ->
+            Ok (Mds.Op.rename ~src_dir ~src_name ~dst_dir ~dst_name)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  let rec pump () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some sop -> (
+        match to_op sop with
+        | Ok op -> submit t op ~k:(fun _ -> pump ())
+        | Error reason ->
+            (* Count unresolvable operations as aborted submissions. *)
+            t.submitted <- t.submitted + 1;
+            t.aborted <- t.aborted + 1;
+            t.last_reply <- Opc_cluster.Cluster.now cluster;
+            ignore reason;
+            pump ())
+  in
+  for _ = 1 to concurrency do
+    pump ()
+  done;
+  t

@@ -1,0 +1,126 @@
+(** Workload generators.
+
+    Drives a {!Opc_cluster.Cluster} with the access patterns the paper
+    cares about. Generators submit through the normal client API and
+    count outcomes; run the cluster to quiescence (or for a fixed span)
+    and read the stats afterwards.
+
+    The headline generator is {!storm} — the paper's Figure 6 workload:
+    N distributed CREATEs of distinct files in one directory, submitted
+    simultaneously to that directory's server ("HPC applications that
+    create many files in the same directory"). *)
+
+type stats = {
+  submitted : int;  (** mutating operations submitted *)
+  committed : int;
+  aborted : int;
+  reads : int;  (** lookups served (closed-loop mixes with reads) *)
+  first_submit : Simkit.Time.t;
+  last_reply : Simkit.Time.t;  (** epoch if nothing completed *)
+}
+
+val throughput_per_s : stats -> float
+(** Committed operations per simulated second, measured from first
+    submission to last reply. 0 if nothing committed. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val submit_with_retries :
+  Opc_cluster.Cluster.t ->
+  retries:int ->
+  Mds.Op.t ->
+  on_done:(Acp.Txn.outcome -> unit) ->
+  unit
+(** ACID Sim's "leave" behaviour: an aborted transaction is resubmitted
+    by its source. Retries up to [retries] extra times on any abort
+    (timeouts, distributed deadlocks resolved by lock timeouts, crashes);
+    [on_done] gets the final outcome. *)
+
+type t
+(** A running workload's counters. *)
+
+val stats : t -> stats
+val done_ : t -> bool
+(** Every submitted operation has completed. *)
+
+val storm :
+  Opc_cluster.Cluster.t ->
+  dir:Mds.Update.ino ->
+  count:int ->
+  ?prefix:string ->
+  unit ->
+  t
+(** Submit [count] CREATEs of ["<prefix><i>"] in [dir], all at the
+    current instant. *)
+
+val churn :
+  Opc_cluster.Cluster.t ->
+  dir:Mds.Update.ino ->
+  files:int ->
+  rounds:int ->
+  t
+(** [files] clients each repeatedly CREATE then DELETE their own file in
+    [dir], [rounds] times — a create/delete mix that exercises both
+    distributed operation types and the unref/reap path. *)
+
+type mix = {
+  create_weight : int;
+  delete_weight : int;
+  rename_weight : int;
+  lookup_weight : int;  (** shared-lock reads (no transaction) *)
+}
+
+val default_mix : mix
+(** 70 % create, 20 % delete, 10 % rename, no reads — the paper's
+    write-dominated HPC profile. Metadata-read-heavy studies raise
+    [lookup_weight]. *)
+
+val closed_loop :
+  Opc_cluster.Cluster.t ->
+  dirs:Mds.Update.ino array ->
+  clients:int ->
+  ops_per_client:int ->
+  ?mix:mix ->
+  ?zipf_s:float ->
+  rng:Simkit.Rng.t ->
+  unit ->
+  t
+(** [clients] independent clients, each submitting its next operation
+    when the previous one completes. Directories are drawn Zipf([zipf_s],
+    default 0.9) over [dirs]; deletes and renames target files this
+    generator created earlier (aborted or not-yet-possible picks fall
+    back to a create). *)
+
+(** {1 Trace replay}
+
+    Replays an application trace given as one operation per line:
+
+    {v
+    # comments and blank lines are skipped
+    mkdir  /checkpoints
+    create /checkpoints/rank0.out
+    create /checkpoints/rank1.out
+    delete /checkpoints/rank0.out
+    rename /checkpoints/rank1.out /checkpoints/final.out
+    v}
+
+    Paths are absolute, [/]-separated, resolved against the live
+    namespace at submission time (parents must already exist — traces
+    are replayed in order, one operation per [concurrency] slot). *)
+
+type script_op =
+  | S_create of string
+  | S_mkdir of string
+  | S_delete of string
+  | S_rename of string * string
+
+val parse_script : string -> (script_op list, string) result
+(** Parse trace text. The error names the offending line. *)
+
+val pp_script_op : Format.formatter -> script_op -> unit
+
+val replay :
+  Opc_cluster.Cluster.t -> ?concurrency:int -> script_op list -> t
+(** Submit the script's operations in order, keeping up to
+    [concurrency] (default 1) in flight. Operations whose parent path
+    does not resolve abort immediately (counted as aborted). *)

@@ -1,0 +1,1 @@
+test/test_acp.ml: Alcotest Buffer Codec Cost_model Hashtbl List Log_record Log_scan Opc Printf Protocol QCheck2 QCheck_alcotest String Txn Wire

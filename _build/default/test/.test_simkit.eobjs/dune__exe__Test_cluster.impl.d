@@ -1,0 +1,1 @@
+test/test_cluster.ml: Acp Alcotest Array Cluster Config Experiment Fault Fmt Hashtbl List Mds Metrics Node Opc Option Printf Simkit String Workload

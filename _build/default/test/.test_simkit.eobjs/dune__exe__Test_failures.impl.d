@@ -1,0 +1,1 @@
+test/test_failures.ml: Acp Alcotest Array Cluster Config Fault Fmt List Locks Mds Metrics Netsim Node Opc Printf QCheck2 QCheck_alcotest Simkit Storage Workload

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Engine Fmt List Lock_manager Opc QCheck2 QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_mds.ml: Alcotest Array Invariant List Op Opc Option Placement Plan Planner Printf QCheck2 QCheck_alcotest State Store Update

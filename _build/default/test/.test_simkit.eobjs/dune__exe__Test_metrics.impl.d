@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Histogram Int Ledger List Opc QCheck2 QCheck_alcotest String Table Time

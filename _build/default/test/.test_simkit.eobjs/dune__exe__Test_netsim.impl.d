@@ -1,0 +1,1 @@
+test/test_netsim.ml: Address Alcotest Engine Failure_detector List Network Opc Rng Time

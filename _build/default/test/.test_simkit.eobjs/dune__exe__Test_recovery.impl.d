@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Context Dump Fmt Hashtbl List Locks Log_record Log_scan Mds Metrics Netsim Opc Printf Protocol QCheck2 QCheck_alcotest Simkit Txn Wire

@@ -1,0 +1,1 @@
+test/test_sequences.ml: Acp Alcotest Cluster Config Fmt List Mds Opc Simkit String

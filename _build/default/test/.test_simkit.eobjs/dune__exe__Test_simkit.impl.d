@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Array Engine Fmt Fun Heap Int List Opc QCheck2 QCheck_alcotest Rng String Time Timeline Trace

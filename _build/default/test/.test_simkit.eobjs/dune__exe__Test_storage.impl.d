@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Disk Engine List Opc Rng San Time Wal

@@ -1,0 +1,1 @@
+test/test_workload.ml: Acp Alcotest Array Batching Cluster Config Dump Experiment Fmt List Mds Metrics Node Opc Printf Simkit Storage String Workload

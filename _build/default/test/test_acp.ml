@@ -1,0 +1,378 @@
+(* Unit tests for transaction types, wire messages, log records, the
+   recovery log scan and the analytic cost model. *)
+
+open Opc.Acp
+
+let id origin seq = { Txn.origin; seq }
+
+let test_txn_ids () =
+  Alcotest.(check bool) "equal" true (Txn.id_equal (id 1 2) (id 1 2));
+  Alcotest.(check bool) "differ" false (Txn.id_equal (id 1 2) (id 2 1));
+  Alcotest.(check int) "compare orders by origin" (-1)
+    (compare (Txn.id_compare (id 0 9) (id 1 0)) 0);
+  Alcotest.(check bool) "outcome" true (Txn.is_committed Txn.Committed);
+  Alcotest.(check bool) "outcome" false (Txn.is_committed (Txn.Aborted "x"))
+
+let test_owner_token_injective () =
+  let seen = Hashtbl.create 64 in
+  for origin = 0 to 7 do
+    for seq = 0 to 63 do
+      let token = Txn.owner_token (id origin seq) in
+      if Hashtbl.mem seen token then Alcotest.fail "token collision";
+      Hashtbl.replace seen token ()
+    done
+  done
+
+let test_wire_classification () =
+  let t = id 0 1 in
+  let baseline =
+    [
+      Wire.Update_req
+        { txn = t; updates = []; piggyback_prepare = false; one_phase = false };
+      Wire.Updated { txn = t; ok = true };
+    ]
+  in
+  let acp =
+    [
+      Wire.Prepare { txn = t };
+      Wire.Prepared { txn = t; vote = true };
+      Wire.Commit { txn = t };
+      Wire.Abort { txn = t };
+      Wire.Ack { txn = t };
+      Wire.Decision_req { txn = t };
+      Wire.Decision { txn = t; committed = true };
+      Wire.Ack_req { txn = t };
+    ]
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) (Wire.label m) true (Wire.is_baseline m))
+    baseline;
+  List.iter
+    (fun m -> Alcotest.(check bool) (Wire.label m) false (Wire.is_baseline m))
+    acp;
+  List.iter
+    (fun m -> Alcotest.(check bool) "txn" true (Txn.id_equal (Wire.txn m) t))
+    (baseline @ acp)
+
+let test_record_sizing () =
+  let s = Log_record.default_sizing in
+  Alcotest.(check int) "state" s.Log_record.state_record_bytes
+    (Log_record.size s (Log_record.Committed { txn = id 0 0 }));
+  Alcotest.(check int) "redo" s.Log_record.redo_bytes
+    (Log_record.size s
+       (Log_record.Redo
+          {
+            txn = id 0 0;
+            plan =
+              {
+                Opc.Mds.Plan.op = Opc.Mds.Op.create_file ~parent:0 ~name:"f";
+                new_ino = None;
+                coordinator =
+                  { Opc.Mds.Plan.server = 0; lock_oids = []; updates = [] };
+                workers = [];
+              };
+          }));
+  let updates =
+    [
+      Opc.Mds.Update.Touch { ino = 1 };
+      Opc.Mds.Update.Touch { ino = 2 };
+      Opc.Mds.Update.Touch { ino = 3 };
+    ]
+  in
+  Alcotest.(check int) "updates scale" (3 * s.Log_record.update_bytes)
+    (Log_record.size s (Log_record.Updates { txn = id 0 0; updates }))
+
+let test_log_scan () =
+  let t1 = id 0 1 and t2 = id 0 2 and t3 = id 1 7 in
+  let records =
+    [
+      Log_record.Started { txn = t1; participants = [ 1 ] };
+      Log_record.Started { txn = t2; participants = [ 2; 3 ] };
+      Log_record.Updates { txn = t1; updates = [ Opc.Mds.Update.Touch { ino = 9 } ] };
+      Log_record.Prepared { txn = t1 };
+      Log_record.Updates { txn = t3; updates = [] };
+      Log_record.Committed { txn = t1 };
+      Log_record.Aborted { txn = t2 };
+      Log_record.Ended { txn = t1 };
+    ]
+  in
+  let images = Log_scan.scan records in
+  Alcotest.(check int) "three transactions" 3 (List.length images);
+  (* First-appearance order. *)
+  (match images with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "order" true
+        (Txn.id_equal a.Log_scan.id t1 && Txn.id_equal b.Log_scan.id t2
+        && Txn.id_equal c.Log_scan.id t3)
+  | _ -> Alcotest.fail "order");
+  (match Log_scan.find records t1 with
+  | Some img ->
+      Alcotest.(check bool) "t1 fields" true
+        (img.Log_scan.started && img.Log_scan.prepared
+        && img.Log_scan.committed && img.Log_scan.ended
+        && (not img.Log_scan.aborted)
+        && List.length img.Log_scan.updates = 1
+        && img.Log_scan.participants = [ 1 ]);
+      Alcotest.(check bool) "t1 not in doubt" false (Log_scan.in_doubt img)
+  | None -> Alcotest.fail "t1 missing");
+  (match Log_scan.find records t2 with
+  | Some img ->
+      Alcotest.(check bool) "t2 aborted" true img.Log_scan.aborted;
+      Alcotest.(check bool) "t2 not in doubt" false (Log_scan.in_doubt img)
+  | None -> Alcotest.fail "t2 missing");
+  (* A started-only image is in doubt. *)
+  let only_started =
+    Log_scan.scan [ Log_record.Started { txn = t1; participants = [] } ]
+  in
+  (match only_started with
+  | [ img ] -> Alcotest.(check bool) "in doubt" true (Log_scan.in_doubt img)
+  | _ -> Alcotest.fail "scan");
+  Alcotest.(check bool) "find miss" true (Log_scan.find records (id 9 9) = None)
+
+let test_protocol_names () =
+  List.iter
+    (fun k ->
+      match Protocol.of_name (Protocol.name k) with
+      | Some k' -> Alcotest.(check bool) "roundtrip" true (k = k')
+      | None -> Alcotest.fail "name roundtrip")
+    Protocol.all;
+  Alcotest.(check bool) "2pc alias" true (Protocol.of_name "2PC" = Some Protocol.Prn);
+  Alcotest.(check bool) "opc alias" true (Protocol.of_name "opc" = Some Protocol.Opc);
+  Alcotest.(check bool) "junk" true (Protocol.of_name "3pc" = None);
+  Alcotest.(check bool) "1pc two servers only" true
+    (Protocol.max_workers Protocol.Opc = Some 1);
+  Alcotest.(check bool) "2pc unlimited" true
+    (Protocol.max_workers Protocol.Prn = None)
+
+(* The derivation must agree with the published table, column by
+   column. *)
+let test_cost_model_matches_paper () =
+  List.iter
+    (fun k ->
+      let derived = Cost_model.failure_free k in
+      let paper = Cost_model.paper_table1 k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s matches Table I" (Protocol.name k))
+        true (derived = paper))
+    Protocol.all
+
+let test_cost_model_values () =
+  let c = Cost_model.failure_free Protocol.Opc in
+  Alcotest.(check int) "1PC total sync" 3 c.Cost_model.total_sync;
+  Alcotest.(check int) "1PC critical sync" 2 c.Cost_model.critical_sync;
+  Alcotest.(check int) "1PC messages" 1 c.Cost_model.total_messages;
+  Alcotest.(check int) "1PC critical messages" 0 c.Cost_model.critical_messages;
+  let p = Cost_model.failure_free Protocol.Prn in
+  Alcotest.(check int) "PrN total sync" 5 p.Cost_model.total_sync;
+  Alcotest.(check int) "PrN critical messages" 4 p.Cost_model.critical_messages;
+  (* The paper's ordering: every column weakly improves down the table. *)
+  let seq = List.map Cost_model.failure_free Protocol.all in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Cost_model.total_sync >= b.Cost_model.total_sync
+        && a.Cost_model.critical_sync >= b.Cost_model.critical_sync
+        && a.Cost_model.total_messages >= b.Cost_model.total_messages
+        && a.Cost_model.critical_messages >= b.Cost_model.critical_messages
+        && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone improvement" true (monotone seq)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  n = 0 || go 0
+
+let test_cost_model_table_renders () =
+  let s = Opc.Metrics.Table.render (Cost_model.table ()) in
+  List.iter
+    (fun needle ->
+      if not (contains s needle) then Alcotest.failf "table missing %S" needle)
+    [ "PrN"; "PrC"; "EP"; "1PC"; "(5, 1)"; "(3, 1)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name = QCheck2.Gen.(string_size ~gen:printable (int_range 0 24))
+
+let gen_update =
+  let open QCheck2.Gen in
+  let ino = int_bound 100_000 in
+  oneof
+    [
+      (let* i = ino and* d = bool and* n = int_bound 5 in
+       return
+         (Opc.Mds.Update.Create_inode
+            {
+              ino = i;
+              kind = (if d then Opc.Mds.Update.Directory else Opc.Mds.Update.File);
+              nlink = n;
+            }));
+      (let* d = ino and* name = gen_name and* t = ino in
+       return (Opc.Mds.Update.Link { dir = d; name; target = t }));
+      (let* d = ino and* name = gen_name in
+       return (Opc.Mds.Update.Unlink { dir = d; name }));
+      (let* i = ino in return (Opc.Mds.Update.Ref { ino = i }));
+      (let* i = ino in return (Opc.Mds.Update.Unref { ino = i }));
+      (let* i = ino in return (Opc.Mds.Update.Touch { ino = i }));
+    ]
+
+let gen_txn =
+  QCheck2.Gen.(
+    let* origin = int_bound 1000 and* seq = int_bound 1_000_000 in
+    return { Txn.origin; seq })
+
+let gen_op =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* p = int_bound 1000 and* name = gen_name in
+       return (Opc.Mds.Op.create_file ~parent:p ~name));
+      (let* p = int_bound 1000 and* name = gen_name in
+       return (Opc.Mds.Op.delete ~parent:p ~name));
+      (let* s = int_bound 1000
+       and* sn = gen_name
+       and* d = int_bound 1000
+       and* dn = gen_name in
+       return (Opc.Mds.Op.rename ~src_dir:s ~src_name:sn ~dst_dir:d ~dst_name:dn));
+    ]
+
+let gen_side =
+  QCheck2.Gen.(
+    let* server = int_bound 64
+    and* lock_oids = list_size (int_bound 4) (int_bound 100_000)
+    and* updates = list_size (int_bound 4) gen_update in
+    return { Opc.Mds.Plan.server; lock_oids; updates })
+
+let gen_plan =
+  QCheck2.Gen.(
+    let* op = gen_op
+    and* new_ino = opt (int_bound 100_000)
+    and* coordinator = gen_side
+    and* workers = list_size (int_bound 3) gen_side in
+    return { Opc.Mds.Plan.op; new_ino; coordinator; workers })
+
+let gen_record =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* txn = gen_txn
+       and* participants = list_size (int_bound 4) (int_bound 64) in
+       return (Log_record.Started { txn; participants }));
+      (let* txn = gen_txn and* plan = gen_plan in
+       return (Log_record.Redo { txn; plan }));
+      (let* txn = gen_txn and* updates = list_size (int_bound 5) gen_update in
+       return (Log_record.Updates { txn; updates }));
+      (let* txn = gen_txn in return (Log_record.Prepared { txn }));
+      (let* txn = gen_txn in return (Log_record.Committed { txn }));
+      (let* txn = gen_txn in return (Log_record.Aborted { txn }));
+      (let* txn = gen_txn in return (Log_record.Ended { txn }));
+    ]
+
+let prop_codec_update_roundtrip =
+  QCheck2.Test.make ~name:"codec: update roundtrip" ~count:500 gen_update
+    (fun u -> Codec.decode_update (Codec.encode_update u) = u)
+
+let prop_codec_record_roundtrip =
+  QCheck2.Test.make ~name:"codec: record roundtrip" ~count:500 gen_record
+    (fun r -> Codec.decode_record (Codec.encode_record r) = r)
+
+let prop_codec_plan_roundtrip =
+  QCheck2.Test.make ~name:"codec: plan roundtrip" ~count:300 gen_plan
+    (fun p -> Codec.decode_plan (Codec.encode_plan p) = p)
+
+let prop_codec_rejects_truncation =
+  QCheck2.Test.make ~name:"codec: truncation raises" ~count:300 gen_record
+    (fun r ->
+      let s = Codec.encode_record r in
+      String.length s = 0
+      ||
+      let cut = String.sub s 0 (String.length s - 1) in
+      match Codec.decode_record cut with
+      | exception Codec.Malformed _ -> true
+      | _ -> false)
+
+let test_codec_varint () =
+  let roundtrip n =
+    let buf = Buffer.create 8 in
+    Codec.Prim.write_varint buf n;
+    let s = Buffer.contents buf in
+    Alcotest.(check int)
+      (Printf.sprintf "varint %d" n)
+      n
+      (Codec.Prim.read_varint s (ref 0))
+  in
+  List.iter roundtrip [ 0; 1; 127; 128; 300; 16_383; 16_384; max_int ];
+  Alcotest.check_raises "negative" (Invalid_argument "Codec: negative varint")
+    (fun () ->
+      let buf = Buffer.create 8 in
+      Codec.Prim.write_varint buf (-1));
+  (match Codec.Prim.read_varint "\x80" (ref 0) with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated varint accepted")
+
+let test_codec_malformed () =
+  let reject s =
+    match Codec.decode_record s with
+    | exception Codec.Malformed _ -> ()
+    | _ -> Alcotest.failf "accepted malformed %S" s
+  in
+  reject "";
+  reject "\xff";
+  (* unknown tag *)
+  reject "\x07\x00\x00";
+  (* trailing garbage after a valid record *)
+  reject (Codec.encode_record (Log_record.Ended { txn = id 0 0 }) ^ "junk")
+
+let test_codec_sizes_are_small () =
+  (* Encoded state records are far below the calibrated constants —
+     what makes the encoded-size ablation meaningful. *)
+  let r = Log_record.Committed { txn = id 3 77 } in
+  Alcotest.(check bool) "compact" true (Codec.encoded_size r < 16)
+
+let () =
+  Alcotest.run "acp"
+    [
+      ( "txn",
+        [
+          Alcotest.test_case "ids" `Quick test_txn_ids;
+          Alcotest.test_case "owner token injective" `Quick
+            test_owner_token_injective;
+        ] );
+      ( "wire",
+        [ Alcotest.test_case "classification" `Quick test_wire_classification ]
+      );
+      ( "log",
+        [
+          Alcotest.test_case "record sizing" `Quick test_record_sizing;
+          Alcotest.test_case "scan" `Quick test_log_scan;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "names" `Quick test_protocol_names ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "matches paper" `Quick
+            test_cost_model_matches_paper;
+          Alcotest.test_case "values" `Quick test_cost_model_values;
+          Alcotest.test_case "table renders" `Quick
+            test_cost_model_table_renders;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "varint" `Quick test_codec_varint;
+          Alcotest.test_case "malformed" `Quick test_codec_malformed;
+          Alcotest.test_case "compact sizes" `Quick test_codec_sizes_are_small;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_codec_update_roundtrip;
+              prop_codec_record_roundtrip;
+              prop_codec_plan_roundtrip;
+              prop_codec_rejects_truncation;
+            ] );
+    ]

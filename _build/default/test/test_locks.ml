@@ -1,0 +1,256 @@
+(* Tests for the two-phase-locking lock manager. *)
+
+open Opc.Simkit
+open Opc.Locks
+
+let make () =
+  let engine = Engine.create () in
+  (engine, Lock_manager.create ~engine ~name:"lm" ())
+
+let mode = Lock_manager.Exclusive
+let shared = Lock_manager.Shared
+
+let acquire ?timeout lm ~owner ~oid ~mode log tag =
+  Lock_manager.acquire lm ~owner ~oid ~mode ?timeout
+    ~on_grant:(fun () -> log := (tag, `Grant) :: !log)
+    ~on_timeout:(fun () -> log := (tag, `Timeout) :: !log)
+    ()
+
+let test_immediate_grant () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:10 ~mode log "a";
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "granted" true (List.mem ("a", `Grant) !log);
+  Alcotest.(check bool) "holds" true
+    (Lock_manager.holds lm ~owner:1 ~oid:10 = Some Lock_manager.Exclusive)
+
+let test_exclusive_blocks () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:10 ~mode log "first";
+  acquire lm ~owner:2 ~oid:10 ~mode log "second";
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string (Alcotest.of_pp Fmt.nop))))
+    "only first granted"
+    [ ("first", `Grant) ]
+    (List.rev !log);
+  Alcotest.(check int) "one waiter" 1 (Lock_manager.queue_length lm ~oid:10);
+  Lock_manager.release lm ~owner:1 ~oid:10;
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "second granted after release" true
+    (List.mem ("second", `Grant) !log);
+  Alcotest.(check (list (pair int (Alcotest.of_pp Lock_manager.pp_mode))))
+    "holder swapped"
+    [ (2, Lock_manager.Exclusive) ]
+    (Lock_manager.holders lm ~oid:10)
+
+let test_fifo_fairness () =
+  let engine, lm = make () in
+  let order = ref [] in
+  acquire lm ~owner:1 ~oid:5 ~mode order "h";
+  for i = 2 to 6 do
+    Lock_manager.acquire lm ~owner:i ~oid:5 ~mode:Lock_manager.Exclusive
+      ~on_grant:(fun () ->
+        order := (string_of_int i, `Grant) :: !order;
+        Lock_manager.release lm ~owner:i ~oid:5)
+      ()
+  done;
+  Lock_manager.release lm ~owner:1 ~oid:5;
+  ignore (Engine.run engine);
+  Alcotest.(check (list string))
+    "grants in arrival order" [ "h"; "2"; "3"; "4"; "5"; "6" ]
+    (List.rev_map fst !order)
+
+let test_shared_compatibility () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:7 ~mode:shared log "s1";
+  acquire lm ~owner:2 ~oid:7 ~mode:shared log "s2";
+  acquire lm ~owner:3 ~oid:7 ~mode log "x";
+  acquire lm ~owner:4 ~oid:7 ~mode:shared log "s3";
+  ignore (Engine.run engine);
+  (* Two shared granted together; X waits; the later shared queues
+     behind X (no starvation of writers). *)
+  Alcotest.(check bool) "s1" true (List.mem ("s1", `Grant) !log);
+  Alcotest.(check bool) "s2" true (List.mem ("s2", `Grant) !log);
+  Alcotest.(check bool) "x blocked" false (List.mem ("x", `Grant) !log);
+  Alcotest.(check bool) "s3 behind x" false (List.mem ("s3", `Grant) !log);
+  Lock_manager.release lm ~owner:1 ~oid:7;
+  Lock_manager.release lm ~owner:2 ~oid:7;
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "x granted" true (List.mem ("x", `Grant) !log);
+  Lock_manager.release lm ~owner:3 ~oid:7;
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "s3 granted last" true (List.mem ("s3", `Grant) !log)
+
+let test_reentrant () =
+  let engine, lm = make () in
+  let grants = ref 0 in
+  let grab mode =
+    Lock_manager.acquire lm ~owner:1 ~oid:3 ~mode
+      ~on_grant:(fun () -> incr grants)
+      ()
+  in
+  grab Lock_manager.Exclusive;
+  grab Lock_manager.Exclusive;
+  grab Lock_manager.Shared;
+  ignore (Engine.run engine);
+  Alcotest.(check int) "all calls answered" 3 !grants;
+  (* Stats count one real acquisition. *)
+  Alcotest.(check int) "one acquisition" 1 (Lock_manager.stats lm).acquired
+
+let test_upgrade () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:9 ~mode:shared log "s";
+  ignore (Engine.run engine);
+  (* Sole shared holder upgrades immediately. *)
+  acquire lm ~owner:1 ~oid:9 ~mode log "up";
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "upgraded" true
+    (Lock_manager.holds lm ~owner:1 ~oid:9 = Some Lock_manager.Exclusive);
+  (* With another shared holder the upgrade waits for it. *)
+  let engine2, lm2 = make () in
+  let log2 = ref [] in
+  let acquire2 = acquire lm2 in
+  acquire2 ~owner:1 ~oid:9 ~mode:shared log2 "s1";
+  acquire2 ~owner:2 ~oid:9 ~mode:shared log2 "s2";
+  acquire2 ~owner:1 ~oid:9 ~mode log2 "up1";
+  ignore (Engine.run engine2);
+  Alcotest.(check bool) "upgrade waits" false (List.mem ("up1", `Grant) !log2);
+  Lock_manager.release lm2 ~owner:2 ~oid:9;
+  ignore (Engine.run engine2);
+  Alcotest.(check bool) "upgrade proceeds" true
+    (Lock_manager.holds lm2 ~owner:1 ~oid:9 = Some Lock_manager.Exclusive)
+
+let test_timeout () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:4 ~mode log "holder";
+  acquire ~timeout:(Time.span_ms 5) lm ~owner:2 ~oid:4 ~mode log "waiter";
+  ignore (Engine.run ~until:(Time.of_ns 10_000_000) engine);
+  Alcotest.(check bool) "timed out" true (List.mem ("waiter", `Timeout) !log);
+  Alcotest.(check int) "stats" 1 (Lock_manager.stats lm).timeouts;
+  (* The dead waiter no longer blocks later arrivals. *)
+  Lock_manager.release lm ~owner:1 ~oid:4;
+  acquire lm ~owner:3 ~oid:4 ~mode log "third";
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "third granted" true (List.mem ("third", `Grant) !log)
+
+let test_timeout_cancelled_by_grant () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:4 ~mode log "holder";
+  acquire ~timeout:(Time.span_ms 50) lm ~owner:2 ~oid:4 ~mode log "waiter";
+  ignore
+    (Engine.schedule engine ~after:(Time.span_ms 1) (fun () ->
+         Lock_manager.release lm ~owner:1 ~oid:4));
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "granted" true (List.mem ("waiter", `Grant) !log);
+  Alcotest.(check bool) "no timeout" false (List.mem ("waiter", `Timeout) !log)
+
+let test_release_all () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:1 ~mode log "a";
+  acquire lm ~owner:1 ~oid:2 ~mode log "b";
+  acquire lm ~owner:2 ~oid:1 ~mode log "w1";
+  acquire lm ~owner:2 ~oid:2 ~mode log "w2";
+  (* owner 1 also waits on an object owner 3 holds; release_all must
+     cancel that wait too. *)
+  acquire lm ~owner:3 ~oid:3 ~mode log "h3";
+  acquire lm ~owner:1 ~oid:3 ~mode log "dangling";
+  ignore (Engine.run engine);
+  Lock_manager.release_all lm ~owner:1;
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "w1" true (List.mem ("w1", `Grant) !log);
+  Alcotest.(check bool) "w2" true (List.mem ("w2", `Grant) !log);
+  Alcotest.(check bool) "cancelled waiter never granted" false
+    (List.mem ("dangling", `Grant) !log);
+  Lock_manager.release_all lm ~owner:3;
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair int (Alcotest.of_pp Lock_manager.pp_mode))))
+    "oid3 free" [] (Lock_manager.holders lm ~oid:3)
+
+let test_wait_stats () =
+  let engine, lm = make () in
+  let log = ref [] in
+  acquire lm ~owner:1 ~oid:1 ~mode log "h";
+  acquire lm ~owner:2 ~oid:1 ~mode log "w";
+  ignore
+    (Engine.schedule engine ~after:(Time.span_ms 3) (fun () ->
+         Lock_manager.release lm ~owner:1 ~oid:1));
+  ignore (Engine.run engine);
+  let stats = Lock_manager.stats lm in
+  Alcotest.(check int) "waited" 1 stats.waited;
+  Alcotest.(check int) "wait time" 3_000_000
+    (Time.span_to_ns stats.total_wait);
+  Alcotest.(check int) "max queue" 1 stats.max_queue
+
+(* Property: under any script of acquires/releases, never two exclusive
+   holders (and never S alongside X) on one object from different
+   owners. *)
+let prop_safety =
+  let gen =
+    QCheck2.Gen.(
+      list
+        (tup4 (int_bound 4) (* owner *)
+           (int_bound 2) (* oid *)
+           bool (* exclusive? *)
+           bool (* release_all afterwards? *)))
+  in
+  QCheck2.Test.make ~name:"lock safety: no conflicting holders" ~count:300
+    gen (fun script ->
+      let engine, lm = make () in
+      let ok = ref true in
+      let check_invariant () =
+        for oid = 0 to 2 do
+          let holders = Lock_manager.holders lm ~oid in
+          let xs =
+            List.filter (fun (_, m) -> m = Lock_manager.Exclusive) holders
+          in
+          if List.length xs > 1 then ok := false;
+          if xs <> [] && List.length holders > 1 then ok := false
+        done
+      in
+      List.iter
+        (fun (owner, oid, exclusive, rel) ->
+          let mode =
+            if exclusive then Lock_manager.Exclusive else Lock_manager.Shared
+          in
+          Lock_manager.acquire lm ~owner ~oid ~mode
+            ~timeout:(Time.span_ms 1)
+            ~on_grant:check_invariant ();
+          ignore (Engine.run ~max_events:20 engine);
+          check_invariant ();
+          if rel then begin
+            Lock_manager.release_all lm ~owner;
+            ignore (Engine.run ~max_events:20 engine);
+            check_invariant ()
+          end)
+        script;
+      ignore (Engine.run engine);
+      check_invariant ();
+      !ok)
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "lock manager",
+        [
+          Alcotest.test_case "immediate grant" `Quick test_immediate_grant;
+          Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+          Alcotest.test_case "fifo fairness" `Quick test_fifo_fairness;
+          Alcotest.test_case "shared compatibility" `Quick
+            test_shared_compatibility;
+          Alcotest.test_case "reentrant" `Quick test_reentrant;
+          Alcotest.test_case "upgrade" `Quick test_upgrade;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "timeout cancelled" `Quick
+            test_timeout_cancelled_by_grant;
+          Alcotest.test_case "release all" `Quick test_release_all;
+          Alcotest.test_case "wait stats" `Quick test_wait_stats;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_safety ] );
+    ]

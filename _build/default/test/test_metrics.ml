@@ -1,0 +1,117 @@
+(* Tests for the metrics toolkit: ledger, histogram, table. *)
+
+open Opc.Metrics
+open Opc.Simkit
+
+let test_ledger_counts () =
+  let l = Ledger.create () in
+  Alcotest.(check int) "zero default" 0 (Ledger.get l "nope");
+  Ledger.incr l "a";
+  Ledger.incr l "a";
+  Ledger.add l "b" 5;
+  Alcotest.(check int) "incr" 2 (Ledger.get l "a");
+  Alcotest.(check int) "add" 5 (Ledger.get l "b");
+  Alcotest.(check (list string)) "keys sorted" [ "a"; "b" ] (Ledger.keys l);
+  Alcotest.(check (list (pair string int)))
+    "snapshot"
+    [ ("a", 2); ("b", 5) ]
+    (Ledger.snapshot l)
+
+let test_ledger_diff () =
+  let l = Ledger.create () in
+  Ledger.add l "x" 3;
+  let before = Ledger.snapshot l in
+  Ledger.add l "x" 4;
+  Ledger.incr l "y";
+  Alcotest.(check (list (pair string int)))
+    "diff"
+    [ ("x", 4); ("y", 1) ]
+    (Ledger.diff ~after:l ~before)
+
+let test_ledger_reset () =
+  let l = Ledger.create () in
+  Ledger.incr l "a";
+  Ledger.reset l;
+  Alcotest.(check (list string)) "empty" [] (Ledger.keys l)
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  Alcotest.(check bool) "empty" true (Histogram.is_empty h);
+  Alcotest.(check int) "mean of empty" 0 (Time.span_to_ns (Histogram.mean h));
+  List.iter
+    (fun ms -> Histogram.record h (Time.span_ms ms))
+    [ 5; 1; 3; 2; 4 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "mean" 3_000_000 (Time.span_to_ns (Histogram.mean h));
+  Alcotest.(check int) "min" 1_000_000 (Time.span_to_ns (Histogram.min_value h));
+  Alcotest.(check int) "max" 5_000_000 (Time.span_to_ns (Histogram.max_value h));
+  Alcotest.(check int) "median" 3_000_000
+    (Time.span_to_ns (Histogram.percentile h 50.0));
+  Alcotest.(check int) "p100 = max" 5_000_000
+    (Time.span_to_ns (Histogram.percentile h 100.0));
+  Alcotest.(check int) "total" 15_000_000 (Time.span_to_ns (Histogram.total h));
+  Alcotest.check_raises "bad rank"
+    (Invalid_argument "Histogram.percentile: rank outside [0, 100]")
+    (fun () -> ignore (Histogram.percentile h 101.0))
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a (Time.span_ms 1);
+  Histogram.record b (Time.span_ms 3);
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Histogram.count m);
+  Alcotest.(check int) "merged mean" 2_000_000
+    (Time.span_to_ns (Histogram.mean m));
+  (* Sources untouched. *)
+  Alcotest.(check int) "a intact" 1 (Histogram.count a)
+
+let prop_histogram_percentiles_monotone =
+  QCheck2.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 1_000_000))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (fun ns -> Histogram.record h (Time.span_ns ns)) samples;
+      let ranks = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+      let values =
+        List.map (fun r -> Time.span_to_ns (Histogram.percentile h r)) ranks
+      in
+      List.sort Int.compare values = values
+      && Time.span_to_ns (Histogram.max_value h)
+         = List.fold_left max 0 samples)
+
+let test_table_rendering () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_rowf t "%s|%d" "beta-very-long" 22;
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (* header + 2 rows + 4 rules + trailing empty *)
+  Alcotest.(check int) "line count" 8 (List.length lines);
+  let widths =
+    List.filter (fun l -> l <> "") lines |> List.map String.length
+  in
+  (match widths with
+  | w :: rest ->
+      Alcotest.(check bool) "aligned" true (List.for_all (( = ) w) rest)
+  | [] -> Alcotest.fail "no output");
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "counts" `Quick test_ledger_counts;
+          Alcotest.test_case "diff" `Quick test_ledger_diff;
+          Alcotest.test_case "reset" `Quick test_ledger_reset;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "stats" `Quick test_histogram_stats;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest prop_histogram_percentiles_monotone;
+        ] );
+      ("table", [ Alcotest.test_case "rendering" `Quick test_table_rendering ]);
+    ]

@@ -1,0 +1,343 @@
+(* Tests for the network model and the heartbeat failure detector. *)
+
+open Opc.Simkit
+open Opc.Netsim
+
+let make ?(config = Network.default_config) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:1 in
+  let net : string Network.t = Network.create ~engine ~rng config in
+  (engine, net)
+
+let test_latency () =
+  let engine, net = make () in
+  let got = ref [] in
+  let a =
+    Network.register net ~name:"a" (fun _ -> Alcotest.fail "a gets nothing")
+  in
+  let b =
+    Network.register net ~name:"b" (fun env ->
+        got := (env.Network.payload, Time.to_ns (Engine.now engine)) :: !got)
+  in
+  Network.send net ~src:a ~dst:b "hello";
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string int)))
+    "delivered at exactly 100us"
+    [ ("hello", 100_000) ]
+    (List.rev !got);
+  let stats = Network.stats net in
+  Alcotest.(check int) "sent" 1 stats.Network.sent;
+  Alcotest.(check int) "delivered" 1 stats.Network.delivered
+
+let test_envelope_fields () =
+  let engine, net = make () in
+  let seen = ref None in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun env -> seen := Some env) in
+  ignore
+    (Engine.schedule engine ~after:(Time.span_us 7) (fun () ->
+         Network.send net ~src:a ~dst:b "payload"));
+  ignore (Engine.run engine);
+  match !seen with
+  | None -> Alcotest.fail "no delivery"
+  | Some env ->
+      Alcotest.(check string) "src" "a" (Address.name env.Network.src);
+      Alcotest.(check string) "dst" "b" (Address.name env.Network.dst);
+      Alcotest.(check int) "sent_at" 7_000 (Time.to_ns env.Network.sent_at);
+      Alcotest.(check string) "payload" "payload" env.Network.payload
+
+let test_fifo_under_jitter () =
+  let config =
+    {
+      Network.latency = Time.span_us 100;
+      jitter = Time.span_us 500;
+      drop_probability = 0.0;
+      duplicate_probability = 0.0;
+    }
+  in
+  let engine, net = make ~config () in
+  let got = ref [] in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b =
+    Network.register net ~name:"b" (fun env ->
+        got := env.Network.payload :: !got)
+  in
+  for i = 0 to 49 do
+    Network.send net ~src:a ~dst:b (string_of_int i)
+  done;
+  ignore (Engine.run engine);
+  Alcotest.(check (list string))
+    "same-link messages never reorder"
+    (List.init 50 string_of_int)
+    (List.rev !got)
+
+let test_down_drops () =
+  let engine, net = make () in
+  let got = ref 0 in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> incr got) in
+  Network.set_down net b;
+  Network.send net ~src:a ~dst:b "x";
+  Network.set_up net b;
+  (* Crash the destination while a message is in flight. *)
+  Network.send net ~src:a ~dst:b "y";
+  ignore
+    (Engine.schedule engine ~after:(Time.span_us 50) (fun () ->
+         Network.set_down net b));
+  (* A down source cannot send. *)
+  Network.set_down net a;
+  Network.send net ~src:a ~dst:b "z";
+  ignore (Engine.run engine);
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  let stats = Network.stats net in
+  Alcotest.(check int) "down drops" 3 stats.Network.dropped_down
+
+let test_partition () =
+  let engine, net = make () in
+  let got = ref [] in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b =
+    Network.register net ~name:"b" (fun env ->
+        got := env.Network.payload :: !got)
+  in
+  Alcotest.(check bool) "reachable before" true (Network.reachable net a b);
+  Network.partition net [ a ] [ b ];
+  Alcotest.(check bool) "cut" false (Network.reachable net a b);
+  Network.send net ~src:a ~dst:b "lost";
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "partitioned drop" [] !got;
+  Network.heal net;
+  Alcotest.(check bool) "healed reachability" true (Network.reachable net a b);
+  Network.send net ~src:a ~dst:b "through";
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "healed" [ "through" ] !got;
+  let stats = Network.stats net in
+  Alcotest.(check int) "partition drops" 1 stats.Network.dropped_partition
+
+let test_heal_pair () =
+  let engine, net = make () in
+  let got = ref [] in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b =
+    Network.register net ~name:"b" (fun env ->
+        got := env.Network.payload :: !got)
+  in
+  let c = Network.register net ~name:"c" (fun _ -> ()) in
+  Network.partition net [ a ] [ b; c ];
+  Network.heal_pair net a b;
+  Alcotest.(check bool) "a-b healed" true (Network.reachable net a b);
+  Alcotest.(check bool) "a-c still cut" false (Network.reachable net a c);
+  Network.send net ~src:a ~dst:b "m";
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "delivered" [ "m" ] !got
+
+let test_partition_in_flight () =
+  let engine, net = make () in
+  let got = ref 0 in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> incr got) in
+  Network.send net ~src:a ~dst:b "x";
+  ignore
+    (Engine.schedule engine ~after:(Time.span_us 10) (fun () ->
+         Network.partition net [ a ] [ b ]));
+  ignore (Engine.run engine);
+  Alcotest.(check int) "cut mid-flight" 0 !got
+
+let test_loss () =
+  let config =
+    { Network.default_config with Network.drop_probability = 0.5 }
+  in
+  let engine, net = make ~config () in
+  let got = ref 0 in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> incr got) in
+  for _ = 1 to 1000 do
+    Network.send net ~src:a ~dst:b "m"
+  done;
+  ignore (Engine.run engine);
+  if !got < 350 || !got > 650 then
+    Alcotest.failf "loss rate implausible: %d/1000 delivered" !got;
+  let stats = Network.stats net in
+  Alcotest.(check int) "conservation" 1000
+    (stats.Network.delivered + stats.Network.dropped_loss)
+
+let test_duplication () =
+  let config =
+    { Network.default_config with Network.duplicate_probability = 0.5 }
+  in
+  let engine, net = make ~config () in
+  let got = ref 0 in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> incr got) in
+  for _ = 1 to 500 do
+    Network.send net ~src:a ~dst:b "m"
+  done;
+  ignore (Engine.run engine);
+  let stats = Network.stats net in
+  Alcotest.(check int) "deliveries = sent + duplicates"
+    (stats.Network.sent + stats.Network.duplicated)
+    !got;
+  if stats.Network.duplicated < 150 || stats.Network.duplicated > 350 then
+    Alcotest.failf "duplication rate implausible: %d/500"
+      stats.Network.duplicated
+
+let test_self_send () =
+  let engine, net = make () in
+  let got = ref 0 in
+  let a = Network.register net ~name:"a" (fun _ -> incr got) in
+  Network.send net ~src:a ~dst:a "self";
+  ignore (Engine.run engine);
+  Alcotest.(check int) "self delivery" 1 !got
+
+let test_in_flight_count () =
+  let engine, net = make () in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> ()) in
+  Network.send net ~src:a ~dst:b "1";
+  Network.send net ~src:a ~dst:b "2";
+  Alcotest.(check int) "in flight" 2 (Network.in_flight net);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "drained" 0 (Network.in_flight net)
+
+let test_endpoints () =
+  let _, net = make () in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> ()) in
+  Alcotest.(check (list string))
+    "registration order" [ "a"; "b" ]
+    (List.map Address.name (Network.endpoints net));
+  Alcotest.(check int) "indices" 0 (Address.index a);
+  Alcotest.(check int) "indices" 1 (Address.index b);
+  Alcotest.(check bool) "distinct" false (Address.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_addr net name = Network.register net ~name (fun _ -> ())
+
+let test_detector_suspects_silent_peer () =
+  let engine, net = make () in
+  let p = mk_addr net "p" in
+  let suspected = ref [] in
+  let d =
+    Failure_detector.create ~engine ~timeout:(Time.span_ms 100) ~peers:[ p ]
+      ~on_suspect:(fun a -> suspected := Address.name a :: !suspected)
+      ()
+  in
+  Failure_detector.start d;
+  ignore (Engine.run ~until:(Time.of_ns 50_000_000) engine);
+  Alcotest.(check (list string)) "not yet" [] !suspected;
+  Alcotest.(check bool) "not suspected" false
+    (Failure_detector.is_suspected d p);
+  ignore (Engine.run ~until:(Time.of_ns 300_000_000) engine);
+  Alcotest.(check (list string)) "suspected once" [ "p" ] !suspected;
+  Alcotest.(check bool) "flag" true (Failure_detector.is_suspected d p);
+  Alcotest.(check int) "listed" 1 (List.length (Failure_detector.suspected d));
+  Failure_detector.stop d;
+  ignore (Engine.run engine)
+
+let test_detector_heartbeats_keep_alive () =
+  let engine, net = make () in
+  let p = mk_addr net "p" in
+  let suspected = ref 0 in
+  let d =
+    Failure_detector.create ~engine ~timeout:(Time.span_ms 100) ~peers:[ p ]
+      ~on_suspect:(fun _ -> incr suspected)
+      ()
+  in
+  Failure_detector.start d;
+  for i = 1 to 20 do
+    ignore
+      (Engine.schedule_at engine
+         ~at:(Time.of_ns (i * 50_000_000))
+         (fun () -> Failure_detector.heard_from d p))
+  done;
+  ignore (Engine.run ~until:(Time.of_ns 1_000_000_000) engine);
+  Alcotest.(check int) "never suspected" 0 !suspected;
+  Failure_detector.stop d;
+  ignore (Engine.run engine)
+
+let test_detector_recovers () =
+  let engine, net = make () in
+  let p = mk_addr net "p" in
+  let events = ref [] in
+  let d =
+    Failure_detector.create ~engine ~timeout:(Time.span_ms 100) ~peers:[ p ]
+      ~on_suspect:(fun _ -> events := "suspect" :: !events)
+      ~on_alive:(fun _ -> events := "alive" :: !events)
+      ()
+  in
+  Failure_detector.start d;
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ns 300_000_000) (fun () ->
+         Failure_detector.heard_from d p));
+  (* Stop before the renewed silence after 300 ms would trip the
+     detector again. *)
+  ignore (Engine.run ~until:(Time.of_ns 350_000_000) engine);
+  Alcotest.(check (list string))
+    "edge-triggered both ways" [ "suspect"; "alive" ]
+    (List.rev !events);
+  Alcotest.(check bool) "alive again" false
+    (Failure_detector.is_suspected d p);
+  Failure_detector.stop d;
+  ignore (Engine.run engine)
+
+let test_detector_stop_is_quiet () =
+  let engine, net = make () in
+  let p = mk_addr net "p" in
+  let suspected = ref 0 in
+  let d =
+    Failure_detector.create ~engine ~timeout:(Time.span_ms 10) ~peers:[ p ]
+      ~on_suspect:(fun _ -> incr suspected)
+      ()
+  in
+  Failure_detector.start d;
+  Failure_detector.stop d;
+  ignore (Engine.run ~until:(Time.of_ns 100_000_000) engine);
+  Alcotest.(check int) "no callbacks after stop" 0 !suspected
+
+let test_detector_unknown_peer () =
+  let engine, net = make () in
+  let p = mk_addr net "p" in
+  let q = mk_addr net "q" in
+  let d =
+    Failure_detector.create ~engine ~timeout:(Time.span_ms 10) ~peers:[ p ]
+      ~on_suspect:(fun _ -> ())
+      ()
+  in
+  (* Unknown peers are ignored, not added. *)
+  Failure_detector.heard_from d q;
+  Alcotest.(check bool) "unknown never suspected" false
+    (Failure_detector.is_suspected d q)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "latency" `Quick test_latency;
+          Alcotest.test_case "envelope" `Quick test_envelope_fields;
+          Alcotest.test_case "fifo under jitter" `Quick test_fifo_under_jitter;
+          Alcotest.test_case "down drops" `Quick test_down_drops;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "heal pair" `Quick test_heal_pair;
+          Alcotest.test_case "partition in flight" `Quick
+            test_partition_in_flight;
+          Alcotest.test_case "loss" `Quick test_loss;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "in flight count" `Quick test_in_flight_count;
+          Alcotest.test_case "endpoints" `Quick test_endpoints;
+        ] );
+      ( "failure detector",
+        [
+          Alcotest.test_case "suspects silent peer" `Quick
+            test_detector_suspects_silent_peer;
+          Alcotest.test_case "heartbeats keep alive" `Quick
+            test_detector_heartbeats_keep_alive;
+          Alcotest.test_case "recovers" `Quick test_detector_recovers;
+          Alcotest.test_case "stop is quiet" `Quick test_detector_stop_is_quiet;
+          Alcotest.test_case "unknown peer" `Quick test_detector_unknown_peer;
+        ] );
+    ]

@@ -1,0 +1,691 @@
+(* Recovery decision tables (§II-C and §III-C), tested protocol-engine
+   by protocol-engine against a scriptable harness context.
+
+   The cluster-level suites exercise recovery through full simulations;
+   here each restart case of the paper is driven directly: build an
+   engine instance over a harness whose log, network and SAN are plain
+   lists, seed the durable log with the exact records of one paper case,
+   call [recover], and assert precisely which messages, log records and
+   client replies come out. *)
+
+open Opc
+open Opc.Acp
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type harness = {
+  engine : Simkit.Engine.t;
+  ctx : Context.t;
+  sent : (int * Wire.t) list ref;  (* (destination server, message) *)
+  log : Log_record.t list ref;  (* durable records, newest last *)
+  replies : (Txn.id * Txn.outcome) list ref;
+  store : Mds.Store.t;
+  hardened : (int * int, Mds.Update.t list) Hashtbl.t;
+  fence_requests : (int * (Log_scan.image list -> unit)) list ref;
+  suspected : (int, unit) Hashtbl.t;
+}
+
+let self_server = 0
+
+let make_harness ?(initial_log = []) () =
+  let engine = Simkit.Engine.create () in
+  let sent = ref [] in
+  let log = ref initial_log in
+  let replies = ref [] in
+  let fence_requests = ref [] in
+  let suspected = Hashtbl.create 4 in
+  let store = Mds.Store.create ~name:"h" ~root:(Some 0) in
+  let hardened = Hashtbl.create 16 in
+  let locks =
+    Locks.Lock_manager.create ~engine ~name:"h.locks" ()
+  in
+  let address i = Netsim.Address.unsafe_make ~index:i ~name:(Fmt.str "mds%d" i) in
+  let ctx =
+    {
+      Context.engine;
+      self = address self_server;
+      self_server;
+      address_of = address;
+      send =
+        (fun ~dst wire ->
+          sent := (Netsim.Address.index dst, wire) :: !sent);
+      force =
+        (fun records ~on_durable ->
+          (* Durable after one engine step, like a fast disk. *)
+          ignore
+            (Simkit.Engine.defer engine (fun () ->
+                 log := !log @ records;
+                 on_durable ())));
+      append_async =
+        (fun ?on_durable records ->
+          ignore
+            (Simkit.Engine.defer engine (fun () ->
+                 log := !log @ records;
+                 match on_durable with Some f -> f () | None -> ())));
+      log_gc =
+        (fun txn ->
+          log :=
+            List.filter
+              (fun r -> not (Txn.id_equal (Log_record.txn r) txn))
+              !log);
+      own_log = (fun () -> !log);
+      fence_and_read =
+        (fun ~target ~on_read ->
+          fence_requests :=
+            (Netsim.Address.index target, on_read) :: !fence_requests);
+      locks;
+      store;
+      harden =
+        (fun txn updates ->
+          if not (Hashtbl.mem hardened (txn.Txn.origin, txn.Txn.seq)) then begin
+            Hashtbl.replace hardened (txn.Txn.origin, txn.Txn.seq) updates;
+            Mds.Store.commit_durable store updates
+          end);
+      is_hardened =
+        (fun txn -> Hashtbl.mem hardened (txn.Txn.origin, txn.Txn.seq));
+      compute =
+        (fun ~n k ->
+          ignore n;
+          ignore (Simkit.Engine.defer engine k));
+      set_timer =
+        (fun ~label ~after f -> Simkit.Engine.schedule engine ~label ~after f);
+      timeout = Simkit.Time.span_ms 100;
+      suspects =
+        (fun peer -> Hashtbl.mem suspected (Netsim.Address.index peer));
+      ledger = Metrics.Ledger.create ();
+      trace = Simkit.Trace.disabled ();
+      client_reply = (fun txn outcome -> replies := (txn, outcome) :: !replies);
+      mark = (fun _ _ -> ());
+    }
+  in
+  { engine; ctx; sent; log; replies; store; hardened; fence_requests; suspected }
+
+(* Run only what is due now (and cascades at the current instant), not
+   protocol timers. *)
+let step h = ignore (Simkit.Engine.run ~until:(Simkit.Engine.now h.engine) h.engine)
+
+let run_timers h span =
+  ignore
+    (Simkit.Engine.run
+       ~until:(Simkit.Time.add (Simkit.Engine.now h.engine) span)
+       h.engine)
+
+let sent_labels h = List.rev_map (fun (dst, w) -> (dst, Wire.label w)) !(h.sent)
+let clear_sent h = h.sent := []
+
+let log_labels h = List.map Log_record.label !(h.log)
+
+let txn1 = { Txn.origin = self_server; seq = 1 }
+let foreign = { Txn.origin = 3; seq = 9 }
+
+let updates_c = [ Mds.Update.Link { dir = 0; name = "f"; target = 7 } ]
+let updates_w = [ Mds.Update.Create_inode { ino = 7; kind = Mds.Update.File; nlink = 1 } ]
+
+let plan1 =
+  {
+    Mds.Plan.op = Mds.Op.create_file ~parent:0 ~name:"f";
+    new_ino = Some 7;
+    coordinator = { Mds.Plan.server = 0; lock_oids = [ 0 ]; updates = updates_c };
+    workers = [ { Mds.Plan.server = 1; lock_oids = [ 7 ]; updates = updates_w } ];
+  }
+
+let instance kind h = Protocol.instantiate kind h.ctx
+
+let check_sent = Alcotest.(check (list (pair int string)))
+let check_replies h expected =
+  Alcotest.(check (list (pair bool string)))
+    "client replies" expected
+    (List.rev_map
+       (fun (id, o) -> (Txn.id_equal id txn1, Fmt.str "%a" Txn.pp_outcome o))
+       !(h.replies))
+
+(* ------------------------------------------------------------------ *)
+(* §II-C — 2PC-family coordinator restart                              *)
+(* ------------------------------------------------------------------ *)
+
+(* STARTED only: "the transaction must be aborted since all the
+   metadata updates have been lost"; ABORT is sent and acknowledged. *)
+let test_2pc_coord_started_only () =
+  let h =
+    make_harness
+      ~initial_log:[ Log_record.Started { txn = txn1; participants = [ 1 ] } ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "abort sent to the worker" [ (1, "abort") ] (sent_labels h);
+  check_replies h [ (true, "aborted (coordinator crashed)") ];
+  (* The worker acknowledges; the log finalizes and empties. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Ack { txn = txn1 });
+  step h;
+  Alcotest.(check (list string)) "log drained" [] (log_labels h);
+  Alcotest.(check int) "no state left" 0 (p.Protocol.outstanding ())
+
+(* PREPARED: "the coordinator resubmits the PREPARE request and
+   continues with the normal protocol execution." *)
+let test_2pc_coord_prepared () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "prepare resent" [ (1, "prepare") ] (sent_labels h);
+  (* Our updates were replayed into the volatile cache. *)
+  Alcotest.(check (option int)) "dentry replayed" (Some 7)
+    (Mds.State.lookup (Mds.Store.volatile h.store) ~dir:0 ~name:"f");
+  clear_sent h;
+  (* The worker re-votes yes: commit flows normally. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Prepared { txn = txn1; vote = true });
+  step h;
+  check_sent "commit sent" [ (1, "commit") ] (sent_labels h);
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Ack { txn = txn1 });
+  step h;
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check bool) "hardened" true (h.ctx.Context.is_hardened txn1);
+  Alcotest.(check (option int)) "durable dentry" (Some 7)
+    (Mds.State.lookup (Mds.Store.durable h.store) ~dir:0 ~name:"f")
+
+(* PREPARED, but the worker rebooted unprepared: NOT-PREPARED forces an
+   abort, and the replayed volatile updates must be rolled back. *)
+let test_2pc_coord_prepared_worker_lost () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Prepared { txn = txn1; vote = false });
+  step h;
+  check_sent "abort sent" [ (1, "abort") ] (sent_labels h);
+  Alcotest.(check (option int)) "volatile rolled back" None
+    (Mds.State.lookup (Mds.Store.volatile h.store) ~dir:0 ~name:"f");
+  check_replies h [ (true, "aborted (worker 1 voted no)") ]
+
+(* COMMITTED without ENDED (PrN): resend COMMIT, reply only after the
+   acknowledgement. *)
+let test_prn_coord_committed () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+          Log_record.Committed { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "commit resent" [ (1, "commit") ] (sent_labels h);
+  Alcotest.(check bool) "updates hardened by recovery" true
+    (h.ctx.Context.is_hardened txn1);
+  check_replies h [];
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Ack { txn = txn1 });
+  step h;
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check (list string)) "log drained" [] (log_labels h)
+
+(* Same log under PrC: the coordinator had decided; it replies, forwards
+   COMMIT once and finalizes without waiting. *)
+let test_prc_coord_committed () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+          Log_record.Committed { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prc h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "commit forwarded" [ (1, "commit") ] (sent_labels h);
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check (list string)) "log finalized immediately" [] (log_labels h);
+  Alcotest.(check int) "nothing outstanding" 0 (p.Protocol.outstanding ())
+
+(* Multi-worker (RENAME-class) transactions: recovery must re-vote with
+   every participant and commit only on unanimity. *)
+let test_2pc_coord_prepared_multi_worker_commit () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1; 2 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "prepare to both"
+    [ (1, "prepare"); (2, "prepare") ]
+    (sent_labels h);
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Prepared { txn = txn1; vote = true });
+  step h;
+  check_sent "waits for the second vote" [] (sent_labels h);
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 2)
+    (Wire.Prepared { txn = txn1; vote = true });
+  step h;
+  check_sent "commit to both" [ (1, "commit"); (2, "commit") ] (sent_labels h);
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Ack { txn = txn1 });
+  step h;
+  check_replies h [];
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 2)
+    (Wire.Ack { txn = txn1 });
+  step h;
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check (list string)) "log drained" [] (log_labels h)
+
+let test_2pc_coord_prepared_multi_worker_one_no () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1; 2 ] };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Prepared { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Prepared { txn = txn1; vote = true });
+  step h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 2)
+    (Wire.Prepared { txn = txn1; vote = false });
+  step h;
+  check_sent "abort to both" [ (1, "abort"); (2, "abort") ] (sent_labels h);
+  check_replies h [ (true, "aborted (worker 2 voted no)") ];
+  Alcotest.(check bool) "nothing hardened" false
+    (h.ctx.Context.is_hardened txn1)
+
+(* ------------------------------------------------------------------ *)
+(* §II-C — 2PC-family worker restart                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* PREPARED: "the worker asks the coordinator to resend the decision". *)
+let test_2pc_worker_prepared_commit () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Updates { txn = foreign; updates = updates_w };
+          Log_record.Prepared { txn = foreign };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "asks the coordinator" [ (3, "decision_req") ] (sent_labels h);
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Decision { txn = foreign; committed = true });
+  step h;
+  check_sent "commits and acks" [ (3, "ack") ] (sent_labels h);
+  Alcotest.(check bool) "hardened" true (h.ctx.Context.is_hardened foreign);
+  Alcotest.(check (list string)) "log drained" [] (log_labels h)
+
+let test_2pc_worker_prepared_abort () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Updates { txn = foreign; updates = updates_w };
+          Log_record.Prepared { txn = foreign };
+        ]
+      ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ();
+  step h;
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Decision { txn = foreign; committed = false });
+  step h;
+  check_sent "aborts and acks" [ (3, "ack") ] (sent_labels h);
+  Alcotest.(check bool) "nothing hardened" false
+    (h.ctx.Context.is_hardened foreign);
+  Alcotest.(check bool) "volatile clean" true
+    (Mds.State.inode (Mds.Store.volatile h.store) 7 = None)
+
+(* "no entry in the log": a PREPARE for an unknown transaction is
+   answered NOT-PREPARED; a COMMIT for an unknown transaction means we
+   committed and checkpointed long ago — answer ACK. *)
+let test_2pc_worker_no_entry () =
+  let h = make_harness () in
+  let p = instance Protocol.Prn h in
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Prepare { txn = foreign });
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Prepared { vote = false; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected NOT-PREPARED");
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Commit { txn = foreign });
+  step h;
+  check_sent "ack for forgotten commit" [ (3, "ack") ] (sent_labels h)
+
+(* Decision service at the coordinator: PrN without a log entry answers
+   abort; PrC presumes commit. *)
+let test_decision_presumption () =
+  let ask kind =
+    let h = make_harness () in
+    let p = instance kind h in
+    p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+      (Wire.Decision_req { txn = txn1 });
+    step h;
+    match List.rev !(h.sent) with
+    | [ (1, Wire.Decision { committed; _ }) ] -> committed
+    | _ -> Alcotest.fail "expected a decision"
+  in
+  Alcotest.(check bool) "PrN: no log, no commit" false (ask Protocol.Prn);
+  Alcotest.(check bool) "PrC presumes commit" true (ask Protocol.Prc);
+  Alcotest.(check bool) "EP presumes commit" true (ask Protocol.Ep)
+
+(* ------------------------------------------------------------------ *)
+(* §III-C — 1PC                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Coordinator restart, STARTED + REDO only: re-execute from the redo
+   record — local updates redone, UPDATE REQ resubmitted. *)
+let test_1pc_coord_restart_reexecutes () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Redo { txn = txn1; plan = plan1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Opc h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "update req resubmitted" [ (1, "update_req") ] (sent_labels h);
+  Alcotest.(check (option int)) "local update redone" (Some 7)
+    (Mds.State.lookup (Mds.Store.volatile h.store) ~dir:0 ~name:"f");
+  clear_sent h;
+  (* Worker (which had committed before the crash) answers UPDATED. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Updated { txn = txn1; ok = true });
+  step h;
+  check_replies h [ (true, "committed") ];
+  check_sent "ack sent after own commit" [ (1, "ack") ] (sent_labels h);
+  Alcotest.(check (list string)) "log drained" [] (log_labels h)
+
+(* Coordinator restart with COMMITTED: nothing to redo; the worker may
+   still need its acknowledgement. *)
+let test_1pc_coord_restart_committed () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Started { txn = txn1; participants = [ 1 ] };
+          Log_record.Redo { txn = txn1; plan = plan1 };
+          Log_record.Updates { txn = txn1; updates = updates_c };
+          Log_record.Committed { txn = txn1 };
+        ]
+      ()
+  in
+  let p = instance Protocol.Opc h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "ack resent" [ (1, "ack") ] (sent_labels h);
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check bool) "hardened from log" true
+    (h.ctx.Context.is_hardened txn1)
+
+(* Worker restart with COMMITTED but no ENDED: ask for the ACK; on
+   receiving it, finalize with ENDED and checkpoint. *)
+let test_1pc_worker_restart_ack_req () =
+  let h =
+    make_harness
+      ~initial_log:
+        [
+          Log_record.Updates { txn = foreign; updates = updates_w };
+          Log_record.Committed { txn = foreign };
+        ]
+      ()
+  in
+  let p = instance Protocol.Opc h in
+  p.Protocol.recover ();
+  step h;
+  check_sent "asks for the ACK" [ (3, "ack_req") ] (sent_labels h);
+  Alcotest.(check bool) "hardened" true (h.ctx.Context.is_hardened foreign);
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Ack { txn = foreign });
+  step h;
+  Alcotest.(check (list string)) "log drained" [] (log_labels h);
+  Alcotest.(check int) "done" 0 (p.Protocol.outstanding ())
+
+(* Ack_req at a coordinator whose log is long gone: answer ACK
+   (presume finished). *)
+let test_1pc_ack_req_after_gc () =
+  let h = make_harness () in
+  let p = instance Protocol.Opc h in
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Ack_req { txn = txn1 });
+  step h;
+  check_sent "ack presumed" [ (1, "ack") ] (sent_labels h)
+
+(* Unresponsive worker: the timer fires, the worker is suspected, the
+   coordinator fences and decides from the log images it reads. *)
+let run_1pc_fence_case ~worker_log =
+  let h = make_harness () in
+  let p = instance Protocol.Opc h in
+  p.Protocol.submit { Txn.id = txn1; plan = plan1 };
+  step h;
+  check_sent "update req out" [ (1, "update_req") ] (sent_labels h);
+  clear_sent h;
+  (* No UPDATED arrives; the detector suspects the worker; the protocol
+     timer fires. *)
+  Hashtbl.replace h.suspected 1 ();
+  run_timers h (Simkit.Time.span_ms 150);
+  (match List.rev !(h.fence_requests) with
+  | [ (1, on_read) ] -> on_read (Log_scan.scan worker_log)
+  | _ -> Alcotest.fail "expected exactly one fence-and-read");
+  step h;
+  h
+
+let test_1pc_fence_commit () =
+  let h =
+    run_1pc_fence_case
+      ~worker_log:
+        [
+          Log_record.Updates { txn = txn1; updates = updates_w };
+          Log_record.Committed { txn = txn1 };
+        ]
+  in
+  check_replies h [ (true, "committed") ];
+  Alcotest.(check bool) "committed durably" true
+    (h.ctx.Context.is_hardened txn1)
+
+let test_1pc_fence_abort () =
+  let h = run_1pc_fence_case ~worker_log:[] in
+  check_replies h [ (true, "aborted (worker failed before committing)") ];
+  Alcotest.(check bool) "nothing hardened" false
+    (h.ctx.Context.is_hardened txn1);
+  Alcotest.(check (option int)) "local update undone" None
+    (Mds.State.lookup (Mds.Store.volatile h.store) ~dir:0 ~name:"f")
+
+(* A duplicate one-phase UPDATE_REQ for a transaction this worker
+   already committed and checkpointed is answered UPDATED(ok) without
+   re-applying anything. *)
+let test_1pc_worker_dedup () =
+  let h = make_harness () in
+  let p = instance Protocol.Opc h in
+  (* First execution. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Update_req
+       { txn = foreign; updates = updates_w; piggyback_prepare = false;
+         one_phase = true });
+  step h;
+  (match sent_labels h with
+  | [ (3, "updated") ] -> ()
+  | other ->
+      Alcotest.failf "first execution: %a"
+        Fmt.(Dump.list (Dump.pair int string))
+        other);
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Ack { txn = foreign });
+  step h;
+  clear_sent h;
+  (* The coordinator recovered and re-sent the request. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Update_req
+       { txn = foreign; updates = updates_w; piggyback_prepare = false;
+         one_phase = true });
+  step h;
+  check_sent "re-answered ok" [ (3, "updated") ] (sent_labels h);
+  (* Applying twice would have failed loudly (duplicate inode). *)
+  Alcotest.(check bool) "applied exactly once" true
+    (Mds.State.inode (Mds.Store.durable h.store) 7 <> None)
+
+(* Fuzz: recovery must never raise, whatever record soup the log
+   contains — including shapes no run of this implementation would
+   produce (a recovering server cannot afford to die on a surprising
+   log). Every engine is started over an arbitrary durable log and
+   single-stepped through its immediate actions. *)
+let gen_log =
+  let open QCheck2.Gen in
+  let txn =
+    oneofl [ txn1; { Txn.origin = self_server; seq = 2 }; foreign ]
+  in
+  let record =
+    let* t = txn in
+    oneofl
+      [
+        Log_record.Started { txn = t; participants = [ 1 ] };
+        Log_record.Started { txn = t; participants = [] };
+        Log_record.Started { txn = t; participants = [ 1; 2 ] };
+        Log_record.Redo { txn = t; plan = plan1 };
+        Log_record.Updates { txn = t; updates = updates_c };
+        Log_record.Updates { txn = t; updates = [] };
+        Log_record.Prepared { txn = t };
+        Log_record.Committed { txn = t };
+        Log_record.Aborted { txn = t };
+        Log_record.Ended { txn = t };
+      ]
+  in
+  list_size (int_bound 12) record
+
+let prop_recovery_never_raises kind =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "recovery survives arbitrary logs (%s)"
+         (Protocol.name kind))
+    ~count:200 gen_log
+    (fun log ->
+      let h = make_harness ~initial_log:log () in
+      let p = instance kind h in
+      (* Must not raise; hardening of committed soup may legitimately be
+         impossible against an empty store, so treat only unexpected
+         exceptions as failures. *)
+      match
+        p.Protocol.recover ();
+        step h;
+        run_timers h (Simkit.Time.span_ms 500)
+      with
+      | () -> true
+      | exception Invalid_argument _ ->
+          (* Replaying nonsense updates against an empty store raises a
+             loud, identifiable error — acceptable for corrupt logs. *)
+          true
+      | exception Simkit.Engine.Event_failure (_, Invalid_argument _) ->
+          (* The same loud error surfacing from a deferred continuation
+             (e.g. a replay running after its lock grant). *)
+          true)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "2pc coordinator (SII-C)",
+        [
+          Alcotest.test_case "STARTED only => abort" `Quick
+            test_2pc_coord_started_only;
+          Alcotest.test_case "PREPARED => re-vote" `Quick
+            test_2pc_coord_prepared;
+          Alcotest.test_case "PREPARED, worker lost => abort" `Quick
+            test_2pc_coord_prepared_worker_lost;
+          Alcotest.test_case "COMMITTED => resend COMMIT (PrN)" `Quick
+            test_prn_coord_committed;
+          Alcotest.test_case "COMMITTED => finalize (PrC)" `Quick
+            test_prc_coord_committed;
+          Alcotest.test_case "multi-worker re-vote, unanimity" `Quick
+            test_2pc_coord_prepared_multi_worker_commit;
+          Alcotest.test_case "multi-worker re-vote, one NO" `Quick
+            test_2pc_coord_prepared_multi_worker_one_no;
+        ] );
+      ( "2pc worker (SII-C)",
+        [
+          Alcotest.test_case "PREPARED => ask, commit" `Quick
+            test_2pc_worker_prepared_commit;
+          Alcotest.test_case "PREPARED => ask, abort" `Quick
+            test_2pc_worker_prepared_abort;
+          Alcotest.test_case "no log entry" `Quick test_2pc_worker_no_entry;
+          Alcotest.test_case "decision presumption" `Quick
+            test_decision_presumption;
+        ] );
+      ( "1pc (SIII-C)",
+        [
+          Alcotest.test_case "coordinator re-executes from REDO" `Quick
+            test_1pc_coord_restart_reexecutes;
+          Alcotest.test_case "coordinator COMMITTED" `Quick
+            test_1pc_coord_restart_committed;
+          Alcotest.test_case "worker asks for ACK" `Quick
+            test_1pc_worker_restart_ack_req;
+          Alcotest.test_case "ACK presumed after GC" `Quick
+            test_1pc_ack_req_after_gc;
+          Alcotest.test_case "fence: worker log says COMMITTED" `Quick
+            test_1pc_fence_commit;
+          Alcotest.test_case "fence: empty log => abort" `Quick
+            test_1pc_fence_abort;
+          Alcotest.test_case "worker dedups re-sent request" `Quick
+            test_1pc_worker_dedup;
+        ] );
+      ( "fuzz",
+        List.map
+          (fun k -> QCheck_alcotest.to_alcotest (prop_recovery_never_raises k))
+          Protocol.all );
+    ]

@@ -1,0 +1,425 @@
+(* Unit and property tests for the discrete-event kernel. *)
+
+open Opc.Simkit
+
+let span = Alcotest.testable Time.pp_span (fun a b -> Time.compare_span a b = 0)
+let time = Alcotest.testable Time.pp Time.equal
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 1_000 (Time.span_to_ns (Time.span_us 1));
+  Alcotest.(check int) "ms" 1_000_000 (Time.span_to_ns (Time.span_ms 1));
+  Alcotest.(check int) "s" 1_000_000_000 (Time.span_to_ns (Time.span_s 1));
+  Alcotest.check span "float roundtrip" (Time.span_ms 1500)
+    (Time.span_of_float_s 1.5)
+
+let test_time_arithmetic () =
+  let t = Time.add Time.zero (Time.span_us 5) in
+  Alcotest.check time "add" (Time.of_ns 5_000) t;
+  Alcotest.check span "diff" (Time.span_us 5) (Time.diff t Time.zero);
+  Alcotest.check span "sub_span" (Time.span_us 3)
+    (Time.sub_span (Time.span_us 5) (Time.span_us 2));
+  Alcotest.check span "mul" (Time.span_us 15) (Time.mul_span (Time.span_us 5) 3)
+
+let test_time_invalid () =
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1)));
+  Alcotest.check_raises "diff underflow"
+    (Invalid_argument "Time.diff: later < earlier") (fun () ->
+      ignore (Time.diff Time.zero (Time.of_ns 1)));
+  Alcotest.check_raises "sub underflow"
+    (Invalid_argument "Time.sub_span: underflow") (fun () ->
+      ignore (Time.sub_span (Time.span_ns 1) (Time.span_ns 2)))
+
+let test_time_pp () =
+  let str t = Fmt.str "%a" Time.pp_span t in
+  Alcotest.(check string) "zero" "0s" (str Time.zero_span);
+  Alcotest.(check string) "ns" "42ns" (str (Time.span_ns 42));
+  Alcotest.(check bool) "us unit" true
+    (String.length (str (Time.span_us 3)) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "pop" 1 (Heap.pop_exn h);
+  Alcotest.(check int) "pop" 2 (Heap.pop_exn h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 2; 2; 1; 1; 3 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 3 ]
+    (Heap.to_sorted_list h)
+
+let test_heap_fold () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check int) "sum" 6 (Heap.fold_unordered ( + ) 0 h);
+  Alcotest.(check int) "undisturbed" 3 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap extraction is sorted" ~count:300
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let drained =
+        List.init (List.length xs) (fun _ -> Heap.pop_exn h)
+      in
+      drained = List.sort Int.compare xs && Heap.is_empty h)
+
+let prop_heap_interleaved =
+  QCheck2.Test.make ~name:"interleaved push/pop respects order" ~count:200
+    QCheck2.Gen.(list (pair bool small_int))
+    (fun script ->
+      let h = Heap.create ~cmp:Int.compare () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, x) ->
+          if is_push then begin
+            Heap.push h x;
+            model := List.sort Int.compare (x :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some v, m :: rest ->
+                model := rest;
+                v = m
+            | Some _, [] | None, _ :: _ -> false)
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  let draws r = List.init 50 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (draws a) (draws b);
+  let c = Rng.create ~seed:8 in
+  Alcotest.(check bool) "different seed differs" true (draws a <> draws c)
+
+let test_rng_split () =
+  let parent = Rng.create ~seed:3 in
+  let child = Rng.split parent in
+  let a = List.init 20 (fun _ -> Rng.int parent 100) in
+  let b = List.init 20 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of bounds";
+    let w = Rng.int_in r (-5) 5 in
+    if w < -5 || w > 5 then Alcotest.fail "int_in out of bounds";
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_bernoulli () =
+  let r = Rng.create ~seed:13 in
+  Alcotest.(check bool) "p=0" false (Rng.bernoulli r 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.bernoulli r 1.0);
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  if rate < 0.25 || rate > 0.35 then
+    Alcotest.failf "bernoulli(0.3) rate off: %.3f" rate
+
+let test_rng_exponential () =
+  let r = Rng.create ~seed:17 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.exponential r ~mean:5.0 in
+    if v < 0.0 then Alcotest.fail "negative exponential";
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  if mean < 4.6 || mean > 5.4 then
+    Alcotest.failf "exponential mean off: %.3f" mean
+
+let test_rng_zipf () =
+  let r = Rng.create ~seed:19 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf r ~n:10 ~s:1.0 in
+    if v < 0 || v >= 10 then Alcotest.fail "zipf out of bounds";
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate rank 9 by roughly n^s. *)
+  if counts.(0) <= 3 * counts.(9) then
+    Alcotest.failf "zipf not skewed: %d vs %d" counts.(0) counts.(9);
+  (* s = 0 is uniform. *)
+  let r = Rng.create ~seed:23 in
+  let c2 = Array.make 4 0 in
+  for _ = 1 to 8_000 do
+    let v = Rng.zipf r ~n:4 ~s:0.0 in
+    c2.(v) <- c2.(v) + 1
+  done;
+  Array.iter
+    (fun c -> if c < 1_600 || c > 2_400 then Alcotest.fail "zipf(0) not uniform")
+    c2
+
+let test_rng_shuffle_pick () =
+  let r = Rng.create ~seed:29 in
+  let a = Array.init 30 Fun.id in
+  Rng.shuffle r a;
+  Alcotest.(check (list int))
+    "permutation" (List.init 30 Fun.id)
+    (List.sort Int.compare (Array.to_list a));
+  let v = Rng.pick r a in
+  Alcotest.(check bool) "pick member" true (Array.exists (( = ) v) a);
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick r [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := (tag, Time.to_ns (Engine.now e)) :: !log in
+  ignore (Engine.schedule e ~after:(Time.span_us 3) (record "c"));
+  ignore (Engine.schedule e ~after:(Time.span_us 1) (record "a"));
+  ignore (Engine.schedule e ~after:(Time.span_us 2) (record "b"));
+  Alcotest.(check int) "pending" 3 (Engine.pending e);
+  let outcome = Engine.run e in
+  Alcotest.(check bool) "drained" true (outcome = Engine.Drained);
+  Alcotest.(check (list (pair string int)))
+    "order and clock"
+    [ ("a", 1_000); ("b", 2_000); ("c", 3_000) ]
+    (List.rev !log);
+  Alcotest.(check int) "dispatched" 3 (Engine.dispatched e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore
+      (Engine.schedule e ~after:(Time.span_us 5) (fun () ->
+           log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "FIFO among equal stamps" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~after:(Time.span_us 1) (fun () -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Engine.is_pending h);
+  Engine.cancel h;
+  Engine.cancel h;
+  Alcotest.(check bool) "pending after" false (Engine.is_pending h);
+  Alcotest.(check int) "pending count" 0 (Engine.pending e);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~after:(Time.span_us 1) (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule e ~after:(Time.span_us 10) (fun () -> fired := 10 :: !fired));
+  let outcome = Engine.run ~until:(Time.of_ns 5_000) e in
+  Alcotest.(check bool) "reached until" true (outcome = Engine.Reached_until);
+  Alcotest.(check (list int)) "only early event" [ 1 ] (List.rev !fired);
+  Alcotest.check time "clock at until" (Time.of_ns 5_000) (Engine.now e);
+  (* Resume. *)
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "rest ran" [ 1; 10 ] (List.rev !fired)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~after:(Time.span_us 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~after:(Time.span_us 1) (fun () ->
+                log := "inner" :: !log))));
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.check time "clock" (Time.of_ns 2_000) (Engine.now e)
+
+let test_engine_defer () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~after:(Time.span_us 1) (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.defer e (fun () -> log := "deferred" :: !log));
+         log := "b" :: !log));
+  ignore (Engine.run e);
+  Alcotest.(check (list string))
+    "defer runs after current event, same instant" [ "a"; "b"; "deferred" ]
+    (List.rev !log);
+  Alcotest.check time "no time passed" (Time.of_ns 1_000) (Engine.now e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  for _ = 1 to 5 do
+    ignore (Engine.schedule e ~after:Time.zero_span (fun () -> ()))
+  done;
+  let outcome = Engine.run ~max_events:3 e in
+  Alcotest.(check bool) "limited" true (outcome = Engine.Reached_limit);
+  Alcotest.(check int) "remaining" 2 (Engine.pending e)
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:(Time.span_us 5) (fun () -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Engine.schedule_at e ~at:Time.zero (fun () -> ())))
+
+let test_engine_event_failure () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e ~label:"boom" ~after:Time.zero_span (fun () ->
+         failwith "kaput"));
+  match Engine.run e with
+  | exception Engine.Event_failure (label, _) ->
+      Alcotest.(check string) "label" "boom" label
+  | _ -> Alcotest.fail "expected Event_failure"
+
+let prop_engine_monotone_clock =
+  QCheck2.Test.make ~name:"dispatch times are monotone" ~count:100
+    QCheck2.Gen.(list (int_bound 10_000))
+    (fun delays ->
+      let e = Engine.create () in
+      let stamps = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule e ~after:(Time.span_ns d) (fun () ->
+                 stamps := Time.to_ns (Engine.now e) :: !stamps)))
+        delays;
+      ignore (Engine.run e);
+      let s = List.rev !stamps in
+      List.sort Int.compare s = s && List.length s = List.length delays)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_basics () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:Time.zero ~source:"a" ~kind:"k1" "one";
+  Trace.emitf tr ~time:(Time.of_ns 5) ~source:"b" ~kind:"k2" "%d" 2;
+  Alcotest.(check int) "length" 2 (Trace.length tr);
+  Alcotest.(check int) "count kind" 1 (Trace.count ~kind:"k1" tr);
+  Alcotest.(check int) "count source" 1 (Trace.count ~source:"b" tr);
+  Alcotest.(check int) "count both" 0 (Trace.count ~source:"a" ~kind:"k2" tr);
+  (match Trace.entries tr with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "order" "one" e1.Trace.detail;
+      Alcotest.(check string) "fmt" "2" e2.Trace.detail
+  | _ -> Alcotest.fail "expected two entries");
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let test_trace_disabled () =
+  let tr = Trace.disabled () in
+  Trace.emit tr ~time:Time.zero ~source:"x" ~kind:"k" "dropped";
+  Alcotest.(check int) "drops" 0 (Trace.length tr);
+  Alcotest.(check bool) "flag" false (Trace.is_recording tr)
+
+let test_timeline_render () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:Time.zero ~source:"mds0" ~kind:"send" "UPDATE_REQ";
+  Trace.emit tr ~time:(Time.of_ns 5_000) ~source:"mds1" ~kind:"force" "COMMIT";
+  Trace.emit tr ~time:(Time.of_ns 9_000) ~source:"mds0" ~kind:"noise" "x";
+  let out =
+    Timeline.render
+      ~keep:(fun e -> e.Trace.kind <> "noise")
+      ~column_width:20 (Trace.entries tr)
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (( <> ) "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      i + n <= h && (String.sub hay i n = needle || go (i + 1))
+    in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "columns named" true
+    (contains (List.nth lines 0) "mds0" && contains (List.nth lines 0) "mds1");
+  Alcotest.(check bool) "entry placed" true
+    (contains out "send UPDATE_REQ" && contains out "force COMMIT");
+  Alcotest.(check bool) "filtered out" false (contains out "noise");
+  (* Explicit source list drops others. *)
+  let only0 = Timeline.render ~sources:[ "mds0" ] (Trace.entries tr) in
+  Alcotest.(check bool) "mds1 dropped" false (contains only0 "COMMIT")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "simkit"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "invalid" `Quick test_time_invalid;
+          Alcotest.test_case "pp" `Quick test_time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "fold" `Quick test_heap_fold;
+        ]
+        @ qsuite [ prop_heap_sorts; prop_heap_interleaved ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf;
+          Alcotest.test_case "shuffle/pick" `Quick test_rng_shuffle_pick;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "nested" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "defer" `Quick test_engine_defer;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+          Alcotest.test_case "event failure" `Quick test_engine_event_failure;
+        ]
+        @ qsuite [ prop_engine_monotone_clock ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basics" `Quick test_trace_basics;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "timeline" `Quick test_timeline_render;
+        ] );
+    ]
