@@ -29,6 +29,15 @@ type t = {
   ctx : Context.t;
   coords : (int * int, coord) Hashtbl.t;
   works : (int * int, work) Hashtbl.t;
+  (* Transactions this incarnation voted NO on. The vote must be sticky:
+     a worker commits unilaterally in 1PC, so if a duplicate or retried
+     UPDATE_REQ re-executed a rejected transaction it could commit it
+     durably after the coordinator — acting on the rejection — already
+     answered the client with an abort. A fresh incarnation starts with
+     an empty table, which is sound: its predecessor's rejection implies
+     no commit record, and the coordinator stops resending once the NO
+     vote (or the crash suspicion) reaches it. *)
+  rejected : (int * int, unit) Hashtbl.t;
 }
 
 let max_soft_retries = 2
@@ -36,7 +45,12 @@ let max_soft_retries = 2
 let key (id : Txn.id) = (id.origin, id.seq)
 
 let create ctx =
-  { ctx; coords = Hashtbl.create 64; works = Hashtbl.create 64 }
+  {
+    ctx;
+    coords = Hashtbl.create 64;
+    works = Hashtbl.create 64;
+    rejected = Hashtbl.create 64;
+  }
 
 let outstanding t = Hashtbl.length t.coords + Hashtbl.length t.works
 
@@ -274,6 +288,9 @@ let rec arm_ack_req_timer t w =
              arm_ack_req_timer t w
            end))
 
+let work_reject t txn =
+  Hashtbl.replace t.rejected (key txn) ()
+
 let work_on_update_req t ~src txn updates =
   match Hashtbl.find_opt t.works (key txn) with
   | Some w when w.committed ->
@@ -284,6 +301,11 @@ let work_on_update_req t ~src txn updates =
       if t.ctx.Context.is_hardened txn then
         (* Committed in a previous incarnation. *)
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+      else if Hashtbl.mem t.rejected (key txn) then
+        (* Already voted NO: a duplicate or retried request gets the
+           same vote. Re-executing could commit a transaction the
+           coordinator has meanwhile aborted on our earlier vote. *)
+        t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = false })
       else begin
         let w =
           {
@@ -322,10 +344,12 @@ let work_on_update_req t ~src txn updates =
                     (Fmt.str "%a" Mds.State.pp_error e);
                   Common.release t.ctx txn;
                   work_drop t w;
+                  work_reject t txn;
                   send_to t w.coordinator (Wire.Updated { txn; ok = false })))
           ~on_timeout:(fun () ->
             Common.release t.ctx txn;
             work_drop t w;
+            work_reject t txn;
             send_to t w.coordinator (Wire.Updated { txn; ok = false }))
       end
 

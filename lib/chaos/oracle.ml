@@ -1,0 +1,140 @@
+type violation =
+  | Stuck of string
+  | Deadline_exceeded of string
+  | Unanswered of { index : int; op : string }
+  | Multiple_replies of { index : int; op : string; replies : int }
+  | Invariant of Mds.Invariant.violation
+  | Store_divergence of { server : int }
+  | Missing_entry of { dir : Mds.Update.ino; name : string }
+  | Phantom_entry of { dir : Mds.Update.ino; name : string }
+  | Run_exception of string
+
+let pp_violation ppf = function
+  | Stuck diag -> Fmt.pf ppf "liveness: stuck short of quiescence@,%s" diag
+  | Deadline_exceeded diag ->
+      Fmt.pf ppf "liveness: settle deadline exceeded@,%s" diag
+  | Unanswered { index; op } ->
+      Fmt.pf ppf "op #%d (%s) never got a reply" index op
+  | Multiple_replies { index; op; replies } ->
+      Fmt.pf ppf "op #%d (%s) replied %d times" index op replies
+  | Invariant v -> Fmt.pf ppf "invariant: %a" Mds.Invariant.pp_violation v
+  | Store_divergence { server } ->
+      Fmt.pf ppf "mds%d: volatile and durable views diverge at quiescence"
+        server
+  | Missing_entry { dir; name } ->
+      Fmt.pf ppf "committed entry %S missing from directory %d" name dir
+  | Phantom_entry { dir; name } ->
+      Fmt.pf ppf "phantom entry %S in directory %d (aborted or deleted)"
+        name dir
+  | Run_exception e -> Fmt.pf ppf "exception escaped the run: %s" e
+
+let is_liveness = function
+  | Stuck _ | Deadline_exceeded _ -> true
+  | _ -> false
+
+(* The namespace the cluster should hold: replay committed operations in
+   completion order against an empty model. Workload names are unique
+   per (appearance, directory), so the only ordering that matters — a
+   name's appearance before its removal — is exactly completion order
+   (the generator only targets files whose creation already replied). *)
+let expected_namespace records =
+  let model : (Mds.Update.ino * string, unit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let committed =
+    List.filter
+      (fun r ->
+        match r.Workload.outcome with
+        | Some Acp.Txn.Committed -> true
+        | _ -> false)
+      records
+  in
+  let by_rank =
+    List.sort
+      (fun a b ->
+        compare a.Workload.completion_rank b.Workload.completion_rank)
+      committed
+  in
+  List.iter
+    (fun r ->
+      match r.Workload.op with
+      | Mds.Op.Create { parent; name; _ } ->
+          Hashtbl.replace model (parent, name) ()
+      | Mds.Op.Delete { parent; name } -> Hashtbl.remove model (parent, name)
+      | Mds.Op.Rename { src_dir; src_name; dst_dir; dst_name } ->
+          Hashtbl.remove model (src_dir, src_name);
+          Hashtbl.replace model (dst_dir, dst_name) ())
+    by_rank;
+  model
+
+let durable_of cluster dir =
+  let owner =
+    Mds.Placement.node_of (Opc_cluster.Cluster.placement cluster) dir
+  in
+  Mds.Store.durable
+    (Opc_cluster.Node.store (Opc_cluster.Cluster.node cluster owner))
+
+let check cluster ~workload ~dirs ~settled =
+  match settled with
+  | Opc_cluster.Cluster.Stuck ->
+      [ Stuck
+          (Fmt.str "%a" Opc_cluster.Cluster.pp_diagnostics
+             (Opc_cluster.Cluster.settle_diagnostics cluster)) ]
+  | Opc_cluster.Cluster.Deadline_exceeded ->
+      [ Deadline_exceeded
+          (Fmt.str "%a" Opc_cluster.Cluster.pp_diagnostics
+             (Opc_cluster.Cluster.settle_diagnostics cluster)) ]
+  | Opc_cluster.Cluster.Quiescent ->
+      let records = Workload.records workload in
+      let violations = ref [] in
+      let add v = violations := v :: !violations in
+      (* Exactly-once reply delivery. *)
+      List.iter
+        (fun r ->
+          let op = Fmt.str "%a" Mds.Op.pp r.Workload.op in
+          (match r.Workload.outcome with
+          | None -> add (Unanswered { index = r.Workload.index; op })
+          | Some _ -> ());
+          if r.Workload.replies > 1 then
+            add
+              (Multiple_replies
+                 { index = r.Workload.index; op; replies = r.Workload.replies }))
+        records;
+      (* Global durable-image invariants (the paper's §II). *)
+      List.iter
+        (fun v -> add (Invariant v))
+        (Opc_cluster.Cluster.check_invariants cluster);
+      (* At quiescence every commit has hardened, so each serving
+         node's cache must equal its stable state. *)
+      Array.iteri
+        (fun server n ->
+          if
+            Opc_cluster.Node.is_serving n
+            && not (Mds.Store.in_sync (Opc_cluster.Node.store n))
+          then add (Store_divergence { server }))
+        (Opc_cluster.Cluster.nodes cluster);
+      (* Cross-server atomicity: the durable namespace must equal the
+         committed-prefix replay — a committed rename is visible at the
+         destination and gone from the source, an aborted one is intact
+         at the source, with no partial mixtures. *)
+      let model = expected_namespace records in
+      Array.iter
+        (fun dir ->
+          let durable = durable_of cluster dir in
+          let actual =
+            match Mds.State.list_dir durable dir with
+            | Some entries -> List.map fst entries
+            | None -> []
+          in
+          Hashtbl.iter
+            (fun (d, name) () ->
+              if d = dir && not (List.mem name actual) then
+                add (Missing_entry { dir; name }))
+            model;
+          List.iter
+            (fun name ->
+              if not (Hashtbl.mem model (dir, name)) then
+                add (Phantom_entry { dir; name }))
+            actual)
+        dirs;
+      List.rev !violations

@@ -1,0 +1,54 @@
+(** End-of-run correctness oracles.
+
+    What a chaos run must satisfy once the dust settles, whatever the
+    fault schedule did:
+
+    - {b liveness} — the cluster reaches quiescence once faults stop
+      (a [Stuck] or deadline-exceeded {!Opc_cluster.Cluster.settle} is a
+      failure, reported with {!Opc_cluster.Cluster.settle_diagnostics});
+    - {b exactly-once} — every submitted operation's [on_done] fired,
+      and fired once;
+    - {b invariants} — the paper's §II namespace invariants over all
+      durable images;
+    - {b convergence} — each serving node's volatile cache equals its
+      durable state;
+    - {b atomicity} — the durable namespace equals a replay of exactly
+      the committed operations (in completion order): no committed
+      effect missing, no aborted effect visible, no half-applied
+      cross-server rename.
+
+    State oracles are only sound at quiescence — mid-transaction a
+    worker legitimately hardens before its coordinator — which is why
+    {!check} takes the {!Opc_cluster.Cluster.settle} verdict and stops
+    at the liveness violation when the run never settled. A third
+    mid-run oracle rides along for free: unfenced foreign log reads
+    raise inside the simulation and surface as {!Run_exception}. *)
+
+type violation =
+  | Stuck of string  (** diagnostics dump *)
+  | Deadline_exceeded of string
+  | Unanswered of { index : int; op : string }
+  | Multiple_replies of { index : int; op : string; replies : int }
+  | Invariant of Mds.Invariant.violation
+  | Store_divergence of { server : int }
+  | Missing_entry of { dir : Mds.Update.ino; name : string }
+      (** committed but absent from the durable directory *)
+  | Phantom_entry of { dir : Mds.Update.ino; name : string }
+      (** durable but aborted, deleted or renamed away *)
+  | Run_exception of string
+      (** an exception escaped the simulation (fencing discipline
+          violations raise; so do simulator bugs) *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val is_liveness : violation -> bool
+
+val check :
+  Opc_cluster.Cluster.t ->
+  workload:Workload.t ->
+  dirs:Mds.Update.ino array ->
+  settled:Opc_cluster.Cluster.settle_outcome ->
+  violation list
+(** All violations ([] = the run passes). [dirs] are the directories the
+    workload targeted; [workload] supplies the per-operation records
+    ({!Workload.records}). *)

@@ -1,0 +1,225 @@
+type spec = {
+  servers : int;
+  dir_count : int;
+  clients : int;
+  ops_per_client : int;
+  window_ms : int;
+  settle_deadline_ms : int;
+  record_trace : bool;
+}
+
+let default_spec =
+  {
+    servers = 4;
+    dir_count = 4;
+    clients = 6;
+    ops_per_client = 15;
+    window_ms = 600;
+    settle_deadline_ms = 120_000;
+    record_trace = false;
+  }
+
+(* Read-inclusive variant of the paper's write-dominated profile, so
+   chaos runs also exercise the shared-lock lookup path. *)
+let chaos_mix =
+  Workload.
+    { create_weight = 55; delete_weight = 20; rename_weight = 15;
+      lookup_weight = 10 }
+
+type outcome = {
+  seed : int;
+  protocol : Acp.Protocol.kind;
+  schedule : Schedule.t;
+  violations : Oracle.violation list;
+  committed : int;
+  aborted : int;
+  trace : Simkit.Trace.entry list;
+}
+
+let passed o = o.violations = []
+
+let config_of spec ~protocol ~seed =
+  {
+    Opc_cluster.Config.default with
+    servers = spec.servers;
+    protocol;
+    placement = Mds.Placement.Spread;
+    txn_timeout = Simkit.Time.span_ms 300;
+    heartbeat_interval = Simkit.Time.span_ms 20;
+    detector_timeout = Simkit.Time.span_ms 100;
+    restart_delay = Simkit.Time.span_ms 50;
+    auto_restart = true;
+    seed;
+    record_trace = spec.record_trace;
+  }
+
+(* Workload draws must not depend on how many draws schedule generation
+   consumed, or replaying an edited schedule would perturb the workload
+   and break bit-identical replay. Hence an independently derived
+   stream, not a split of the schedule RNG. *)
+let workload_rng seed = Simkit.Rng.create ~seed:(seed + 1_000_003)
+
+let generate_schedule spec ~seed =
+  Schedule.generate
+    ~rng:(Simkit.Rng.create ~seed)
+    ~servers:spec.servers ~window_ms:spec.window_ms
+
+let execute ?schedule spec ~protocol ~seed =
+  let schedule =
+    match schedule with Some s -> s | None -> generate_schedule spec ~seed
+  in
+  (match Schedule.validate ~servers:spec.servers schedule with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Runner.execute: bad schedule: " ^ e));
+  let config = config_of spec ~protocol ~seed in
+  let cluster = Opc_cluster.Cluster.create config in
+  let root = Opc_cluster.Cluster.root cluster in
+  let dirs =
+    Array.init spec.dir_count (fun i ->
+        Opc_cluster.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "d%d" i)
+          ~server:(i mod spec.servers) ())
+  in
+  let workload =
+    Workload.closed_loop cluster ~dirs ~clients:spec.clients
+      ~ops_per_client:spec.ops_per_client ~mix:chaos_mix
+      ~rng:(workload_rng seed) ()
+  in
+  let origin = Opc_cluster.Cluster.now cluster in
+  let violations =
+    try
+      Opc_cluster.Fault.inject cluster
+        (Schedule.to_faults ~origin ~servers:spec.servers schedule);
+      (* Once the window closes, restore a fault-free environment so a
+         failure to quiesce afterwards is a genuine liveness bug, not a
+         schedule that never stopped hurting. *)
+      let baseline = config.Opc_cluster.Config.network in
+      ignore
+        (Simkit.Engine.schedule_at
+           (Opc_cluster.Cluster.engine cluster)
+           ~label:"chaos.cleanup"
+           ~at:(Simkit.Time.add origin
+                  (Simkit.Time.span_ms (spec.window_ms + 1)))
+           (fun () ->
+             Opc_cluster.Cluster.heal cluster;
+             Opc_cluster.Cluster.set_drop_probability cluster
+               baseline.Netsim.Network.drop_probability;
+             Opc_cluster.Cluster.set_duplicate_probability cluster
+               baseline.Netsim.Network.duplicate_probability;
+             Opc_cluster.Cluster.set_disk_slowdown cluster 1.0));
+      Opc_cluster.Cluster.run_for cluster
+        (Simkit.Time.span_ms (spec.window_ms + 200));
+      let settled =
+        Opc_cluster.Cluster.settle
+          ~deadline:(Simkit.Time.span_ms spec.settle_deadline_ms)
+          cluster
+      in
+      Oracle.check cluster ~workload ~dirs ~settled
+    with exn -> [ Oracle.Run_exception (Printexc.to_string exn) ]
+  in
+  let committed, aborted = Opc_cluster.Cluster.txn_counts cluster in
+  {
+    seed;
+    protocol;
+    schedule;
+    violations;
+    committed;
+    aborted;
+    trace =
+      (if spec.record_trace then
+         Simkit.Trace.entries (Opc_cluster.Cluster.trace cluster)
+       else []);
+  }
+
+let pp_outcome ppf o =
+  if passed o then
+    Fmt.pf ppf "%a seed %d: pass (%d committed, %d aborted)"
+      Acp.Protocol.pp o.protocol o.seed o.committed o.aborted
+  else
+    Fmt.pf ppf "@[<v>%a seed %d: FAIL@,%a@,schedule: %a@]" Acp.Protocol.pp
+      o.protocol o.seed
+      Fmt.(list ~sep:cut Oracle.pp_violation)
+      o.violations Schedule.pp o.schedule
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type campaign = { spec : spec; outcomes : outcome list }
+
+let failures c = List.filter (fun o -> not (passed o)) c.outcomes
+
+let campaign ?(protocols = Acp.Protocol.all) ?(first_seed = 0) ~seeds spec =
+  let outcomes =
+    List.concat_map
+      (fun protocol ->
+        List.init seeds (fun i ->
+            execute spec ~protocol ~seed:(first_seed + i)))
+      protocols
+  in
+  { spec; outcomes }
+
+let table c =
+  let t =
+    Metrics.Table.create
+      ~columns:
+        [ "protocol"; "runs"; "pass"; "fail"; "committed"; "aborted" ]
+  in
+  let protocols =
+    List.filter
+      (fun p -> List.exists (fun o -> o.protocol = p) c.outcomes)
+      Acp.Protocol.all
+  in
+  List.iter
+    (fun p ->
+      let runs = List.filter (fun o -> o.protocol = p) c.outcomes in
+      let pass = List.length (List.filter passed runs) in
+      let committed =
+        List.fold_left (fun acc o -> acc + o.committed) 0 runs
+      in
+      let aborted = List.fold_left (fun acc o -> acc + o.aborted) 0 runs in
+      Metrics.Table.add_rowf t "%s|%d|%d|%d|%d|%d" (Acp.Protocol.name p)
+        (List.length runs) pass
+        (List.length runs - pass)
+        committed aborted)
+    protocols;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking a failure                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let still_fails spec ~protocol ~seed schedule =
+  not (passed (execute ~schedule spec ~protocol ~seed))
+
+let shrink ?max_attempts spec outcome =
+  Shrink.minimize ?max_attempts
+    ~still_fails:
+      (still_fails spec ~protocol:outcome.protocol ~seed:outcome.seed)
+    outcome.schedule
+
+let repro_snippet spec ~protocol ~seed schedule =
+  Fmt.str
+    "@[<v>(* chaos repro: %s, seed %d *)@,\
+     let schedule =@,\
+    \  %a@,\
+     @,\
+     let () =@,\
+    \  let spec =@,\
+    \    { Chaos.Runner.default_spec with@,\
+    \      servers = %d; dir_count = %d; clients = %d;@,\
+    \      ops_per_client = %d; window_ms = %d } in@,\
+    \  let o =@,\
+    \    Chaos.Runner.execute ~schedule spec@,\
+    \      ~protocol:Acp.Protocol.%s ~seed:%d in@,\
+    \  List.iter@,\
+    \    (Fmt.pr \"%%a@@.\" Chaos.Oracle.pp_violation)@,\
+    \    o.Chaos.Runner.violations@]"
+    (Acp.Protocol.name protocol) seed Schedule.pp_ocaml schedule spec.servers
+    spec.dir_count spec.clients spec.ops_per_client spec.window_ms
+    (match protocol with
+    | Acp.Protocol.Prn -> "Prn"
+    | Acp.Protocol.Prc -> "Prc"
+    | Acp.Protocol.Ep -> "Ep"
+    | Acp.Protocol.Opc -> "Opc")
+    seed

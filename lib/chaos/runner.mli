@@ -1,0 +1,82 @@
+(** Chaos campaign runner.
+
+    One chaos run = one freshly built cluster + a seeded random
+    namespace workload + a seeded fault schedule, driven to quiescence
+    and judged by {!Oracle.check}. Everything is derived
+    deterministically from [(spec, protocol, seed)] — and the schedule
+    value itself — so any run replays bit-identically, which is what
+    makes {!shrink} sound and failures debuggable. *)
+
+type spec = {
+  servers : int;
+  dir_count : int;  (** workload directories, spread over the servers *)
+  clients : int;
+  ops_per_client : int;
+  window_ms : int;  (** fault-injection window *)
+  settle_deadline_ms : int;
+  record_trace : bool;  (** keep the full event trace in the outcome *)
+}
+
+val default_spec : spec
+(** 4 servers, 4 directories, 6 clients x 15 operations, a 600 ms fault
+    window, a 120 s settle deadline, no trace. *)
+
+val chaos_mix : Workload.mix
+(** 55/20/15 create/delete/rename plus 10% shared-lock lookups. *)
+
+type outcome = {
+  seed : int;
+  protocol : Acp.Protocol.kind;
+  schedule : Schedule.t;
+  violations : Oracle.violation list;  (** [] = pass *)
+  committed : int;
+  aborted : int;
+  trace : Simkit.Trace.entry list;  (** [] unless [record_trace] *)
+}
+
+val passed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val generate_schedule : spec -> seed:int -> Schedule.t
+(** The schedule {!execute} derives from [seed] when none is given. *)
+
+val execute :
+  ?schedule:Schedule.t -> spec -> protocol:Acp.Protocol.kind -> seed:int ->
+  outcome
+(** Run once. [schedule] overrides the seed-derived one (replay,
+    shrinking, frozen repros) — the workload stream is derived from
+    [seed] independently of schedule generation, so editing the schedule
+    never perturbs the operations. Exceptions escaping the simulation
+    are caught and reported as {!Oracle.Run_exception}.
+    @raise Invalid_argument if an explicit schedule fails
+    {!Schedule.validate}. *)
+
+(** {1 Campaigns} *)
+
+type campaign = { spec : spec; outcomes : outcome list }
+
+val campaign :
+  ?protocols:Acp.Protocol.kind list ->
+  ?first_seed:int ->
+  seeds:int ->
+  spec ->
+  campaign
+(** [seeds] runs per protocol (default: all four), seeded
+    [first_seed .. first_seed + seeds - 1] — the same seeds, hence the
+    same schedules and workloads, for every protocol. *)
+
+val failures : campaign -> outcome list
+
+val table : campaign -> Metrics.Table.t
+(** Per-protocol pass/fail/commit/abort summary. *)
+
+(** {1 Shrinking} *)
+
+val shrink : ?max_attempts:int -> spec -> outcome -> Shrink.result
+(** Minimise a failing outcome's schedule by deterministic replay
+    (same spec, protocol and seed; only the schedule varies). *)
+
+val repro_snippet :
+  spec -> protocol:Acp.Protocol.kind -> seed:int -> Schedule.t -> string
+(** A self-contained OCaml fragment that re-runs the given schedule —
+    paste into a test to freeze a counterexample. *)

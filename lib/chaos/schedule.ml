@@ -1,0 +1,240 @@
+type event =
+  | Crash of { server : int; at_ms : int }
+  | Restart of { server : int; at_ms : int }
+  | Partition_pair of { a : int; b : int; at_ms : int }
+  | Partition_group of { left : int list; at_ms : int }
+  | Heal_pair of { a : int; b : int; at_ms : int }
+  | Heal_all of { at_ms : int }
+  | Loss_burst of { pct : int; at_ms : int; until_ms : int }
+  | Duplicate_burst of { pct : int; at_ms : int; until_ms : int }
+  | Disk_degrade of { factor_x10 : int; at_ms : int; until_ms : int }
+
+type t = { window_ms : int; events : event list }
+
+let time_of = function
+  | Crash { at_ms; _ }
+  | Restart { at_ms; _ }
+  | Partition_pair { at_ms; _ }
+  | Partition_group { at_ms; _ }
+  | Heal_pair { at_ms; _ }
+  | Heal_all { at_ms }
+  | Loss_burst { at_ms; _ }
+  | Duplicate_burst { at_ms; _ }
+  | Disk_degrade { at_ms; _ } ->
+      at_ms
+
+let pp_event ppf = function
+  | Crash { server; at_ms } -> Fmt.pf ppf "%dms crash mds%d" at_ms server
+  | Restart { server; at_ms } -> Fmt.pf ppf "%dms restart mds%d" at_ms server
+  | Partition_pair { a; b; at_ms } ->
+      Fmt.pf ppf "%dms cut mds%d|mds%d" at_ms a b
+  | Partition_group { left; at_ms } ->
+      Fmt.pf ppf "%dms cut {%a}|rest" at_ms Fmt.(list ~sep:comma int) left
+  | Heal_pair { a; b; at_ms } -> Fmt.pf ppf "%dms heal mds%d~mds%d" at_ms a b
+  | Heal_all { at_ms } -> Fmt.pf ppf "%dms heal all" at_ms
+  | Loss_burst { pct; at_ms; until_ms } ->
+      Fmt.pf ppf "%d..%dms lose %d%%" at_ms until_ms pct
+  | Duplicate_burst { pct; at_ms; until_ms } ->
+      Fmt.pf ppf "%d..%dms duplicate %d%%" at_ms until_ms pct
+  | Disk_degrade { factor_x10; at_ms; until_ms } ->
+      Fmt.pf ppf "%d..%dms disk x%.1f" at_ms until_ms
+        (float_of_int factor_x10 /. 10.)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%dms window:@,%a@]" t.window_ms
+    Fmt.(list ~sep:cut pp_event)
+    t.events
+
+(* OCaml-literal form, pasteable into a test as a frozen repro. *)
+let pp_ocaml_event ppf = function
+  | Crash { server; at_ms } ->
+      Fmt.pf ppf "Crash { server = %d; at_ms = %d }" server at_ms
+  | Restart { server; at_ms } ->
+      Fmt.pf ppf "Restart { server = %d; at_ms = %d }" server at_ms
+  | Partition_pair { a; b; at_ms } ->
+      Fmt.pf ppf "Partition_pair { a = %d; b = %d; at_ms = %d }" a b at_ms
+  | Partition_group { left; at_ms } ->
+      Fmt.pf ppf "Partition_group { left = [ %a ]; at_ms = %d }"
+        Fmt.(list ~sep:semi int)
+        left at_ms
+  | Heal_pair { a; b; at_ms } ->
+      Fmt.pf ppf "Heal_pair { a = %d; b = %d; at_ms = %d }" a b at_ms
+  | Heal_all { at_ms } -> Fmt.pf ppf "Heal_all { at_ms = %d }" at_ms
+  | Loss_burst { pct; at_ms; until_ms } ->
+      Fmt.pf ppf "Loss_burst { pct = %d; at_ms = %d; until_ms = %d }" pct
+        at_ms until_ms
+  | Duplicate_burst { pct; at_ms; until_ms } ->
+      Fmt.pf ppf "Duplicate_burst { pct = %d; at_ms = %d; until_ms = %d }"
+        pct at_ms until_ms
+  | Disk_degrade { factor_x10; at_ms; until_ms } ->
+      Fmt.pf ppf
+        "Disk_degrade { factor_x10 = %d; at_ms = %d; until_ms = %d }"
+        factor_x10 at_ms until_ms
+
+let pp_ocaml ppf t =
+  Fmt.pf ppf
+    "@[<v 2>Chaos.Schedule.{@ window_ms = %d;@ @[<v 2>events =@ [@ %a@ ];@]@]@ }"
+    t.window_ms
+    Fmt.(list ~sep:(any ";@ ") pp_ocaml_event)
+    t.events
+
+let length t = List.length t.events
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate ~servers t =
+  let bad fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_server s =
+    if s < 0 || s >= servers then bad "server %d outside cluster" s
+    else Ok ()
+  in
+  let check_window at =
+    if at < 0 || at > t.window_ms then bad "time %dms outside window" at
+    else Ok ()
+  in
+  let check_burst ~at_ms ~until_ms =
+    if until_ms < at_ms then bad "burst ends (%dms) before it starts (%dms)"
+        until_ms at_ms
+    else if until_ms > t.window_ms then
+      bad "burst end %dms outside window" until_ms
+    else check_window at_ms
+  in
+  let ( let* ) = Result.bind in
+  let check_event = function
+    | Crash { server; at_ms } | Restart { server; at_ms } ->
+        let* () = check_server server in
+        check_window at_ms
+    | Partition_pair { a; b; at_ms } | Heal_pair { a; b; at_ms } ->
+        let* () = check_server a in
+        let* () = check_server b in
+        if a = b then bad "degenerate pair mds%d|mds%d" a b
+        else check_window at_ms
+    | Partition_group { left; at_ms } ->
+        let* () =
+          List.fold_left
+            (fun acc s ->
+              let* () = acc in
+              check_server s)
+            (Ok ()) left
+        in
+        let n = List.length (List.sort_uniq compare left) in
+        if n = 0 || n = servers || n <> List.length left then
+          bad "partition group must be a proper subset without repeats"
+        else check_window at_ms
+    | Heal_all { at_ms } -> check_window at_ms
+    | Loss_burst { pct; at_ms; until_ms }
+    | Duplicate_burst { pct; at_ms; until_ms } ->
+        if pct < 0 || pct > 100 then bad "percentage %d outside [0, 100]" pct
+        else check_burst ~at_ms ~until_ms
+    | Disk_degrade { factor_x10; at_ms; until_ms } ->
+        if factor_x10 < 1 then bad "degrade factor must be >= 0.1"
+        else check_burst ~at_ms ~until_ms
+  in
+  if t.window_ms <= 0 then bad "empty window"
+  else
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        check_event e)
+      (Ok ()) t.events
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~rng ~servers ~window_ms =
+  if servers < 2 then invalid_arg "Schedule.generate: need >= 2 servers";
+  if window_ms < 10 then invalid_arg "Schedule.generate: window too small";
+  let n_events = Simkit.Rng.int_in rng 2 8 in
+  let time () = Simkit.Rng.int_in rng 1 (window_ms - 1) in
+  let span at =
+    (* Burst end: at most a third of the window past the start, clamped. *)
+    min window_ms (at + Simkit.Rng.int_in rng 1 (max 1 (window_ms / 3)))
+  in
+  let server () = Simkit.Rng.int rng servers in
+  let pair () =
+    let a = server () in
+    let b = (a + 1 + Simkit.Rng.int rng (servers - 1)) mod servers in
+    (a, b)
+  in
+  let event () =
+    match Simkit.Rng.int rng 100 with
+    | r when r < 22 -> Crash { server = server (); at_ms = time () }
+    | r when r < 32 -> Restart { server = server (); at_ms = time () }
+    | r when r < 47 ->
+        let a, b = pair () in
+        Partition_pair { a; b; at_ms = time () }
+    | r when r < 57 ->
+        (* A proper subset of 1 .. servers-1 nodes, drawn by shuffling. *)
+        let order = Array.init servers (fun i -> i) in
+        Simkit.Rng.shuffle rng order;
+        let k = Simkit.Rng.int_in rng 1 (servers - 1) in
+        let left =
+          List.sort compare (Array.to_list (Array.sub order 0 k))
+        in
+        Partition_group { left; at_ms = time () }
+    | r when r < 64 ->
+        let a, b = pair () in
+        Heal_pair { a; b; at_ms = time () }
+    | r when r < 72 -> Heal_all { at_ms = time () }
+    | r when r < 82 ->
+        let at_ms = time () in
+        Loss_burst
+          { pct = Simkit.Rng.int_in rng 1 40; at_ms; until_ms = span at_ms }
+    | r when r < 92 ->
+        let at_ms = time () in
+        Duplicate_burst
+          { pct = Simkit.Rng.int_in rng 1 40; at_ms; until_ms = span at_ms }
+    | _ ->
+        let at_ms = time () in
+        Disk_degrade
+          { factor_x10 = Simkit.Rng.int_in rng 15 80;
+            at_ms;
+            until_ms = span at_ms }
+  in
+  let events =
+    List.sort
+      (fun a b -> compare (time_of a) (time_of b))
+      (List.init n_events (fun _ -> event ()))
+  in
+  { window_ms; events }
+
+(* ------------------------------------------------------------------ *)
+(* Lowering to cluster faults                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_faults ~origin ~servers t =
+  let at ms = Simkit.Time.add origin (Simkit.Time.span_ms ms) in
+  let prob pct = float_of_int pct /. 100.0 in
+  let complement left =
+    List.filter (fun s -> not (List.mem s left)) (List.init servers Fun.id)
+  in
+  List.map
+    (function
+      | Crash { server; at_ms } ->
+          Opc_cluster.Fault.Crash { server; at = at at_ms }
+      | Restart { server; at_ms } ->
+          Opc_cluster.Fault.Restart { server; at = at at_ms }
+      | Partition_pair { a; b; at_ms } ->
+          Opc_cluster.Fault.Partition
+            { left = [ a ]; right = [ b ]; at = at at_ms }
+      | Partition_group { left; at_ms } ->
+          Opc_cluster.Fault.Partition
+            { left; right = complement left; at = at at_ms }
+      | Heal_pair { a; b; at_ms } ->
+          Opc_cluster.Fault.Heal_pair { a; b; at = at at_ms }
+      | Heal_all { at_ms } -> Opc_cluster.Fault.Heal { at = at at_ms }
+      | Loss_burst { pct; at_ms; until_ms } ->
+          Opc_cluster.Fault.Loss_burst
+            { probability = prob pct; at = at at_ms; until = at until_ms }
+      | Duplicate_burst { pct; at_ms; until_ms } ->
+          Opc_cluster.Fault.Duplicate_burst
+            { probability = prob pct; at = at at_ms; until = at until_ms }
+      | Disk_degrade { factor_x10; at_ms; until_ms } ->
+          Opc_cluster.Fault.Disk_degrade
+            { factor = float_of_int factor_x10 /. 10.0;
+              at = at at_ms;
+              until = at until_ms })
+    t.events

@@ -1,0 +1,51 @@
+(** Seeded fault-schedule generation.
+
+    A schedule is a pure value: a window length and a list of fault
+    events with integer-millisecond times. Everything is plain integers
+    so schedules print as pasteable OCaml literals ({!pp_ocaml}), shrink
+    by structural edits, and replay bit-identically from the value alone
+    — the generator is only one way to obtain one. *)
+
+type event =
+  | Crash of { server : int; at_ms : int }
+  | Restart of { server : int; at_ms : int }
+  | Partition_pair of { a : int; b : int; at_ms : int }
+  | Partition_group of { left : int list; at_ms : int }
+      (** [left] against everyone else *)
+  | Heal_pair of { a : int; b : int; at_ms : int }
+  | Heal_all of { at_ms : int }
+  | Loss_burst of { pct : int; at_ms : int; until_ms : int }
+      (** drop [pct]% of messages between the two times *)
+  | Duplicate_burst of { pct : int; at_ms : int; until_ms : int }
+  | Disk_degrade of { factor_x10 : int; at_ms : int; until_ms : int }
+      (** scale log-device service time by [factor_x10 / 10] *)
+
+type t = { window_ms : int; events : event list }
+
+val time_of : event -> int
+(** The event's start time. *)
+
+val length : t -> int
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val pp_ocaml : Format.formatter -> t -> unit
+(** The schedule as an OCaml literal — the body of a frozen-repro test. *)
+
+val validate : servers:int -> t -> (unit, string) result
+(** Well-formedness against a cluster size: server indices in range,
+    times inside the window, bursts ordered, partition groups proper
+    subsets. Generated schedules always validate; hand-written and
+    shrunk ones are checked before execution. *)
+
+val generate : rng:Simkit.Rng.t -> servers:int -> window_ms:int -> t
+(** Draw a random schedule (2–8 events, weighted towards crashes and
+    partitions), sorted by start time. Equal RNG states yield equal
+    schedules. @raise Invalid_argument on fewer than 2 servers or a
+    window under 10 ms. *)
+
+val to_faults :
+  origin:Simkit.Time.t -> servers:int -> t -> Opc_cluster.Fault.event list
+(** Lower to absolute-time cluster fault events, offset from [origin]
+    (normally the simulation epoch). *)

@@ -1,0 +1,108 @@
+type result = {
+  schedule : Schedule.t;
+  attempts : int;
+  removed : int;
+  delayed : int;
+}
+
+let drop_nth events i = List.filteri (fun j _ -> j <> i) events
+
+let with_time e at_ms =
+  let open Schedule in
+  match e with
+  | Crash r -> Crash { r with at_ms }
+  | Restart r -> Restart { r with at_ms }
+  | Partition_pair r -> Partition_pair { r with at_ms }
+  | Partition_group r -> Partition_group { r with at_ms }
+  | Heal_pair r -> Heal_pair { r with at_ms }
+  | Heal_all _ -> Heal_all { at_ms }
+  | Loss_burst r -> Loss_burst { r with at_ms }
+  | Duplicate_burst r -> Duplicate_burst { r with at_ms }
+  | Disk_degrade r -> Disk_degrade { r with at_ms }
+
+(* A delay candidate halves the event's remaining activity: point events
+   move halfway to the window's end (less of the run is disturbed),
+   bursts move their start halfway to their end (the burst gets
+   shorter). Returns [None] when the move would not change anything. *)
+let delayed_event window_ms e =
+  let open Schedule in
+  let halfway at bound = at + ((bound - at) / 2) in
+  let at = time_of e in
+  let target =
+    match e with
+    | Loss_burst { until_ms; _ }
+    | Duplicate_burst { until_ms; _ }
+    | Disk_degrade { until_ms; _ } ->
+        halfway at until_ms
+    | Crash _ | Restart _ | Partition_pair _ | Partition_group _
+    | Heal_pair _ | Heal_all _ ->
+        halfway at window_ms
+  in
+  if target = at then None else Some (with_time e target)
+
+let minimize ?(max_attempts = 400) ~still_fails schedule =
+  let attempts = ref 0 in
+  let removed = ref 0 in
+  let delayed = ref 0 in
+  let budget () = !attempts < max_attempts in
+  let try_candidate s =
+    incr attempts;
+    still_fails s
+  in
+  let current = ref schedule in
+  (* One pass of single-event removals; on success the same index now
+     names the next event, so only advance on failure. *)
+  let removal_pass () =
+    let progressed = ref false in
+    let i = ref 0 in
+    while budget () && !i < List.length (!current).Schedule.events do
+      let candidate =
+        { !current with
+          Schedule.events = drop_nth (!current).Schedule.events !i }
+      in
+      if try_candidate candidate then begin
+        current := candidate;
+        incr removed;
+        progressed := true
+      end
+      else incr i
+    done;
+    !progressed
+  in
+  (* One pass of single-event delays; a successful delay is retried at
+     the same index to push the event as late as it will go. *)
+  let delay_pass () =
+    let progressed = ref false in
+    let i = ref 0 in
+    while budget () && !i < List.length (!current).Schedule.events do
+      let events = (!current).Schedule.events in
+      match delayed_event (!current).Schedule.window_ms (List.nth events !i) with
+      | None -> incr i
+      | Some e' ->
+          let candidate =
+            { !current with
+              Schedule.events =
+                List.mapi (fun j e -> if j = !i then e' else e) events }
+          in
+          if try_candidate candidate then begin
+            current := candidate;
+            incr delayed;
+            progressed := true
+          end
+          else incr i
+    done;
+    !progressed
+  in
+  (* Removals to a fixpoint, then delays, then removals again if the
+     delays opened anything up — until a whole cycle changes nothing. *)
+  let rec cycle () =
+    let r = ref false in
+    while budget () && removal_pass () do
+      r := true
+    done;
+    let d = delay_pass () in
+    if (!r || d) && budget () then cycle ()
+  in
+  cycle ();
+  { schedule = !current; attempts = !attempts; removed = !removed;
+    delayed = !delayed }

@@ -1,0 +1,28 @@
+(** Automatic counterexample shrinking.
+
+    Given a failing schedule and a deterministic [still_fails] replay
+    predicate, greedily reduce the schedule until it is locally minimal:
+    no single event can be removed, and no single event delayed, with
+    the failure persisting. Deterministic replay makes this sound — the
+    same (seed, schedule) pair always reproduces the same verdict, so
+    every accepted candidate is a genuine smaller counterexample, not a
+    different random failure. *)
+
+type result = {
+  schedule : Schedule.t;  (** locally minimal, still failing *)
+  attempts : int;  (** replays spent *)
+  removed : int;  (** events deleted from the original *)
+  delayed : int;  (** events moved later / bursts shortened *)
+}
+
+val minimize :
+  ?max_attempts:int ->
+  still_fails:(Schedule.t -> bool) ->
+  Schedule.t ->
+  result
+(** [minimize ~still_fails s] assumes [still_fails s] holds and returns
+    a schedule for which it still holds. Runs single-event removal
+    passes to a fixpoint, then single-event delay passes (point events
+    move halfway to the window end, bursts halve their length), cycling
+    until nothing changes or [max_attempts] (default 400) replays are
+    spent. *)

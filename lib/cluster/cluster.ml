@@ -101,6 +101,46 @@ let all_mark_spans t ~from_ ~to_ =
     t.marks []
 
 (* ------------------------------------------------------------------ *)
+(* Restart plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Client requests whose coordinator lost every trace of them (crash
+   before the STARTED/redo record was durable) would otherwise wait
+   forever: after recovery has reconstructed everything it can, abort
+   the rest. *)
+let sweep_orphans t server =
+  let n = t.nodes.(server) in
+  let log_has id =
+    List.exists
+      (fun r -> Acp.Txn.id_equal (Acp.Log_record.txn r) id)
+      (Storage.Wal.durable (Node.wal n))
+  in
+  let orphans =
+    Hashtbl.fold
+      (fun (origin, seq) _ acc ->
+        let id = { Acp.Txn.origin; seq } in
+        if origin = server && (not (Node.owns n id)) && not (log_has id)
+        then id :: acc
+        else acc)
+      t.waiting []
+  in
+  List.iter
+    (fun id -> client_reply t id (Acp.Txn.Aborted "lost in coordinator crash"))
+    orphans
+
+(* The orphan sweep is only sound on a genuine down->up transition: on an
+   already-up node it could abort a client request whose transaction is
+   still being set up, and the later real reply would then be a
+   duplicate. Crash schedules (and auto-restart racing an explicit
+   restart) can ask to restart an up node, so every path guards. *)
+let restart_if_down t server =
+  let n = t.nodes.(server) in
+  if not (Node.is_up n) then begin
+    Node.restart n;
+    sweep_orphans t server
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -171,10 +211,14 @@ let create (config : Config.t) =
           Metrics.Ledger.incr ledger "node.stonith";
           Node.crash n;
           (* A STONITH power-cycles its victim: it comes back after the
-             reboot delay regardless of the auto-restart policy. *)
+             reboot delay regardless of the auto-restart policy. The
+             reboot takes the common restart path so requests the victim
+             coordinated and lost are swept (aborted) rather than left
+             waiting forever. *)
           ignore
             (Simkit.Engine.schedule engine ~label:"stonith.reboot"
-               ~after:config.restart_delay (fun () -> Node.restart n)));
+               ~after:config.restart_delay (fun () ->
+                 restart_if_down t server)));
       mark = (fun id label -> mark t id label);
     }
   in
@@ -306,42 +350,14 @@ let readdir t ~dir ~on_done =
 (* Faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Client requests whose coordinator lost every trace of them (crash
-   before the STARTED/redo record was durable) would otherwise wait
-   forever: after recovery has reconstructed everything it can, abort
-   the rest. *)
-let sweep_orphans t server =
-  let n = t.nodes.(server) in
-  let log_has id =
-    List.exists
-      (fun r -> Acp.Txn.id_equal (Acp.Log_record.txn r) id)
-      (Storage.Wal.durable (Node.wal n))
-  in
-  let orphans =
-    Hashtbl.fold
-      (fun (origin, seq) _ acc ->
-        let id = { Acp.Txn.origin; seq } in
-        if origin = server && (not (Node.owns n id)) && not (log_has id)
-        then id :: acc
-        else acc)
-      t.waiting []
-  in
-  List.iter
-    (fun id -> client_reply t id (Acp.Txn.Aborted "lost in coordinator crash"))
-    orphans
-
 let crash t server =
   Node.crash t.nodes.(server);
   if t.config.auto_restart then
     ignore
       (Simkit.Engine.schedule t.engine ~label:"auto.restart"
-         ~after:t.config.restart_delay (fun () ->
-           Node.restart t.nodes.(server);
-           sweep_orphans t server))
+         ~after:t.config.restart_delay (fun () -> restart_if_down t server))
 
-let restart t server =
-  Node.restart t.nodes.(server);
-  sweep_orphans t server
+let restart t server = restart_if_down t server
 
 let partition t left right =
   let addr s = Node.address t.nodes.(s) in
@@ -349,6 +365,20 @@ let partition t left right =
     (List.map addr right)
 
 let heal t = Netsim.Network.heal t.network
+
+let heal_pair t a b =
+  let addr s = Node.address t.nodes.(s) in
+  Netsim.Network.heal_pair t.network (addr a) (addr b)
+
+let set_drop_probability t p = Netsim.Network.set_drop_probability t.network p
+
+let set_duplicate_probability t p =
+  Netsim.Network.set_duplicate_probability t.network p
+
+let set_disk_slowdown t factor =
+  List.iter
+    (fun d -> Storage.Disk.set_slowdown d factor)
+    (Storage.San.devices t.san)
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
@@ -385,6 +415,61 @@ let settle ?(deadline = Simkit.Time.span_s 600) t =
     else Stuck
   in
   loop ()
+
+type node_diagnostics = {
+  server : int;
+  node_up : bool;
+  node_serving : bool;
+  outstanding : int;
+  wal_records : int;
+}
+
+type diagnostics = {
+  pending_replies : int;
+  pending_reads : int;
+  in_flight_messages : int;
+  engine_events : int;
+  disk_queue_depths : int list;
+  per_node : node_diagnostics list;
+}
+
+let settle_diagnostics t =
+  {
+    pending_replies = Hashtbl.length t.waiting;
+    pending_reads = t.pending_reads;
+    in_flight_messages = Netsim.Network.in_flight t.network;
+    engine_events = Simkit.Engine.pending t.engine;
+    disk_queue_depths =
+      List.map Storage.Disk.queue_depth (Storage.San.devices t.san);
+    per_node =
+      Array.to_list
+        (Array.map
+           (fun n ->
+             {
+               server = Node.server n;
+               node_up = Node.is_up n;
+               node_serving = Node.is_serving n;
+               outstanding = Node.outstanding n;
+               wal_records = List.length (Storage.Wal.durable (Node.wal n));
+             })
+           t.nodes);
+  }
+
+let pp_diagnostics ppf d =
+  Fmt.pf ppf
+    "@[<v>%d pending replies, %d pending reads, %d messages in flight, %d \
+     engine events@,disk queues: %a@,%a@]"
+    d.pending_replies d.pending_reads d.in_flight_messages d.engine_events
+    Fmt.(list ~sep:comma int)
+    d.disk_queue_depths
+    Fmt.(
+      list ~sep:cut (fun ppf n ->
+          pf ppf "mds%d: %s, %d txns outstanding, %d log records" n.server
+            (if not n.node_up then "down"
+             else if n.node_serving then "serving"
+             else "recovering")
+            n.outstanding n.wal_records))
+    d.per_node
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)

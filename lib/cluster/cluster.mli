@@ -83,12 +83,29 @@ val crash : t -> int -> unit
     [restart_delay]. *)
 
 val restart : t -> int -> unit
-(** Restart a crashed server now (recovery runs immediately). *)
+(** Restart a crashed server now (recovery runs immediately). No-op on a
+    server that is already up — restarting implies a down->up
+    transition, and only that transition may sweep orphaned client
+    requests. *)
 
 val partition : t -> int list -> int list -> unit
 (** Cut the network between two server groups. *)
 
 val heal : t -> unit
+
+val heal_pair : t -> int -> int -> unit
+(** Remove the cut between two specific servers, if any (finer-grained
+    than {!heal} — the rest of a partition stays in force). *)
+
+val set_drop_probability : t -> float -> unit
+val set_duplicate_probability : t -> float -> unit
+(** Re-arm the interconnect's loss/duplication rates mid-run (transient
+    fault bursts). See {!Netsim.Network.set_drop_probability}. *)
+
+val set_disk_slowdown : t -> float -> unit
+(** Scale every log device's service time by the factor ([> 1] slows,
+    [1.0] restores nominal bandwidth) — transient shared-storage
+    degradation. *)
 
 (** {1 Running} *)
 
@@ -104,6 +121,31 @@ val settle : ?deadline:Simkit.Time.span -> t -> settle_outcome
     simulated minutes) bounds the wait; [Stuck] means the event queue
     drained without reaching quiescence (something is waiting on a node
     that will never return). *)
+
+type node_diagnostics = {
+  server : int;
+  node_up : bool;
+  node_serving : bool;  (** up {e and} past recovery *)
+  outstanding : int;  (** transactions the protocol engines still track *)
+  wal_records : int;  (** durable, un-checkpointed log records *)
+}
+
+type diagnostics = {
+  pending_replies : int;
+  pending_reads : int;
+  in_flight_messages : int;
+  engine_events : int;  (** scheduled, not-yet-dispatched events *)
+  disk_queue_depths : int list;  (** one entry per log device *)
+  per_node : node_diagnostics list;
+}
+
+val settle_diagnostics : t -> diagnostics
+(** Snapshot of everything {!settle} waits on — what is still
+    outstanding and where. The post-mortem for a [Stuck] or
+    [Deadline_exceeded] verdict: whichever component is non-zero names
+    the party that never let the system quiesce. *)
+
+val pp_diagnostics : Format.formatter -> diagnostics -> unit
 
 (** {1 Measurement} *)
 

@@ -3,6 +3,22 @@ type event =
   | Restart of { server : int; at : Simkit.Time.t }
   | Partition of { left : int list; right : int list; at : Simkit.Time.t }
   | Heal of { at : Simkit.Time.t }
+  | Heal_pair of { a : int; b : int; at : Simkit.Time.t }
+  | Loss_burst of {
+      probability : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }
+  | Duplicate_burst of {
+      probability : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }
+  | Disk_degrade of {
+      factor : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }
 
 let pp_event ppf = function
   | Crash { server; at } ->
@@ -16,6 +32,17 @@ let pp_event ppf = function
         Fmt.(list ~sep:comma int)
         right Simkit.Time.pp at
   | Heal { at } -> Fmt.pf ppf "heal @ %a" Simkit.Time.pp at
+  | Heal_pair { a; b; at } ->
+      Fmt.pf ppf "heal mds%d~mds%d @ %a" a b Simkit.Time.pp at
+  | Loss_burst { probability; at; until } ->
+      Fmt.pf ppf "loss burst p=%g @ %a .. %a" probability Simkit.Time.pp at
+        Simkit.Time.pp until
+  | Duplicate_burst { probability; at; until } ->
+      Fmt.pf ppf "duplicate burst p=%g @ %a .. %a" probability Simkit.Time.pp
+        at Simkit.Time.pp until
+  | Disk_degrade { factor; at; until } ->
+      Fmt.pf ppf "disk degrade x%g @ %a .. %a" factor Simkit.Time.pp at
+        Simkit.Time.pp until
 
 let crash_at cluster ~server ~at =
   ignore
@@ -38,11 +65,66 @@ let heal_at cluster ~at =
     (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.heal"
        ~at (fun () -> Cluster.heal cluster))
 
+let heal_pair_at cluster ~a ~b ~at =
+  ignore
+    (Simkit.Engine.schedule_at (Cluster.engine cluster)
+       ~label:"fault.heal_pair" ~at (fun () -> Cluster.heal_pair cluster a b))
+
+(* Bursts arm a degraded value at [at] and restore the configuration's
+   baseline at [until]; overlapping bursts of one kind do not stack (the
+   last disarm wins), which is exactly what a chaos schedule wants. *)
+let check_burst ~what ~at ~until =
+  if Simkit.Time.( < ) until at then
+    invalid_arg (Printf.sprintf "Fault.%s: until precedes at" what)
+
+let loss_burst_at cluster ~probability ~at ~until =
+  check_burst ~what:"loss_burst_at" ~at ~until;
+  let engine = Cluster.engine cluster in
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst" ~at (fun () ->
+         Cluster.set_drop_probability cluster probability));
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst.end" ~at:until
+       (fun () ->
+         Cluster.set_drop_probability cluster
+           (Cluster.config cluster).Config.network
+             .Netsim.Network.drop_probability))
+
+let duplicate_burst_at cluster ~probability ~at ~until =
+  check_burst ~what:"duplicate_burst_at" ~at ~until;
+  let engine = Cluster.engine cluster in
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst" ~at (fun () ->
+         Cluster.set_duplicate_probability cluster probability));
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst.end" ~at:until
+       (fun () ->
+         Cluster.set_duplicate_probability cluster
+           (Cluster.config cluster).Config.network
+             .Netsim.Network.duplicate_probability))
+
+let disk_degrade_at cluster ~factor ~at ~until =
+  check_burst ~what:"disk_degrade_at" ~at ~until;
+  let engine = Cluster.engine cluster in
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade" ~at
+       (fun () -> Cluster.set_disk_slowdown cluster factor));
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade.end"
+       ~at:until (fun () -> Cluster.set_disk_slowdown cluster 1.0))
+
 let inject cluster events =
   List.iter
     (function
       | Crash { server; at } -> crash_at cluster ~server ~at
       | Restart { server; at } -> restart_at cluster ~server ~at
       | Partition { left; right; at } -> partition_at cluster ~left ~right ~at
-      | Heal { at } -> heal_at cluster ~at)
+      | Heal { at } -> heal_at cluster ~at
+      | Heal_pair { a; b; at } -> heal_pair_at cluster ~a ~b ~at
+      | Loss_burst { probability; at; until } ->
+          loss_burst_at cluster ~probability ~at ~until
+      | Duplicate_burst { probability; at; until } ->
+          duplicate_burst_at cluster ~probability ~at ~until
+      | Disk_degrade { factor; at; until } ->
+          disk_degrade_at cluster ~factor ~at ~until)
     events

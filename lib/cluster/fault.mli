@@ -2,14 +2,36 @@
 
     Thin wrappers that arm cluster faults at absolute simulated times —
     the vocabulary of the failure experiments: crash/restart a server,
-    partition the network, heal it. A {!plan} bundles several events for
-    crash-sweep harnesses. *)
+    partition the network (wholesale or per-pair), heal it (ditto), and
+    transient bursts of message loss, message duplication and shared-disk
+    bandwidth degradation. A {!inject} plan bundles several events for
+    crash-sweep and chaos harnesses. *)
 
 type event =
   | Crash of { server : int; at : Simkit.Time.t }
   | Restart of { server : int; at : Simkit.Time.t }
+      (** no-op if the server is up at [at] (see {!Cluster.restart}) *)
   | Partition of { left : int list; right : int list; at : Simkit.Time.t }
   | Heal of { at : Simkit.Time.t }
+  | Heal_pair of { a : int; b : int; at : Simkit.Time.t }
+      (** remove only the cut between two servers *)
+  | Loss_burst of {
+      probability : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }  (** arm message loss at [at], restore the config baseline at [until] *)
+  | Duplicate_burst of {
+      probability : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }
+  | Disk_degrade of {
+      factor : float;
+      at : Simkit.Time.t;
+      until : Simkit.Time.t;
+    }
+      (** multiply every log device's service time by [factor], back to
+          nominal at [until] *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -20,6 +42,31 @@ val partition_at :
   Cluster.t -> left:int list -> right:int list -> at:Simkit.Time.t -> unit
 
 val heal_at : Cluster.t -> at:Simkit.Time.t -> unit
+val heal_pair_at : Cluster.t -> a:int -> b:int -> at:Simkit.Time.t -> unit
+
+val loss_burst_at :
+  Cluster.t ->
+  probability:float ->
+  at:Simkit.Time.t ->
+  until:Simkit.Time.t ->
+  unit
+
+val duplicate_burst_at :
+  Cluster.t ->
+  probability:float ->
+  at:Simkit.Time.t ->
+  until:Simkit.Time.t ->
+  unit
+
+val disk_degrade_at :
+  Cluster.t ->
+  factor:float ->
+  at:Simkit.Time.t ->
+  until:Simkit.Time.t ->
+  unit
+(** Bursts raise [Invalid_argument] if [until] precedes [at]. Overlapping
+    bursts of one kind do not stack: each disarm restores the
+    configuration baseline. *)
 
 val inject : Cluster.t -> event list -> unit
 (** Arm a whole plan. Events in the past raise (the engine refuses

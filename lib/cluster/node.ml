@@ -148,15 +148,30 @@ let make_context t =
     own_log = (fun () -> Storage.Wal.durable t.wal);
     fence_and_read =
       (fun ~target ~on_read ->
-        guard (fun () ->
-            Storage.San.fence t.sv.san ~victim:target ~on_fenced:(fun () ->
-                if alive () then begin
-                  t.sv.stonith target;
+        (* The victim can reboot inside the fencing window — a restart
+           already scheduled before we fenced readmits it (self-unfence
+           in [bring_up]) and breaks our fence. Reading then would be
+           the split-brain hazard the SAN guards against, so re-fence
+           and try again; the STONITH power-off keeps the victim from
+           bouncing back faster than the fencing delay. *)
+        let rec attempt () =
+          Storage.San.fence t.sv.san ~victim:target ~on_fenced:(fun () ->
+              if alive () then begin
+                t.sv.stonith target;
+                if Storage.San.is_fenced t.sv.san target then
                   Storage.San.read_partition t.sv.san ~reader:t.address
                     ~target
                     ~on_read:(fun records ->
                       if alive () then on_read (Acp.Log_scan.scan records))
-                end)));
+                else begin
+                  trace_node t ~kind:"txn.fence"
+                    (Printf.sprintf "%s rebooted mid-fence; fencing again"
+                       (Netsim.Address.name target));
+                  attempt ()
+                end
+              end)
+        in
+        guard attempt);
     locks = t.locks;
     store = t.store;
     harden =

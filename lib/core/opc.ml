@@ -17,6 +17,8 @@
     - {!Cluster} (with {!Config}, {!Node}, {!Fault}, {!Msg}) — the
       assembled metadata service
     - {!Workload} — operation generators
+    - {!Chaos} — seeded fault schedules, correctness oracles and
+      counterexample shrinking over the whole stack
     - {!Experiment} — runners reproducing the paper's Table I and
       Figure 6, plus ablation sweeps *)
 
@@ -35,4 +37,5 @@ module Batching = Opc_cluster.Batching
 module Report = Opc_cluster.Report
 module Fault = Opc_cluster.Fault
 module Workload = Workload
+module Chaos = Chaos
 module Experiment = Experiment

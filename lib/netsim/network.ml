@@ -40,6 +40,10 @@ type 'msg t = {
   rng : Simkit.Rng.t;
   trace : Simkit.Trace.t;
   config : config;
+  (* Live loss/duplication rates, initialized from [config] and adjustable
+     at runtime (fault-injection bursts arm and disarm them mid-run). *)
+  mutable drop_probability : float;
+  mutable duplicate_probability : float;
   mutable eps : 'msg endpoint array;
   mutable n : int;
   cuts : (int * int, unit) Hashtbl.t;  (* ordered pairs, lo first *)
@@ -55,7 +59,7 @@ type 'msg t = {
   mutable in_flight : int;
 }
 
-let create ~engine ~rng ?trace config =
+let create ~engine ~rng ?trace (config : config) =
   if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
     invalid_arg "Network.create: drop_probability outside [0, 1]";
   if
@@ -69,6 +73,8 @@ let create ~engine ~rng ?trace config =
     rng;
     trace;
     config;
+    drop_probability = config.drop_probability;
+    duplicate_probability = config.duplicate_probability;
     eps = [||];
     n = 0;
     cuts = Hashtbl.create 16;
@@ -125,6 +131,21 @@ let partition t left right =
 let heal t = Hashtbl.reset t.cuts
 let heal_pair t a b = Hashtbl.remove t.cuts (pair a b)
 
+let check_probability ~what p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg (Printf.sprintf "Network.%s: probability outside [0, 1]" what)
+
+let set_drop_probability t p =
+  check_probability ~what:"set_drop_probability" p;
+  t.drop_probability <- p
+
+let set_duplicate_probability t p =
+  check_probability ~what:"set_duplicate_probability" p;
+  t.duplicate_probability <- p
+
+let drop_probability t = t.drop_probability
+let duplicate_probability t = t.duplicate_probability
+
 let trace_drop t ~src ~dst reason =
   Simkit.Trace.emitf t.trace
     ~time:(Simkit.Engine.now t.engine)
@@ -161,8 +182,8 @@ let send t ~src ~dst payload =
     trace_drop t ~src ~dst "partitioned"
   end
   else if
-    t.config.drop_probability > 0.0
-    && Simkit.Rng.bernoulli t.rng t.config.drop_probability
+    t.drop_probability > 0.0
+    && Simkit.Rng.bernoulli t.rng t.drop_probability
   then begin
     t.dropped_loss <- t.dropped_loss + 1;
     trace_drop t ~src ~dst "loss"
@@ -172,8 +193,8 @@ let send t ~src ~dst payload =
     let sent_at = Simkit.Engine.now t.engine in
     let copies =
       if
-        t.config.duplicate_probability > 0.0
-        && Simkit.Rng.bernoulli t.rng t.config.duplicate_probability
+        t.duplicate_probability > 0.0
+        && Simkit.Rng.bernoulli t.rng t.duplicate_probability
       then begin
         t.duplicated <- t.duplicated + 1;
         2

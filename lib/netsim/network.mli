@@ -87,6 +87,24 @@ val heal_pair : 'msg t -> Address.t -> Address.t -> unit
 val reachable : 'msg t -> Address.t -> Address.t -> bool
 (** No partition between the two nodes (ignores up/down state). *)
 
+(** {2 Runtime fault knobs}
+
+    Loss and duplication rates start at the {!config} values and can be
+    re-armed while the simulation runs — the vocabulary of transient
+    fault bursts (a flaky switch, a retransmission storm). They apply to
+    messages sent after the change; messages already in flight keep the
+    fate they were dealt at send time. *)
+
+val set_drop_probability : 'msg t -> float -> unit
+(** @raise Invalid_argument outside [0, 1]. *)
+
+val set_duplicate_probability : 'msg t -> float -> unit
+(** @raise Invalid_argument outside [0, 1]. *)
+
+val drop_probability : 'msg t -> float
+val duplicate_probability : 'msg t -> float
+(** The currently armed rates. *)
+
 val stats : 'msg t -> stats
 
 val in_flight : 'msg t -> int

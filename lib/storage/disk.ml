@@ -21,6 +21,9 @@ type t = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
   config : config;
+  (* Service-time multiplier (1.0 = nominal bandwidth). Fault injection
+     arms transient degradations (> 1 slows the device) at runtime. *)
+  mutable slowdown : float;
   waiting : request Queue.t;
   mutable in_service : request option;
   mutable service_done_at : Simkit.Time.t;
@@ -43,6 +46,7 @@ let create ~engine ?trace config =
     engine;
     trace;
     config;
+    slowdown = 1.0;
     waiting = Queue.create ();
     in_service = None;
     service_done_at = Simkit.Time.zero;
@@ -59,8 +63,19 @@ let transfer_span t ~bytes =
   let blocks = (bytes + t.config.block_bytes - 1) / t.config.block_bytes in
   let payload = blocks * t.config.block_bytes in
   (* ns = bytes * 1e9 / bandwidth; sizes in this simulator are far below
-     the ~9.2e9-byte overflow point of this product. *)
-  Simkit.Time.span_ns (payload * 1_000_000_000 / t.config.bandwidth_bytes_per_s)
+     the ~9.2e9-byte overflow point of this product. The nominal case
+     stays pure integer arithmetic so runs without degradation are
+     bit-for-bit identical to a build without the knob. *)
+  let ns = payload * 1_000_000_000 / t.config.bandwidth_bytes_per_s in
+  if t.slowdown = 1.0 then Simkit.Time.span_ns ns
+  else Simkit.Time.span_ns (int_of_float ((float_of_int ns *. t.slowdown) +. 0.5))
+
+let set_slowdown t factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Disk.set_slowdown: factor must be positive";
+  t.slowdown <- factor
+
+let slowdown t = t.slowdown
 
 let is_expelled t ~initiator = Hashtbl.mem t.expelled initiator
 

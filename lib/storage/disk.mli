@@ -28,7 +28,18 @@ val default_config : config
 val create : engine:Simkit.Engine.t -> ?trace:Simkit.Trace.t -> config -> t
 
 val transfer_span : t -> bytes:int -> Simkit.Time.span
-(** Pure service time for a request of [bytes] (no queueing). *)
+(** Pure service time for a request of [bytes] (no queueing), including
+    the current {!slowdown} factor. *)
+
+val set_slowdown : t -> float -> unit
+(** Scale all subsequent service times by [factor] ([> 1] slows the
+    device, [< 1] speeds it up, [1.0] restores nominal bandwidth) —
+    transient bandwidth degradation for fault injection. Requests
+    already in service keep their original completion time.
+    @raise Invalid_argument if the factor is not positive and finite. *)
+
+val slowdown : t -> float
+(** The currently armed service-time multiplier (1.0 = nominal). *)
 
 val submit :
   t ->

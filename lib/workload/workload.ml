@@ -28,6 +28,14 @@ let rec submit_with_retries cluster ~retries op ~on_done =
           submit_with_retries cluster ~retries:(retries - 1) op ~on_done
       | outcome -> on_done outcome)
 
+type record = {
+  index : int;
+  op : Mds.Op.t;
+  mutable outcome : Acp.Txn.outcome option;
+  mutable completion_rank : int option;
+  mutable replies : int;
+}
+
 type t = {
   cluster : Opc_cluster.Cluster.t;
   mutable submitted : int;
@@ -36,6 +44,8 @@ type t = {
   mutable reads : int;
   mutable first_submit : Simkit.Time.t;
   mutable last_reply : Simkit.Time.t;
+  mutable records_rev : record list;
+  mutable completions : int;
 }
 
 let stats t =
@@ -59,11 +69,26 @@ let fresh cluster =
     reads = 0;
     first_submit = Opc_cluster.Cluster.now cluster;
     last_reply = Simkit.Time.zero;
+    records_rev = [];
+    completions = 0;
   }
+
+let records t = List.rev t.records_rev
 
 let submit t op ~k =
   t.submitted <- t.submitted + 1;
+  let r =
+    { index = t.submitted - 1; op; outcome = None; completion_rank = None;
+      replies = 0 }
+  in
+  t.records_rev <- r :: t.records_rev;
   Opc_cluster.Cluster.submit t.cluster op ~on_done:(fun outcome ->
+      r.replies <- r.replies + 1;
+      if r.outcome = None then begin
+        r.outcome <- Some outcome;
+        r.completion_rank <- Some t.completions;
+        t.completions <- t.completions + 1
+      end;
       t.last_reply <- Opc_cluster.Cluster.now t.cluster;
       (match outcome with
       | Acp.Txn.Committed -> t.committed <- t.committed + 1

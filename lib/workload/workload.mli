@@ -43,6 +43,22 @@ val stats : t -> stats
 val done_ : t -> bool
 (** Every submitted operation has completed. *)
 
+type record = {
+  index : int;  (** submission order, 0-based *)
+  op : Mds.Op.t;
+  mutable outcome : Acp.Txn.outcome option;  (** [None] until replied *)
+  mutable completion_rank : int option;
+      (** position in reply order — replaying committed records by this
+          rank reconstructs the namespace the cluster should hold *)
+  mutable replies : int;  (** [on_done] invocations; must end up 1 *)
+}
+
+val records : t -> record list
+(** Per-operation ledger in submission order, one record per mutating
+    operation any generator submitted. The raw material for end-of-run
+    oracles: exactly-once delivery ([replies = 1], [outcome <> None])
+    and expected-namespace reconstruction. *)
+
 val storm :
   Opc_cluster.Cluster.t ->
   dir:Mds.Update.ino ->

@@ -1,0 +1,208 @@
+(* Chaos harness tests: the schedule generator and validator, the
+   replay determinism the shrinker depends on, the shrinker itself, and
+   a bounded smoke campaign through the full runner + oracles. The big
+   multi-protocol campaigns live in bin/chaos; here every piece is
+   exercised at a size that keeps the suite fast. *)
+
+open Opc
+
+let small_spec =
+  {
+    Chaos.Runner.default_spec with
+    clients = 4;
+    ops_per_client = 8;
+    settle_deadline_ms = 60_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule generation and validation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_validates () =
+  for seed = 1 to 200 do
+    let s =
+      Chaos.Schedule.generate
+        ~rng:(Simkit.Rng.create ~seed)
+        ~servers:4 ~window_ms:600
+    in
+    (match Chaos.Schedule.validate ~servers:4 s with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: generated schedule invalid: %s" seed e);
+    if Chaos.Schedule.length s < 2 || Chaos.Schedule.length s > 8 then
+      Alcotest.failf "seed %d: %d events" seed (Chaos.Schedule.length s)
+  done
+
+let test_generate_deterministic () =
+  let gen seed =
+    Chaos.Schedule.generate
+      ~rng:(Simkit.Rng.create ~seed)
+      ~servers:4 ~window_ms:600
+  in
+  for seed = 1 to 50 do
+    if gen seed <> gen seed then
+      Alcotest.failf "seed %d: two generations differ" seed
+  done
+
+let test_validate_rejects () =
+  let reject name s =
+    match Chaos.Schedule.validate ~servers:4 s with
+    | Ok () -> Alcotest.failf "%s: accepted" name
+    | Error _ -> ()
+  in
+  let sched events = { Chaos.Schedule.window_ms = 600; events } in
+  reject "server out of range"
+    (sched [ Chaos.Schedule.Crash { server = 4; at_ms = 10 } ]);
+  reject "time outside window"
+    (sched [ Chaos.Schedule.Crash { server = 0; at_ms = 700 } ]);
+  reject "burst ends before it starts"
+    (sched
+       [ Chaos.Schedule.Loss_burst { pct = 10; at_ms = 100; until_ms = 50 } ]);
+  reject "partition group not a proper subset"
+    (sched
+       [ Chaos.Schedule.Partition_group { left = [ 0; 1; 2; 3 ]; at_ms = 10 } ])
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The shrinker's soundness rests on this: identical (spec, protocol,
+   seed, schedule) runs must be indistinguishable — same verdict, same
+   counts and the same event trace, entry for entry. *)
+let test_replay_bit_identical () =
+  let spec = { small_spec with record_trace = true } in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun seed ->
+          let a = Chaos.Runner.execute spec ~protocol ~seed in
+          let b = Chaos.Runner.execute spec ~protocol ~seed in
+          Alcotest.(check int)
+            "same commit count" a.Chaos.Runner.committed
+            b.Chaos.Runner.committed;
+          Alcotest.(check int)
+            "same abort count" a.Chaos.Runner.aborted b.Chaos.Runner.aborted;
+          Alcotest.(check bool)
+            "same verdict" (Chaos.Runner.passed a) (Chaos.Runner.passed b);
+          if a.Chaos.Runner.trace = [] then
+            Alcotest.fail "trace was not recorded";
+          if a.Chaos.Runner.trace <> b.Chaos.Runner.trace then
+            Alcotest.failf "%a seed %d: traces diverge" Acp.Protocol.pp
+              protocol seed)
+        [ 5; 17 ])
+    [ Acp.Protocol.Prn; Acp.Protocol.Opc ]
+
+(* An explicit schedule must override the seed-derived one without
+   perturbing the workload stream: same seed + same schedule value =
+   same outcome whether the schedule was generated or passed in. *)
+let test_explicit_schedule_replays () =
+  let seed = 9 in
+  let schedule = Chaos.Runner.generate_schedule small_spec ~seed in
+  let a = Chaos.Runner.execute small_spec ~protocol:Acp.Protocol.Opc ~seed in
+  let b =
+    Chaos.Runner.execute ~schedule small_spec ~protocol:Acp.Protocol.Opc ~seed
+  in
+  Alcotest.(check int) "same committed" a.Chaos.Runner.committed
+    b.Chaos.Runner.committed;
+  Alcotest.(check int) "same aborted" a.Chaos.Runner.aborted
+    b.Chaos.Runner.aborted
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure-predicate shrink: only the crash of server 1 matters; the
+   shrinker must strip everything else and keep a failing schedule. *)
+let test_shrink_to_core_event () =
+  let open Chaos.Schedule in
+  let original =
+    {
+      window_ms = 600;
+      events =
+        [
+          Restart { server = 2; at_ms = 50 };
+          Crash { server = 1; at_ms = 100 };
+          Partition_pair { a = 0; b = 3; at_ms = 200 };
+          Loss_burst { pct = 20; at_ms = 250; until_ms = 400 };
+          Heal_all { at_ms = 450 };
+        ];
+    }
+  in
+  let still_fails s =
+    List.exists
+      (function Crash { server = 1; _ } -> true | _ -> false)
+      s.events
+  in
+  let r = Chaos.Shrink.minimize ~still_fails original in
+  let s = r.Chaos.Shrink.schedule in
+  Alcotest.(check bool) "result still fails" true (still_fails s);
+  Alcotest.(check int) "single event left" 1 (Chaos.Schedule.length s);
+  Alcotest.(check int) "four events removed" 4 r.Chaos.Shrink.removed;
+  if r.Chaos.Shrink.attempts <= 0 then Alcotest.fail "no replays counted"
+
+(* End-to-end shrink through the runner: an impossible settle deadline
+   makes every run fail the liveness oracle, so the shrinker must walk
+   all the way down to the empty schedule — exercising validation and
+   real cluster replays on every candidate. *)
+let test_shrink_through_runner () =
+  let spec =
+    { small_spec with ops_per_client = 4; settle_deadline_ms = 0 }
+  in
+  let outcome = Chaos.Runner.execute spec ~protocol:Acp.Protocol.Opc ~seed:3 in
+  if Chaos.Runner.passed outcome then
+    Alcotest.fail "zero settle deadline should fail the liveness oracle";
+  let before = Chaos.Schedule.length outcome.Chaos.Runner.schedule in
+  let r = Chaos.Runner.shrink spec outcome in
+  Alcotest.(check int) "shrinks to the empty schedule" 0
+    (Chaos.Schedule.length r.Chaos.Shrink.schedule);
+  Alcotest.(check int) "every event removed" before r.Chaos.Shrink.removed
+
+(* ------------------------------------------------------------------ *)
+(* Smoke campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A bounded slice of what bin/chaos runs at scale: 50 seeds against
+   the two extremes of the protocol space (PrN pays the most writes,
+   1PC commits unilaterally and leans on fencing). Any oracle violation
+   is a real protocol or harness bug — print it with its schedule. *)
+let test_smoke_campaign () =
+  let campaign =
+    Chaos.Runner.campaign
+      ~protocols:[ Acp.Protocol.Prn; Acp.Protocol.Opc ]
+      ~seeds:50 small_spec
+  in
+  match Chaos.Runner.failures campaign with
+  | [] -> ()
+  | fails ->
+      Alcotest.failf "%d failing run(s):@.%a" (List.length fails)
+        Fmt.(list ~sep:cut Chaos.Runner.pp_outcome)
+        fails
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "generated schedules validate" `Quick
+            test_generate_validates;
+          Alcotest.test_case "generation is deterministic" `Quick
+            test_generate_deterministic;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_validate_rejects;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "bit-identical replay" `Slow
+            test_replay_bit_identical;
+          Alcotest.test_case "explicit schedule replays" `Quick
+            test_explicit_schedule_replays;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "shrinks to the core event" `Quick
+            test_shrink_to_core_event;
+          Alcotest.test_case "shrinks through the runner" `Quick
+            test_shrink_through_runner;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "chaos smoke" `Slow test_smoke_campaign ] );
+    ]

@@ -488,6 +488,68 @@ let test_message_duplication protocol () =
         Fmt.(list ~sep:semi Mds.Invariant.pp_violation)
         vs
 
+(* Same adversary, but against the mixed multi-directory closed loop,
+   judged per operation through the workload's reply records: exactly
+   one reply each, never two (a duplicated decision or late retry
+   surfacing as a second on_done would corrupt any real client). *)
+let test_closed_loop_duplication protocol () =
+  let config =
+    {
+      (failure_config protocol) with
+      servers = 4;
+      txn_timeout = Simkit.Time.span_s 60;
+      network =
+        {
+          Netsim.Network.default_config with
+          duplicate_probability = 0.15;
+        };
+      seed = 23;
+    }
+  in
+  let cluster = Cluster.create config in
+  let root = Cluster.root cluster in
+  let dirs =
+    Array.init 4 (fun i ->
+        Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "d%d" i) ~server:(i mod 4) ())
+  in
+  let wl =
+    Workload.closed_loop cluster ~dirs ~clients:6 ~ops_per_client:15
+      ~mix:Chaos.Runner.chaos_mix
+      ~rng:(Simkit.Rng.create ~seed:7)
+      ()
+  in
+  (match Cluster.settle ~deadline:(Simkit.Time.span_s 600) cluster with
+  | Cluster.Quiescent -> ()
+  | _ -> Alcotest.fail "did not settle under duplication");
+  let records = Workload.records wl in
+  let stats = Workload.stats wl in
+  (* Lookups are shared-lock reads, not transactions — they complete
+     without a submit record. Everything else must be recorded. *)
+  Alcotest.(check int) "all operations recorded" (6 * 15)
+    (List.length records + stats.Workload.reads);
+  List.iter
+    (fun (r : Workload.record) ->
+      if r.Workload.replies <> 1 then
+        Alcotest.failf "op %d (%a): %d replies" r.Workload.index Mds.Op.pp
+          r.Workload.op r.Workload.replies)
+    records;
+  Alcotest.(check int) "committed + aborted = answered"
+    (List.length records)
+    (stats.Workload.committed + stats.Workload.aborted);
+  Array.iter
+    (fun n ->
+      if Node.is_up n && not (Mds.Store.in_sync (Node.store n)) then
+        Alcotest.failf "mds%d: volatile diverges from durable"
+          (Node.server n))
+    (Cluster.nodes cluster);
+  match Cluster.check_invariants cluster with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "invariants: %a"
+        Fmt.(list ~sep:semi Mds.Invariant.pp_violation)
+        vs
+
 let test_message_loss protocol () =
   let config =
     {
@@ -729,6 +791,8 @@ let () =
       ( "chaos",
         per_protocol "message loss" `Quick test_message_loss
         @ per_protocol "message duplication" `Quick test_message_duplication
+        @ per_protocol "closed-loop duplication" `Quick
+            test_closed_loop_duplication
         @ per_protocol "fault storm" `Slow test_fault_storm
         @ List.map
             (fun p -> QCheck_alcotest.to_alcotest (prop_random_crash_schedules p))
