@@ -16,10 +16,94 @@
      dune exec bench/main.exe ablate-dirs  -- A10: coordinator scaling
      dune exec bench/main.exe group-commit -- A11: WAL group commit
      dune exec bench/main.exe faults       -- A5: crash-point matrix
-     dune exec bench/main.exe micro        -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe micro        -- Bechamel micro-benchmarks
+     dune exec bench/main.exe scale        -- A12: 4->64-server scale campaign
+
+   Every subcommand accepts [--json PATH] and then also writes its
+   results as machine-readable JSON. [scale] always writes JSON
+   (default BENCH_scale.json) and additionally takes [--smoke] (tiny
+   sweep for CI), [--seeds N] and [--txns N]; schema in EXPERIMENTS.md,
+   "Perf & scale". Unknown subcommands and flags exit with status 2. *)
 
 let section title =
   Fmt.pr "@.== %s ==@." title
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled emitter (no JSON library in the tree): every subcommand
+   builds one of these and [--json <path>] writes it out, so CI and
+   plotting scripts consume machine-readable results instead of
+   scraping the tables. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+
+  let rec write buf = function
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 4096 in
+    write buf j;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let to_file path j =
+    let oc = open_out path in
+    output_string oc (to_string j);
+    close_out oc
+end
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Table I                                                        *)
@@ -33,18 +117,28 @@ let table1 () =
     Opc.Metrics.Table.create
       ~columns:[ ""; "sync writes/txn"; "async writes/txn"; "ACP msgs/txn" ]
   in
-  List.iter
-    (fun kind ->
-      let m = Opc.Experiment.run_table1_measured kind in
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name kind;
-          Fmt.str "%.2f" m.Opc.Experiment.sync_writes_per_txn;
-          Fmt.str "%.2f" m.Opc.Experiment.async_writes_per_txn;
-          Fmt.str "%.2f" m.Opc.Experiment.acp_messages_per_txn;
-        ])
-    Opc.Acp.Protocol.all;
-  Opc.Metrics.Table.print t
+  let rows =
+    List.map
+      (fun kind ->
+        let m = Opc.Experiment.run_table1_measured kind in
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name kind;
+            Fmt.str "%.2f" m.Opc.Experiment.sync_writes_per_txn;
+            Fmt.str "%.2f" m.Opc.Experiment.async_writes_per_txn;
+            Fmt.str "%.2f" m.Opc.Experiment.acp_messages_per_txn;
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name kind));
+            ("sync_writes_per_txn", Json.Float m.sync_writes_per_txn);
+            ("async_writes_per_txn", Json.Float m.async_writes_per_txn);
+            ("acp_messages_per_txn", Json.Float m.acp_messages_per_txn);
+          ])
+      Opc.Acp.Protocol.all
+  in
+  Opc.Metrics.Table.print t;
+  Json.Obj [ ("benchmark", Json.Str "table1"); ("rows", Json.List rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* E2 — Figure 6                                                       *)
@@ -69,19 +163,33 @@ let fig6 () =
         ]
   in
   let points = Opc.Experiment.run_fig6 () in
-  List.iter
-    (fun (p : Opc.Experiment.fig6_point) ->
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name p.protocol;
-          Fmt.str "%.2f" (Opc.Experiment.paper_fig6 p.protocol);
-          Fmt.str "%.2f" p.throughput;
-          string_of_int p.committed;
-          string_of_int p.aborted;
-          Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_latency;
-          Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_lock_hold;
-        ])
-    points;
+  let rows =
+    List.map
+      (fun (p : Opc.Experiment.fig6_point) ->
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name p.protocol;
+            Fmt.str "%.2f" (Opc.Experiment.paper_fig6 p.protocol);
+            Fmt.str "%.2f" p.throughput;
+            string_of_int p.committed;
+            string_of_int p.aborted;
+            Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_latency;
+            Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_lock_hold;
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name p.protocol));
+            ("paper_ops_per_s", Json.Float (Opc.Experiment.paper_fig6 p.protocol));
+            ("ops_per_s", Json.Float p.throughput);
+            ("committed", Json.Int p.committed);
+            ("aborted", Json.Int p.aborted);
+            ( "mean_latency_ns",
+              Json.Int (Opc.Simkit.Time.span_to_ns p.mean_latency) );
+            ( "mean_lock_hold_ns",
+              Json.Int (Opc.Simkit.Time.span_to_ns p.mean_lock_hold) );
+          ])
+      points
+  in
   Opc.Metrics.Table.print t;
   let find k =
     (List.find (fun (p : Opc.Experiment.fig6_point) -> p.protocol = k) points)
@@ -91,7 +199,13 @@ let fig6 () =
     (find Opc.Acp.Protocol.Opc -. find Opc.Acp.Protocol.Prn)
     /. find Opc.Acp.Protocol.Prn *. 100.0
   in
-  Fmt.pr "1PC gain over PrN: %+.1f%% (paper: >55%%)@." gain
+  Fmt.pr "1PC gain over PrN: %+.1f%% (paper: >55%%)@." gain;
+  Json.Obj
+    [
+      ("benchmark", Json.Str "fig6");
+      ("rows", Json.List rows);
+      ("opc_gain_over_prn_pct", Json.Float gain);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* A6 — latency decomposition                                          *)
@@ -105,20 +219,33 @@ let latency () =
       ~columns:
         [ ""; "client latency"; "lock hold"; "paper critical path (sync,msgs)" ]
   in
-  List.iter
-    (fun protocol ->
-      let p = Opc.Experiment.run_fig6_point ~count:1 protocol in
-      let c = Opc.Acp.Cost_model.failure_free protocol in
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name protocol;
-          Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_latency;
-          Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_lock_hold;
-          Fmt.str "(%d, %d)" c.Opc.Acp.Cost_model.critical_sync
-            c.Opc.Acp.Cost_model.critical_messages;
-        ])
-    Opc.Acp.Protocol.all;
-  Opc.Metrics.Table.print t
+  let rows =
+    List.map
+      (fun protocol ->
+        let p = Opc.Experiment.run_fig6_point ~count:1 protocol in
+        let c = Opc.Acp.Cost_model.failure_free protocol in
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name protocol;
+            Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_latency;
+            Fmt.str "%a" Opc.Simkit.Time.pp_span p.mean_lock_hold;
+            Fmt.str "(%d, %d)" c.Opc.Acp.Cost_model.critical_sync
+              c.Opc.Acp.Cost_model.critical_messages;
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name protocol));
+            ("latency_ns", Json.Int (Opc.Simkit.Time.span_to_ns p.mean_latency));
+            ( "lock_hold_ns",
+              Json.Int (Opc.Simkit.Time.span_to_ns p.mean_lock_hold) );
+            ("critical_sync", Json.Int c.Opc.Acp.Cost_model.critical_sync);
+            ( "critical_messages",
+              Json.Int c.Opc.Acp.Cost_model.critical_messages );
+          ])
+      Opc.Acp.Protocol.all
+  in
+  Opc.Metrics.Table.print t;
+  Json.Obj [ ("benchmark", Json.Str "latency"); ("rows", Json.List rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)
@@ -142,27 +269,55 @@ let print_sweep ~x_label points =
     points;
   Opc.Metrics.Table.print t
 
+let sweep_json ~name ~x_label points =
+  Json.Obj
+    [
+      ("benchmark", Json.Str name);
+      ("x_label", Json.Str x_label);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Opc.Experiment.sweep_point) ->
+               Json.Obj
+                 (("x", Json.Float p.Opc.Experiment.x)
+                 :: List.map
+                      (fun (k, v) ->
+                        (Opc.Acp.Protocol.name k, Json.Float v))
+                      p.Opc.Experiment.series))
+             points) );
+    ]
+
 let ablate_disk () =
   section "A1: throughput [ops/s] vs shared-disk bandwidth [KB/s]";
-  print_sweep ~x_label:"KB/s" (Opc.Experiment.sweep_disk_bandwidth ())
+  let points = Opc.Experiment.sweep_disk_bandwidth () in
+  print_sweep ~x_label:"KB/s" points;
+  sweep_json ~name:"ablate-disk" ~x_label:"KB/s" points
 
 let ablate_net () =
   section "A2: throughput [ops/s] vs one-way network latency [us]";
-  print_sweep ~x_label:"us" (Opc.Experiment.sweep_network_latency ())
+  let points = Opc.Experiment.sweep_network_latency () in
+  print_sweep ~x_label:"us" points;
+  sweep_json ~name:"ablate-net" ~x_label:"us" points
 
 let ablate_conc () =
   section "A3: throughput [ops/s] vs offered concurrency";
-  print_sweep ~x_label:"in flight" (Opc.Experiment.sweep_concurrency ())
+  let points = Opc.Experiment.sweep_concurrency () in
+  print_sweep ~x_label:"in flight" points;
+  sweep_json ~name:"ablate-conc" ~x_label:"in_flight" points
 
 let ablate_colo () =
   section "locality: throughput [ops/s] vs colocation probability";
-  print_sweep ~x_label:"p(colocated)" (Opc.Experiment.sweep_colocation ())
+  let points = Opc.Experiment.sweep_colocation () in
+  print_sweep ~x_label:"p(colocated)" points;
+  sweep_json ~name:"ablate-colo" ~x_label:"p_colocated" points
 
 let ablate_batch () =
   section
     "A4 / paper SVI: throughput [ops/s] vs aggregation batch size (100 \
      CREATEs, one directory)";
-  print_sweep ~x_label:"batch" (Opc.Experiment.sweep_batching ())
+  let points = Opc.Experiment.sweep_batching () in
+  print_sweep ~x_label:"batch" points;
+  sweep_json ~name:"ablate-batch" ~x_label:"batch" points
 
 (* ------------------------------------------------------------------ *)
 (* E1b — abort-path accounting                                         *)
@@ -185,24 +340,37 @@ let aborts () =
           "ACP msgs (m)";
         ]
   in
-  List.iter
-    (fun kind ->
-      let a = Opc.Acp.Cost_model.worker_rejected kind in
-      let m = Opc.Experiment.run_abort_measured kind in
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name kind;
-          string_of_int a.Opc.Acp.Cost_model.total_sync;
-          Fmt.str "%.2f" m.Opc.Experiment.sync_writes_per_txn;
-          string_of_int a.Opc.Acp.Cost_model.total_async;
-          Fmt.str "%.2f" m.Opc.Experiment.async_writes_per_txn;
-          string_of_int a.Opc.Acp.Cost_model.total_messages;
-          Fmt.str "%.2f" m.Opc.Experiment.acp_messages_per_txn;
-        ])
-    Opc.Acp.Protocol.all;
+  let rows =
+    List.map
+      (fun kind ->
+        let a = Opc.Acp.Cost_model.worker_rejected kind in
+        let m = Opc.Experiment.run_abort_measured kind in
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name kind;
+            string_of_int a.Opc.Acp.Cost_model.total_sync;
+            Fmt.str "%.2f" m.Opc.Experiment.sync_writes_per_txn;
+            string_of_int a.Opc.Acp.Cost_model.total_async;
+            Fmt.str "%.2f" m.Opc.Experiment.async_writes_per_txn;
+            string_of_int a.Opc.Acp.Cost_model.total_messages;
+            Fmt.str "%.2f" m.Opc.Experiment.acp_messages_per_txn;
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name kind));
+            ("sync_analytic", Json.Int a.Opc.Acp.Cost_model.total_sync);
+            ("sync_measured", Json.Float m.Opc.Experiment.sync_writes_per_txn);
+            ("async_analytic", Json.Int a.Opc.Acp.Cost_model.total_async);
+            ("async_measured", Json.Float m.async_writes_per_txn);
+            ("messages_analytic", Json.Int a.Opc.Acp.Cost_model.total_messages);
+            ("messages_measured", Json.Float m.acp_messages_per_txn);
+          ])
+      Opc.Acp.Protocol.all
+  in
   Opc.Metrics.Table.print t;
   Fmt.pr "PrC aborts cost exactly PrN aborts (the SII-D claim); EP pays \
-          one wasted eager prepare; 1PC aborts without any message.@."
+          one wasted eager prepare; 1PC aborts without any message.@.";
+  Json.Obj [ ("benchmark", Json.Str "aborts"); ("rows", Json.List rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* A10 — coordinator scaling                                           *)
@@ -213,13 +381,21 @@ let ablate_dirs () =
     "A10: coordinator scaling — 100 CREATEs spread over N directories on \
      N servers";
   Fmt.pr "-- shared device (the paper's architecture) --@.";
-  print_sweep ~x_label:"dirs" (Opc.Experiment.sweep_directories ());
+  let shared = Opc.Experiment.sweep_directories () in
+  print_sweep ~x_label:"dirs" shared;
   Fmt.pr "-- one device per server --@.";
-  print_sweep ~x_label:"dirs"
-    (Opc.Experiment.sweep_directories ~independent_disks:true ());
+  let independent = Opc.Experiment.sweep_directories ~independent_disks:true () in
+  print_sweep ~x_label:"dirs" independent;
   Fmt.pr
     "(on the shared spindle more coordinators barely help; with private \
-     devices throughput scales with the directory count)@."
+     devices throughput scales with the directory count)@.";
+  Json.Obj
+    [
+      ("benchmark", Json.Str "ablate-dirs");
+      ("shared", sweep_json ~name:"shared" ~x_label:"dirs" shared);
+      ( "independent",
+        sweep_json ~name:"independent" ~x_label:"dirs" independent );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* A11 — group commit                                                  *)
@@ -233,22 +409,31 @@ let group_commit () =
     Opc.Metrics.Table.create
       ~columns:[ ""; "plain [ops/s]"; "group commit [ops/s]"; "speedup" ]
   in
-  List.iter
-    (fun (kind, plain, grouped) ->
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name kind;
-          Fmt.str "%.1f" plain;
-          Fmt.str "%.1f" grouped;
-          Fmt.str "%.2fx" (grouped /. plain);
-        ])
-    (Opc.Experiment.compare_group_commit ());
+  let rows =
+    List.map
+      (fun (kind, plain, grouped) ->
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name kind;
+            Fmt.str "%.1f" plain;
+            Fmt.str "%.1f" grouped;
+            Fmt.str "%.2fx" (grouped /. plain);
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name kind));
+            ("plain_ops_per_s", Json.Float plain);
+            ("grouped_ops_per_s", Json.Float grouped);
+          ])
+      (Opc.Experiment.compare_group_commit ())
+  in
   Opc.Metrics.Table.print t;
   Fmt.pr
     "(group commit coalesces concurrent forces into one transfer. Every \
      protocol gains; 1PC gains most — its single lock-held force per \
      transaction coalesces across the whole burst, while the 2PC \
-     family's voting round trips keep breaking the batchable windows)@."
+     family's voting round trips keep breaking the batchable windows)@.";
+  Json.Obj [ ("benchmark", Json.Str "group-commit"); ("rows", Json.List rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* A9 — shared vs independent devices                                  *)
@@ -262,21 +447,30 @@ let shared_disk () =
     Opc.Metrics.Table.create
       ~columns:[ ""; "shared [ops/s]"; "independent [ops/s]"; "speedup" ]
   in
-  List.iter
-    (fun (kind, shared, independent) ->
-      Opc.Metrics.Table.add_row t
-        [
-          Opc.Acp.Protocol.name kind;
-          Fmt.str "%.1f" shared;
-          Fmt.str "%.1f" independent;
-          Fmt.str "%.2fx" (independent /. shared);
-        ])
-    (Opc.Experiment.compare_shared_vs_independent ());
+  let rows =
+    List.map
+      (fun (kind, shared, independent) ->
+        Opc.Metrics.Table.add_row t
+          [
+            Opc.Acp.Protocol.name kind;
+            Fmt.str "%.1f" shared;
+            Fmt.str "%.1f" independent;
+            Fmt.str "%.2fx" (independent /. shared);
+          ];
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name kind));
+            ("shared_ops_per_s", Json.Float shared);
+            ("independent_ops_per_s", Json.Float independent);
+          ])
+      (Opc.Experiment.compare_shared_vs_independent ())
+  in
   Opc.Metrics.Table.print t;
   Fmt.pr
     "(client-visible rate of the 100-transaction burst; 1PC profits most \
      because its only lock-held force gets a dedicated device, and its \
-     coordinator-side commits drain off the client path)@."
+     coordinator-side commits drain off the client path)@.";
+  Json.Obj [ ("benchmark", Json.Str "shared-disk"); ("rows", Json.List rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* A5 — crash-point matrix                                             *)
@@ -287,6 +481,7 @@ let faults () =
     "A5: crash-point outcomes (one CREATE, crash every 2ms; every cell \
      passed atomicity + invariant checks)";
   let grid = List.init 31 (fun i -> 2 * i) in
+  let rows = ref [] in
   List.iter
     (fun protocol ->
       List.iter
@@ -333,11 +528,26 @@ let faults () =
           Fmt.pr "%-4s crash %s  %s@."
             (Opc.Acp.Protocol.name protocol)
             (if server = 0 then "coord " else "worker")
-            (String.concat "" cells))
+            (String.concat "" cells);
+          rows :=
+            Json.Obj
+              [
+                ("protocol", Json.Str (Opc.Acp.Protocol.name protocol));
+                ( "crashed",
+                  Json.Str (if server = 0 then "coordinator" else "worker") );
+                ("outcomes", Json.Str (String.concat "" cells));
+              ]
+            :: !rows)
         [ 0; 1 ])
     Opc.Acp.Protocol.all;
   Fmt.pr "(time axis: 0..60ms in 2ms steps; 1PC always commits because \
-          the coordinator re-executes from its REDO record)@."
+          the coordinator re-executes from its REDO record)@.";
+  Json.Obj
+    [
+      ("benchmark", Json.Str "faults");
+      ("grid_ms", Json.List (List.map (fun ms -> Json.Int ms) grid));
+      ("rows", Json.List (List.rev !rows));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -412,51 +622,218 @@ let micro () =
     Analyze.all ols Toolkit.Instance.monotonic_clock results
   in
   let results = analyze (benchmark ()) in
+  let rows = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Bechamel.Analyze.OLS.estimates result with
-      | Some [ est ] -> Fmt.pr "%-28s %12.1f ns/run@." name est
+      | Some [ est ] ->
+          Fmt.pr "%-28s %12.1f ns/run@." name est;
+          rows :=
+            Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ]
+            :: !rows
       | _ -> Fmt.pr "%-28s (no estimate)@." name)
-    results
+    results;
+  Json.Obj
+    [ ("benchmark", Json.Str "micro"); ("rows", Json.List (List.rev !rows)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Engine performance at cluster sizes the paper never ran: a sharded
+   64-server metadata service under a seeded closed-loop load, every
+   protocol, multiple seeds. Prints a table and always writes
+   BENCH_scale.json (schema in EXPERIMENTS.md) — the JSON is the
+   artifact; the table is a courtesy. *)
+let scale ~smoke ~seeds ~txns () =
+  section
+    (Fmt.str "scale campaign: %d txns/point, seeds 1..%d%s" txns seeds
+       (if smoke then " (smoke)" else ""));
+  let server_counts = if smoke then [ 4; 8 ] else [ 4; 8; 16; 32; 64 ] in
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [
+          "protocol";
+          "servers";
+          "seed";
+          "committed";
+          "aborted";
+          "events";
+          "wall [s]";
+          "events/s";
+          "ops/s (sim)";
+          "p50";
+          "p95";
+          "p99";
+        ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun servers ->
+      List.iter
+        (fun kind ->
+          for seed = 1 to seeds do
+            let t0 = Unix.gettimeofday () in
+            let p = Opc.Experiment.run_scale_point ~servers ~txns ~seed kind in
+            let wall = Unix.gettimeofday () -. t0 in
+            let events_per_s = float_of_int p.Opc.Experiment.events /. wall in
+            let live_words = (Gc.stat ()).Gc.live_words in
+            Opc.Metrics.Table.add_row t
+              [
+                Opc.Acp.Protocol.name kind;
+                string_of_int servers;
+                string_of_int seed;
+                string_of_int p.committed;
+                string_of_int p.aborted;
+                string_of_int p.events;
+                Fmt.str "%.2f" wall;
+                Fmt.str "%.0f" events_per_s;
+                Fmt.str "%.1f" p.ops_per_s;
+                Fmt.str "%a" Opc.Simkit.Time.pp_span p.latency_p50;
+                Fmt.str "%a" Opc.Simkit.Time.pp_span p.latency_p95;
+                Fmt.str "%a" Opc.Simkit.Time.pp_span p.latency_p99;
+              ];
+            points :=
+              Json.Obj
+                [
+                  ("protocol", Json.Str (Opc.Acp.Protocol.name kind));
+                  ("servers", Json.Int servers);
+                  ("seed", Json.Int seed);
+                  ("txns", Json.Int txns);
+                  ("submitted", Json.Int p.submitted);
+                  ("committed", Json.Int p.committed);
+                  ("aborted", Json.Int p.aborted);
+                  ("events", Json.Int p.events);
+                  ("wall_s", Json.Float wall);
+                  ("events_per_s", Json.Float events_per_s);
+                  ("ops_per_s", Json.Float p.ops_per_s);
+                  ( "sim_elapsed_ns",
+                    Json.Int (Opc.Simkit.Time.span_to_ns p.sim_elapsed) );
+                  ( "latency_p50_ns",
+                    Json.Int (Opc.Simkit.Time.span_to_ns p.latency_p50) );
+                  ( "latency_p95_ns",
+                    Json.Int (Opc.Simkit.Time.span_to_ns p.latency_p95) );
+                  ( "latency_p99_ns",
+                    Json.Int (Opc.Simkit.Time.span_to_ns p.latency_p99) );
+                  ("live_words", Json.Int live_words);
+                ]
+              :: !points
+          done)
+        Opc.Acp.Protocol.all)
+    server_counts;
+  Opc.Metrics.Table.print t;
+  Json.Obj
+    [
+      ("benchmark", Json.Str "scale");
+      ("smoke", Json.Bool smoke);
+      ("txns_per_point", Json.Int txns);
+      ("seeds", Json.Int seeds);
+      ( "server_counts",
+        Json.List (List.map (fun s -> Json.Int s) server_counts) );
+      ("points", Json.List (List.rev !points));
+    ]
 
 (* ------------------------------------------------------------------ *)
 
+let subcommands :
+    (string * (unit -> Json.t)) list Lazy.t =
+  lazy
+    [
+      ("table1", table1);
+      ("aborts", aborts);
+      ("fig6", fig6);
+      ("latency", latency);
+      ("ablate-disk", ablate_disk);
+      ("ablate-net", ablate_net);
+      ("ablate-conc", ablate_conc);
+      ("ablate-colo", ablate_colo);
+      ("ablate-batch", ablate_batch);
+      ("shared-disk", shared_disk);
+      ("ablate-dirs", ablate_dirs);
+      ("group-commit", group_commit);
+      ("faults", faults);
+      ("micro", micro);
+    ]
+
 let all () =
-  table1 ();
-  aborts ();
-  fig6 ();
-  latency ();
-  ablate_disk ();
-  ablate_net ();
-  ablate_conc ();
-  ablate_colo ();
-  ablate_batch ();
-  shared_disk ();
-  ablate_dirs ();
-  group_commit ();
-  faults ();
-  micro ()
+  Json.Obj
+    (List.map (fun (name, f) -> (name, f ())) (Lazy.force subcommands))
+
+let usage () =
+  Fmt.epr
+    "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
+     [--txns N]@.subcommands: all (default) | scale | %s@.scale flags: \
+     --smoke (tiny sweep), --seeds N (default 2), --txns N per point \
+     (default 20000)@."
+    (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "all" -> all ()
-  | "table1" -> table1 ()
-  | "aborts" -> aborts ()
-  | "shared-disk" -> shared_disk ()
-  | "ablate-dirs" -> ablate_dirs ()
-  | "group-commit" -> group_commit ()
-  | "fig6" -> fig6 ()
-  | "latency" -> latency ()
-  | "ablate-disk" -> ablate_disk ()
-  | "ablate-net" -> ablate_net ()
-  | "ablate-conc" -> ablate_conc ()
-  | "ablate-colo" -> ablate_colo ()
-  | "ablate-batch" -> ablate_batch ()
-  | "faults" -> faults ()
-  | "micro" -> micro ()
-  | other ->
-      Fmt.epr
-        "unknown experiment %S (table1|fig6|latency|ablate-disk|ablate-net|\
-         ablate-conc|ablate-colo|ablate-batch|faults|micro|all)@."
-        other;
-      exit 2
+  let command = ref None in
+  let json_path = ref None in
+  let smoke = ref false in
+  let seeds = ref 2 in
+  let txns = ref 20_000 in
+  let bad fmt =
+    Fmt.kstr
+      (fun msg ->
+        Fmt.epr "bench: %s@." msg;
+        usage ();
+        exit 2)
+      fmt
+  in
+  let int_arg name v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ -> bad "%s expects a positive integer, got %S" name v
+  in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      let next_value name =
+        if i + 1 >= Array.length Sys.argv then bad "%s needs a value" name
+        else Sys.argv.(i + 1)
+      in
+      match Sys.argv.(i) with
+      | "--json" ->
+          json_path := Some (next_value "--json");
+          parse (i + 2)
+      | "--smoke" ->
+          smoke := true;
+          parse (i + 1)
+      | "--seeds" ->
+          seeds := int_arg "--seeds" (next_value "--seeds");
+          parse (i + 2)
+      | "--txns" ->
+          txns := int_arg "--txns" (next_value "--txns");
+          parse (i + 2)
+      | arg when String.length arg > 0 && arg.[0] = '-' ->
+          bad "unknown flag %S" arg
+      | arg -> (
+          match !command with
+          | None ->
+              command := Some arg;
+              parse (i + 1)
+          | Some _ -> bad "more than one subcommand (%S)" arg)
+    end
+  in
+  parse 1;
+  let emit json =
+    match !json_path with
+    | Some path ->
+        Json.to_file path json;
+        Fmt.pr "wrote %s@." path
+    | None -> ()
+  in
+  match Option.value !command ~default:"all" with
+  | "all" -> emit (all ())
+  | "scale" ->
+      if !smoke then txns := min !txns 2_000;
+      if !smoke then seeds := 1;
+      let json = scale ~smoke:!smoke ~seeds:!seeds ~txns:!txns () in
+      let path = Option.value !json_path ~default:"BENCH_scale.json" in
+      Json.to_file path json;
+      Fmt.pr "wrote %s@." path
+  | name -> (
+      match List.assoc_opt name (Lazy.force subcommands) with
+      | Some f -> emit (f ())
+      | None -> bad "unknown experiment %S" name)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green, in one command.
+#
+#   ./ci.sh
+#
+# 1. full build + test suite (unit, property, golden, crash sweeps);
+# 2. bounded chaos smoke: 30 seeds x 4 protocols of randomized
+#    fault-schedule campaigns (~120 runs, a few seconds);
+# 3. scale-campaign smoke: emits BENCH_scale.json so the machine-readable
+#    baseline stays exercised end to end.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build && dune runtest =="
+dune build
+dune runtest
+
+echo "== chaos smoke: 30 seeds x 4 protocols =="
+dune exec bin/chaos.exe -- --seeds 30 --first-seed 1
+
+echo "== bench scale --smoke (writes BENCH_scale.json) =="
+dune exec bench/main.exe -- scale --smoke
+
+echo "CI OK"

@@ -251,6 +251,85 @@ let read_record s pos : Log_record.t =
   | 6 -> Ended { txn = read_txn s pos }
   | t -> fail "unknown record tag %d" t
 
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_bool buf b = write_tag buf (if b then 1 else 0)
+
+let read_bool s pos =
+  match read_tag s pos with
+  | 0 -> false
+  | 1 -> true
+  | t -> fail "unknown bool tag %d" t
+
+let write_message buf (m : Wire.t) =
+  match m with
+  | Update_req { txn; updates; piggyback_prepare; one_phase } ->
+      write_tag buf 0;
+      write_txn buf txn;
+      write_list buf write_update updates;
+      write_bool buf piggyback_prepare;
+      write_bool buf one_phase
+  | Updated { txn; ok } ->
+      write_tag buf 1;
+      write_txn buf txn;
+      write_bool buf ok
+  | Prepare { txn } ->
+      write_tag buf 2;
+      write_txn buf txn
+  | Prepared { txn; vote } ->
+      write_tag buf 3;
+      write_txn buf txn;
+      write_bool buf vote
+  | Commit { txn } ->
+      write_tag buf 4;
+      write_txn buf txn
+  | Abort { txn } ->
+      write_tag buf 5;
+      write_txn buf txn
+  | Ack { txn } ->
+      write_tag buf 6;
+      write_txn buf txn
+  | Decision_req { txn } ->
+      write_tag buf 7;
+      write_txn buf txn
+  | Decision { txn; committed } ->
+      write_tag buf 8;
+      write_txn buf txn;
+      write_bool buf committed
+  | Ack_req { txn } ->
+      write_tag buf 9;
+      write_txn buf txn
+
+let read_message s pos : Wire.t =
+  match read_tag s pos with
+  | 0 ->
+      let txn = read_txn s pos in
+      let updates = read_list s pos read_update in
+      let piggyback_prepare = read_bool s pos in
+      let one_phase = read_bool s pos in
+      Update_req { txn; updates; piggyback_prepare; one_phase }
+  | 1 ->
+      let txn = read_txn s pos in
+      let ok = read_bool s pos in
+      Updated { txn; ok }
+  | 2 -> Prepare { txn = read_txn s pos }
+  | 3 ->
+      let txn = read_txn s pos in
+      let vote = read_bool s pos in
+      Prepared { txn; vote }
+  | 4 -> Commit { txn = read_txn s pos }
+  | 5 -> Abort { txn = read_txn s pos }
+  | 6 -> Ack { txn = read_txn s pos }
+  | 7 -> Decision_req { txn = read_txn s pos }
+  | 8 ->
+      let txn = read_txn s pos in
+      let committed = read_bool s pos in
+      Decision { txn; committed }
+  | 9 -> Ack_req { txn = read_txn s pos }
+  | t -> fail "unknown message tag %d" t
+
 let with_buffer write x =
   let buf = Buffer.create 64 in
   write buf x;
@@ -269,3 +348,6 @@ let encode_update = with_buffer write_update
 let decode_update = decode_all read_update
 let encode_plan = with_buffer write_plan
 let decode_plan = decode_all read_plan
+let encode_message = with_buffer write_message
+let decode_message = decode_all read_message
+let encoded_message_size m = String.length (encode_message m)

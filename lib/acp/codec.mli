@@ -30,6 +30,15 @@ val decode_update : string -> Mds.Update.t
 val encode_plan : Mds.Plan.t -> string
 val decode_plan : string -> Mds.Plan.t
 
+val encode_message : Wire.t -> string
+val decode_message : string -> Wire.t
+(** Every {!Wire.t} constructor round-trips; the interconnect carries
+    serializable protocol state just as the WAL does.
+    @raise Malformed on invalid input. *)
+
+val encoded_message_size : Wire.t -> int
+(** [String.length (encode_message m)]. *)
+
 (**/**)
 
 (** Primitive layer, exposed for tests. *)

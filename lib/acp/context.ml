@@ -29,7 +29,8 @@ type t = {
 }
 
 let trace_txn t txn ~kind detail =
-  Simkit.Trace.emitf t.trace
-    ~time:(Simkit.Engine.now t.engine)
-    ~source:(Netsim.Address.name t.self)
-    ~kind "%a %s" Txn.pp_id txn detail
+  if Simkit.Trace.is_recording t.trace then
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:(Netsim.Address.name t.self)
+      ~kind "%a %s" Txn.pp_id txn detail

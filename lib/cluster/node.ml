@@ -119,10 +119,11 @@ let make_context t =
             Metrics.Ledger.incr t.sv.ledger ("msg." ^ Acp.Wire.label wire);
             if not (Acp.Wire.is_baseline wire) then
               Metrics.Ledger.incr t.sv.ledger "msg.acp";
-            Simkit.Trace.emitf t.sv.trace
-              ~time:(Simkit.Engine.now t.sv.engine)
-              ~source:(name t) ~kind:"send" "%a -> %a" Acp.Wire.pp wire
-              Netsim.Address.pp dst;
+            if Simkit.Trace.is_recording t.sv.trace then
+              Simkit.Trace.emitf t.sv.trace
+                ~time:(Simkit.Engine.now t.sv.engine)
+                ~source:(name t) ~kind:"send" "%a -> %a" Acp.Wire.pp wire
+                Netsim.Address.pp dst;
             Netsim.Network.send t.sv.network ~src:t.address ~dst
               (Msg.Acp wire)));
     force =

@@ -379,6 +379,103 @@ let compare_shared_vs_independent ?(count = 100) () =
       (kind, shared, independent))
     Acp.Protocol.all
 
+(* ------------------------------------------------------------------ *)
+(* Scale campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type scale_point = {
+  protocol : Acp.Protocol.kind;
+  servers : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  events : int;
+  sim_elapsed : Simkit.Time.span;
+  ops_per_s : float;
+  latency_p50 : Simkit.Time.span;
+  latency_p95 : Simkit.Time.span;
+  latency_p99 : Simkit.Time.span;
+}
+
+let scale_config ~servers ~seed =
+  {
+    fig6_config with
+    Opc_cluster.Config.servers;
+    seed;
+    txn_timeout = Simkit.Time.span_s 60;
+    (* One log device per server: the sharded-store regime where
+       coordinator count is the scaling axis, not a single spindle. *)
+    san =
+      {
+        fig6_config.Opc_cluster.Config.san with
+        Storage.San.shared_device = false;
+      };
+  }
+
+let run_scale_point ?(clients_per_server = 2) ~servers ~txns ~seed protocol =
+  let config =
+    { (scale_config ~servers ~seed) with Opc_cluster.Config.protocol }
+  in
+  let cluster = Opc_cluster.Cluster.create config in
+  let root = Opc_cluster.Cluster.root cluster in
+  let dirs =
+    Array.init servers (fun i ->
+        Opc_cluster.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "scale%d" i)
+          ~server:i ())
+  in
+  let clients = clients_per_server * servers in
+  let ops_per_client = max 1 (txns / clients) in
+  let rng = Simkit.Rng.create ~seed in
+  (* Create/delete only (renames can deadlock and stall on the lock
+     timeout — noise, not throughput) over uniformly chosen directories:
+     every server coordinates an equal share. *)
+  let mix =
+    {
+      Workload.create_weight = 70;
+      delete_weight = 25;
+      rename_weight = 0;
+      lookup_weight = 5;
+    }
+  in
+  let wl =
+    Workload.closed_loop cluster ~dirs ~clients ~ops_per_client ~mix
+      ~zipf_s:0.0 ~rng ()
+  in
+  (match
+     Opc_cluster.Cluster.settle ~deadline:(Simkit.Time.span_s 86_400) cluster
+   with
+  | Opc_cluster.Cluster.Quiescent -> ()
+  | Opc_cluster.Cluster.Deadline_exceeded ->
+      failwith "scale: cluster did not settle before the deadline"
+  | Opc_cluster.Cluster.Stuck -> failwith "scale: cluster is stuck");
+  let stats = Workload.stats wl in
+  let sim_elapsed =
+    Simkit.Time.diff stats.Workload.last_reply stats.Workload.first_submit
+  in
+  let p50, p95, p99 =
+    match
+      Metrics.Histogram.quantiles
+        (Opc_cluster.Cluster.latency_committed cluster)
+        [ 0.50; 0.95; 0.99 ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  {
+    protocol;
+    servers;
+    submitted = stats.Workload.submitted;
+    committed = stats.Workload.committed;
+    aborted = stats.Workload.aborted;
+    events = Simkit.Engine.dispatched (Opc_cluster.Cluster.engine cluster);
+    sim_elapsed;
+    ops_per_s = Workload.throughput_per_s stats;
+    latency_p50 = p50;
+    latency_p95 = p95;
+    latency_p99 = p99;
+  }
+
 let sweep_batching ?(batch_sizes = [ 1; 2; 4; 8; 16; 32 ]) ?(count = 100) () =
   List.map
     (fun batch ->

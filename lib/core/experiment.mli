@@ -116,6 +116,38 @@ val compare_group_commit :
     family's voting round trips keep interrupting the batchable
     windows. *)
 
+(** {1 Scale campaign} *)
+
+type scale_point = {
+  protocol : Acp.Protocol.kind;
+  servers : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  events : int;  (** engine dispatches consumed by the whole run *)
+  sim_elapsed : Simkit.Time.span;  (** first submit -> last reply *)
+  ops_per_s : float;  (** committed operations per simulated second *)
+  latency_p50 : Simkit.Time.span;
+  latency_p95 : Simkit.Time.span;
+  latency_p99 : Simkit.Time.span;
+}
+
+val run_scale_point :
+  ?clients_per_server:int ->
+  servers:int ->
+  txns:int ->
+  seed:int ->
+  Acp.Protocol.kind ->
+  scale_point
+(** One point of the scale campaign: [servers] metadata servers with one
+    log device each ([San.shared_device = false] — the sharded-store
+    regime), one workload directory per server, and a seeded closed-loop
+    create/delete/lookup mix of [clients_per_server] (default 2) clients
+    per server issuing [txns / clients] operations each. Deterministic
+    given [(servers, txns, seed, protocol)]. Host wall-clock and
+    events/sec are the caller's to measure — this returns the simulated
+    metrics and the engine's dispatch count. *)
+
 val compare_shared_vs_independent :
   ?count:int -> unit -> (Acp.Protocol.kind * float * float) list
 (** Architecture ablation: Figure-6 throughput on the paper's single

@@ -20,6 +20,11 @@ type waiter = {
 type entry = {
   mutable holders : (int * mode) list;  (* newest first *)
   queue : waiter Queue.t;
+  (* Number of queue members with [live = true], maintained at every
+     enqueue / grant / timeout / cancel. [release_all] scans the whole
+     table once per transaction, so the per-entry liveness test must not
+     walk the queue. *)
+  mutable live_waiters : int;
 }
 
 type stats = {
@@ -62,23 +67,33 @@ let entry t oid =
   match Hashtbl.find_opt t.table oid with
   | Some e -> e
   | None ->
-      let e = { holders = []; queue = Queue.create () } in
+      let e = { holders = []; queue = Queue.create (); live_waiters = 0 } in
       Hashtbl.replace t.table oid e;
       e
 
-let live_queue_length e =
-  Queue.fold (fun acc w -> if w.live then acc + 1 else acc) 0 e.queue
+let live_queue_length e = e.live_waiters
+
+(* An entry with no holders and no live waiters is indistinguishable
+   from an absent one ([entry] recreates exactly this state), so drop it
+   from the table. Without pruning the table accumulates one entry per
+   oid ever locked, and [release_all] — which runs once per transaction
+   — degrades to a scan over every file ever created. Dead waiters
+   still parked in [e.queue] are inert: their timers no-op on
+   [w.live = false]. *)
+let prune t oid e =
+  if e.holders = [] && e.live_waiters = 0 then Hashtbl.remove t.table oid
 
 (* A waiter can be granted when every current holder is compatible —
    except that a holder upgrading Shared -> Exclusive only needs to be the
    sole holder. *)
 let grantable e w =
-  let others = List.filter (fun (o, _) -> o <> w.owner) e.holders in
   let self = List.mem_assoc w.owner e.holders in
   match (self, w.mode) with
-  | true, Exclusive -> others = []
+  | true, Exclusive ->
+      (* Sole holder: every hold belongs to the upgrader. *)
+      List.for_all (fun (o, _) -> o = w.owner) e.holders
   | true, Shared -> true
-  | false, m -> List.for_all (fun (_, hm) -> compatible m hm) others
+  | false, m -> List.for_all (fun (_, hm) -> compatible m hm) e.holders
 
 let record_grant t w =
   t.acquired <- t.acquired + 1;
@@ -97,10 +112,11 @@ let grant t oid e w =
   (match w.timer with Some h -> Simkit.Engine.cancel h | None -> ());
   set_holder e ~owner:w.owner ~mode:w.mode;
   record_grant t w;
-  Simkit.Trace.emitf t.trace
-    ~time:(Simkit.Engine.now t.engine)
-    ~source:t.name ~kind:"lock.grant" "txn %d %a oid %d" w.owner pp_mode
-    w.mode oid;
+  if Simkit.Trace.is_recording t.trace then
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:t.name ~kind:"lock.grant" "txn %d %a oid %d" w.owner pp_mode
+      w.mode oid;
   ignore (Simkit.Engine.defer t.engine ~label:"lock.grant" w.on_grant)
 
 (* Grant the longest compatible live prefix of the queue. Upgrades are
@@ -115,6 +131,7 @@ let rec pump t oid e =
   | Some w ->
       if grantable e w then begin
         ignore (Queue.take e.queue);
+        e.live_waiters <- e.live_waiters - 1;
         grant t oid e w;
         pump t oid e
       end
@@ -143,12 +160,14 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
       if empty_queue && grantable e w then grant t oid e w
       else begin
         Queue.add w e.queue;
+        e.live_waiters <- e.live_waiters + 1;
         let depth = live_queue_length e in
         if depth > t.max_queue then t.max_queue <- depth;
-        Simkit.Trace.emitf t.trace
-          ~time:(Simkit.Engine.now t.engine)
-          ~source:t.name ~kind:"lock.wait" "txn %d %a oid %d (depth %d)"
-          owner pp_mode mode oid depth;
+        if Simkit.Trace.is_recording t.trace then
+          Simkit.Trace.emitf t.trace
+            ~time:(Simkit.Engine.now t.engine)
+            ~source:t.name ~kind:"lock.wait" "txn %d %a oid %d (depth %d)"
+            owner pp_mode mode oid depth;
         match timeout with
         | None -> ()
         | Some span ->
@@ -157,6 +176,7 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
                 ~after:span (fun () ->
                   if w.live then begin
                     w.live <- false;
+                    e.live_waiters <- e.live_waiters - 1;
                     t.timeouts <- t.timeouts + 1;
                     Simkit.Trace.emitf t.trace
                       ~time:(Simkit.Engine.now t.engine)
@@ -164,6 +184,7 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
                       owner oid;
                     (* The dead waiter may have been blocking the head. *)
                     pump t oid e;
+                    prune t oid e;
                     w.on_timeout ()
                   end)
             in
@@ -171,15 +192,17 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
       end
 
 let cancel_waiters e ~owner =
-  Queue.iter
-    (fun w ->
-      if w.live && w.owner = owner then begin
-        w.live <- false;
-        match w.timer with
-        | Some h -> Simkit.Engine.cancel h
-        | None -> ()
-      end)
-    e.queue
+  if e.live_waiters > 0 then
+    Queue.iter
+      (fun w ->
+        if w.live && w.owner = owner then begin
+          w.live <- false;
+          e.live_waiters <- e.live_waiters - 1;
+          match w.timer with
+          | Some h -> Simkit.Engine.cancel h
+          | None -> ()
+        end)
+      e.queue
 
 let release t ~owner ~oid =
   match Hashtbl.find_opt t.table oid with
@@ -188,21 +211,27 @@ let release t ~owner ~oid =
       let had = List.mem_assoc owner e.holders in
       e.holders <- List.remove_assoc owner e.holders;
       cancel_waiters e ~owner;
-      if had then
+      if had && Simkit.Trace.is_recording t.trace then
         Simkit.Trace.emitf t.trace
           ~time:(Simkit.Engine.now t.engine)
           ~source:t.name ~kind:"lock.release" "txn %d oid %d" owner oid;
-      pump t oid e
+      pump t oid e;
+      prune t oid e
 
 let release_all t ~owner =
+  (* Mutating the table mid-[Hashtbl.iter] is unspecified, so collect
+     the entries that went dead and prune them afterwards. *)
+  let dead = ref [] in
   Hashtbl.iter
     (fun oid e ->
       if List.mem_assoc owner e.holders || live_queue_length e > 0 then begin
         e.holders <- List.remove_assoc owner e.holders;
         cancel_waiters e ~owner;
-        pump t oid e
+        pump t oid e;
+        if e.holders = [] && e.live_waiters = 0 then dead := oid :: !dead
       end)
-    t.table
+    t.table;
+  List.iter (fun oid -> Hashtbl.remove t.table oid) !dead
 
 let holds t ~owner ~oid =
   match Hashtbl.find_opt t.table oid with

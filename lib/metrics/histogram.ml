@@ -49,17 +49,37 @@ let max_value t =
     Simkit.Time.span_ns t.samples.(t.len - 1)
   end
 
-let percentile t p =
-  if p < 0.0 || p > 100.0 then
-    invalid_arg "Histogram.percentile: rank outside [0, 100]";
+(* nearest-rank over the sorted samples; [q] in [0, 1]. *)
+let quantile_sorted t q =
+  let rank = int_of_float (ceil (q *. float_of_int t.len)) in
+  let idx = max 0 (min (t.len - 1) (rank - 1)) in
+  Simkit.Time.span_ns t.samples.(idx)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 || Float.is_nan q then
+    invalid_arg "Histogram.quantile: rank outside [0, 1]";
   if t.len = 0 then Simkit.Time.zero_span
   else begin
     ensure_sorted t;
-    (* nearest-rank *)
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
-    let idx = max 0 (min (t.len - 1) (rank - 1)) in
-    Simkit.Time.span_ns t.samples.(idx)
+    quantile_sorted t q
   end
+
+let quantiles t qs =
+  List.iter
+    (fun q ->
+      if q < 0.0 || q > 1.0 || Float.is_nan q then
+        invalid_arg "Histogram.quantiles: rank outside [0, 1]")
+    qs;
+  if t.len = 0 then List.map (fun _ -> Simkit.Time.zero_span) qs
+  else begin
+    ensure_sorted t;
+    List.map (quantile_sorted t) qs
+  end
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Histogram.percentile: rank outside [0, 100]";
+  quantile t (p /. 100.0)
 
 let total t = Simkit.Time.span_ns t.total_ns
 

@@ -22,6 +22,16 @@ val percentile : t -> float -> Simkit.Time.span
 (** [percentile t 50.0] is the median (nearest-rank). Zero when empty.
     @raise Invalid_argument if the rank is outside [0, 100]. *)
 
+val quantile : t -> float -> Simkit.Time.span
+(** [quantile t 0.5] is the median (nearest-rank), [quantile t q] the
+    q-quantile for [q] in [0, 1]. Zero when empty.
+    @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+val quantiles : t -> float list -> Simkit.Time.span list
+(** Batch {!quantile}: sorts the samples once and reads every requested
+    rank, in input order — the cheap way to pull p50/p95/p99 out of a
+    large run. *)
+
 val total : t -> Simkit.Time.span
 
 val merge : t -> t -> t

@@ -9,6 +9,10 @@ type t = {
   timeout : Simkit.Time.span;
   sweep_interval : Simkit.Time.span;
   peers : peer_state list;
+  (* Peer states keyed by {!Address.index} for O(1) [heard_from]: with a
+     full heartbeat mesh every node calls it n-1 times per interval, so
+     a list scan here turns the fabric O(n^3). *)
+  by_index : peer_state option array;
   on_suspect : Address.t -> unit;
   on_alive : Address.t -> unit;
   mutable running : bool;
@@ -30,11 +34,17 @@ let create ~engine ~timeout ?sweep_interval ~peers ~on_suspect
       (fun address -> { address; last_heard = now; suspected = false })
       peers
   in
+  let max_index =
+    List.fold_left (fun m p -> max m (Address.index p.address)) (-1) peers
+  in
+  let by_index = Array.make (max_index + 1) None in
+  List.iter (fun p -> by_index.(Address.index p.address) <- Some p) peers;
   {
     engine;
     timeout;
     sweep_interval;
     peers;
+    by_index;
     on_suspect;
     on_alive;
     running = false;
@@ -42,7 +52,8 @@ let create ~engine ~timeout ?sweep_interval ~peers ~on_suspect
   }
 
 let find t a =
-  List.find_opt (fun p -> Address.equal p.address a) t.peers
+  let i = Address.index a in
+  if i < 0 || i >= Array.length t.by_index then None else t.by_index.(i)
 
 let check_peer t now p =
   if (not p.suspected)

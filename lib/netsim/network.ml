@@ -48,8 +48,11 @@ type 'msg t = {
   mutable n : int;
   cuts : (int * int, unit) Hashtbl.t;  (* ordered pairs, lo first *)
   (* Next admissible delivery time per ordered (src, dst) pair, to keep
-     links FIFO under jitter. *)
-  link_clock : (int * int, Simkit.Time.t) Hashtbl.t;
+     links FIFO under jitter. Flat [cap * cap] matrix indexed
+     [src * cap + dst] (zero = no floor recorded): the per-message path
+     must not hash or allocate. Grown by [register]. *)
+  mutable link_clock : Simkit.Time.t array;
+  mutable link_cap : int;
   mutable sent : int;
   mutable delivered : int;
   mutable duplicated : int;
@@ -78,7 +81,8 @@ let create ~engine ~rng ?trace (config : config) =
     eps = [||];
     n = 0;
     cuts = Hashtbl.create 16;
-    link_clock = Hashtbl.create 64;
+    link_clock = [||];
+    link_cap = 0;
     sent = 0;
     delivered = 0;
     duplicated = 0;
@@ -98,6 +102,19 @@ let register t ~name handler =
   end;
   t.eps.(t.n) <- ep;
   t.n <- t.n + 1;
+  if t.n > t.link_cap then begin
+    (* Re-lay the FIFO floors out for the wider matrix. Registration
+       happens at assembly time, so this is never on a message path. *)
+    let cap = max 8 (2 * t.n) in
+    let bigger = Array.make (cap * cap) Simkit.Time.zero in
+    for src = 0 to t.link_cap - 1 do
+      for dst = 0 to t.link_cap - 1 do
+        bigger.((src * cap) + dst) <- t.link_clock.((src * t.link_cap) + dst)
+      done
+    done;
+    t.link_clock <- bigger;
+    t.link_cap <- cap
+  end;
   address
 
 let endpoints t =
@@ -112,7 +129,10 @@ let pair a b =
   let ia = Address.index a and ib = Address.index b in
   if ia <= ib then (ia, ib) else (ib, ia)
 
-let reachable t a b = not (Hashtbl.mem t.cuts (pair a b))
+(* Fast path: a healthy fabric (no cuts) answers without allocating the
+   pair key. *)
+let reachable t a b =
+  Hashtbl.length t.cuts = 0 || not (Hashtbl.mem t.cuts (pair a b))
 
 let set_up t a = (endpoint t a).up <- true
 let set_down t a = (endpoint t a).up <- false
@@ -162,13 +182,10 @@ let delivery_time t ~src ~dst =
        else Simkit.Rng.uniform_span t.rng t.config.jitter)
   in
   let naive = Simkit.Time.add (Simkit.Engine.now t.engine) delay in
-  let key = (Address.index src, Address.index dst) in
-  let at =
-    match Hashtbl.find_opt t.link_clock key with
-    | Some floor when Simkit.Time.( < ) naive floor -> floor
-    | _ -> naive
-  in
-  Hashtbl.replace t.link_clock key at;
+  let key = (Address.index src * t.link_cap) + Address.index dst in
+  let floor = t.link_clock.(key) in
+  let at = if Simkit.Time.( < ) naive floor then floor else naive in
+  t.link_clock.(key) <- at;
   at
 
 let send t ~src ~dst payload =
@@ -216,8 +233,9 @@ let send t ~src ~dst payload =
         end
         else begin
           t.delivered <- t.delivered + 1;
-          Simkit.Trace.emitf t.trace ~time:at ~source:(Address.name dst)
-            ~kind:"net.recv" "from %a" Address.pp src;
+          if Simkit.Trace.is_recording t.trace then
+            Simkit.Trace.emitf t.trace ~time:at ~source:(Address.name dst)
+              ~kind:"net.recv" "from %a" Address.pp src;
           dst_ep.handler { src; dst; sent_at; payload }
         end
       in

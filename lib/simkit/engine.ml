@@ -1,6 +1,12 @@
 type t = {
   mutable clock : Time.t;
-  queue : handle Heap.t;
+  (* Inline 4-ary min-heap of pending events, ordered by (at, seq). The
+     heap is specialized here rather than using the generic {!Heap} so
+     the hot loop compares the two int fields directly — no comparator
+     closure, no [option] boxing on pop. Slots beyond [qlen] keep stale
+     handles until overwritten; they are unreachable through the API. *)
+  mutable q : handle array;
+  mutable qlen : int;
   mutable next_seq : int;
   mutable dispatched : int;
   mutable cancelled_in_queue : int;
@@ -12,21 +18,26 @@ and handle = {
   seq : int;
   label : string;
   callback : unit -> unit;
-  mutable state : [ `Pending | `Cancelled | `Done ];
+  mutable state : state;
 }
+
+and state = Pending | Cancelled | Done
 
 exception Event_failure of string * exn
 
-(* Events compare by (timestamp, sequence number): FIFO among equal
-   timestamps, hence full determinism. *)
-let cmp_handle a b =
+(* Events order by (timestamp, sequence number): FIFO among equal
+   timestamps, hence full determinism. [seq] is unique, so this is a
+   strict total order and the heap's pop sequence is independent of the
+   heap's internal layout. *)
+let before a b =
   let c = Time.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
+  if c <> 0 then c < 0 else a.seq < b.seq
 
 let create () =
   {
     clock = Time.zero;
-    queue = Heap.create ~cmp:cmp_handle ();
+    q = [||];
+    qlen = 0;
     next_seq = 0;
     dispatched = 0;
     cancelled_in_queue = 0;
@@ -34,10 +45,70 @@ let create () =
 
 let now t = t.clock
 
+(* The backing array is allocated lazily on the first push so that
+   [create] needs no witness element. *)
+let ensure_capacity t h =
+  if t.qlen = Array.length t.q then
+    if t.qlen = 0 then t.q <- Array.make 256 h
+    else begin
+      let bigger = Array.make (2 * t.qlen) t.q.(0) in
+      Array.blit t.q 0 bigger 0 t.qlen;
+      t.q <- bigger
+    end
+
+(* Hole-based sift: move parents down into the hole and write the new
+   element once, instead of repeated swaps. *)
+let heap_push t h =
+  ensure_capacity t h;
+  let q = t.q in
+  let i = ref t.qlen in
+  t.qlen <- t.qlen + 1;
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) lsr 2 in
+    let p = q.(parent) in
+    if before h p then begin
+      q.(!i) <- p;
+      i := parent
+    end
+    else stop := true
+  done;
+  q.(!i) <- h
+
+(* Remove and return the minimum. Caller guarantees [qlen > 0]. *)
+let heap_pop t =
+  let q = t.q in
+  let top = q.(0) in
+  let n = t.qlen - 1 in
+  t.qlen <- n;
+  if n > 0 then begin
+    let last = q.(n) in
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let child = (4 * !i) + 1 in
+      if child >= n then stop := true
+      else begin
+        let m = ref child in
+        let hi = if child + 4 < n then child + 4 else n in
+        for c = child + 1 to hi - 1 do
+          if before q.(c) q.(!m) then m := c
+        done;
+        if before q.(!m) last then begin
+          q.(!i) <- q.(!m);
+          i := !m
+        end
+        else stop := true
+      end
+    done;
+    q.(!i) <- last
+  end;
+  top
+
 let enqueue t ~at ~label callback =
-  let h = { owner = t; at; seq = t.next_seq; label; callback; state = `Pending } in
+  let h = { owner = t; at; seq = t.next_seq; label; callback; state = Pending } in
   t.next_seq <- t.next_seq + 1;
-  Heap.push t.queue h;
+  heap_push t h;
   h
 
 let schedule t ?(label = "event") ~after f =
@@ -51,46 +122,36 @@ let schedule_at t ?(label = "event") ~at f =
 let defer t ?(label = "deferred") f = enqueue t ~at:t.clock ~label f
 
 let cancel h =
-  if h.state = `Pending then begin
-    h.state <- `Cancelled;
+  if h.state = Pending then begin
+    h.state <- Cancelled;
     h.owner.cancelled_in_queue <- h.owner.cancelled_in_queue + 1
   end
 
-let is_pending h = h.state = `Pending
+let is_pending h = h.state = Pending
 
-let pending t = Heap.length t.queue - t.cancelled_in_queue
+let pending t = t.qlen - t.cancelled_in_queue
 let dispatched t = t.dispatched
 
-(* Pop skipping tombstones left by [cancel]. *)
-let rec pop_live t =
-  match Heap.pop t.queue with
-  | None -> None
-  | Some h when h.state = `Cancelled ->
-      t.cancelled_in_queue <- t.cancelled_in_queue - 1;
-      pop_live t
-  | Some h -> Some h
-
-let rec peek_live t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some h when h.state = `Cancelled ->
-      ignore (Heap.pop t.queue);
-      t.cancelled_in_queue <- t.cancelled_in_queue - 1;
-      peek_live t
-  | Some h -> Some h
+(* Discard tombstones left by [cancel] from the top of the heap. *)
+let drop_cancelled t =
+  while t.qlen > 0 && t.q.(0).state == Cancelled do
+    ignore (heap_pop t);
+    t.cancelled_in_queue <- t.cancelled_in_queue - 1
+  done
 
 let dispatch t h =
   t.clock <- h.at;
-  h.state <- `Done;
+  h.state <- Done;
   t.dispatched <- t.dispatched + 1;
   try h.callback () with exn -> raise (Event_failure (h.label, exn))
 
 let step t =
-  match pop_live t with
-  | None -> false
-  | Some h ->
-      dispatch t h;
-      true
+  drop_cancelled t;
+  if t.qlen = 0 then false
+  else begin
+    dispatch t (heap_pop t);
+    true
+  end
 
 type outcome = Drained | Reached_limit | Reached_until
 
@@ -98,20 +159,21 @@ let run ?until ?max_events t =
   let budget = ref (match max_events with None -> -1 | Some n -> n) in
   let rec loop () =
     if !budget = 0 then Reached_limit
-    else
-      match peek_live t with
-      | None -> Drained
-      | Some h -> (
-          match until with
-          | Some stop when Time.( > ) h.at stop ->
-              t.clock <- stop;
-              Reached_until
-          | _ ->
-              (match pop_live t with
-              | Some h -> dispatch t h
-              | None -> assert false);
-              if !budget > 0 then decr budget;
-              loop ())
+    else begin
+      drop_cancelled t;
+      if t.qlen = 0 then Drained
+      else
+        let h = t.q.(0) in
+        match until with
+        | Some stop when Time.( > ) h.at stop ->
+            t.clock <- stop;
+            Reached_until
+        | _ ->
+            ignore (heap_pop t);
+            dispatch t h;
+            if !budget > 0 then decr budget;
+            loop ()
+    end
   in
   let outcome = loop () in
   (match (outcome, until) with

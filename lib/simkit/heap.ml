@@ -1,12 +1,19 @@
+(* 4-ary array min-heap with hole-based in-place sifting: each level of
+   a sift moves one element instead of swapping (one write per level),
+   and the wider fan-out halves the tree depth — fewer comparator calls
+   and better cache behavior than the textbook binary version for the
+   push/pop churn a discrete-event queue produces. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  capacity : int;  (* initial backing-array size, applied on first push *)
   mutable arr : 'a array;
   mutable len : int;
 }
 
 let create ?(capacity = 64) ~cmp () =
   if capacity < 1 then invalid_arg "Heap.create: capacity < 1";
-  { cmp; arr = [||]; len = 0 }
+  { cmp; capacity; arr = [||]; len = 0 }
 
 let length h = h.len
 let is_empty h = h.len = 0
@@ -17,63 +24,73 @@ let is_empty h = h.len = 0
    reuse, which is fine for the simulation workloads this serves. *)
 let ensure_capacity h x =
   if h.len = Array.length h.arr then
-    if h.len = 0 then h.arr <- Array.make 64 x
+    if h.len = 0 then h.arr <- Array.make h.capacity x
     else begin
       let bigger = Array.make (2 * h.len) h.arr.(0) in
       Array.blit h.arr 0 bigger 0 h.len;
       h.arr <- bigger
     end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.cmp h.arr.(i) h.arr.(parent) < 0 then begin
-      let tmp = h.arr.(i) in
-      h.arr.(i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
-      sift_up h parent
-    end
-  end
-
-let rec sift_down h i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < h.len && h.cmp h.arr.(left) h.arr.(!smallest) < 0 then
-    smallest := left;
-  if right < h.len && h.cmp h.arr.(right) h.arr.(!smallest) < 0 then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = h.arr.(i) in
-    h.arr.(i) <- h.arr.(!smallest);
-    h.arr.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
-
 let push h x =
   ensure_capacity h x;
-  h.arr.(h.len) <- x;
+  let a = h.arr in
+  let i = ref h.len in
   h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) lsr 2 in
+    let p = a.(parent) in
+    if h.cmp x p < 0 then begin
+      a.(!i) <- p;
+      i := parent
+    end
+    else stop := true
+  done;
+  a.(!i) <- x
 
 let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+(* Sift the detached last element down from the root hole. *)
+let sift_down_last h last =
+  let a = h.arr in
+  let n = h.len in
+  let i = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let child = (4 * !i) + 1 in
+    if child >= n then stop := true
+    else begin
+      let m = ref child in
+      let hi = if child + 4 < n then child + 4 else n in
+      for c = child + 1 to hi - 1 do
+        if h.cmp a.(c) a.(!m) < 0 then m := c
+      done;
+      if h.cmp a.(!m) last < 0 then begin
+        a.(!i) <- a.(!m);
+        i := !m
+      end
+      else stop := true
+    end
+  done;
+  a.(!i) <- last
 
 let pop h =
   if h.len = 0 then None
   else begin
     let top = h.arr.(0) in
     h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
-      sift_down h 0
-    end;
+    if h.len > 0 then sift_down_last h h.arr.(h.len);
     Some top
   end
 
 let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if h.len = 0 then invalid_arg "Heap.pop_exn: empty heap"
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then sift_down_last h h.arr.(h.len);
+    top
+  end
 
 let clear h = h.len <- 0
 
@@ -85,7 +102,10 @@ let fold_unordered f acc h =
   !acc
 
 let to_sorted_list h =
-  let copy = { cmp = h.cmp; arr = Array.sub h.arr 0 h.len; len = h.len } in
+  let copy =
+    { cmp = h.cmp; capacity = h.capacity; arr = Array.sub h.arr 0 h.len;
+      len = h.len }
+  in
   let rec drain acc =
     match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in

@@ -1,10 +1,11 @@
-(** Array-backed binary min-heap.
+(** Array-backed 4-ary min-heap.
 
-    The heap is the core data structure of the event engine: every pending
-    simulation event lives in it, keyed by (timestamp, sequence number). It
-    is written for predictable O(log n) push/pop with no allocation beyond
-    the backing array, and supports lazy deletion through client-side
-    tombstones (see {!Engine}).
+    General-purpose priority queue for simulation components (the event
+    engine itself embeds a monomorphic copy of this structure — see
+    {!Engine}). Written for predictable O(log n) push/pop with no
+    allocation beyond the backing array: 4-way fan-out halves the tree
+    depth of the binary version and the sifts move elements into a hole
+    instead of swapping, one write per level.
 
     Elements are compared with the [cmp] function given at creation time;
     ties are broken by nothing — callers that need a deterministic order

@@ -12,8 +12,16 @@ let emit t ~time ~source ~kind detail =
     t.length <- t.length + 1
   end
 
+(* On a disabled trace the format arguments are consumed without being
+   rendered ([ikfprintf] never touches the formatter), so instrumented
+   hot paths cost a test and an indirect call, not a string build. *)
 let emitf t ~time ~source ~kind fmt =
-  Format.kasprintf (fun detail -> emit t ~time ~source ~kind detail) fmt
+  if t.recording then
+    Format.kasprintf (fun detail -> emit t ~time ~source ~kind detail) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
+
+let emit_lazy t ~time ~source ~kind detail =
+  if t.recording then emit t ~time ~source ~kind (detail ())
 
 let entries t = List.rev t.entries
 let length t = t.length

@@ -35,8 +35,18 @@ val emitf :
   kind:string ->
   ('a, Format.formatter, unit, unit) format4 ->
   'a
-(** Formatted variant of {!emit}. The format arguments are evaluated even
-    when the trace is disabled; prefer {!emit} on hot paths. *)
+(** Formatted variant of {!emit}. On a disabled trace nothing is
+    rendered — the format arguments are consumed without building the
+    string, so instrumentation points cost ~zero in production-style
+    runs (the argument {e expressions} at the call site are still
+    evaluated, so keep those to field reads). *)
+
+val emit_lazy :
+  t -> time:Time.t -> source:string -> kind:string -> (unit -> string) ->
+  unit
+(** [emit_lazy t ... detail] forces [detail] only when the trace
+    records — for call sites whose description is expensive to build
+    even before formatting. *)
 
 val entries : t -> entry list
 (** All entries in emission order. *)

@@ -24,7 +24,12 @@ type t = {
   (* Service-time multiplier (1.0 = nominal bandwidth). Fault injection
      arms transient degradations (> 1 slows the device) at runtime. *)
   mutable slowdown : float;
-  waiting : request Queue.t;
+  (* FIFO of waiting requests as a circular buffer over [ring]:
+     [count] live entries starting at [head]. Vacated slots are reset to
+     [no_request] so completed closures don't outlive their request. *)
+  mutable ring : request array;
+  mutable head : int;
+  mutable count : int;
   mutable in_service : request option;
   mutable service_done_at : Simkit.Time.t;
   expelled : (int, unit) Hashtbl.t;
@@ -34,6 +39,36 @@ type t = {
   mutable requests_rejected : int;
   mutable busy_time : Simkit.Time.span;
 }
+
+let no_request = { initiator = -1; bytes = 0; label = ""; on_complete = ignore }
+
+let ring_push t req =
+  let cap = Array.length t.ring in
+  if t.count = cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) no_request in
+    for i = 0 to t.count - 1 do
+      bigger.(i) <- t.ring.((t.head + i) mod cap)
+    done;
+    t.ring <- bigger;
+    t.head <- 0
+  end;
+  let cap = Array.length t.ring in
+  t.ring.((t.head + t.count) mod cap) <- req;
+  t.count <- t.count + 1
+
+(* Caller checks [t.count > 0]. *)
+let ring_pop t =
+  let req = t.ring.(t.head) in
+  t.ring.(t.head) <- no_request;
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.count <- t.count - 1;
+  req
+
+let ring_iter t f =
+  let cap = Array.length t.ring in
+  for i = 0 to t.count - 1 do
+    f t.ring.((t.head + i) mod cap)
+  done
 
 let create ~engine ?trace config =
   if config.bandwidth_bytes_per_s <= 0 then
@@ -47,7 +82,9 @@ let create ~engine ?trace config =
     trace;
     config;
     slowdown = 1.0;
-    waiting = Queue.create ();
+    ring = [||];
+    head = 0;
+    count = 0;
     in_service = None;
     service_done_at = Simkit.Time.zero;
     expelled = Hashtbl.create 8;
@@ -77,37 +114,41 @@ let set_slowdown t factor =
 
 let slowdown t = t.slowdown
 
-let is_expelled t ~initiator = Hashtbl.mem t.expelled initiator
+let is_expelled t ~initiator =
+  Hashtbl.length t.expelled > 0 && Hashtbl.mem t.expelled initiator
 
 let rec start_next t =
-  match Queue.take_opt t.waiting with
-  | None -> t.in_service <- None
-  | Some req ->
-      if is_expelled t ~initiator:req.initiator then begin
-        (* Dropped while waiting: skip without servicing. *)
-        t.requests_dropped <- t.requests_dropped + 1;
-        start_next t
-      end
-      else begin
+  if t.count = 0 then t.in_service <- None
+  else begin
+    let req = ring_pop t in
+    if is_expelled t ~initiator:req.initiator then begin
+      (* Dropped while waiting: skip without servicing. *)
+      t.requests_dropped <- t.requests_dropped + 1;
+      start_next t
+    end
+    else begin
         t.in_service <- Some req;
         let span = transfer_span t ~bytes:req.bytes in
         let now = Simkit.Engine.now t.engine in
         t.service_done_at <- Simkit.Time.add now span;
         t.busy_time <- Simkit.Time.add_span t.busy_time span;
-        Simkit.Trace.emitf t.trace ~time:now ~source:"disk" ~kind:"io.start"
-          "%s (%dB, %a)" req.label req.bytes Simkit.Time.pp_span span;
+        if Simkit.Trace.is_recording t.trace then
+          Simkit.Trace.emitf t.trace ~time:now ~source:"disk" ~kind:"io.start"
+            "%s (%dB, %a)" req.label req.bytes Simkit.Time.pp_span span;
         ignore
           (Simkit.Engine.schedule t.engine ~label:"disk.complete" ~after:span
              (fun () ->
                t.in_service <- None;
                t.requests_completed <- t.requests_completed + 1;
                t.bytes_transferred <- t.bytes_transferred + req.bytes;
-               Simkit.Trace.emitf t.trace
-                 ~time:(Simkit.Engine.now t.engine)
-                 ~source:"disk" ~kind:"io.done" "%s" req.label;
+               if Simkit.Trace.is_recording t.trace then
+                 Simkit.Trace.emitf t.trace
+                   ~time:(Simkit.Engine.now t.engine)
+                   ~source:"disk" ~kind:"io.done" "%s" req.label;
                req.on_complete ();
                start_next t))
-      end
+    end
+  end
 
 let submit t ~initiator ~bytes ?(label = "io") ~on_complete () =
   if bytes < 0 then invalid_arg "Disk.submit: negative size";
@@ -116,8 +157,8 @@ let submit t ~initiator ~bytes ?(label = "io") ~on_complete () =
     `Rejected
   end
   else begin
-    Queue.add { initiator; bytes; label; on_complete } t.waiting;
-    if t.in_service = None then start_next t;
+    ring_push t { initiator; bytes; label; on_complete };
+    (match t.in_service with None -> start_next t | Some _ -> ());
     `Accepted
   end
 
@@ -127,21 +168,21 @@ let expel t ~initiator =
     (* Queued requests from the victim are purged eagerly so that
        [queue_depth] reflects reality; the in-service request, if the
        victim's, still completes. *)
-    let survivors = Queue.create () in
-    Queue.iter
-      (fun req ->
+    let survivors = ref [] in
+    ring_iter t (fun req ->
         if req.initiator = initiator then
           t.requests_dropped <- t.requests_dropped + 1
-        else Queue.add req survivors)
-      t.waiting;
-    Queue.clear t.waiting;
-    Queue.transfer survivors t.waiting
+        else survivors := req :: !survivors);
+    Array.fill t.ring 0 (Array.length t.ring) no_request;
+    t.head <- 0;
+    t.count <- 0;
+    List.iter (ring_push t) (List.rev !survivors)
   end
 
 let readmit t ~initiator = Hashtbl.remove t.expelled initiator
 
 let queue_depth t =
-  Queue.length t.waiting + match t.in_service with Some _ -> 1 | None -> 0
+  t.count + match t.in_service with Some _ -> 1 | None -> 0
 
 let busy_until t =
   let now = Simkit.Engine.now t.engine in
@@ -149,10 +190,10 @@ let busy_until t =
   | None -> now
   | Some _ ->
       (* The waiting queue extends beyond the in-service request. *)
-      Queue.fold
-        (fun acc req -> Simkit.Time.add acc (transfer_span t ~bytes:req.bytes))
-        t.service_done_at t.waiting
-      |> fun finish -> if Simkit.Time.( < ) finish now then now else finish
+      let finish = ref t.service_done_at in
+      ring_iter t (fun req ->
+          finish := Simkit.Time.add !finish (transfer_span t ~bytes:req.bytes));
+      if Simkit.Time.( < ) !finish now then now else !finish
 
 let stats t =
   {

@@ -16,6 +16,10 @@ type 'r t = {
   group_commit : bool;
   pending : 'r batch Queue.t;  (* group-commit buffer *)
   mutable inflight : bool;  (* a group request is at the device *)
+  (* Device labels, precomputed: submit runs once per log write and must
+     not rebuild the same string each time. *)
+  label_force : string;
+  label_async : string;
   trace : Simkit.Trace.t;
   mutable durable_records : 'r list;  (* reversed *)
   mutable durable_count : int;
@@ -50,6 +54,8 @@ let create ~engine ~disk ~owner ~initiator ~size ?(header_bytes = 64)
     group_commit;
     pending = Queue.create ();
     inflight = false;
+    label_force = owner ^ ".log.force";
+    label_async = owner ^ ".log.async";
     trace;
     durable_records = [];
     durable_count = 0;
@@ -130,17 +136,16 @@ let submit t ~sync records ~on_durable =
   else
   let bytes = write_bytes t records in
   let epoch = t.epoch in
-  let label =
-    Printf.sprintf "%s.log.%s" t.owner (if sync then "force" else "async")
-  in
+  let label = if sync then t.label_force else t.label_async in
   let outcome =
     Disk.submit t.disk ~initiator:t.initiator ~bytes ~label
       ~on_complete:(fun () ->
         commit_records t records bytes;
-        Simkit.Trace.emitf t.trace
-          ~time:(Simkit.Engine.now t.engine)
-          ~source:t.owner ~kind:"log.durable" "%d record(s), %dB"
-          (List.length records) bytes;
+        if Simkit.Trace.is_recording t.trace then
+          Simkit.Trace.emitf t.trace
+            ~time:(Simkit.Engine.now t.engine)
+            ~source:t.owner ~kind:"log.durable" "%d record(s), %dB"
+            (List.length records) bytes;
         if t.epoch = epoch then on_durable ())
       ()
   in
@@ -148,11 +153,12 @@ let submit t ~sync records ~on_durable =
   | `Accepted ->
       if sync then t.sync_writes <- t.sync_writes + 1
       else t.async_writes <- t.async_writes + 1;
-      Simkit.Trace.emitf t.trace
-        ~time:(Simkit.Engine.now t.engine)
-        ~source:t.owner
-        ~kind:(if sync then "log.force" else "log.append")
-        "%d record(s), %dB" (List.length records) bytes
+      if Simkit.Trace.is_recording t.trace then
+        Simkit.Trace.emitf t.trace
+          ~time:(Simkit.Engine.now t.engine)
+          ~source:t.owner
+          ~kind:(if sync then "log.force" else "log.append")
+          "%d record(s), %dB" (List.length records) bytes
   | `Rejected ->
       t.rejected_writes <- t.rejected_writes + 1;
       Simkit.Trace.emitf t.trace

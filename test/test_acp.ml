@@ -329,6 +329,118 @@ let test_codec_malformed () =
   (* trailing garbage after a valid record *)
   reject (Codec.encode_record (Log_record.Ended { txn = id 0 0 }) ^ "junk")
 
+(* One value per constructor, so a codec regression on a rare message
+   can't hide behind generator luck. *)
+let every_record =
+  let txn = id 2 41 in
+  [
+    Log_record.Started { txn; participants = [ 0; 3; 7 ] };
+    Log_record.Redo
+      {
+        txn;
+        plan =
+          {
+            Opc.Mds.Plan.op = Opc.Mds.Op.create_file ~parent:1 ~name:"f";
+            new_ino = Some 9;
+            coordinator =
+              {
+                Opc.Mds.Plan.server = 0;
+                lock_oids = [ 1 ];
+                updates = [ Opc.Mds.Update.Touch { ino = 1 } ];
+              };
+            workers = [];
+          };
+      };
+    Log_record.Updates
+      { txn; updates = [ Opc.Mds.Update.Unlink { dir = 4; name = "x" } ] };
+    Log_record.Prepared { txn };
+    Log_record.Committed { txn };
+    Log_record.Aborted { txn };
+    Log_record.Ended { txn };
+  ]
+
+let every_message =
+  let txn = id 5 13 in
+  [
+    Wire.Update_req
+      {
+        txn;
+        updates = [ Opc.Mds.Update.Ref { ino = 8 } ];
+        piggyback_prepare = true;
+        one_phase = false;
+      };
+    Wire.Updated { txn; ok = false };
+    Wire.Prepare { txn };
+    Wire.Prepared { txn; vote = true };
+    Wire.Commit { txn };
+    Wire.Abort { txn };
+    Wire.Ack { txn };
+    Wire.Decision_req { txn };
+    Wire.Decision { txn; committed = true };
+    Wire.Ack_req { txn };
+  ]
+
+let test_codec_every_record_constructor () =
+  List.iter
+    (fun r ->
+      if Codec.decode_record (Codec.encode_record r) <> r then
+        Alcotest.failf "record does not round-trip: %s"
+          (Codec.encode_record r |> String.escaped))
+    every_record
+
+let test_codec_every_message_constructor () =
+  List.iter
+    (fun m ->
+      let s = Codec.encode_message m in
+      if Codec.decode_message s <> m then
+        Alcotest.failf "message %s does not round-trip" (Wire.label m);
+      Alcotest.(check int)
+        (Wire.label m ^ " size")
+        (String.length s)
+        (Codec.encoded_message_size m))
+    every_message
+
+let test_codec_message_truncation () =
+  List.iter
+    (fun m ->
+      let s = Codec.encode_message m in
+      (* Every proper prefix must be rejected, not just length - 1. *)
+      for cut = 0 to String.length s - 1 do
+        match Codec.decode_message (String.sub s 0 cut) with
+        | exception Codec.Malformed _ -> ()
+        | _ ->
+            Alcotest.failf "message %s accepted truncated at %d"
+              (Wire.label m) cut
+      done)
+    every_message
+
+let gen_message =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* txn = gen_txn
+       and* updates = list_size (int_bound 4) gen_update
+       and* piggyback_prepare = bool
+       and* one_phase = bool in
+       return (Wire.Update_req { txn; updates; piggyback_prepare; one_phase }));
+      (let* txn = gen_txn and* ok = bool in
+       return (Wire.Updated { txn; ok }));
+      (let* txn = gen_txn in return (Wire.Prepare { txn }));
+      (let* txn = gen_txn and* vote = bool in
+       return (Wire.Prepared { txn; vote }));
+      (let* txn = gen_txn in return (Wire.Commit { txn }));
+      (let* txn = gen_txn in return (Wire.Abort { txn }));
+      (let* txn = gen_txn in return (Wire.Ack { txn }));
+      (let* txn = gen_txn in return (Wire.Decision_req { txn }));
+      (let* txn = gen_txn and* committed = bool in
+       return (Wire.Decision { txn; committed }));
+      (let* txn = gen_txn in return (Wire.Ack_req { txn }));
+    ]
+
+let prop_codec_message_roundtrip =
+  QCheck2.Test.make ~name:"codec: message roundtrip" ~count:500 gen_message
+    (fun m -> Codec.decode_message (Codec.encode_message m) = m)
+
 let test_codec_sizes_are_small () =
   (* Encoded state records are far below the calibrated constants —
      what makes the encoded-size ablation meaningful. *)
@@ -367,6 +479,12 @@ let () =
           Alcotest.test_case "varint" `Quick test_codec_varint;
           Alcotest.test_case "malformed" `Quick test_codec_malformed;
           Alcotest.test_case "compact sizes" `Quick test_codec_sizes_are_small;
+          Alcotest.test_case "every record constructor" `Quick
+            test_codec_every_record_constructor;
+          Alcotest.test_case "every message constructor" `Quick
+            test_codec_every_message_constructor;
+          Alcotest.test_case "message prefixes rejected" `Quick
+            test_codec_message_truncation;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [
@@ -374,5 +492,6 @@ let () =
               prop_codec_record_roundtrip;
               prop_codec_plan_roundtrip;
               prop_codec_rejects_truncation;
+              prop_codec_message_roundtrip;
             ] );
     ]

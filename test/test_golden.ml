@@ -1,0 +1,154 @@
+(* Golden determinism pins.
+
+   These tests freeze the exact numbers the seeded experiment and chaos
+   runs produce today: Figure 6 throughput/latency digits, the measured
+   Table I cost columns, and the chaos campaign's per-seed verdicts.
+   The simulator is deterministic, so any engine/heap/network/lock
+   refactor that perturbs event order — not just event semantics —
+   shows up here as a hard failure rather than as a silently different
+   "valid" run. Constant-factor optimisations must reproduce every
+   digit below bit-for-bit; a deliberate semantic change must re-pin
+   them in the same commit that explains why. *)
+
+open Opc
+
+let pname = Acp.Protocol.name
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* protocol, throughput (printed %.2f), committed, aborted,
+   mean latency ns, mean lock-hold ns *)
+let fig6_golden =
+  [
+    (Acp.Protocol.Prn, "16.28", 100, 0, 3_604_610_000, 61_232_800);
+    (Acp.Protocol.Prc, "19.49", 100, 0, 3_092_240_000, 51_194_200);
+    (Acp.Protocol.Ep, "19.53", 100, 0, 3_087_339_500, 51_096_190);
+    (Acp.Protocol.Opc, "24.60", 100, 0, 2_544_941_400, 40_552_400);
+  ]
+
+let test_fig6 () =
+  List.iter
+    (fun (kind, throughput, committed, aborted, latency_ns, lock_ns) ->
+      let p = Experiment.run_fig6_point kind in
+      Alcotest.(check string)
+        (pname kind ^ " throughput")
+        throughput
+        (Printf.sprintf "%.2f" p.Experiment.throughput);
+      Alcotest.(check int) (pname kind ^ " committed") committed p.committed;
+      Alcotest.(check int) (pname kind ^ " aborted") aborted p.aborted;
+      Alcotest.(check int)
+        (pname kind ^ " mean latency ns")
+        latency_ns
+        (Simkit.Time.span_to_ns p.mean_latency);
+      Alcotest.(check int)
+        (pname kind ^ " mean lock hold ns")
+        lock_ns
+        (Simkit.Time.span_to_ns p.mean_lock_hold))
+    fig6_golden
+
+(* ------------------------------------------------------------------ *)
+(* Table I (measured)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* protocol, sync writes, async writes, ACP messages — per transaction,
+   printed %.2f exactly as `bench table1` does *)
+let table1_golden =
+  [
+    (Acp.Protocol.Prn, "5.00", "1.00", "4.00");
+    (Acp.Protocol.Prc, "4.00", "1.00", "3.00");
+    (Acp.Protocol.Ep, "4.00", "1.00", "1.00");
+    (Acp.Protocol.Opc, "3.00", "1.00", "1.00");
+  ]
+
+let test_table1 () =
+  List.iter
+    (fun (kind, sync, async, msgs) ->
+      let c = Experiment.run_table1_measured kind in
+      let fmt = Printf.sprintf "%.2f" in
+      Alcotest.(check string)
+        (pname kind ^ " sync writes/txn")
+        sync
+        (fmt c.Experiment.sync_writes_per_txn);
+      Alcotest.(check string)
+        (pname kind ^ " async writes/txn")
+        async
+        (fmt c.async_writes_per_txn);
+      Alcotest.(check string)
+        (pname kind ^ " messages/txn")
+        msgs
+        (fmt c.acp_messages_per_txn))
+    table1_golden
+
+(* ------------------------------------------------------------------ *)
+(* Chaos verdicts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per protocol: (committed, aborted) for seeds 1..5 of the default
+   spec, all of which pass the atomicity/liveness oracles. *)
+let chaos_golden =
+  [
+    (Acp.Protocol.Prn, [ (77, 5); (76, 6); (73, 6); (73, 6); (70, 10) ]);
+    (Acp.Protocol.Prc, [ (76, 6); (78, 5); (72, 6); (72, 7); (70, 10) ]);
+    (Acp.Protocol.Ep, [ (76, 6); (77, 6); (72, 6); (72, 7); (70, 10) ]);
+    (Acp.Protocol.Opc, [ (70, 12); (73, 9); (69, 12); (76, 4); (74, 6) ]);
+  ]
+
+let test_chaos () =
+  List.iter
+    (fun (kind, per_seed) ->
+      List.iteri
+        (fun i (committed, aborted) ->
+          let seed = i + 1 in
+          let o =
+            Chaos.Runner.execute Chaos.Runner.default_spec ~protocol:kind
+              ~seed
+          in
+          let tag = Printf.sprintf "%s seed %d" (pname kind) seed in
+          Alcotest.(check bool) (tag ^ " passes") true (Chaos.Runner.passed o);
+          Alcotest.(check int)
+            (tag ^ " committed")
+            committed o.Chaos.Runner.committed;
+          Alcotest.(check int) (tag ^ " aborted") aborted o.aborted)
+        per_seed)
+    chaos_golden
+
+(* ------------------------------------------------------------------ *)
+(* Scale campaign point                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One small point of `bench scale`, pinned end to end: counters, the
+   engine's total dispatch count (any change to what gets scheduled
+   moves it) and the latency quantiles. *)
+let test_scale_point () =
+  let p =
+    Experiment.run_scale_point ~servers:8 ~txns:2000 ~seed:1
+      Acp.Protocol.Opc
+  in
+  Alcotest.(check int) "submitted" 1896 p.Experiment.submitted;
+  Alcotest.(check int) "committed" 1896 p.committed;
+  Alcotest.(check int) "aborted" 0 p.aborted;
+  Alcotest.(check int) "events" 37944 p.events;
+  Alcotest.(check int) "sim elapsed ns" 11_937_751_000
+    (Simkit.Time.span_to_ns p.sim_elapsed);
+  Alcotest.(check int) "p50 ns" 82_220_000
+    (Simkit.Time.span_to_ns p.latency_p50);
+  Alcotest.(check int) "p95 ns" 185_228_000
+    (Simkit.Time.span_to_ns p.latency_p95);
+  Alcotest.(check int) "p99 ns" 276_176_000
+    (Simkit.Time.span_to_ns p.latency_p99)
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "figure 6 digits" `Quick test_fig6;
+          Alcotest.test_case "table I measured columns" `Quick test_table1;
+          Alcotest.test_case "scale point (8 servers)" `Quick
+            test_scale_point;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "seeds 1-5 verdicts" `Slow test_chaos ] );
+    ]

@@ -103,6 +103,56 @@ let prop_heap_interleaved =
             | Some _, [] | None, _ :: _ -> false)
         script)
 
+(* Keyed like the engine's queue — (time, stamp) with stamps unique and
+   increasing — heavy on key collisions so the 4-ary sift's handling of
+   equal keys is exercised, not just its happy path. *)
+let prop_heap_stable_under_ties =
+  QCheck2.Test.make ~name:"equal keys pop in stamp order" ~count:300
+    QCheck2.Gen.(list (int_bound 8))
+    (fun keys ->
+      let cmp (ka, sa) (kb, sb) =
+        let c = Int.compare ka kb in
+        if c <> 0 then c else Int.compare sa sb
+      in
+      let h = Heap.create ~cmp () in
+      let stamped = List.mapi (fun stamp k -> (k, stamp)) keys in
+      List.iter (Heap.push h) stamped;
+      let drained =
+        List.init (List.length stamped) (fun _ -> Heap.pop_exn h)
+      in
+      drained = List.sort cmp stamped)
+
+(* Random interleaving of pushes and pops against the same reference
+   model, with colliding keys throughout. *)
+let prop_heap_ties_interleaved =
+  QCheck2.Test.make ~name:"interleaved ties respect stamp order" ~count:200
+    QCheck2.Gen.(list (pair bool (int_bound 4)))
+    (fun script ->
+      let cmp (ka, sa) (kb, sb) =
+        let c = Int.compare ka kb in
+        if c <> 0 then c else Int.compare sa sb
+      in
+      let h = Heap.create ~cmp () in
+      let model = ref [] in
+      let stamp = ref 0 in
+      List.for_all
+        (fun (is_push, key) ->
+          if is_push then begin
+            let x = (key, !stamp) in
+            incr stamp;
+            Heap.push h x;
+            model := List.sort cmp (x :: !model);
+            true
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some v, m :: rest ->
+                model := rest;
+                v = m
+            | Some _, [] | None, _ :: _ -> false)
+        script)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -320,6 +370,31 @@ let prop_engine_monotone_clock =
       let s = List.rev !stamps in
       List.sort Int.compare s = s && List.length s = List.length delays)
 
+(* The engine's published determinism contract: equal-time events run in
+   scheduling order. Delays are drawn from a tiny range so most runs
+   have many exact collisions. *)
+let prop_engine_fifo_ties =
+  QCheck2.Test.make ~name:"equal-time events dispatch FIFO" ~count:200
+    QCheck2.Gen.(list (int_bound 3))
+    (fun delays ->
+      let e = Engine.create () in
+      let order = ref [] in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Engine.schedule e ~after:(Time.span_ns d) (fun () ->
+                 order := (d, i) :: !order)))
+        delays;
+      ignore (Engine.run e);
+      let ran = List.rev !order in
+      let expected =
+        List.mapi (fun i d -> (d, i)) delays
+        |> List.sort (fun (da, ia) (db, ib) ->
+               let c = Int.compare da db in
+               if c <> 0 then c else Int.compare ia ib)
+      in
+      ran = expected)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -392,7 +467,13 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
           Alcotest.test_case "fold" `Quick test_heap_fold;
         ]
-        @ qsuite [ prop_heap_sorts; prop_heap_interleaved ] );
+        @ qsuite
+            [
+              prop_heap_sorts;
+              prop_heap_interleaved;
+              prop_heap_stable_under_ties;
+              prop_heap_ties_interleaved;
+            ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -415,7 +496,7 @@ let () =
           Alcotest.test_case "past raises" `Quick test_engine_past_raises;
           Alcotest.test_case "event failure" `Quick test_engine_event_failure;
         ]
-        @ qsuite [ prop_engine_monotone_clock ] );
+        @ qsuite [ prop_engine_monotone_clock; prop_engine_fifo_ties ] );
       ( "trace",
         [
           Alcotest.test_case "basics" `Quick test_trace_basics;
