@@ -18,12 +18,17 @@
      dune exec bench/main.exe faults       -- A5: crash-point matrix
      dune exec bench/main.exe micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe scale        -- A12: 4->64-server scale campaign
+     dune exec bench/main.exe breakdown    -- A13: measured critical-path spans
 
    Every subcommand accepts [--json PATH] and then also writes its
-   results as machine-readable JSON. [scale] always writes JSON
-   (default BENCH_scale.json) and additionally takes [--smoke] (tiny
-   sweep for CI), [--seeds N] and [--txns N]; schema in EXPERIMENTS.md,
-   "Perf & scale". Unknown subcommands and flags exit with status 2. *)
+   results as machine-readable JSON (creating missing parent
+   directories). [scale] always writes JSON (default BENCH_scale.json)
+   and additionally takes [--smoke] (tiny sweep for CI), [--seeds N]
+   and [--txns N]; schema in EXPERIMENTS.md, "Perf & scale".
+   [breakdown] always writes JSON too (default BENCH_breakdown.json),
+   drops one Chrome trace per protocol under BENCH_traces/, and exits
+   nonzero if the measured critical-path force/message counts disagree
+   with Table I. Unknown subcommands and flags exit with status 2. *)
 
 let section title =
   Fmt.pr "@.== %s ==@." title
@@ -99,7 +104,17 @@ module Json = struct
     Buffer.add_char buf '\n';
     Buffer.contents buf
 
+  (* [--json some/new/dir/out.json] must not fail on the missing
+     directory — CI drops artifacts into per-run folders. *)
+  let rec mkdirs dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+    then begin
+      mkdirs (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+
   let to_file path j =
+    mkdirs (Filename.dirname path);
     let oc = open_out path in
     output_string oc (to_string j);
     close_out oc
@@ -246,6 +261,96 @@ let latency () =
   in
   Opc.Metrics.Table.print t;
   Json.Obj [ ("benchmark", Json.Str "latency"); ("rows", Json.List rows) ]
+
+(* ------------------------------------------------------------------ *)
+(* Breakdown — measured critical-path decomposition                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Span-recorded runs, one isolated CREATE at a time, decomposed into
+   the paper's critical-path categories. The measured force/message
+   counts are cross-checked against Table I — a mismatch is a hard
+   failure (nonzero exit), because it means the instrumentation, the
+   walk, or a protocol drifted. Also drops one Chrome trace per
+   protocol next to the JSON for chrome://tracing / Perfetto. *)
+let breakdown ~count () =
+  section
+    (Fmt.str
+       "breakdown: critical-path latency decomposition (%d isolated CREATEs \
+        per protocol)"
+       count);
+  let points =
+    List.map (fun kind -> Opc.Experiment.run_breakdown ~count kind)
+      Opc.Acp.Protocol.all
+  in
+  Opc.Metrics.Table.print
+    (Obs.Breakdown.to_table
+       (List.map
+          (fun (p : Opc.Experiment.breakdown_point) ->
+            (Opc.Acp.Protocol.name p.kind, p.summary))
+          points));
+  let failures = ref 0 in
+  let rows =
+    List.map
+      (fun (p : Opc.Experiment.breakdown_point) ->
+        let name = Opc.Acp.Protocol.name p.kind in
+        let costs = Opc.Acp.Cost_model.paper_table1 p.kind in
+        let s = p.summary in
+        let check label expected got =
+          match got with
+          | Some g when g = expected -> true
+          | _ ->
+              incr failures;
+              Fmt.epr
+                "bench breakdown: %s %s mismatch: Table I says %d, measured \
+                 %a@."
+                name label expected
+                Fmt.(option ~none:(any "non-uniform") int)
+                got;
+              false
+        in
+        let forces_ok =
+          check "critical forces" costs.Opc.Acp.Cost_model.critical_sync
+            s.Obs.Breakdown.uniform_forces
+        in
+        let messages_ok =
+          check "critical messages" costs.Opc.Acp.Cost_model.critical_messages
+            s.uniform_messages
+        in
+        let trace_path = Fmt.str "BENCH_traces/%s.trace.json" name in
+        Obs.Export.to_file trace_path p.tracer;
+        Json.Obj
+          [
+            ("protocol", Json.Str name);
+            ("txns", Json.Int s.txns);
+            ("mean_window_ns", Json.Float s.mean_window);
+            ("mean_network_ns", Json.Float s.mean_network);
+            ("mean_log_force_ns", Json.Float s.mean_log_force);
+            ("mean_disk_queue_ns", Json.Float s.mean_disk_queue);
+            ("mean_lock_wait_ns", Json.Float s.mean_lock_wait);
+            ("mean_compute_ns", Json.Float s.mean_compute);
+            ("mean_forces", Json.Float s.mean_forces);
+            ("mean_messages", Json.Float s.mean_messages);
+            ( "critical_forces_table1",
+              Json.Int costs.Opc.Acp.Cost_model.critical_sync );
+            ( "critical_messages_table1",
+              Json.Int costs.Opc.Acp.Cost_model.critical_messages );
+            ("matches_table1", Json.Bool (forces_ok && messages_ok));
+            ("chrome_trace", Json.Str trace_path);
+          ])
+      points
+  in
+  Fmt.pr
+    "(per-txn critical path; open BENCH_traces/<protocol>.trace.json in \
+     chrome://tracing to see the spans)@.";
+  if !failures > 0 then
+    Fmt.epr "bench breakdown: %d cross-check failure(s)@." !failures;
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "breakdown");
+        ("txns_per_protocol", Json.Int count);
+        ("rows", Json.List rows);
+      ],
+    !failures = 0 )
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)
@@ -763,9 +868,10 @@ let all () =
 let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
-     [--txns N]@.subcommands: all (default) | scale | %s@.scale flags: \
-     --smoke (tiny sweep), --seeds N (default 2), --txns N per point \
-     (default 20000)@."
+     [--txns N]@.subcommands: all (default) | scale | breakdown | \
+     %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
+     --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
+     txns/protocol), --txns N per protocol (default 20)@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
 let () =
@@ -774,6 +880,7 @@ let () =
   let smoke = ref false in
   let seeds = ref 2 in
   let txns = ref 20_000 in
+  let txns_set = ref false in
   let bad fmt =
     Fmt.kstr
       (fun msg ->
@@ -805,6 +912,7 @@ let () =
           parse (i + 2)
       | "--txns" ->
           txns := int_arg "--txns" (next_value "--txns");
+          txns_set := true;
           parse (i + 2)
       | arg when String.length arg > 0 && arg.[0] = '-' ->
           bad "unknown flag %S" arg
@@ -833,6 +941,15 @@ let () =
       let path = Option.value !json_path ~default:"BENCH_scale.json" in
       Json.to_file path json;
       Fmt.pr "wrote %s@." path
+  | "breakdown" ->
+      let count =
+        if !txns_set then !txns else if !smoke then 5 else 20
+      in
+      let json, ok = breakdown ~count () in
+      let path = Option.value !json_path ~default:"BENCH_breakdown.json" in
+      Json.to_file path json;
+      Fmt.pr "wrote %s@." path;
+      if not ok then exit 1
   | name -> (
       match List.assoc_opt name (Lazy.force subcommands) with
       | Some f -> emit (f ())

@@ -7,7 +7,10 @@
 # 2. bounded chaos smoke: 30 seeds x 4 protocols of randomized
 #    fault-schedule campaigns (~120 runs, a few seconds);
 # 3. scale-campaign smoke: emits BENCH_scale.json so the machine-readable
-#    baseline stays exercised end to end.
+#    baseline stays exercised end to end;
+# 4. breakdown smoke: one small span-recorded run per protocol; the
+#    bench exits nonzero unless the measured critical-path force and
+#    message counts equal Acp.Cost_model.paper_table1.
 set -eu
 
 cd "$(dirname "$0")"
@@ -21,5 +24,8 @@ dune exec bin/chaos.exe -- --seeds 30 --first-seed 1
 
 echo "== bench scale --smoke (writes BENCH_scale.json) =="
 dune exec bench/main.exe -- scale --smoke
+
+echo "== bench breakdown --smoke (cross-checks Table I critical path) =="
+dune exec bench/main.exe -- breakdown --smoke
 
 echo "CI OK"

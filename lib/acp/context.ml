@@ -24,9 +24,28 @@ type t = {
   suspects : Netsim.Address.t -> bool;
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   client_reply : Txn.id -> Txn.outcome -> unit;
   mark : Txn.id -> string -> unit;
 }
+
+let obs_phase t txn name =
+  if Obs.Tracer.is_recording t.obs then
+    Obs.Tracer.instant t.obs
+      ~time:(Simkit.Engine.now t.engine)
+      ~txn:(Txn.owner_token txn)
+      ~track:(Netsim.Address.name t.self)
+      name
+
+let obs_start t txn ~name =
+  Obs.Tracer.start t.obs
+    ~time:(Simkit.Engine.now t.engine)
+    ~txn:(Txn.owner_token txn)
+    ~category:Obs.Span.Phase
+    ~track:(Netsim.Address.name t.self)
+    ~name
+
+let obs_finish t id = Obs.Tracer.finish t.obs ~time:(Simkit.Engine.now t.engine) id
 
 let trace_txn t txn ~kind detail =
   if Simkit.Trace.is_recording t.trace then

@@ -43,9 +43,22 @@ type t = {
   suspects : Netsim.Address.t -> bool;  (** failure-detector verdict *)
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;  (** span tracer for the latency breakdown *)
   client_reply : Txn.id -> Txn.outcome -> unit;
   mark : Txn.id -> string -> unit;
 }
 
 val trace_txn : t -> Txn.id -> kind:string -> string -> unit
 (** Emit a trace entry attributed to this server about a transaction. *)
+
+val obs_phase : t -> Txn.id -> string -> unit
+(** Record a zero-length {!Obs.Span.Phase} milestone for the
+    transaction on this server's track (protocol state transitions in
+    Chrome traces; the breakdown ignores them). *)
+
+val obs_start : t -> Txn.id -> name:string -> int
+(** Open a {!Obs.Span.Phase} lifetime span (coordinator / worker role
+    duration) on this server's track; [-1] when not recording. *)
+
+val obs_finish : t -> int -> unit
+(** Close a span from {!obs_start} at the current instant. *)

@@ -14,6 +14,7 @@ type coord = {
   mutable phase : cphase;
   mutable undo_list : Mds.Update.t list;
   mutable retries : int;
+  mutable ospan : int;  (* open coordinator-lifetime Phase span, -1 = none *)
   timer : Simkit.Engine.handle option ref;
 }
 
@@ -22,6 +23,7 @@ type work = {
   coordinator : int;
   w_updates : Mds.Update.t list;
   mutable committed : bool;  (* force completed, awaiting ACK *)
+  mutable w_ospan : int;  (* open worker-lifetime Phase span, -1 = none *)
   w_timer : Simkit.Engine.handle option ref;
 }
 
@@ -63,7 +65,10 @@ let trace t id ~kind detail = Context.trace_txn t.ctx id ~kind detail
 (* Coordinator                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let coord_drop t c = Hashtbl.remove t.coords (key c.id)
+let coord_drop t c =
+  Context.obs_finish t.ctx c.ospan;
+  c.ospan <- -1;
+  Hashtbl.remove t.coords (key c.id)
 
 (* The worker committed (its UPDATED arrived, or its log said so after
    fencing): answer the client and release the directory lock at once —
@@ -72,6 +77,7 @@ let coord_drop t c = Hashtbl.remove t.coords (key c.id)
 let coord_worker_committed t c =
   Common.cancel_timer c.timer;
   c.phase <- C_committing;
+  Context.obs_phase t.ctx c.id "1pc.coord.commit";
   t.ctx.Context.client_reply c.id Txn.Committed;
   t.ctx.Context.mark c.id "replied";
   Common.release t.ctx c.id;
@@ -91,6 +97,7 @@ let coord_worker_committed t c =
 let coord_abort t c reason =
   Common.cancel_timer c.timer;
   c.phase <- C_aborting;
+  Context.obs_phase t.ctx c.id "1pc.coord.abort";
   Common.undo t.ctx c.undo_list;
   c.undo_list <- [];
   trace t c.id ~kind:"txn.abort" reason;
@@ -233,6 +240,7 @@ let coord_of_plan (txn : Txn.t) =
         phase = C_starting;
         undo_list = [];
         retries = 0;
+        ospan = -1;
         timer = ref None;
       }
   | [] -> invalid_arg "One_phase.submit: local plan needs no ACP"
@@ -244,6 +252,7 @@ let coord_of_plan (txn : Txn.t) =
 let submit t (txn : Txn.t) =
   let c = coord_of_plan txn in
   Hashtbl.replace t.coords (key c.id) c;
+  c.ospan <- Context.obs_start t.ctx c.id ~name:"1pc.coord";
   t.ctx.Context.mark c.id "submit";
   trace t c.id ~kind:"txn.start" "1PC coordinator";
   t.ctx.Context.force
@@ -274,7 +283,10 @@ let coord_on_ack_req t ~src txn =
 (* Worker                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let work_drop t w = Hashtbl.remove t.works (key w.w_id)
+let work_drop t w =
+  Context.obs_finish t.ctx w.w_ospan;
+  w.w_ospan <- -1;
+  Hashtbl.remove t.works (key w.w_id)
 
 let rec arm_ack_req_timer t w =
   Common.cancel_timer w.w_timer;
@@ -313,10 +325,12 @@ let work_on_update_req t ~src txn updates =
             coordinator = txn.origin;
             w_updates = updates;
             committed = false;
+            w_ospan = -1;
             w_timer = ref None;
           }
         in
         Hashtbl.replace t.works (key txn) w;
+        w.w_ospan <- Context.obs_start t.ctx txn ~name:"1pc.worker";
         trace t txn ~kind:"txn.start" "1PC worker";
         Common.acquire_locks t.ctx ~txn
           ~oids:(Common.lock_oids_of_updates updates)
@@ -333,6 +347,7 @@ let work_on_update_req t ~src txn updates =
                     ]
                     ~on_durable:(fun () ->
                       w.committed <- true;
+                      Context.obs_phase t.ctx txn "1pc.worker.commit";
                       t.ctx.Context.harden txn updates;
                       Common.release t.ctx txn;
                       trace t txn ~kind:"txn.commit" "worker committed";
@@ -431,6 +446,7 @@ let recover_coordinator t (img : Log_scan.image) =
         trace t img.id ~kind:"txn.recover" "re-executing from REDO";
         let c = coord_of_plan { Txn.id = img.id; plan } in
         Hashtbl.replace t.coords (key c.id) c;
+        c.ospan <- Context.obs_start t.ctx c.id ~name:"1pc.coord.recover";
         coord_run t c ~replayed:true
 
 let recover_worker t (img : Log_scan.image) =
@@ -442,10 +458,12 @@ let recover_worker t (img : Log_scan.image) =
         coordinator = img.id.origin;
         w_updates = img.updates;
         committed = true;
+        w_ospan = -1;
         w_timer = ref None;
       }
     in
     Hashtbl.replace t.works (key w.w_id) w;
+    w.w_ospan <- Context.obs_start t.ctx w.w_id ~name:"1pc.worker.recover";
     trace t w.w_id ~kind:"txn.recover" "asking coordinator to resend ACK";
     send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
     arm_ack_req_timer t w

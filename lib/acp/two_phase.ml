@@ -31,6 +31,7 @@ type coord = {
   mutable self_prepared : bool;
   mutable votes : ISet.t;
   mutable acks : ISet.t;
+  mutable ospan : int;  (* open coordinator-lifetime Phase span, -1 = none *)
   timer : Simkit.Engine.handle option ref;
 }
 
@@ -49,6 +50,7 @@ type work = {
   mutable wstate : wstate;
   mutable pending_decision : [ `Commit | `Abort ] option;
       (* decision that arrived while still locking (recovery races) *)
+  mutable w_ospan : int;  (* open worker-lifetime Phase span, -1 = none *)
   w_timer : Simkit.Engine.handle option ref;
 }
 
@@ -76,7 +78,10 @@ let trace t id ~kind detail = Context.trace_txn t.ctx id ~kind detail
 (* Coordinator                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let coord_drop t c = Hashtbl.remove t.coords (key c.id)
+let coord_drop t c =
+  Context.obs_finish t.ctx c.ospan;
+  c.ospan <- -1;
+  Hashtbl.remove t.coords (key c.id)
 
 let all_workers_in set workers =
   List.for_all (fun w -> ISet.mem w set) workers
@@ -84,6 +89,7 @@ let all_workers_in set workers =
 (* Commit epilogue shared by the live path and recovery. *)
 let rec coord_commit_decided t c =
   c.phase <- Committing;
+  Context.obs_phase t.ctx c.id "2pc.coord.decided";
   Common.cancel_timer c.timer;
   t.ctx.Context.force
     [ Log_record.Committed { txn = c.id } ]
@@ -116,6 +122,7 @@ let rec coord_commit_decided t c =
 
 and coord_abort_decided t c reason =
   c.phase <- Aborting;
+  Context.obs_phase t.ctx c.id "2pc.coord.abort";
   Common.cancel_timer c.timer;
   Common.undo t.ctx c.undo_list;
   c.undo_list <- [];
@@ -204,6 +211,7 @@ let coord_enter_voting t c =
     && all_workers_in c.updated_from c.workers
   then begin
     c.phase <- Voting;
+    Context.obs_phase t.ctx c.id "2pc.coord.voting";
     List.iter (fun w -> send_to t w (Wire.Prepare { txn = c.id })) c.workers;
     coord_self_prepare t c
   end
@@ -243,10 +251,12 @@ let submit t (txn : Txn.t) =
       self_prepared = false;
       votes = ISet.empty;
       acks = ISet.empty;
+      ospan = -1;
       timer = ref None;
     }
   in
   Hashtbl.replace t.coords (key c.id) c;
+  c.ospan <- Context.obs_start t.ctx c.id ~name:"2pc.coord";
   t.ctx.Context.mark c.id "submit";
   trace t c.id ~kind:"txn.start" (Fmt.str "%s coordinator" t.v.variant_name);
   t.ctx.Context.force
@@ -356,7 +366,10 @@ let coord_on_decision_req t ~src txn =
 (* Worker                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let work_drop t w = Hashtbl.remove t.works (key w.w_id)
+let work_drop t w =
+  Context.obs_finish t.ctx w.w_ospan;
+  w.w_ospan <- -1;
+  Hashtbl.remove t.works (key w.w_id)
 
 let rec arm_decision_timer t w =
   Common.cancel_timer w.w_timer;
@@ -399,6 +412,7 @@ let rec work_force_prepare t w ~reply_with_updated =
     ~on_durable:(fun () ->
       if w.wstate = W_preparing then begin
         w.wstate <- W_prepared;
+        Context.obs_phase t.ctx w.w_id "2pc.worker.prepared";
         if reply_with_updated then
           send_to t w.coordinator (Wire.Updated { txn = w.w_id; ok = true })
         else
@@ -470,10 +484,12 @@ let work_on_update_req t ~src txn updates piggyback_prepare =
         w_undo = [];
         wstate = W_locking;
         pending_decision = None;
+        w_ospan = -1;
         w_timer = ref None;
       }
     in
     Hashtbl.replace t.works (key txn) w;
+    w.w_ospan <- Context.obs_start t.ctx txn ~name:"2pc.worker";
     trace t txn ~kind:"txn.start" (Fmt.str "%s worker" t.v.variant_name);
     Common.acquire_locks t.ctx ~txn ~oids:(Common.lock_oids_of_updates updates)
       ~on_granted:(fun () ->
@@ -590,10 +606,12 @@ let recover_coordinator t (img : Log_scan.image) =
         self_prepared = true;
         votes = ISet.empty;
         acks = ISet.empty;
+        ospan = -1;
         timer = ref None;
       }
     in
     Hashtbl.replace t.coords (key c.id) c;
+    c.ospan <- Context.obs_start t.ctx c.id ~name:"2pc.coord.recover";
     c
   in
   if not img.started then begin
@@ -680,10 +698,12 @@ let rec recover_worker t (img : Log_scan.image) =
         w_undo = [];
         wstate = W_locking;
         pending_decision = None;
+        w_ospan = -1;
         w_timer = ref None;
       }
     in
     Hashtbl.replace t.works (key w.w_id) w;
+    w.w_ospan <- Context.obs_start t.ctx w.w_id ~name:"2pc.worker.recover";
     trace t w.w_id ~kind:"txn.recover" "worker in doubt, asking coordinator";
     Common.acquire_locks t.ctx ~txn:w.w_id
       ~oids:(Common.lock_oids_of_updates img.updates)

@@ -8,6 +8,7 @@ type t = {
   engine : Simkit.Engine.t;
   rng : Simkit.Rng.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   ledger : Metrics.Ledger.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
@@ -29,6 +30,7 @@ type t = {
 let config t = t.config
 let engine t = t.engine
 let trace t = t.trace
+let obs t = t.obs
 let ledger t = t.ledger
 let network t = t.network
 let san t = t.san
@@ -55,6 +57,17 @@ let client_reply t id outcome =
           w.callback <- None;
           Hashtbl.remove t.waiting (key id);
           let latency = Simkit.Time.diff (now t) w.submitted_at in
+          (* The submit->reply window anchors the critical-path walk;
+             only committed transactions belong in the paper's latency
+             decomposition. *)
+          (if Obs.Tracer.is_recording t.obs then
+             match outcome with
+             | Acp.Txn.Committed ->
+                 Obs.Tracer.span t.obs ~start:w.submitted_at ~stop:(now t)
+                   ~txn:(Acp.Txn.owner_token id) ~baseline:false
+                   ~category:Obs.Span.Phase ~track:"txn"
+                   ~name:Obs.Breakdown.window_name
+             | Acp.Txn.Aborted _ -> ());
           (match outcome with
           | Acp.Txn.Committed ->
               t.committed <- t.committed + 1;
@@ -154,16 +167,30 @@ let create (config : Config.t) =
     if config.record_trace then Simkit.Trace.create ()
     else Simkit.Trace.disabled ()
   in
+  let obs =
+    if config.record_spans then Obs.Tracer.create ()
+    else Obs.Tracer.disabled ()
+  in
   let ledger = Metrics.Ledger.create () in
+  (* Heartbeats are background chatter, not transaction causality; every
+     protocol message becomes a transit span named after its wire label. *)
+  let span_of = function
+    | Msg.Heartbeat -> None
+    | Msg.Acp wire ->
+        Some
+          ( Acp.Wire.label wire,
+            Acp.Txn.owner_token (Acp.Wire.txn wire),
+            Acp.Wire.is_baseline wire )
+  in
   let network =
-    Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace
-      config.network
+    Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace ~obs
+      ~span_of config.network
   in
   let size =
     if config.encoded_sizes then Acp.Codec.encoded_size
     else Acp.Log_record.size config.sizing
   in
-  let san = Storage.San.create ~engine ~trace ~size config.san in
+  let san = Storage.San.create ~engine ~trace ~obs ~size config.san in
   let placement =
     Mds.Placement.create
       ~rng:(Simkit.Rng.split rng)
@@ -177,6 +204,7 @@ let create (config : Config.t) =
       engine;
       rng;
       trace;
+      obs;
       ledger;
       network;
       san;
@@ -199,6 +227,7 @@ let create (config : Config.t) =
     {
       engine;
       trace;
+      obs;
       network;
       san;
       ledger;

@@ -19,6 +19,11 @@ val create : Config.t -> t
 val config : t -> Config.t
 val engine : t -> Simkit.Engine.t
 val trace : t -> Simkit.Trace.t
+
+val obs : t -> Obs.Tracer.t
+(** Span tracer for the latency breakdown — recording only when
+    [record_spans] is set; the disabled tracer drops everything in O(1). *)
+
 val ledger : t -> Metrics.Ledger.t
 val network : t -> Msg.t Netsim.Network.t
 val san : t -> Acp.Log_record.t Storage.San.t

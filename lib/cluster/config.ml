@@ -14,6 +14,7 @@ type t = {
   auto_restart : bool;
   seed : int;
   record_trace : bool;
+  record_spans : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     auto_restart = true;
     seed = 42;
     record_trace = false;
+    record_spans = false;
   }
 
 let validate t =

@@ -28,6 +28,10 @@ type t = {
   auto_restart : bool;  (** crashed nodes come back automatically *)
   seed : int;
   record_trace : bool;  (** keep a full event trace (examples/tests) *)
+  record_spans : bool;
+      (** record causal spans for the latency breakdown and Chrome-trace
+          export ({!Obs}); off by default — the disabled tracer keeps the
+          hot path allocation-free *)
 }
 
 val default : t

@@ -1,6 +1,7 @@
 type services = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;
@@ -103,6 +104,12 @@ let address_of t slot =
   | Some a -> a
   | None -> invalid_arg "Node.address_of: unknown server slot"
 
+(* Attribute a log write to the transaction of its first record — every
+   force/append in the protocols carries records of a single txn. *)
+let txn_of_records = function
+  | [] -> -1
+  | r :: _ -> Acp.Txn.owner_token (Acp.Log_record.txn r)
+
 let make_context t =
   let epoch = t.epoch in
   let alive () = t.up && t.epoch = epoch in
@@ -130,7 +137,8 @@ let make_context t =
       (fun records ~on_durable ->
         guard (fun () ->
             Metrics.Ledger.incr t.sv.ledger "log.sync";
-            Storage.Wal.force t.wal records ~on_durable:(fun () ->
+            let txn = txn_of_records records in
+            Storage.Wal.force ~txn t.wal records ~on_durable:(fun () ->
                 guard on_durable)));
     append_async =
       (fun ?on_durable records ->
@@ -141,7 +149,8 @@ let make_context t =
               | None -> fun () -> ()
               | Some f -> fun () -> guard f
             in
-            Storage.Wal.append_async ~on_durable t.wal records));
+            let txn = txn_of_records records in
+            Storage.Wal.append_async ~txn ~on_durable t.wal records));
     log_gc =
       (fun txn ->
         Storage.Wal.gc t.wal ~keep:(fun r ->
@@ -165,9 +174,10 @@ let make_context t =
                     ~on_read:(fun records ->
                       if alive () then on_read (Acp.Log_scan.scan records))
                 else begin
-                  trace_node t ~kind:"txn.fence"
-                    (Printf.sprintf "%s rebooted mid-fence; fencing again"
-                       (Netsim.Address.name target));
+                  if Simkit.Trace.is_recording t.sv.trace then
+                    trace_node t ~kind:"txn.fence"
+                      (Printf.sprintf "%s rebooted mid-fence; fencing again"
+                         (Netsim.Address.name target));
                   attempt ()
                 end
               end)
@@ -205,6 +215,7 @@ let make_context t =
         | None -> false);
     ledger = t.sv.ledger;
     trace = t.sv.trace;
+    obs = t.sv.obs;
     client_reply =
       (fun txn outcome -> guard (fun () -> t.sv.client_reply txn outcome));
     mark = (fun txn label -> guard (fun () -> t.sv.mark txn label));
@@ -241,6 +252,7 @@ let create sv ~server ~root =
       epoch = 0;
       locks =
         Locks.Lock_manager.create ~engine:sv.engine ~trace:sv.trace
+          ~obs:sv.obs
           ~name:(Netsim.Address.name address ^ ".locks")
           ();
       detector = None;
@@ -272,6 +284,7 @@ let bring_up t ~recover =
   Storage.Wal.restart t.wal;
   t.locks <-
     Locks.Lock_manager.create ~engine:t.sv.engine ~trace:t.sv.trace
+      ~obs:t.sv.obs
       ~name:(name t ^ ".locks")
       ();
   let ctx = make_context t in
@@ -286,8 +299,9 @@ let bring_up t ~recover =
   let epoch = t.epoch in
   let on_suspect peer =
     if t.up && t.epoch = epoch then begin
-      trace_node t ~kind:"detector"
-        (Printf.sprintf "suspecting %s" (Netsim.Address.name peer));
+      if Simkit.Trace.is_recording t.sv.trace then
+        trace_node t ~kind:"detector"
+          (Printf.sprintf "suspecting %s" (Netsim.Address.name peer));
       primary.Acp.Protocol.on_suspect peer;
       match fallback with
       | Some fb -> fb.Acp.Protocol.on_suspect peer
@@ -428,7 +442,7 @@ let run_local t (txn : Acp.Txn.t) =
                  match apply [] side.Mds.Plan.updates with
                  | Ok _ ->
                      Metrics.Ledger.incr t.sv.ledger "log.sync";
-                     Storage.Wal.force t.wal
+                     Storage.Wal.force ~txn:owner t.wal
                        [
                          Acp.Log_record.Updates
                            { txn = id; updates = side.Mds.Plan.updates };

@@ -19,6 +19,7 @@
 type services = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;  (** span tracer shared by every layer *)
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;

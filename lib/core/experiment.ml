@@ -116,6 +116,52 @@ let run_table1_measured ?(config = fig6_config) ?(count = 20) protocol =
     acp_messages_per_txn = per "msg.acp";
   }
 
+type breakdown_point = {
+  kind : Acp.Protocol.kind;
+  summary : Obs.Breakdown.summary;
+  tracer : Obs.Tracer.t;
+}
+
+let run_breakdown ?(config = fig6_config) ?(count = 20) protocol =
+  let config =
+    { config with Opc_cluster.Config.protocol; record_spans = true }
+  in
+  let cluster = Opc_cluster.Cluster.create config in
+  let dir =
+    Opc_cluster.Cluster.add_directory cluster
+      ~parent:(Opc_cluster.Cluster.root cluster)
+      ~name:"data" ~server:0 ()
+  in
+  (* Warm-up: one transaction outside the measurement window. *)
+  Opc_cluster.Cluster.submit cluster
+    (Mds.Op.create_file ~parent:dir ~name:"warmup")
+    ~on_done:(fun _ -> ());
+  (match Opc_cluster.Cluster.settle cluster with
+  | Opc_cluster.Cluster.Quiescent -> ()
+  | _ -> failwith "breakdown: warm-up did not settle");
+  let since = Opc_cluster.Cluster.now cluster in
+  (* Fully isolated transactions: settle (not just reply) between
+     submissions, so no trailing work of one transaction — post-reply
+     commit forces, asynchronous appends — occupies the shared device
+     when the next one starts. Table I's critical-path counts describe
+     exactly this regime; back-to-back pipelining would put a
+     neighbour's queueing on the measured path. *)
+  for i = 0 to count - 1 do
+    Opc_cluster.Cluster.submit cluster
+      (Mds.Op.create_file ~parent:dir ~name:(Printf.sprintf "bd_%d" i))
+      ~on_done:(fun outcome ->
+        match outcome with
+        | Acp.Txn.Committed -> ()
+        | Acp.Txn.Aborted reason ->
+            failwith ("breakdown: unexpected abort: " ^ reason));
+    match Opc_cluster.Cluster.settle cluster with
+    | Opc_cluster.Cluster.Quiescent -> ()
+    | _ -> failwith "breakdown: run did not settle"
+  done;
+  let tracer = Opc_cluster.Cluster.obs cluster in
+  let paths = Obs.Breakdown.paths ~since tracer in
+  { kind = protocol; summary = Obs.Breakdown.summarize paths; tracer }
+
 (* The canonical worker-side rejection: deleting a directory whose
    entry lives on the coordinator but whose (non-empty) inode lives on
    the worker. Planning succeeds — only the worker's Unref can see the

@@ -53,6 +53,25 @@ val run_table1_measured :
     analytic {!Acp.Cost_model.failure_free} columns — the test suite
     asserts it. *)
 
+(** {1 Latency decomposition (critical-path breakdown)} *)
+
+type breakdown_point = {
+  kind : Acp.Protocol.kind;
+  summary : Obs.Breakdown.summary;
+  tracer : Obs.Tracer.t;
+      (** the run's full span record, for Chrome-trace export *)
+}
+
+val run_breakdown :
+  ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->
+  breakdown_point
+(** Run [count] (default 20) isolated distributed CREATEs with span
+    recording on and decompose each submit->reply window into the
+    paper's critical-path categories ({!Obs.Breakdown}). In this
+    one-at-a-time regime the walk's force and message counts must equal
+    the critical-path columns of {!Acp.Cost_model.paper_table1} — the
+    test suite asserts it for all four protocols. *)
+
 val run_abort_measured :
   ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->
   measured_costs

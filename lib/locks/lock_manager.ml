@@ -15,6 +15,7 @@ type waiter = {
   on_timeout : unit -> unit;
   mutable timer : Simkit.Engine.handle option;
   mutable live : bool;  (* false once granted, timed out or cancelled *)
+  mutable span : int;  (* open Obs wait span, -1 when none *)
 }
 
 type entry = {
@@ -38,6 +39,7 @@ type stats = {
 type t = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   name : string;
   table : (int, entry) Hashtbl.t;
   mutable acquired : int;
@@ -47,13 +49,15 @@ type t = {
   mutable max_queue : int;
 }
 
-let create ~engine ?trace ~name () =
+let create ~engine ?trace ?obs ~name () =
   let trace =
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
   {
     engine;
     trace;
+    obs;
     name;
     table = Hashtbl.create 64;
     acquired = 0;
@@ -109,6 +113,7 @@ let set_holder e ~owner ~mode =
 
 let grant t oid e w =
   w.live <- false;
+  Obs.Tracer.finish t.obs ~time:(Simkit.Engine.now t.engine) w.span;
   (match w.timer with Some h -> Simkit.Engine.cancel h | None -> ());
   set_holder e ~owner:w.owner ~mode:w.mode;
   record_grant t w;
@@ -154,11 +159,15 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
           on_timeout;
           timer = None;
           live = true;
+          span = -1;
         }
       in
       let empty_queue = live_queue_length e = 0 in
       if empty_queue && grantable e w then grant t oid e w
       else begin
+        w.span <-
+          Obs.Tracer.start t.obs ~time:w.enqueued_at ~txn:owner
+            ~category:Obs.Span.Lock_wait ~track:t.name ~name:"lock.wait";
         Queue.add w e.queue;
         e.live_waiters <- e.live_waiters + 1;
         let depth = live_queue_length e in
@@ -178,10 +187,14 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
                     w.live <- false;
                     e.live_waiters <- e.live_waiters - 1;
                     t.timeouts <- t.timeouts + 1;
-                    Simkit.Trace.emitf t.trace
+                    Obs.Tracer.finish t.obs
                       ~time:(Simkit.Engine.now t.engine)
-                      ~source:t.name ~kind:"lock.timeout" "txn %d oid %d"
-                      owner oid;
+                      w.span;
+                    if Simkit.Trace.is_recording t.trace then
+                      Simkit.Trace.emitf t.trace
+                        ~time:(Simkit.Engine.now t.engine)
+                        ~source:t.name ~kind:"lock.timeout" "txn %d oid %d"
+                        owner oid;
                     (* The dead waiter may have been blocking the head. *)
                     pump t oid e;
                     prune t oid e;
@@ -191,13 +204,14 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
             w.timer <- Some h
       end
 
-let cancel_waiters e ~owner =
+let cancel_waiters t e ~owner =
   if e.live_waiters > 0 then
     Queue.iter
       (fun w ->
         if w.live && w.owner = owner then begin
           w.live <- false;
           e.live_waiters <- e.live_waiters - 1;
+          Obs.Tracer.finish t.obs ~time:(Simkit.Engine.now t.engine) w.span;
           match w.timer with
           | Some h -> Simkit.Engine.cancel h
           | None -> ()
@@ -210,7 +224,7 @@ let release t ~owner ~oid =
   | Some e ->
       let had = List.mem_assoc owner e.holders in
       e.holders <- List.remove_assoc owner e.holders;
-      cancel_waiters e ~owner;
+      cancel_waiters t e ~owner;
       if had && Simkit.Trace.is_recording t.trace then
         Simkit.Trace.emitf t.trace
           ~time:(Simkit.Engine.now t.engine)
@@ -226,7 +240,7 @@ let release_all t ~owner =
     (fun oid e ->
       if List.mem_assoc owner e.holders || live_queue_length e > 0 then begin
         e.holders <- List.remove_assoc owner e.holders;
-        cancel_waiters e ~owner;
+        cancel_waiters t e ~owner;
         pump t oid e;
         if e.holders = [] && e.live_waiters = 0 then dead := oid :: !dead
       end)

@@ -38,7 +38,17 @@ type stats = {
   max_queue : int;  (** high-water waiting-queue length on any object *)
 }
 
-val create : engine:Simkit.Engine.t -> ?trace:Simkit.Trace.t -> name:string -> unit -> t
+val create :
+  engine:Simkit.Engine.t ->
+  ?trace:Simkit.Trace.t ->
+  ?obs:Obs.Tracer.t ->
+  name:string ->
+  unit ->
+  t
+(** [obs] (default disabled) records one {!Obs.Span.Lock_wait} span per
+    request that had to queue, from enqueue to grant, timeout or
+    cancellation, keyed by the requesting owner token. Immediate grants
+    record nothing — they cost nothing. *)
 
 val acquire :
   t ->

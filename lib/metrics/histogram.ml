@@ -77,7 +77,7 @@ let quantiles t qs =
   end
 
 let percentile t p =
-  if p < 0.0 || p > 100.0 then
+  if p < 0.0 || p > 100.0 || Float.is_nan p then
     invalid_arg "Histogram.percentile: rank outside [0, 100]";
   quantile t (p /. 100.0)
 

@@ -39,6 +39,11 @@ type 'msg t = {
   engine : Simkit.Engine.t;
   rng : Simkit.Rng.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
+  (* Maps a payload to (name, txn token, baseline) for its transit span;
+     [None] payloads (heartbeats) record nothing. Only consulted when
+     [obs] is recording. *)
+  span_of : 'msg -> (string * int * bool) option;
   config : config;
   (* Live loss/duplication rates, initialized from [config] and adjustable
      at runtime (fault-injection bursts arm and disarm them mid-run). *)
@@ -62,7 +67,8 @@ type 'msg t = {
   mutable in_flight : int;
 }
 
-let create ~engine ~rng ?trace (config : config) =
+let create ~engine ~rng ?trace ?obs ?(span_of = fun _ -> None)
+    (config : config) =
   if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
     invalid_arg "Network.create: drop_probability outside [0, 1]";
   if
@@ -71,10 +77,13 @@ let create ~engine ~rng ?trace (config : config) =
   let trace =
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
   {
     engine;
     rng;
     trace;
+    obs;
+    span_of;
     config;
     drop_probability = config.drop_probability;
     duplicate_probability = config.duplicate_probability;
@@ -167,10 +176,11 @@ let drop_probability t = t.drop_probability
 let duplicate_probability t = t.duplicate_probability
 
 let trace_drop t ~src ~dst reason =
-  Simkit.Trace.emitf t.trace
-    ~time:(Simkit.Engine.now t.engine)
-    ~source:(Address.name src) ~kind:"net.drop" "%s -> %a (%s)"
-    (Address.name src) Address.pp dst reason
+  if Simkit.Trace.is_recording t.trace then
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:(Address.name src) ~kind:"net.drop" "%s -> %a (%s)"
+      (Address.name src) Address.pp dst reason
 
 (* One-way delay: fixed latency plus uniform jitter, then pushed forward if
    needed so this link never reorders. *)
@@ -221,6 +231,12 @@ let send t ~src ~dst payload =
     for _ = 1 to copies do
       t.in_flight <- t.in_flight + 1;
       let at = delivery_time t ~src ~dst in
+      (if Obs.Tracer.is_recording t.obs then
+         match t.span_of payload with
+         | None -> ()
+         | Some (name, txn, baseline) ->
+             Obs.Tracer.span t.obs ~start:sent_at ~stop:at ~txn ~baseline
+               ~category:Obs.Span.Network ~track:"net" ~name);
       let deliver () =
         t.in_flight <- t.in_flight - 1;
         if not dst_ep.up then begin

@@ -49,8 +49,17 @@ val create :
   engine:Simkit.Engine.t ->
   rng:Simkit.Rng.t ->
   ?trace:Simkit.Trace.t ->
+  ?obs:Obs.Tracer.t ->
+  ?span_of:('msg -> (string * int * bool) option) ->
   config ->
   'msg t
+(** [obs] (default disabled) records one {!Obs.Span.Network} transit
+    span per accepted message copy, from send to scheduled delivery.
+    [span_of] maps a payload to [(name, txn token, baseline)] —
+    [baseline] marks messages the paper's cost model charges to the
+    baseline rather than the commit protocol; [None] (and the default)
+    records nothing for that payload. Only consulted while [obs] is
+    recording, so it may allocate freely. *)
 
 val register : 'msg t -> name:string -> ('msg envelope -> unit) -> Address.t
 (** Register an endpoint with its delivery handler. Handlers run from

@@ -1,0 +1,200 @@
+let window_name = "txn.window"
+
+type path = {
+  txn : int;
+  window : Simkit.Time.span;
+  network : Simkit.Time.span;
+  log_force : Simkit.Time.span;
+  disk_queue : Simkit.Time.span;
+  lock_wait : Simkit.Time.span;
+  compute : Simkit.Time.span;
+  forces : int;
+  messages : int;
+}
+
+(* Wait-like categories: spans someone can actually block on. Phase
+   markers are bookkeeping, async appends are fire-and-forget (their
+   device occupancy reaches the path as the next force's queue wait),
+   and Other traffic (recovery reads, fencing) has no client waiting. *)
+let on_path = function
+  | Span.Network | Span.Log_force | Span.Disk_queue | Span.Lock_wait -> true
+  | Span.Log_append | Span.Compute | Span.Phase | Span.Other -> false
+
+let walk ~candidates ~submit ~reply ~txn =
+  let open Simkit.Time in
+  let network = ref zero_span
+  and log_force = ref zero_span
+  and disk_queue = ref zero_span
+  and lock_wait = ref zero_span
+  and compute = ref zero_span
+  and forces = ref 0
+  and messages = ref 0 in
+  let frontier = ref reply in
+  while !frontier > submit do
+    let f = !frontier in
+    (* The span that enabled progress at [f]: ends exactly at [f],
+       latest start wins ties (the overlapped longer wait lost the
+       race), later-recorded wins exact ties for determinism. *)
+    let best = ref None in
+    List.iter
+      (fun (s : Span.t) ->
+        if equal s.stop f then
+          match !best with
+          | Some (b : Span.t) when b.start >= s.start -> ()
+          | _ -> best := Some s)
+      candidates;
+    match !best with
+    | Some s ->
+        let lo = if s.start > submit then s.start else submit in
+        let d = diff f lo in
+        (match s.category with
+        | Span.Network ->
+            network := add_span !network d;
+            if not s.baseline then incr messages
+        | Span.Log_force ->
+            log_force := add_span !log_force d;
+            incr forces
+        | Span.Disk_queue -> disk_queue := add_span !disk_queue d
+        | Span.Lock_wait -> lock_wait := add_span !lock_wait d
+        | _ -> ());
+        frontier := lo
+    | None ->
+        (* Gap: nothing ended at [f]. The stretch back to the nearest
+           earlier span end (or submit) is compute. *)
+        let next = ref submit in
+        List.iter
+          (fun (s : Span.t) -> if s.stop < f && s.stop > !next then next := s.stop)
+          candidates;
+        compute := add_span !compute (diff f !next);
+        frontier := !next
+  done;
+  {
+    txn;
+    window = diff reply submit;
+    network = !network;
+    log_force = !log_force;
+    disk_queue = !disk_queue;
+    lock_wait = !lock_wait;
+    compute = !compute;
+    forces = !forces;
+    messages = !messages;
+  }
+
+let paths ?(since = Simkit.Time.zero) tracer =
+  let open Simkit.Time in
+  let windows = ref [] in
+  Tracer.iter
+    (fun s ->
+      if
+        s.closed && s.category = Span.Phase
+        && String.equal s.name window_name
+        && s.start >= since
+      then windows := s :: !windows)
+    tracer;
+  !windows
+  |> List.rev_map (fun (w : Span.t) ->
+         let submit = w.start and reply = w.stop in
+         (* A span can gate this window only if it overlaps it with
+            positive length and belongs to this transaction (or is
+            unattributed). *)
+         let candidates = ref [] in
+         Tracer.iter
+           (fun (s : Span.t) ->
+             if
+               s.closed && on_path s.category
+               && (s.txn = w.txn || s.txn = -1)
+               && s.stop > submit && s.start < reply && s.start < s.stop
+             then candidates := s :: !candidates)
+           tracer;
+         walk ~candidates:!candidates ~submit ~reply ~txn:w.txn)
+
+type summary = {
+  txns : int;
+  mean_window : float;
+  mean_network : float;
+  mean_log_force : float;
+  mean_disk_queue : float;
+  mean_lock_wait : float;
+  mean_compute : float;
+  mean_forces : float;
+  mean_messages : float;
+  uniform_forces : int option;
+  uniform_messages : int option;
+}
+
+let summarize paths =
+  let n = List.length paths in
+  if n = 0 then
+    {
+      txns = 0;
+      mean_window = 0.;
+      mean_network = 0.;
+      mean_log_force = 0.;
+      mean_disk_queue = 0.;
+      mean_lock_wait = 0.;
+      mean_compute = 0.;
+      mean_forces = 0.;
+      mean_messages = 0.;
+      uniform_forces = None;
+      uniform_messages = None;
+    }
+  else begin
+    let fn = float_of_int n in
+    let mean field =
+      List.fold_left
+        (fun acc p -> acc +. float_of_int (Simkit.Time.span_to_ns (field p)))
+        0. paths
+      /. fn
+    in
+    let meani field =
+      List.fold_left (fun acc p -> acc + field p) 0 paths |> float_of_int
+      |> fun s -> s /. fn
+    in
+    let uniform field =
+      match paths with
+      | [] -> None
+      | p :: rest ->
+          if List.for_all (fun q -> field q = field p) rest then Some (field p)
+          else None
+    in
+    {
+      txns = n;
+      mean_window = mean (fun p -> p.window);
+      mean_network = mean (fun p -> p.network);
+      mean_log_force = mean (fun p -> p.log_force);
+      mean_disk_queue = mean (fun p -> p.disk_queue);
+      mean_lock_wait = mean (fun p -> p.lock_wait);
+      mean_compute = mean (fun p -> p.compute);
+      mean_forces = meani (fun p -> p.forces);
+      mean_messages = meani (fun p -> p.messages);
+      uniform_forces = uniform (fun p -> p.forces);
+      uniform_messages = uniform (fun p -> p.messages);
+    }
+  end
+
+let to_table rows =
+  let t =
+    Metrics.Table.create
+      ~columns:
+        [
+          "protocol";
+          "txns";
+          "latency ms";
+          "network ms";
+          "log force ms";
+          "disk queue ms";
+          "lock wait ms";
+          "compute ms";
+          "forces/txn";
+          "msgs/txn";
+        ]
+  in
+  let ms ns = ns /. 1e6 in
+  List.iter
+    (fun (label, s) ->
+      Metrics.Table.add_rowf t "%s|%d|%.2f|%.2f|%.2f|%.2f|%.2f|%.2f|%.2f|%.2f"
+        label s.txns (ms s.mean_window) (ms s.mean_network)
+        (ms s.mean_log_force) (ms s.mean_disk_queue) (ms s.mean_lock_wait)
+        (ms s.mean_compute) s.mean_forces s.mean_messages)
+    rows;
+  t

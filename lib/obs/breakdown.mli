@@ -1,0 +1,69 @@
+(** Per-transaction critical-path latency decomposition.
+
+    The paper's argument (Table I, §III) is about what sits on the
+    commit {e critical path}: everything the coordinator has to wait
+    for before it can reply to the client. This module reconstructs
+    that path from recorded spans and attributes every nanosecond of
+    the submit-to-reply window to one of
+    {net, log force, disk queue, lock wait, compute}.
+
+    Reconstruction walks {e backward} from the reply: at frontier [t],
+    the wait-like span that ends exactly at [t] (messages, forced
+    writes, device-queue waits and lock waits chain at equal
+    timestamps in the discrete-event engine) is the one that enabled
+    progress; its interval is attributed to its category and the
+    frontier jumps to its start. When no span ends at the frontier the
+    gap back to the nearest earlier span end is compute. Ties prefer
+    the latest-starting span: of two spans finishing together, the
+    shorter one is the wait that actually gated this step (the longer
+    one was overlapped — exactly how the paper discounts EP's eager
+    prepare force). Asynchronous log appends are excluded: nobody
+    waits on them, which is the whole point of presumed protocols.
+
+    The two integer counts give the kill-shot cross-check: for a
+    failure-free two-server transaction, [forces] must equal
+    [Acp.Cost_model.paper_table1]'s critical forced writes and
+    [messages] its critical (non-baseline) messages, protocol by
+    protocol. *)
+
+val window_name : string
+(** Name of the per-transaction {!Span.Phase} window span (submit to
+    client reply) that anchors each walk. Emitted by the cluster. *)
+
+type path = {
+  txn : int;
+  window : Simkit.Time.span;  (** submit to reply *)
+  network : Simkit.Time.span;
+  log_force : Simkit.Time.span;
+  disk_queue : Simkit.Time.span;
+  lock_wait : Simkit.Time.span;
+  compute : Simkit.Time.span;  (** window minus all attributed spans *)
+  forces : int;  (** forced log writes on the critical path *)
+  messages : int;  (** non-baseline messages on the critical path *)
+}
+
+val paths : ?since:Simkit.Time.t -> Tracer.t -> path list
+(** One decomposition per transaction window recorded at or after
+    [since] (default: all), in window-completion order. *)
+
+type summary = {
+  txns : int;
+  mean_window : float;  (** all means in nanoseconds *)
+  mean_network : float;
+  mean_log_force : float;
+  mean_disk_queue : float;
+  mean_lock_wait : float;
+  mean_compute : float;
+  mean_forces : float;
+  mean_messages : float;
+  uniform_forces : int option;
+      (** [Some n] when every path crossed exactly [n] forces — the
+          shape the cost-model cross-check expects *)
+  uniform_messages : int option;
+}
+
+val summarize : path list -> summary
+(** Aggregate; [txns = 0] yields all-zero means. *)
+
+val to_table : (string * summary) list -> Metrics.Table.t
+(** One row per (protocol label, summary), durations in ms. *)

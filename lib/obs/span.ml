@@ -1,0 +1,37 @@
+type category =
+  | Network
+  | Log_force
+  | Log_append
+  | Disk_queue
+  | Lock_wait
+  | Compute
+  | Phase
+  | Other
+
+type t = {
+  name : string;
+  category : category;
+  txn : int;
+  baseline : bool;
+  track : string;
+  start : Simkit.Time.t;
+  mutable stop : Simkit.Time.t;
+  mutable closed : bool;
+}
+
+let category_name = function
+  | Network -> "network"
+  | Log_force -> "log_force"
+  | Log_append -> "log_append"
+  | Disk_queue -> "disk_queue"
+  | Lock_wait -> "lock_wait"
+  | Compute -> "compute"
+  | Phase -> "phase"
+  | Other -> "other"
+
+let duration s = Simkit.Time.diff s.stop s.start
+
+let pp ppf s =
+  Fmt.pf ppf "[%s %s txn %d %a..%a%s]" (category_name s.category) s.name s.txn
+    Simkit.Time.pp s.start Simkit.Time.pp s.stop
+    (if s.closed then "" else " open")

@@ -1,0 +1,40 @@
+(** Typed causal spans.
+
+    A span is one interval of simulated time during which a transaction
+    was waiting on (or occupying) some resource, tagged with the
+    category the breakdown attributes it to and the transaction that
+    experienced it. Spans are plain records collected by {!Tracer};
+    nothing here schedules events or consumes randomness, so recording
+    them cannot perturb a simulation. *)
+
+type category =
+  | Network  (** message transit, send to delivery *)
+  | Log_force  (** synchronous (forced) log write, service time *)
+  | Log_append  (** asynchronous log write, service time *)
+  | Disk_queue  (** wait in the device FIFO before service starts *)
+  | Lock_wait  (** enqueue-to-grant wait in a lock manager *)
+  | Compute
+      (** never emitted as a span: the breakdown labels un-spanned gaps
+          on the critical path as compute *)
+  | Phase
+      (** protocol phase / lifetime marker; exported to Chrome traces
+          but excluded from the critical-path walk *)
+  | Other  (** uncategorized device traffic (recovery reads, fencing) *)
+
+type t = {
+  name : string;
+  category : category;
+  txn : int;  (** [Acp.Txn.owner_token], or [-1] when unattributed *)
+  baseline : bool;
+      (** a network span carrying a message the paper's cost model
+          counts as baseline (UPDATE_REQ / UPDATED) rather than
+          protocol overhead *)
+  track : string;  (** export lane, e.g. ["net"] or ["s0.locks"] *)
+  start : Simkit.Time.t;
+  mutable stop : Simkit.Time.t;
+  mutable closed : bool;
+}
+
+val category_name : category -> string
+val duration : t -> Simkit.Time.span
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+let dummy =
+  {
+    Span.name = "";
+    category = Span.Other;
+    txn = -1;
+    baseline = false;
+    track = "";
+    start = Simkit.Time.zero;
+    stop = Simkit.Time.zero;
+    closed = true;
+  }
+
+type t = {
+  enabled : bool;
+  mutable spans : Span.t array;
+  mutable len : int;
+}
+
+let create () = { enabled = true; spans = Array.make 1024 dummy; len = 0 }
+let disabled () = { enabled = false; spans = [||]; len = 0 }
+let is_recording t = t.enabled
+
+let push t s =
+  if t.len = Array.length t.spans then begin
+    let grown = Array.make (max 1024 (2 * t.len)) dummy in
+    Array.blit t.spans 0 grown 0 t.len;
+    t.spans <- grown
+  end;
+  t.spans.(t.len) <- s;
+  t.len <- t.len + 1
+
+let start t ~time ~txn ~category ~track ~name =
+  if not t.enabled then -1
+  else begin
+    let id = t.len in
+    push t
+      {
+        Span.name;
+        category;
+        txn;
+        baseline = false;
+        track;
+        start = time;
+        stop = time;
+        closed = false;
+      };
+    id
+  end
+
+let finish t ~time id =
+  if id >= 0 then begin
+    let s = t.spans.(id) in
+    s.stop <- time;
+    s.closed <- true
+  end
+
+let span t ~start ~stop ~txn ~baseline ~category ~track ~name =
+  if t.enabled then
+    push t { Span.name; category; txn; baseline; track; start; stop; closed = true }
+
+let instant t ~time ~txn ~track name =
+  if t.enabled then
+    push t
+      {
+        Span.name;
+        category = Span.Phase;
+        txn;
+        baseline = false;
+        track;
+        start = time;
+        stop = time;
+        closed = true;
+      }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Obs.Tracer.get: index out of bounds";
+  t.spans.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.spans.(i)
+  done

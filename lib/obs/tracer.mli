@@ -1,0 +1,62 @@
+(** Span collector with an allocation-free disabled path.
+
+    The tracer follows the same hot-path discipline as
+    {!Simkit.Trace.emitf}: every recording entry point is a single load
+    and branch when the tracer is disabled — no closure, no option box,
+    no string build. That is why the constructors below take required
+    labelled arguments of immediate or already-interned types instead
+    of optional arguments (passing [?txn:5] would allocate a [Some]
+    even on the disabled path). Callers pass [txn:(-1)] for
+    unattributed spans and precompute [track] strings once.
+
+    Recording is passive: the tracer never schedules events, never
+    reads the clock itself (callers pass [~time]) and never consumes
+    randomness, so an enabled tracer leaves simulated metrics
+    bit-identical — guarded by the golden tests. *)
+
+type t
+
+val create : unit -> t
+(** A recording tracer. *)
+
+val disabled : unit -> t
+(** A tracer that drops everything in O(1). *)
+
+val is_recording : t -> bool
+(** Guard for call sites whose span arguments are expensive to build. *)
+
+val start :
+  t ->
+  time:Simkit.Time.t ->
+  txn:int ->
+  category:Span.category ->
+  track:string ->
+  name:string ->
+  int
+(** Open a span; returns its id, or [-1] when disabled. *)
+
+val finish : t -> time:Simkit.Time.t -> int -> unit
+(** Close a span by id. No-op on [-1], so callers thread the id from
+    {!start} without re-checking [is_recording]. *)
+
+val span :
+  t ->
+  start:Simkit.Time.t ->
+  stop:Simkit.Time.t ->
+  txn:int ->
+  baseline:bool ->
+  category:Span.category ->
+  track:string ->
+  name:string ->
+  unit
+(** Record a complete span retroactively — for intervals whose end is
+    already known at emission time (message transit with a computed
+    delivery time, a transaction window emitted at reply time). *)
+
+val instant : t -> time:Simkit.Time.t -> txn:int -> track:string -> string -> unit
+(** Zero-length {!Span.Phase} marker (protocol milestones). Excluded
+    from the breakdown walk, visible in Chrome traces. *)
+
+val length : t -> int
+val get : t -> int -> Span.t
+val iter : (Span.t -> unit) -> t -> unit

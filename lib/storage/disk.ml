@@ -6,6 +6,11 @@ type request = {
   initiator : int;
   bytes : int;
   label : string;
+  txn : int;
+  category : Obs.Span.category;
+  (* Open queue-wait span, -1 when none; closed when service starts or
+     the request is purged by [expel]. *)
+  mutable qspan : int;
   on_complete : unit -> unit;
 }
 
@@ -20,6 +25,7 @@ type stats = {
 type t = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   config : config;
   (* Service-time multiplier (1.0 = nominal bandwidth). Fault injection
      arms transient degradations (> 1 slows the device) at runtime. *)
@@ -40,7 +46,16 @@ type t = {
   mutable busy_time : Simkit.Time.span;
 }
 
-let no_request = { initiator = -1; bytes = 0; label = ""; on_complete = ignore }
+let no_request =
+  {
+    initiator = -1;
+    bytes = 0;
+    label = "";
+    txn = -1;
+    category = Obs.Span.Other;
+    qspan = -1;
+    on_complete = ignore;
+  }
 
 let ring_push t req =
   let cap = Array.length t.ring in
@@ -70,16 +85,18 @@ let ring_iter t f =
     f t.ring.((t.head + i) mod cap)
   done
 
-let create ~engine ?trace config =
+let create ~engine ?trace ?obs config =
   if config.bandwidth_bytes_per_s <= 0 then
     invalid_arg "Disk.create: bandwidth <= 0";
   if config.block_bytes <= 0 then invalid_arg "Disk.create: block_bytes <= 0";
   let trace =
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
   {
     engine;
     trace;
+    obs;
     config;
     slowdown = 1.0;
     ring = [||];
@@ -124,6 +141,7 @@ let rec start_next t =
     if is_expelled t ~initiator:req.initiator then begin
       (* Dropped while waiting: skip without servicing. *)
       t.requests_dropped <- t.requests_dropped + 1;
+      Obs.Tracer.finish t.obs ~time:(Simkit.Engine.now t.engine) req.qspan;
       start_next t
     end
     else begin
@@ -132,6 +150,9 @@ let rec start_next t =
         let now = Simkit.Engine.now t.engine in
         t.service_done_at <- Simkit.Time.add now span;
         t.busy_time <- Simkit.Time.add_span t.busy_time span;
+        Obs.Tracer.finish t.obs ~time:now req.qspan;
+        Obs.Tracer.span t.obs ~start:now ~stop:t.service_done_at ~txn:req.txn
+          ~baseline:false ~category:req.category ~track:"disk" ~name:req.label;
         if Simkit.Trace.is_recording t.trace then
           Simkit.Trace.emitf t.trace ~time:now ~source:"disk" ~kind:"io.start"
             "%s (%dB, %a)" req.label req.bytes Simkit.Time.pp_span span;
@@ -150,14 +171,20 @@ let rec start_next t =
     end
   end
 
-let submit t ~initiator ~bytes ?(label = "io") ~on_complete () =
+let submit t ~initiator ~bytes ?(label = "io") ?(txn = -1)
+    ?(category = Obs.Span.Other) ~on_complete () =
   if bytes < 0 then invalid_arg "Disk.submit: negative size";
   if is_expelled t ~initiator then begin
     t.requests_rejected <- t.requests_rejected + 1;
     `Rejected
   end
   else begin
-    ring_push t { initiator; bytes; label; on_complete };
+    let qspan =
+      Obs.Tracer.start t.obs
+        ~time:(Simkit.Engine.now t.engine)
+        ~txn ~category:Obs.Span.Disk_queue ~track:"disk.queue" ~name:label
+    in
+    ring_push t { initiator; bytes; label; txn; category; qspan; on_complete };
     (match t.in_service with None -> start_next t | Some _ -> ());
     `Accepted
   end
@@ -169,9 +196,12 @@ let expel t ~initiator =
        [queue_depth] reflects reality; the in-service request, if the
        victim's, still completes. *)
     let survivors = ref [] in
+    let now = Simkit.Engine.now t.engine in
     ring_iter t (fun req ->
-        if req.initiator = initiator then
-          t.requests_dropped <- t.requests_dropped + 1
+        if req.initiator = initiator then begin
+          t.requests_dropped <- t.requests_dropped + 1;
+          Obs.Tracer.finish t.obs ~time:now req.qspan
+        end
         else survivors := req :: !survivors);
     Array.fill t.ring 0 (Array.length t.ring) no_request;
     t.head <- 0;

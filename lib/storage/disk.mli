@@ -25,7 +25,17 @@ val default_config : config
 (** 400 KB/s (the paper's parameter, with KB = 1000 bytes) and 4 KiB
     blocks. *)
 
-val create : engine:Simkit.Engine.t -> ?trace:Simkit.Trace.t -> config -> t
+val create :
+  engine:Simkit.Engine.t ->
+  ?trace:Simkit.Trace.t ->
+  ?obs:Obs.Tracer.t ->
+  config ->
+  t
+(** [obs] (default disabled) records a {!Obs.Span.Disk_queue} span per
+    request from submission to service start, and a service span from
+    service start to completion in the category the submitter passed —
+    the raw material for the latency breakdown's queue-wait vs.
+    service-time split. *)
 
 val transfer_span : t -> bytes:int -> Simkit.Time.span
 (** Pure service time for a request of [bytes] (no queueing), including
@@ -46,11 +56,15 @@ val submit :
   initiator:int ->
   bytes:int ->
   ?label:string ->
+  ?txn:int ->
+  ?category:Obs.Span.category ->
   on_complete:(unit -> unit) ->
   unit ->
   [ `Accepted | `Rejected ]
 (** Queue a request. [on_complete] runs when the transfer finishes.
     [`Rejected] (and no callback) if the initiator is expelled.
+    [txn] (default [-1]) and [category] (default {!Obs.Span.Other})
+    attribute the request's spans for the breakdown.
     @raise Invalid_argument if [bytes < 0]. *)
 
 val expel : t -> initiator:int -> unit

@@ -18,6 +18,7 @@ let default_config =
 type 'r t = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
+  obs : Obs.Tracer.t;
   config : config;
   shared : Disk.t option;  (* the single device, when shared *)
   mutable partition_devices : (int * Disk.t) list;  (* owner -> device *)
@@ -26,17 +27,19 @@ type 'r t = {
   fenced : (int, unit) Hashtbl.t;
 }
 
-let create ~engine ?trace ~size config =
+let create ~engine ?trace ?obs ~size config =
   let trace =
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
   {
     engine;
     trace;
+    obs;
     config;
     shared =
       (if config.shared_device then
-         Some (Disk.create ~engine ~trace config.disk)
+         Some (Disk.create ~engine ~trace ~obs config.disk)
        else None);
     partition_devices = [];
     size;
@@ -78,7 +81,9 @@ let add_partition t ~owner =
     match t.shared with
     | Some d -> d
     | None ->
-        let d = Disk.create ~engine:t.engine ~trace:t.trace t.config.disk in
+        let d =
+          Disk.create ~engine:t.engine ~trace:t.trace ~obs:t.obs t.config.disk
+        in
         t.partition_devices <- (idx, d) :: t.partition_devices;
         d
   in

@@ -41,9 +41,12 @@ val default_config : config
 val create :
   engine:Simkit.Engine.t ->
   ?trace:Simkit.Trace.t ->
+  ?obs:Obs.Tracer.t ->
   size:('r -> int) ->
   config ->
   'r t
+(** [obs] is threaded into every device (shared or per-partition) so
+    queue-wait and service spans land in one tracer. *)
 
 val disk : 'r t -> Disk.t
 (** The shared device. @raise Invalid_argument under

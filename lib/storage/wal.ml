@@ -91,16 +91,18 @@ let rec flush_group (t : _ t) =
     let outcome =
       Disk.submit t.disk ~initiator:t.initiator ~bytes
         ~label:(Printf.sprintf "%s.log.group(%d)" t.owner (List.length batches))
+        ~category:Obs.Span.Log_force
         ~on_complete:(fun () ->
           List.iter
             (fun b ->
               commit_records t b.b_records b.b_bytes;
               if t.epoch = b.b_epoch then b.b_on_durable ())
             batches;
-          Simkit.Trace.emitf t.trace
-            ~time:(Simkit.Engine.now t.engine)
-            ~source:t.owner ~kind:"log.group" "%d batch(es), %dB"
-            (List.length batches) bytes;
+          if Simkit.Trace.is_recording t.trace then
+            Simkit.Trace.emitf t.trace
+              ~time:(Simkit.Engine.now t.engine)
+              ~source:t.owner ~kind:"log.group" "%d batch(es), %dB"
+              (List.length batches) bytes;
           flush_group t)
         ()
     in
@@ -124,21 +126,23 @@ let submit_grouped t ~sync records ~on_durable =
       b_on_durable = on_durable;
     }
     t.pending;
-  Simkit.Trace.emitf t.trace
-    ~time:(Simkit.Engine.now t.engine)
-    ~source:t.owner
-    ~kind:(if sync then "log.force" else "log.append")
-    "%d record(s) (grouped)" (List.length records);
+  if Simkit.Trace.is_recording t.trace then
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:t.owner
+      ~kind:(if sync then "log.force" else "log.append")
+      "%d record(s) (grouped)" (List.length records);
   if not t.inflight then flush_group t
 
-let submit t ~sync records ~on_durable =
+let submit t ~sync ?(txn = -1) records ~on_durable =
   if t.group_commit then submit_grouped t ~sync records ~on_durable
   else
   let bytes = write_bytes t records in
   let epoch = t.epoch in
   let label = if sync then t.label_force else t.label_async in
+  let category = if sync then Obs.Span.Log_force else Obs.Span.Log_append in
   let outcome =
-    Disk.submit t.disk ~initiator:t.initiator ~bytes ~label
+    Disk.submit t.disk ~initiator:t.initiator ~bytes ~label ~txn ~category
       ~on_complete:(fun () ->
         commit_records t records bytes;
         if Simkit.Trace.is_recording t.trace then
@@ -161,15 +165,16 @@ let submit t ~sync records ~on_durable =
           "%d record(s), %dB" (List.length records) bytes
   | `Rejected ->
       t.rejected_writes <- t.rejected_writes + 1;
-      Simkit.Trace.emitf t.trace
-        ~time:(Simkit.Engine.now t.engine)
-        ~source:t.owner ~kind:"log.rejected" "%d record(s)"
-        (List.length records)
+      if Simkit.Trace.is_recording t.trace then
+        Simkit.Trace.emitf t.trace
+          ~time:(Simkit.Engine.now t.engine)
+          ~source:t.owner ~kind:"log.rejected" "%d record(s)"
+          (List.length records)
 
-let force t records ~on_durable = submit t ~sync:true records ~on_durable
+let force ?txn t records ~on_durable = submit t ~sync:true ?txn records ~on_durable
 
-let append_async ?(on_durable = fun () -> ()) t records =
-  submit t ~sync:false records ~on_durable
+let append_async ?txn ?(on_durable = fun () -> ()) t records =
+  submit t ~sync:false ?txn records ~on_durable
 
 let durable t = List.rev t.durable_records
 let durable_bytes t = t.durable_bytes

@@ -57,16 +57,21 @@ val create :
 
 val owner : 'r t -> string
 
-val force : 'r t -> 'r list -> on_durable:(unit -> unit) -> unit
+val force : ?txn:int -> 'r t -> 'r list -> on_durable:(unit -> unit) -> unit
 (** Append the records with one synchronous device write. [on_durable]
     runs when the write completes, unless the owner crashed in between or
     the write was rejected (owner fenced). Records are empty-list safe:
-    the callback still goes through the device queue with one header. *)
+    the callback still goes through the device queue with one header.
+    [txn] (an [Acp.Txn.owner_token], default [-1]) attributes the
+    device spans ({!Obs.Span.Log_force} + queue wait) for the latency
+    breakdown. *)
 
-val append_async : ?on_durable:(unit -> unit) -> 'r t -> 'r list -> unit
+val append_async :
+  ?txn:int -> ?on_durable:(unit -> unit) -> 'r t -> 'r list -> unit
 (** Append without waiting. The records become durable when the device
     gets to them; [on_durable], if given, fires at that point under the
-    same crash-suppression rule as {!force}. *)
+    same crash-suppression rule as {!force}. [txn] attributes the
+    {!Obs.Span.Log_append} device spans. *)
 
 val durable : 'r t -> 'r list
 (** Durable records in append order — what a recovery scan reads. *)

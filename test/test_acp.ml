@@ -441,6 +441,23 @@ let prop_codec_message_roundtrip =
   QCheck2.Test.make ~name:"codec: message roundtrip" ~count:500 gen_message
     (fun m -> Codec.decode_message (Codec.encode_message m) = m)
 
+(* Fuzz: decoding arbitrary bytes must be total modulo [Malformed] — a
+   hostile or corrupted message may be garbage, but it must never take
+   the decoder down with an out-of-bounds read or a stack overflow. *)
+let test_codec_decode_fuzz () =
+  let rng = Random.State.make [| 0xC0DEC |] in
+  for i = 0 to 999 do
+    let len = Random.State.int rng 64 in
+    let s =
+      String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+    in
+    match Codec.decode_message s with
+    | (_ : Wire.t) -> ()
+    | exception Codec.Malformed _ -> ()
+    | exception e ->
+        Alcotest.failf "input %d (%S) raised %s" i s (Printexc.to_string e)
+  done
+
 let test_codec_sizes_are_small () =
   (* Encoded state records are far below the calibrated constants —
      what makes the encoded-size ablation meaningful. *)
@@ -485,6 +502,8 @@ let () =
             test_codec_every_message_constructor;
           Alcotest.test_case "message prefixes rejected" `Quick
             test_codec_message_truncation;
+          Alcotest.test_case "decode fuzz never escapes" `Quick
+            test_codec_decode_fuzz;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [

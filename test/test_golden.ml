@@ -48,6 +48,36 @@ let test_fig6 () =
         (Simkit.Time.span_to_ns p.mean_lock_hold))
     fig6_golden
 
+(* Span recording must be passive: it schedules no events, reads no
+   clocks, consumes no randomness. A figure-6 run with the tracer
+   enabled must therefore reproduce every golden digit bit-for-bit. *)
+let test_fig6_spans_enabled () =
+  let config =
+    { Experiment.fig6_config with Opc_cluster.Config.record_spans = true }
+  in
+  List.iter
+    (fun (kind, throughput, committed, aborted, latency_ns, lock_ns) ->
+      let p = Experiment.run_fig6_point ~config kind in
+      Alcotest.(check string)
+        (pname kind ^ " throughput (spans on)")
+        throughput
+        (Printf.sprintf "%.2f" p.Experiment.throughput);
+      Alcotest.(check int)
+        (pname kind ^ " committed (spans on)")
+        committed p.committed;
+      Alcotest.(check int)
+        (pname kind ^ " aborted (spans on)")
+        aborted p.aborted;
+      Alcotest.(check int)
+        (pname kind ^ " mean latency ns (spans on)")
+        latency_ns
+        (Simkit.Time.span_to_ns p.mean_latency);
+      Alcotest.(check int)
+        (pname kind ^ " mean lock hold ns (spans on)")
+        lock_ns
+        (Simkit.Time.span_to_ns p.mean_lock_hold))
+    fig6_golden
+
 (* ------------------------------------------------------------------ *)
 (* Table I (measured)                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -145,6 +175,8 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "figure 6 digits" `Quick test_fig6;
+          Alcotest.test_case "figure 6 digits, spans enabled" `Quick
+            test_fig6_spans_enabled;
           Alcotest.test_case "table I measured columns" `Quick test_table1;
           Alcotest.test_case "scale point (8 servers)" `Quick
             test_scale_point;

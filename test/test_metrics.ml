@@ -79,6 +79,55 @@ let prop_histogram_percentiles_monotone =
       && Time.span_to_ns (Histogram.max_value h)
          = List.fold_left max 0 samples)
 
+(* percentile is definitionally quantile at p/100 — pin the equivalence
+   over random samples and ranks, including the endpoints. *)
+let prop_percentile_is_scaled_quantile =
+  QCheck2.Test.make ~name:"percentile p = quantile (p/100)" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (int_bound 1_000_000))
+        (int_bound 1000))
+    (fun (samples, rank_tenths) ->
+      let h = Histogram.create () in
+      List.iter (fun ns -> Histogram.record h (Time.span_ns ns)) samples;
+      let p = float_of_int rank_tenths /. 10.0 in
+      Time.span_to_ns (Histogram.percentile h p)
+      = Time.span_to_ns (Histogram.quantile h (p /. 100.0)))
+
+let test_histogram_edge_cases () =
+  let empty = Histogram.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "empty p%.0f" p)
+        0
+        (Time.span_to_ns (Histogram.percentile empty p)))
+    [ 0.0; 50.0; 100.0 ];
+  let single = Histogram.create () in
+  Histogram.record single (Time.span_ms 7);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "single p%.0f" p)
+        7_000_000
+        (Time.span_to_ns (Histogram.percentile single p)))
+    [ 0.0; 50.0; 100.0 ];
+  let h = Histogram.create () in
+  List.iter (fun ms -> Histogram.record h (Time.span_ms ms)) [ 4; 2; 9 ];
+  Alcotest.(check int) "p0 = min" 2_000_000
+    (Time.span_to_ns (Histogram.percentile h 0.0));
+  Alcotest.(check int) "p100 = max" 9_000_000
+    (Time.span_to_ns (Histogram.percentile h 100.0));
+  Alcotest.check_raises "negative rank"
+    (Invalid_argument "Histogram.percentile: rank outside [0, 100]")
+    (fun () -> ignore (Histogram.percentile h (-1.0)));
+  Alcotest.check_raises "nan rank"
+    (Invalid_argument "Histogram.percentile: rank outside [0, 100]")
+    (fun () -> ignore (Histogram.percentile h Float.nan));
+  Alcotest.check_raises "nan quantile"
+    (Invalid_argument "Histogram.quantile: rank outside [0, 1]")
+    (fun () -> ignore (Histogram.quantile h Float.nan))
+
 let test_table_rendering () =
   let t = Table.create ~columns:[ "name"; "value" ] in
   Table.add_row t [ "alpha"; "1" ];
@@ -111,7 +160,9 @@ let () =
         [
           Alcotest.test_case "stats" `Quick test_histogram_stats;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases;
           QCheck_alcotest.to_alcotest prop_histogram_percentiles_monotone;
+          QCheck_alcotest.to_alcotest prop_percentile_is_scaled_quantile;
         ] );
       ("table", [ Alcotest.test_case "rendering" `Quick test_table_rendering ]);
     ]

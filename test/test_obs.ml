@@ -1,0 +1,440 @@
+(* Tests for the lib/obs span subsystem: tracer mechanics, the
+   critical-path walk on hand-built span sets, the kill-shot
+   cross-check of measured critical-path force/message counts against
+   the paper's Table I for all four protocols, and the Chrome
+   trace-event export schema. *)
+
+open Opc
+
+let time ns = Simkit.Time.of_ns ns
+let pname = Acp.Protocol.name
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer_disabled () =
+  let t = Obs.Tracer.disabled () in
+  Alcotest.(check bool) "not recording" false (Obs.Tracer.is_recording t);
+  let id =
+    Obs.Tracer.start t ~time:(time 0) ~txn:1 ~category:Obs.Span.Phase
+      ~track:"x" ~name:"n"
+  in
+  Alcotest.(check int) "disabled start returns -1" (-1) id;
+  Obs.Tracer.finish t ~time:(time 5) id;
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 1) ~txn:1 ~baseline:false
+    ~category:Obs.Span.Network ~track:"x" ~name:"n";
+  Obs.Tracer.instant t ~time:(time 0) ~txn:1 ~track:"x" "m";
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Tracer.length t)
+
+let test_tracer_records () =
+  let t = Obs.Tracer.create () in
+  Alcotest.(check bool) "recording" true (Obs.Tracer.is_recording t);
+  let id =
+    Obs.Tracer.start t ~time:(time 10) ~txn:7 ~category:Obs.Span.Lock_wait
+      ~track:"locks" ~name:"lock.wait"
+  in
+  let open_span = Obs.Tracer.get t id in
+  Alcotest.(check bool) "open until finished" false open_span.Obs.Span.closed;
+  Obs.Tracer.finish t ~time:(time 25) id;
+  Obs.Tracer.instant t ~time:(time 30) ~txn:7 ~track:"mds0" "milestone";
+  Obs.Tracer.span t ~start:(time 2) ~stop:(time 4) ~txn:7 ~baseline:true
+    ~category:Obs.Span.Network ~track:"net" ~name:"update_req";
+  Alcotest.(check int) "three spans" 3 (Obs.Tracer.length t);
+  let s = Obs.Tracer.get t id in
+  Alcotest.(check bool) "closed" true s.Obs.Span.closed;
+  Alcotest.(check int) "duration" 15
+    (Simkit.Time.span_to_ns (Obs.Span.duration s));
+  let count = ref 0 in
+  Obs.Tracer.iter (fun _ -> incr count) t;
+  Alcotest.(check int) "iter covers all" 3 !count
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path walk on synthetic spans                               *)
+(* ------------------------------------------------------------------ *)
+
+let ns = Simkit.Time.span_to_ns
+
+let test_walk_attribution () =
+  let t = Obs.Tracer.create () in
+  let sp ~start ~stop ~cat name =
+    Obs.Tracer.span t ~start:(time start) ~stop:(time stop) ~txn:7
+      ~baseline:false ~category:cat ~track:"x" ~name
+  in
+  sp ~start:0 ~stop:100 ~cat:Obs.Span.Network "update_req";
+  sp ~start:100 ~stop:300 ~cat:Obs.Span.Lock_wait "lock.wait";
+  sp ~start:300 ~stop:800 ~cat:Obs.Span.Log_force "force";
+  (* an async append nobody waits on must not be attributed *)
+  Obs.Tracer.span t ~start:(time 300) ~stop:(time 900) ~txn:7 ~baseline:false
+    ~category:Obs.Span.Log_append ~track:"x" ~name:"append";
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 1000) ~txn:7 ~baseline:false
+    ~category:Obs.Span.Phase ~track:"txn" ~name:Obs.Breakdown.window_name;
+  match Obs.Breakdown.paths t with
+  | [ p ] ->
+      Alcotest.(check int) "window" 1000 (ns p.Obs.Breakdown.window);
+      Alcotest.(check int) "network" 100 (ns p.network);
+      Alcotest.(check int) "lock wait" 200 (ns p.lock_wait);
+      Alcotest.(check int) "log force" 500 (ns p.log_force);
+      Alcotest.(check int) "compute gap" 200 (ns p.compute);
+      Alcotest.(check int) "disk queue" 0 (ns p.disk_queue);
+      Alcotest.(check int) "forces" 1 p.forces;
+      Alcotest.(check int) "messages" 1 p.messages
+  | ps -> Alcotest.failf "expected one path, got %d" (List.length ps)
+
+(* Of two spans ending together, the later-starting (shorter) one gated
+   progress; the longer one was overlapped and must not be charged —
+   how EP's eager coordinator prepare is discounted. *)
+let test_walk_tie_break () =
+  let t = Obs.Tracer.create () in
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 1000) ~txn:3 ~baseline:false
+    ~category:Obs.Span.Network ~track:"x" ~name:"overlapped";
+  Obs.Tracer.span t ~start:(time 800) ~stop:(time 1000) ~txn:3 ~baseline:false
+    ~category:Obs.Span.Log_force ~track:"x" ~name:"force";
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 1000) ~txn:3 ~baseline:false
+    ~category:Obs.Span.Phase ~track:"txn" ~name:Obs.Breakdown.window_name;
+  match Obs.Breakdown.paths t with
+  | [ p ] ->
+      Alcotest.(check int) "force wins the tie" 200 (ns p.Obs.Breakdown.log_force);
+      Alcotest.(check int) "overlapped wait uncharged" 0 (ns p.network);
+      Alcotest.(check int) "rest is compute" 800 (ns p.compute);
+      Alcotest.(check int) "forces" 1 p.forces;
+      Alcotest.(check int) "messages" 0 p.messages
+  | ps -> Alcotest.failf "expected one path, got %d" (List.length ps)
+
+let test_walk_clamps_and_filters () =
+  let t = Obs.Tracer.create () in
+  (* starts before the window: only the in-window part is charged *)
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 150) ~txn:9 ~baseline:false
+    ~category:Obs.Span.Lock_wait ~track:"x" ~name:"early";
+  (* other transaction: invisible *)
+  Obs.Tracer.span t ~start:(time 150) ~stop:(time 200) ~txn:4 ~baseline:false
+    ~category:Obs.Span.Log_force ~track:"x" ~name:"foreign";
+  (* unattributed (txn = -1) spans are visible to every window *)
+  Obs.Tracer.span t ~start:(time 150) ~stop:(time 180) ~txn:(-1)
+    ~baseline:false ~category:Obs.Span.Disk_queue ~track:"x" ~name:"queue";
+  Obs.Tracer.span t ~start:(time 100) ~stop:(time 200) ~txn:9 ~baseline:false
+    ~category:Obs.Span.Phase ~track:"txn" ~name:Obs.Breakdown.window_name;
+  match Obs.Breakdown.paths t with
+  | [ p ] ->
+      Alcotest.(check int) "clamped lock wait" 50 (ns p.Obs.Breakdown.lock_wait);
+      Alcotest.(check int) "unattributed queue" 30 (ns p.disk_queue);
+      Alcotest.(check int) "foreign force invisible" 0 (ns p.log_force);
+      Alcotest.(check int) "compute fills the rest" 20 (ns p.compute)
+  | ps -> Alcotest.failf "expected one path, got %d" (List.length ps)
+
+let test_summarize_empty_and_uniform () =
+  let s = Obs.Breakdown.summarize [] in
+  Alcotest.(check int) "no txns" 0 s.Obs.Breakdown.txns;
+  Alcotest.(check (option int)) "no uniform forces" None s.uniform_forces;
+  let p txn forces =
+    {
+      Obs.Breakdown.txn;
+      window = Simkit.Time.span_ns 100;
+      network = Simkit.Time.span_ns 40;
+      log_force = Simkit.Time.span_ns 60;
+      disk_queue = Simkit.Time.zero_span;
+      lock_wait = Simkit.Time.zero_span;
+      compute = Simkit.Time.zero_span;
+      forces;
+      messages = 2;
+    }
+  in
+  let s = Obs.Breakdown.summarize [ p 1 3; p 2 3 ] in
+  Alcotest.(check (option int)) "uniform forces" (Some 3) s.uniform_forces;
+  Alcotest.(check (option int)) "uniform messages" (Some 2) s.uniform_messages;
+  let s = Obs.Breakdown.summarize [ p 1 3; p 2 4 ] in
+  Alcotest.(check (option int)) "non-uniform forces" None s.uniform_forces
+
+(* ------------------------------------------------------------------ *)
+(* Kill-shot: measured critical path vs the paper's Table I            *)
+(* ------------------------------------------------------------------ *)
+
+(* For isolated two-server CREATEs, the walk's force and message counts
+   must equal Table I's critical-path columns, protocol by protocol.
+   This ties the span instrumentation, the walk and the analytic cost
+   model together: a bug in any of the three breaks the equality. *)
+let test_breakdown_matches_table1 () =
+  List.iter
+    (fun kind ->
+      let costs = Acp.Cost_model.paper_table1 kind in
+      let p = Experiment.run_breakdown ~count:5 kind in
+      let s = p.Experiment.summary in
+      Alcotest.(check int) (pname kind ^ " txns") 5 s.Obs.Breakdown.txns;
+      Alcotest.(check (option int))
+        (pname kind ^ " critical forces")
+        (Some costs.Acp.Cost_model.critical_sync)
+        s.uniform_forces;
+      Alcotest.(check (option int))
+        (pname kind ^ " critical messages")
+        (Some costs.Acp.Cost_model.critical_messages)
+        s.uniform_messages;
+      Alcotest.(check bool)
+        (pname kind ^ " decomposition is positive")
+        true
+        (s.mean_network >= 0. && s.mean_log_force > 0. && s.mean_window > 0.))
+    Acp.Protocol.all
+
+(* Every nanosecond of every window lands in exactly one category. *)
+let test_breakdown_conservation () =
+  List.iter
+    (fun kind ->
+      let p = Experiment.run_breakdown ~count:3 kind in
+      let paths = Obs.Breakdown.paths p.Experiment.tracer in
+      Alcotest.(check bool)
+        (pname kind ^ " measured some paths")
+        true
+        (List.length paths >= 3);
+      List.iter
+        (fun (q : Obs.Breakdown.path) ->
+          let total =
+            ns q.network + ns q.log_force + ns q.disk_queue + ns q.lock_wait
+            + ns q.compute
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s txn %d conserved" (pname kind) q.txn)
+            (ns q.window) total)
+        paths)
+    Acp.Protocol.all
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export schema                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A miniature JSON reader — just enough to schema-check the export
+   without pulling in a JSON dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos < len then s.[!pos] else raise (Bad "eof") in
+    let next () =
+      let c = peek () in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      if !pos < len then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+            incr pos;
+            skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if next () <> c then raise (Bad (Printf.sprintf "expected %c" c))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            match next () with
+            | '"' -> Buffer.add_char b '"'; go ()
+            | '\\' -> Buffer.add_char b '\\'; go ()
+            | '/' -> Buffer.add_char b '/'; go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'f' -> Buffer.add_char b '\012'; go ()
+            | 'u' ->
+                let h = String.init 4 (fun _ -> next ()) in
+                Buffer.add_char b (Char.chr (int_of_string ("0x" ^ h) land 0xff));
+                go ()
+            | c -> raise (Bad (Printf.sprintf "bad escape %c" c)))
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < len && num_char s.[!pos] do incr pos done;
+      if !pos = start then raise (Bad "number expected");
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+          expect '{';
+          skip_ws ();
+          if peek () = '}' then (incr pos; Obj [])
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> members ((k, v) :: acc)
+              | '}' -> Obj (List.rev ((k, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+            in
+            members []
+          end
+      | '[' ->
+          expect '[';
+          skip_ws ();
+          if peek () = ']' then (incr pos; List [])
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> elems (v :: acc)
+              | ']' -> List (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+            in
+            elems []
+          end
+      | 't' ->
+          pos := !pos + 4;
+          Bool true
+      | 'f' ->
+          pos := !pos + 5;
+          Bool false
+      | 'n' ->
+          pos := !pos + 4;
+          Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+let test_export_schema () =
+  let p = Experiment.run_breakdown ~count:2 Acp.Protocol.Opc in
+  let s = Obs.Export.to_string p.Experiment.tracer in
+  let json =
+    match Json.parse s with
+    | j -> j
+    | exception Json.Bad msg -> Alcotest.failf "export is not JSON: %s" msg
+  in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let phases = Hashtbl.create 4 in
+  List.iter
+    (fun ev ->
+      let str k =
+        match Json.member k ev with
+        | Some (Json.Str v) -> v
+        | _ -> Alcotest.failf "event missing string %S" k
+      in
+      let num k =
+        match Json.member k ev with
+        | Some (Json.Num v) -> v
+        | _ -> Alcotest.failf "event %S missing number %S" (str "name") k
+      in
+      let ph = str "ph" in
+      Hashtbl.replace phases ph ();
+      ignore (num "pid");
+      ignore (num "tid");
+      match ph with
+      | "X" ->
+          Alcotest.(check bool)
+            "dur non-negative" true
+            (num "dur" >= 0.0);
+          Alcotest.(check bool) "ts non-negative" true (num "ts" >= 0.0);
+          let cat = str "cat" in
+          Alcotest.(check bool)
+            (Printf.sprintf "category %S known" cat)
+            true
+            (List.mem cat
+               [
+                 "network";
+                 "log_force";
+                 "log_append";
+                 "disk_queue";
+                 "lock_wait";
+                 "compute";
+                 "phase";
+                 "other";
+               ]);
+          (match Json.member "args" ev with
+          | Some (Json.Obj _) -> ()
+          | _ -> Alcotest.fail "X event missing args object")
+      | "M" ->
+          Alcotest.(check string) "metadata name" "thread_name" (str "name")
+      | other -> Alcotest.failf "unexpected phase %S" other)
+    events;
+  Alcotest.(check bool) "has complete events" true (Hashtbl.mem phases "X");
+  Alcotest.(check bool) "has track metadata" true (Hashtbl.mem phases "M")
+
+let test_export_creates_parent_dirs () =
+  let t = Obs.Tracer.create () in
+  Obs.Tracer.span t ~start:(time 0) ~stop:(time 10) ~txn:1 ~baseline:false
+    ~category:Obs.Span.Network ~track:"net" ~name:"m";
+  let dir = Filename.temp_file "obs_export" "" in
+  Sys.remove dir;
+  let path = Filename.concat (Filename.concat dir "a/b") "trace.json" in
+  Obs.Export.to_file path t;
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  (match Json.parse (String.trim contents) with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "exported file is not a JSON object"
+  | exception Json.Bad msg -> Alcotest.failf "exported file invalid: %s" msg);
+  Sys.remove path
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_tracer_disabled;
+          Alcotest.test_case "records spans" `Quick test_tracer_records;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "attribution" `Quick test_walk_attribution;
+          Alcotest.test_case "tie break" `Quick test_walk_tie_break;
+          Alcotest.test_case "clamps and filters" `Quick
+            test_walk_clamps_and_filters;
+          Alcotest.test_case "summarize" `Quick test_summarize_empty_and_uniform;
+        ] );
+      ( "cross-check",
+        [
+          Alcotest.test_case "critical path matches Table I" `Quick
+            test_breakdown_matches_table1;
+          Alcotest.test_case "decomposition conserves the window" `Quick
+            test_breakdown_conservation;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace schema" `Quick test_export_schema;
+          Alcotest.test_case "creates parent dirs" `Quick
+            test_export_creates_parent_dirs;
+        ] );
+    ]

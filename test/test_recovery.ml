@@ -96,6 +96,7 @@ let make_harness ?(initial_log = []) () =
         (fun peer -> Hashtbl.mem suspected (Netsim.Address.index peer));
       ledger = Metrics.Ledger.create ();
       trace = Simkit.Trace.disabled ();
+      obs = Obs.Tracer.disabled ();
       client_reply = (fun txn outcome -> replies := (txn, outcome) :: !replies);
       mark = (fun _ _ -> ());
     }
