@@ -19,16 +19,23 @@
      dune exec bench/main.exe micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe scale        -- A12: 4->64-server scale campaign
      dune exec bench/main.exe breakdown    -- A13: measured critical-path spans
+     dune exec bench/main.exe timeline     -- A14: recovery journal, gauges, MTTR
+     dune exec bench/main.exe check        -- events/s gate vs a scale baseline
 
-   Every subcommand accepts [--json PATH] and then also writes its
-   results as machine-readable JSON (creating missing parent
-   directories). [scale] always writes JSON (default BENCH_scale.json)
-   and additionally takes [--smoke] (tiny sweep for CI), [--seeds N]
-   and [--txns N]; schema in EXPERIMENTS.md, "Perf & scale".
-   [breakdown] always writes JSON too (default BENCH_breakdown.json),
-   drops one Chrome trace per protocol under BENCH_traces/, and exits
-   nonzero if the measured critical-path force/message counts disagree
-   with Table I. Unknown subcommands and flags exit with status 2. *)
+   Every subcommand writes its results as machine-readable JSON — to
+   BENCH_<name>.json by default, or wherever [--json PATH] points
+   (creating missing parent directories) — and prints the path on
+   success; schemas in EXPERIMENTS.md. [scale] additionally takes
+   [--smoke] (tiny sweep for CI), [--seeds N] and [--txns N].
+   [breakdown] drops one Chrome trace per protocol under BENCH_traces/
+   and exits nonzero if the measured critical-path force/message counts
+   disagree with Table I. [timeline] ([--smoke] = 1PC only) writes one
+   lifecycle journal per protocol as BENCH_timeline.<protocol>.jsonl
+   and exits nonzero if a recovery window's start disagrees with the
+   injected crash instant. [check] re-measures the heaviest 1PC point
+   of [--against] (default BENCH_scale.json) and exits nonzero if
+   events/s fell more than [--tolerance] (default 0.15) below the
+   baseline. Unknown subcommands and flags exit with status 2. *)
 
 let section title =
   Fmt.pr "@.== %s ==@." title
@@ -779,10 +786,19 @@ let scale ~smoke ~seeds ~txns () =
       List.iter
         (fun kind ->
           for seed = 1 to seeds do
+            (* Start every timed point from a canonical heap so its
+               events/s does not depend on sweep position — `bench
+               check` re-measures single points against these. *)
+            Gc.compact ();
+            let c0 = Sys.time () in
             let t0 = Unix.gettimeofday () in
             let p = Opc.Experiment.run_scale_point ~servers ~txns ~seed kind in
             let wall = Unix.gettimeofday () -. t0 in
+            let cpu = Sys.time () -. c0 in
             let events_per_s = float_of_int p.Opc.Experiment.events /. wall in
+            let events_per_cpu_s =
+              float_of_int p.Opc.Experiment.events /. cpu
+            in
             let live_words = (Gc.stat ()).Gc.live_words in
             Opc.Metrics.Table.add_row t
               [
@@ -812,6 +828,8 @@ let scale ~smoke ~seeds ~txns () =
                   ("events", Json.Int p.events);
                   ("wall_s", Json.Float wall);
                   ("events_per_s", Json.Float events_per_s);
+                  ("cpu_s", Json.Float cpu);
+                  ("events_per_cpu_s", Json.Float events_per_cpu_s);
                   ("ops_per_s", Json.Float p.ops_per_s);
                   ( "sim_elapsed_ns",
                     Json.Int (Opc.Simkit.Time.span_to_ns p.sim_elapsed) );
@@ -838,6 +856,468 @@ let scale ~smoke ~seeds ~txns () =
         Json.List (List.map (fun s -> Json.Int s) server_counts) );
       ("points", Json.List (List.rev !points));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Timeline — recovery journal, gauges, MTTR                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_jsonl path entries =
+  Json.mkdirs (Filename.dirname path);
+  let oc = open_out path in
+  List.iter
+    (fun e -> output_string oc (Fmt.str "%a\n" Obs.Journal.pp_entry e))
+    entries;
+  close_out oc
+
+let series_json series =
+  let rows = ref [] in
+  Obs.Timeseries.iter
+    (fun at values ->
+      rows :=
+        Json.List
+          (Json.Int (Opc.Simkit.Time.to_ns at)
+          :: Array.to_list (Array.map (fun v -> Json.Int v) values))
+        :: !rows)
+    series;
+  Json.Obj
+    [
+      ( "columns",
+        Json.List
+          (Array.to_list
+             (Array.map (fun c -> Json.Str c) (Obs.Timeseries.columns series)))
+      );
+      ("rows", Json.List (List.rev !rows));
+    ]
+
+(* One server crashes under the chaos workload; the run's lifecycle
+   journal, gauge series and MTTR decomposition are the artifacts. The
+   measured window start is cross-checked against the injected crash
+   instant — a mismatch is a hard failure (nonzero exit), because it
+   means the journal and the fault injector disagree about when the
+   outage began. *)
+let timeline ~smoke () =
+  section
+    (Fmt.str
+       "timeline: recovery after one crash under the chaos workload%s"
+       (if smoke then " (smoke: 1PC only)" else ""));
+  let protocols =
+    if smoke then [ Opc.Acp.Protocol.Opc ] else Opc.Acp.Protocol.all
+  in
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [
+          "protocol";
+          "committed";
+          "aborted";
+          "node";
+          "detect";
+          "fence";
+          "scan";
+          "resolve";
+          "MTTR";
+        ]
+  in
+  let failures = ref 0 in
+  let span = Opc.Simkit.Time.pp_span in
+  let rows =
+    List.map
+      (fun kind ->
+        let p = Opc.Experiment.run_timeline kind in
+        let name = Opc.Acp.Protocol.name kind in
+        (match
+           Obs.Mttr.check_crash_times
+             ~expected:[ (p.Opc.Experiment.crash_server, p.crash_time) ]
+             p.windows
+         with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Fmt.epr "bench timeline: %s: %s@." name msg);
+        if p.windows = [] then begin
+          incr failures;
+          Fmt.epr
+            "bench timeline: %s: no unavailability window closed (journal \
+             has %d events)@."
+            name
+            (List.length p.journal)
+        end;
+        List.iter
+          (fun (w : Obs.Mttr.window) ->
+            Opc.Metrics.Table.add_row t
+              [
+                name;
+                string_of_int p.committed;
+                string_of_int p.aborted;
+                string_of_int w.Obs.Mttr.node;
+                Fmt.str "%a" span w.detect;
+                Fmt.str "%a" span w.fence;
+                Fmt.str "%a" span w.scan;
+                Fmt.str "%a" span w.resolve;
+                Fmt.str "%a" span (Obs.Mttr.total w);
+              ])
+          p.windows;
+        let journal_path = Fmt.str "BENCH_timeline.%s.jsonl" name in
+        write_jsonl journal_path p.journal;
+        Json.Obj
+          [
+            ("protocol", Json.Str name);
+            ("committed", Json.Int p.committed);
+            ("aborted", Json.Int p.aborted);
+            ("crash_server", Json.Int p.crash_server);
+            ("crash_time_ns", Json.Int (Opc.Simkit.Time.to_ns p.crash_time));
+            ("journal_events", Json.Int (List.length p.journal));
+            ("journal", Json.Str journal_path);
+            ( "windows",
+              Json.List
+                (List.map
+                   (fun (w : Obs.Mttr.window) ->
+                     Json.Obj
+                       [
+                         ("node", Json.Int w.Obs.Mttr.node);
+                         ("start_ns", Json.Int (Opc.Simkit.Time.to_ns w.start));
+                         ( "detect_ns",
+                           Json.Int (Opc.Simkit.Time.span_to_ns w.detect) );
+                         ( "fence_ns",
+                           Json.Int (Opc.Simkit.Time.span_to_ns w.fence) );
+                         ( "scan_ns",
+                           Json.Int (Opc.Simkit.Time.span_to_ns w.scan) );
+                         ( "resolve_ns",
+                           Json.Int (Opc.Simkit.Time.span_to_ns w.resolve) );
+                         ( "total_ns",
+                           Json.Int
+                             (Opc.Simkit.Time.span_to_ns (Obs.Mttr.total w)) );
+                       ])
+                   p.windows) );
+            ("series", series_json p.series);
+          ])
+      protocols
+  in
+  Opc.Metrics.Table.print t;
+  Fmt.pr
+    "(full journals are next to the JSON as BENCH_timeline.<protocol>.jsonl; \
+     the JSON carries the per-node gauge series)@.";
+  if !failures > 0 then
+    Fmt.epr "bench timeline: %d cross-check failure(s)@." !failures;
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "timeline");
+        ("smoke", Json.Bool smoke);
+        ("rows", Json.List rows);
+      ],
+    !failures = 0 )
+
+(* ------------------------------------------------------------------ *)
+(* Check — events/s regression gate                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON reader for our own emitter's output (the tree has no
+   JSON library). Accepts standard JSON; \u escapes outside the Latin-1
+   range are rejected — our emitter never produces them. *)
+module Json_in = struct
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let lit word v =
+      let len = String.length word in
+      if !pos + len <= n && String.sub s !pos len = word then begin
+        pos := !pos + len;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            Buffer.contents buf
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "truncated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                let code =
+                  match
+                    int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4)
+                  with
+                  | Some c -> c
+                  | None -> fail "bad \\u escape"
+                in
+                if code > 0xff then fail "\\u escape beyond Latin-1";
+                Buffer.add_char buf (Char.chr code);
+                pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        incr pos
+      done;
+      if !pos = start then fail "expected a value";
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Json.Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Json.Float f
+          | None -> fail ("bad number " ^ tok))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> Json.Str (string_lit ())
+      | Some 't' -> lit "true" (Json.Bool true)
+      | Some 'f' -> lit "false" (Json.Bool false)
+      | Some 'n' -> lit "null" (Json.Obj [])
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Json.List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := value () :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              go ()
+          | Some ']' -> incr pos
+          | _ -> fail "expected ',' or ']'"
+        in
+        go ();
+        Json.List (List.rev !items)
+      end
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Json.Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec go () =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              go ()
+          | Some '}' -> incr pos
+          | _ -> fail "expected ',' or '}'"
+        in
+        go ();
+        Json.Obj (List.rev !fields)
+      end
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let of_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    parse s
+
+  let member k = function Json.Obj fields -> List.assoc_opt k fields | _ -> None
+
+  let to_int = function
+    | Some (Json.Int i) -> Some i
+    | Some (Json.Float f) when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let to_float = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+
+  let to_str = function Some (Json.Str s) -> Some s | _ -> None
+end
+
+(* Recompute the most demanding 1PC point of a saved scale baseline and
+   gate on CPU-time events/s. Meaningful only against a baseline
+   measured on the same machine in the same session (ci.sh regenerates
+   it first); the tolerance absorbs rerun noise, not hardware drift. *)
+let regression_check ~against ~tolerance () =
+  section
+    (Fmt.str "check: events/s gate against %s (tolerance %.0f%%)" against
+       (tolerance *. 100.));
+  if not (Sys.file_exists against) then begin
+    Fmt.epr "bench check: baseline %s not found (run `bench scale` first)@."
+      against;
+    exit 2
+  end;
+  let baseline =
+    try Json_in.of_file against
+    with Json_in.Parse_error msg ->
+      Fmt.epr "bench check: cannot parse %s: %s@." against msg;
+      exit 2
+  in
+  let points =
+    match Json_in.member "points" baseline with
+    | Some (Json.List l) -> l
+    | _ ->
+        Fmt.epr "bench check: %s has no \"points\" array@." against;
+        exit 2
+  in
+  let opc_name = Opc.Acp.Protocol.name Opc.Acp.Protocol.Opc in
+  let candidates =
+    List.filter_map
+      (fun p ->
+        (* Gate on CPU-time events/s when the baseline has it (immune
+           to scheduler contention on shared CI machines); wall-clock
+           events_per_s is the fallback for baselines predating the
+           field. *)
+        let eps_field =
+          match Json_in.(to_float (member "events_per_cpu_s" p)) with
+          | Some _ as v -> v
+          | None -> Json_in.(to_float (member "events_per_s" p))
+        in
+        match
+          ( Json_in.(to_str (member "protocol" p)),
+            Json_in.(to_int (member "servers" p)),
+            Json_in.(to_int (member "seed" p)),
+            Json_in.(to_int (member "txns" p)),
+            Json_in.(to_int (member "events" p)),
+            eps_field )
+        with
+        | Some proto, Some servers, Some seed, Some txns, Some events, Some eps
+          when proto = opc_name ->
+            Some (servers, seed, txns, events, eps)
+        | _ -> None)
+      points
+  in
+  match candidates with
+  | [] ->
+      Fmt.epr "bench check: no complete 1PC points in %s@." against;
+      exit 2
+  | first :: rest ->
+      let servers, seed, txns, base_events, base_eps =
+        (* largest cluster, then smallest seed: the heaviest, canonical
+           point of the sweep *)
+        List.fold_left
+          (fun ((bs, bseed, _, _, _) as best) ((s, sd, _, _, _) as c) ->
+            if s > bs || (s = bs && sd < bseed) then c else best)
+          first rest
+      in
+      (* One untimed warmup, then best-of-3 CPU-time runs from the same
+         canonical compacted heap the sweep times from: a single cold
+         run would read systematically slow and trip the gate on GC or
+         scheduler state rather than on the code. *)
+      let p =
+        Opc.Experiment.run_scale_point ~servers ~txns ~seed
+          Opc.Acp.Protocol.Opc
+      in
+      let best_cpu = ref infinity in
+      let best_wall = ref infinity in
+      for _ = 1 to 3 do
+        Gc.compact ();
+        let c0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Opc.Experiment.run_scale_point ~servers ~txns ~seed
+             Opc.Acp.Protocol.Opc);
+        let w = Unix.gettimeofday () -. t0 in
+        let c = Sys.time () -. c0 in
+        if w < !best_wall then best_wall := w;
+        if c < !best_cpu then best_cpu := c
+      done;
+      let wall = !best_wall in
+      let eps = float_of_int p.Opc.Experiment.events /. !best_cpu in
+      let floor_eps = base_eps *. (1.0 -. tolerance) in
+      let ok = eps >= floor_eps in
+      if p.Opc.Experiment.events <> base_events then
+        Fmt.epr
+          "bench check: note: dispatch count drifted (%d baseline, %d now) — \
+           the baseline predates a behavioural change@."
+          base_events p.Opc.Experiment.events;
+      Fmt.pr
+        "1PC, %d servers, %d txns, seed %d:@.  baseline %.0f events/s (cpu), \
+         measured %.0f events/s (cpu, best of 3; floor %.0f)@.  %s@."
+        servers txns seed base_eps eps floor_eps
+        (if ok then "OK"
+         else
+           Fmt.str "REGRESSION: %.1f%% below baseline"
+             ((base_eps -. eps) /. base_eps *. 100.0));
+      ( Json.Obj
+          [
+            ("benchmark", Json.Str "check");
+            ("against", Json.Str against);
+            ("tolerance", Json.Float tolerance);
+            ("protocol", Json.Str opc_name);
+            ("servers", Json.Int servers);
+            ("seed", Json.Int seed);
+            ("txns", Json.Int txns);
+            ("clock", Json.Str "cpu");
+            ("baseline_events_per_s", Json.Float base_eps);
+            ("measured_events_per_s", Json.Float eps);
+            ("floor_events_per_s", Json.Float floor_eps);
+            ("baseline_events", Json.Int base_events);
+            ("measured_events", Json.Int p.Opc.Experiment.events);
+            ("cpu_s", Json.Float !best_cpu);
+            ("wall_s", Json.Float wall);
+            ("ok", Json.Bool ok);
+          ],
+        ok )
 
 (* ------------------------------------------------------------------ *)
 
@@ -868,10 +1348,15 @@ let all () =
 let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
-     [--txns N]@.subcommands: all (default) | scale | breakdown | \
+     [--txns N] [--against PATH] [--tolerance F]@.subcommands: all \
+     (default) | scale | breakdown | timeline | check | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
-     txns/protocol), --txns N per protocol (default 20)@."
+     txns/protocol), --txns N per protocol (default 20)@.timeline \
+     flags: --smoke (1PC only)@.check flags: --against PATH (default \
+     BENCH_scale.json), --tolerance F (default 0.15)@.every subcommand \
+     writes BENCH_<name>.json (override with --json) and prints the \
+     path@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
 let () =
@@ -881,6 +1366,8 @@ let () =
   let seeds = ref 2 in
   let txns = ref 20_000 in
   let txns_set = ref false in
+  let against = ref "BENCH_scale.json" in
+  let tolerance = ref 0.15 in
   let bad fmt =
     Fmt.kstr
       (fun msg ->
@@ -914,6 +1401,16 @@ let () =
           txns := int_arg "--txns" (next_value "--txns");
           txns_set := true;
           parse (i + 2)
+      | "--against" ->
+          against := next_value "--against";
+          parse (i + 2)
+      | "--tolerance" ->
+          (match float_of_string_opt (next_value "--tolerance") with
+          | Some f when f >= 0.0 && f < 1.0 -> tolerance := f
+          | _ ->
+              bad "--tolerance expects a float in [0, 1), got %S"
+                (next_value "--tolerance"));
+          parse (i + 2)
       | arg when String.length arg > 0 && arg.[0] = '-' ->
           bad "unknown flag %S" arg
       | arg -> (
@@ -925,32 +1422,41 @@ let () =
     end
   in
   parse 1;
-  let emit json =
-    match !json_path with
-    | Some path ->
-        Json.to_file path json;
-        Fmt.pr "wrote %s@." path
-    | None -> ()
+  (* Every subcommand leaves a JSON artifact and says where it went —
+     CI and scripts never have to guess the default path. *)
+  let emit ~default json =
+    let path = Option.value !json_path ~default in
+    Json.to_file path json;
+    Fmt.pr "wrote %s@." path
   in
   match Option.value !command ~default:"all" with
-  | "all" -> emit (all ())
+  | "all" -> emit ~default:"BENCH_all.json" (all ())
   | "scale" ->
-      if !smoke then txns := min !txns 2_000;
+      (* 10k txns keeps the smoke sweep a few seconds while making each
+         timed window ~0.3 s — long enough for `bench check` to
+         re-measure a point without transients dominating. *)
+      if !smoke then txns := min !txns 10_000;
       if !smoke then seeds := 1;
-      let json = scale ~smoke:!smoke ~seeds:!seeds ~txns:!txns () in
-      let path = Option.value !json_path ~default:"BENCH_scale.json" in
-      Json.to_file path json;
-      Fmt.pr "wrote %s@." path
+      emit ~default:"BENCH_scale.json"
+        (scale ~smoke:!smoke ~seeds:!seeds ~txns:!txns ())
   | "breakdown" ->
       let count =
         if !txns_set then !txns else if !smoke then 5 else 20
       in
       let json, ok = breakdown ~count () in
-      let path = Option.value !json_path ~default:"BENCH_breakdown.json" in
-      Json.to_file path json;
-      Fmt.pr "wrote %s@." path;
+      emit ~default:"BENCH_breakdown.json" json;
+      if not ok then exit 1
+  | "timeline" ->
+      let json, ok = timeline ~smoke:!smoke () in
+      emit ~default:"BENCH_timeline.json" json;
+      if not ok then exit 1
+  | "check" ->
+      let json, ok =
+        regression_check ~against:!against ~tolerance:!tolerance ()
+      in
+      emit ~default:"BENCH_check.json" json;
       if not ok then exit 1
   | name -> (
       match List.assoc_opt name (Lazy.force subcommands) with
-      | Some f -> emit (f ())
+      | Some f -> emit ~default:("BENCH_" ^ name ^ ".json") (f ())
       | None -> bad "unknown experiment %S" name)

@@ -10,7 +10,14 @@
 #    baseline stays exercised end to end;
 # 4. breakdown smoke: one small span-recorded run per protocol; the
 #    bench exits nonzero unless the measured critical-path force and
-#    message counts equal Acp.Cost_model.paper_table1.
+#    message counts equal Acp.Cost_model.paper_table1;
+# 5. timeline smoke: crash-and-recover run with the sampler + journal
+#    on; exits nonzero if no unavailability window closes or the MTTR
+#    window start drifts from the injected crash instant;
+# 6. perf-regression gate: re-measures the heaviest 1PC point from the
+#    BENCH_scale.json written in step 3 (same machine, same run) and
+#    fails if events/s drops more than 15%; then proves the gate can
+#    fail by checking against a synthetically inflated baseline.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,5 +34,26 @@ dune exec bench/main.exe -- scale --smoke
 
 echo "== bench breakdown --smoke (cross-checks Table I critical path) =="
 dune exec bench/main.exe -- breakdown --smoke
+
+echo "== bench timeline --smoke (recovery journal + MTTR decomposition) =="
+dune exec bench/main.exe -- timeline --smoke
+
+echo "== bench check negative test (inflated baseline must fail) =="
+# A baseline claiming an absurd events/s must trip the gate: build one
+# from the real file with events_per_s replaced by a value far beyond
+# reach. Run this before the real gate so the BENCH_check.json left on
+# disk is the passing one.
+awk '{ gsub(/"events_per_cpu_s":[0-9.eE+-]+/, "\"events_per_cpu_s\":999999999"); print }' \
+  BENCH_scale.json > BENCH_scale.inflated.json
+if dune exec bench/main.exe -- check --against BENCH_scale.inflated.json --tolerance 0.15; then
+  rm -f BENCH_scale.inflated.json
+  echo "FAIL: regression gate accepted an inflated baseline" >&2
+  exit 1
+fi
+rm -f BENCH_scale.inflated.json
+echo "regression gate trips as expected"
+
+echo "== bench check (perf-regression gate vs freshly written baseline) =="
+dune exec bench/main.exe -- check --against BENCH_scale.json --tolerance 0.15
 
 echo "CI OK"

@@ -6,6 +6,7 @@ type spec = {
   window_ms : int;
   settle_deadline_ms : int;
   record_trace : bool;
+  record_journal : bool;
 }
 
 let default_spec =
@@ -17,6 +18,7 @@ let default_spec =
     window_ms = 600;
     settle_deadline_ms = 120_000;
     record_trace = false;
+    record_journal = false;
   }
 
 (* Read-inclusive variant of the paper's write-dominated profile, so
@@ -30,10 +32,12 @@ type outcome = {
   seed : int;
   protocol : Acp.Protocol.kind;
   schedule : Schedule.t;
+  origin : Simkit.Time.t;
   violations : Oracle.violation list;
   committed : int;
   aborted : int;
   trace : Simkit.Trace.entry list;
+  journal : Obs.Journal.entry list;
 }
 
 let passed o = o.violations = []
@@ -51,6 +55,7 @@ let config_of spec ~protocol ~seed =
     auto_restart = true;
     seed;
     record_trace = spec.record_trace;
+    record_journal = spec.record_journal;
   }
 
 (* Workload draws must not depend on how many draws schedule generation
@@ -122,12 +127,17 @@ let execute ?schedule spec ~protocol ~seed =
     seed;
     protocol;
     schedule;
+    origin;
     violations;
     committed;
     aborted;
     trace =
       (if spec.record_trace then
          Simkit.Trace.entries (Opc_cluster.Cluster.trace cluster)
+       else []);
+    journal =
+      (if spec.record_journal then
+         Obs.Journal.entries (Opc_cluster.Cluster.journal cluster)
        else []);
   }
 

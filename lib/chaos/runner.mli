@@ -15,11 +15,15 @@ type spec = {
   window_ms : int;  (** fault-injection window *)
   settle_deadline_ms : int;
   record_trace : bool;  (** keep the full event trace in the outcome *)
+  record_journal : bool;
+      (** keep the lifecycle journal in the outcome (crashes, fencing,
+          scans, injected faults with schedule indices) for MTTR
+          decomposition via {!Obs.Mttr.windows} *)
 }
 
 val default_spec : spec
 (** 4 servers, 4 directories, 6 clients x 15 operations, a 600 ms fault
-    window, a 120 s settle deadline, no trace. *)
+    window, a 120 s settle deadline, no trace, no journal. *)
 
 val chaos_mix : Workload.mix
 (** 55/20/15 create/delete/rename plus 10% shared-lock lookups. *)
@@ -28,10 +32,14 @@ type outcome = {
   seed : int;
   protocol : Acp.Protocol.kind;
   schedule : Schedule.t;
+  origin : Simkit.Time.t;
+      (** instant the schedule was armed — pass to
+          {!Schedule.crash_times} to get expected window starts *)
   violations : Oracle.violation list;  (** [] = pass *)
   committed : int;
   aborted : int;
   trace : Simkit.Trace.entry list;  (** [] unless [record_trace] *)
+  journal : Obs.Journal.entry list;  (** [] unless [record_journal] *)
 }
 
 val passed : outcome -> bool

@@ -80,6 +80,14 @@ let pp_ocaml ppf t =
 
 let length t = List.length t.events
 
+let crash_times ~origin t =
+  List.filter_map
+    (function
+      | Crash { server; at_ms } ->
+          Some (server, Simkit.Time.add origin (Simkit.Time.span_ms at_ms))
+      | _ -> None)
+    t.events
+
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -49,3 +49,8 @@ val to_faults :
   origin:Simkit.Time.t -> servers:int -> t -> Opc_cluster.Fault.event list
 (** Lower to absolute-time cluster fault events, offset from [origin]
     (normally the simulation epoch). *)
+
+val crash_times : origin:Simkit.Time.t -> t -> (int * Simkit.Time.t) list
+(** The schedule's [Crash] events as [(server, absolute time)] pairs,
+    offset from [origin] exactly like {!to_faults} — the expected window
+    starts for {!Obs.Mttr.check_crash_times}. *)

@@ -9,6 +9,8 @@ type t = {
   rng : Simkit.Rng.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
+  journal : Obs.Journal.t;
+  timeseries : Obs.Timeseries.t;
   ledger : Metrics.Ledger.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
@@ -31,6 +33,8 @@ let config t = t.config
 let engine t = t.engine
 let trace t = t.trace
 let obs t = t.obs
+let journal t = t.journal
+let timeseries t = t.timeseries
 let ledger t = t.ledger
 let network t = t.network
 let san t = t.san
@@ -138,7 +142,11 @@ let sweep_orphans t server =
       t.waiting []
   in
   List.iter
-    (fun id -> client_reply t id (Acp.Txn.Aborted "lost in coordinator crash"))
+    (fun (id : Acp.Txn.id) ->
+      if Obs.Journal.is_recording t.journal then
+        Obs.Journal.emit t.journal ~time:(now t) ~node:server
+          (Obs.Journal.Orphan_resolved { origin = id.origin; seq = id.seq });
+      client_reply t id (Acp.Txn.Aborted "lost in coordinator crash"))
     orphans
 
 (* The orphan sweep is only sound on a genuine down->up transition: on an
@@ -171,6 +179,15 @@ let create (config : Config.t) =
     if config.record_spans then Obs.Tracer.create ()
     else Obs.Tracer.disabled ()
   in
+  let journal =
+    if config.record_journal then Obs.Journal.create ()
+    else Obs.Journal.disabled ()
+  in
+  let timeseries =
+    match config.sample_period with
+    | Some period -> Obs.Timeseries.create ~period
+    | None -> Obs.Timeseries.disabled ()
+  in
   let ledger = Metrics.Ledger.create () in
   (* Heartbeats are background chatter, not transaction causality; every
      protocol message becomes a transit span named after its wire label. *)
@@ -184,13 +201,13 @@ let create (config : Config.t) =
   in
   let network =
     Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace ~obs
-      ~span_of config.network
+      ~journal ~span_of config.network
   in
   let size =
     if config.encoded_sizes then Acp.Codec.encoded_size
     else Acp.Log_record.size config.sizing
   in
-  let san = Storage.San.create ~engine ~trace ~obs ~size config.san in
+  let san = Storage.San.create ~engine ~trace ~obs ~journal ~size config.san in
   let placement =
     Mds.Placement.create
       ~rng:(Simkit.Rng.split rng)
@@ -205,6 +222,8 @@ let create (config : Config.t) =
       rng;
       trace;
       obs;
+      journal;
+      timeseries;
       ledger;
       network;
       san;
@@ -228,6 +247,7 @@ let create (config : Config.t) =
       engine;
       trace;
       obs;
+      journal;
       network;
       san;
       ledger;
@@ -269,6 +289,40 @@ let create (config : Config.t) =
            ino)
          ~lookup);
   Array.iter Node.boot nodes;
+  (* Gauge wiring. Closures re-read through [t] and the node accessors on
+     every sample so replaced components (a restarted node's fresh lock
+     manager, for instance) are always the ones observed. The sampler is
+     driven by the engine's clock observer, never by scheduled events, so
+     enabling it cannot perturb the run. *)
+  if Obs.Timeseries.is_recording timeseries then begin
+    Obs.Timeseries.register timeseries ~name:"engine.pending" (fun () ->
+        Simkit.Engine.pending engine);
+    Obs.Timeseries.register timeseries ~name:"net.in_flight" (fun () ->
+        Netsim.Network.in_flight network);
+    Obs.Timeseries.register timeseries ~name:"cluster.pending_replies"
+      (fun () -> Hashtbl.length t.waiting);
+    if config.san.Storage.San.shared_device then
+      Obs.Timeseries.register timeseries ~name:"disk.queue" (fun () ->
+          Storage.Disk.queue_depth (Storage.San.disk san));
+    Array.iter
+      (fun n ->
+        let name = Netsim.Address.name (Node.address n) in
+        if not config.san.Storage.San.shared_device then
+          Obs.Timeseries.register timeseries ~name:(name ^ ".disk.queue")
+            (fun () ->
+              Storage.Disk.queue_depth
+                (Storage.San.device_for san (Node.address n)));
+        Obs.Timeseries.register timeseries ~name:(name ^ ".wal.unforced")
+          (fun () -> Storage.Wal.unforced (Node.wal n));
+        Obs.Timeseries.register timeseries ~name:(name ^ ".locks.waiters")
+          (fun () -> Locks.Lock_manager.live_waiters (Node.locks n));
+        Obs.Timeseries.register timeseries ~name:(name ^ ".txns.outstanding")
+          (fun () -> Node.outstanding n);
+        Obs.Timeseries.register timeseries ~name:(name ^ ".suspects")
+          (fun () -> Node.suspect_count n))
+      nodes;
+    Obs.Timeseries.attach timeseries engine
+  end;
   t
 
 (* ------------------------------------------------------------------ *)

@@ -24,6 +24,16 @@ val obs : t -> Obs.Tracer.t
 (** Span tracer for the latency breakdown — recording only when
     [record_spans] is set; the disabled tracer drops everything in O(1). *)
 
+val journal : t -> Obs.Journal.t
+(** Lifecycle journal (crashes, suspicions, fencing, scans, orphan
+    resolution, heals, injected faults) — recording only when
+    [record_journal] is set. Feed it to {!Obs.Mttr.windows} for the
+    recovery decomposition. *)
+
+val timeseries : t -> Obs.Timeseries.t
+(** Per-node and cluster gauges sampled every [sample_period] of
+    simulated time; disabled (and empty) when the period is [None]. *)
+
 val ledger : t -> Metrics.Ledger.t
 val network : t -> Msg.t Netsim.Network.t
 val san : t -> Acp.Log_record.t Storage.San.t

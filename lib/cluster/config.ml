@@ -15,6 +15,8 @@ type t = {
   seed : int;
   record_trace : bool;
   record_spans : bool;
+  record_journal : bool;
+  sample_period : Simkit.Time.span option;
 }
 
 let default =
@@ -35,6 +37,8 @@ let default =
     seed = 42;
     record_trace = false;
     record_spans = false;
+    record_journal = false;
+    sample_period = None;
   }
 
 let validate t =
@@ -44,4 +48,8 @@ let validate t =
   then Error "heartbeat interval must be shorter than the detector timeout"
   else if Simkit.Time.span_to_ns t.txn_timeout = 0 then
     Error "zero transaction timeout"
-  else Ok ()
+  else
+    match t.sample_period with
+    | Some p when Simkit.Time.span_to_ns p <= 0 ->
+        Error "sample period must be positive"
+    | _ -> Ok ()

@@ -32,6 +32,13 @@ type t = {
       (** record causal spans for the latency breakdown and Chrome-trace
           export ({!Obs}); off by default — the disabled tracer keeps the
           hot path allocation-free *)
+  record_journal : bool;
+      (** record lifecycle events (crash, suspicion, fencing, scans,
+          orphan resolution …) in an {!Obs.Journal}; off by default *)
+  sample_period : Simkit.Time.span option;
+      (** when [Some p], sample per-node and cluster gauges every [p] of
+          simulated time into an {!Obs.Timeseries}; [None] (default)
+          records nothing and installs no engine observer *)
 }
 
 val default : t

@@ -44,44 +44,59 @@ let pp_event ppf = function
       Fmt.pf ppf "disk degrade x%g @ %a .. %a" factor Simkit.Time.pp at
         Simkit.Time.pp until
 
-let crash_at cluster ~server ~at =
+(* [on_fire] runs inside the already-scheduled callback, just before the
+   fault itself, so threading it through (the journal hook) adds no
+   engine events and cannot change the event order of a run. *)
+
+let crash_at ?(on_fire = ignore) cluster ~server ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.crash"
-       ~at (fun () -> Cluster.crash cluster server))
+       ~at (fun () ->
+         on_fire ();
+         Cluster.crash cluster server))
 
-let restart_at cluster ~server ~at =
+let restart_at ?(on_fire = ignore) cluster ~server ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
-       ~label:"fault.restart" ~at (fun () -> Cluster.restart cluster server))
+       ~label:"fault.restart" ~at (fun () ->
+         on_fire ();
+         Cluster.restart cluster server))
 
-let partition_at cluster ~left ~right ~at =
+let partition_at ?(on_fire = ignore) cluster ~left ~right ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
        ~label:"fault.partition" ~at (fun () ->
+         on_fire ();
          Cluster.partition cluster left right))
 
-let heal_at cluster ~at =
+let heal_at ?(on_fire = ignore) cluster ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.heal"
-       ~at (fun () -> Cluster.heal cluster))
+       ~at (fun () ->
+         on_fire ();
+         Cluster.heal cluster))
 
-let heal_pair_at cluster ~a ~b ~at =
+let heal_pair_at ?(on_fire = ignore) cluster ~a ~b ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
-       ~label:"fault.heal_pair" ~at (fun () -> Cluster.heal_pair cluster a b))
+       ~label:"fault.heal_pair" ~at (fun () ->
+         on_fire ();
+         Cluster.heal_pair cluster a b))
 
 (* Bursts arm a degraded value at [at] and restore the configuration's
    baseline at [until]; overlapping bursts of one kind do not stack (the
-   last disarm wins), which is exactly what a chaos schedule wants. *)
+   last disarm wins), which is exactly what a chaos schedule wants.
+   [on_fire] fires on the arm event only. *)
 let check_burst ~what ~at ~until =
   if Simkit.Time.( < ) until at then
     invalid_arg (Printf.sprintf "Fault.%s: until precedes at" what)
 
-let loss_burst_at cluster ~probability ~at ~until =
+let loss_burst_at ?(on_fire = ignore) cluster ~probability ~at ~until =
   check_burst ~what:"loss_burst_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst" ~at (fun () ->
+         on_fire ();
          Cluster.set_drop_probability cluster probability));
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst.end" ~at:until
@@ -90,11 +105,12 @@ let loss_burst_at cluster ~probability ~at ~until =
            (Cluster.config cluster).Config.network
              .Netsim.Network.drop_probability))
 
-let duplicate_burst_at cluster ~probability ~at ~until =
+let duplicate_burst_at ?(on_fire = ignore) cluster ~probability ~at ~until =
   check_burst ~what:"duplicate_burst_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst" ~at (fun () ->
+         on_fire ();
          Cluster.set_duplicate_probability cluster probability));
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst.end" ~at:until
@@ -103,28 +119,44 @@ let duplicate_burst_at cluster ~probability ~at ~until =
            (Cluster.config cluster).Config.network
              .Netsim.Network.duplicate_probability))
 
-let disk_degrade_at cluster ~factor ~at ~until =
+let disk_degrade_at ?(on_fire = ignore) cluster ~factor ~at ~until =
   check_burst ~what:"disk_degrade_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade" ~at
-       (fun () -> Cluster.set_disk_slowdown cluster factor));
+       (fun () ->
+         on_fire ();
+         Cluster.set_disk_slowdown cluster factor));
   ignore
     (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade.end"
        ~at:until (fun () -> Cluster.set_disk_slowdown cluster 1.0))
 
 let inject cluster events =
-  List.iter
-    (function
-      | Crash { server; at } -> crash_at cluster ~server ~at
-      | Restart { server; at } -> restart_at cluster ~server ~at
-      | Partition { left; right; at } -> partition_at cluster ~left ~right ~at
-      | Heal { at } -> heal_at cluster ~at
-      | Heal_pair { a; b; at } -> heal_pair_at cluster ~a ~b ~at
+  let journal = Cluster.journal cluster in
+  List.iteri
+    (fun index e ->
+      (* Injected faults announce themselves in the journal with their
+         schedule index, making counterexamples self-describing. The
+         closure only materializes an entry when the journal records. *)
+      let on_fire () =
+        if Obs.Journal.is_recording journal then
+          Obs.Journal.emit journal
+            ~time:(Cluster.now cluster)
+            ~node:(-1)
+            (Obs.Journal.Fault_injected
+               { index; desc = Fmt.str "@[<h>%a@]" pp_event e })
+      in
+      match e with
+      | Crash { server; at } -> crash_at ~on_fire cluster ~server ~at
+      | Restart { server; at } -> restart_at ~on_fire cluster ~server ~at
+      | Partition { left; right; at } ->
+          partition_at ~on_fire cluster ~left ~right ~at
+      | Heal { at } -> heal_at ~on_fire cluster ~at
+      | Heal_pair { a; b; at } -> heal_pair_at ~on_fire cluster ~a ~b ~at
       | Loss_burst { probability; at; until } ->
-          loss_burst_at cluster ~probability ~at ~until
+          loss_burst_at ~on_fire cluster ~probability ~at ~until
       | Duplicate_burst { probability; at; until } ->
-          duplicate_burst_at cluster ~probability ~at ~until
+          duplicate_burst_at ~on_fire cluster ~probability ~at ~until
       | Disk_degrade { factor; at; until } ->
-          disk_degrade_at cluster ~factor ~at ~until)
+          disk_degrade_at ~on_fire cluster ~factor ~at ~until)
     events

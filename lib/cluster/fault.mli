@@ -35,16 +35,37 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
-val crash_at : Cluster.t -> server:int -> at:Simkit.Time.t -> unit
-val restart_at : Cluster.t -> server:int -> at:Simkit.Time.t -> unit
+(** Every [_at] helper takes an optional [on_fire] hook, called inside
+    the scheduled callback immediately before the fault acts — same
+    event, same instant, so the hook can never change the run's event
+    order. {!inject} uses it to journal each fired event. *)
+
+val crash_at :
+  ?on_fire:(unit -> unit) -> Cluster.t -> server:int -> at:Simkit.Time.t -> unit
+
+val restart_at :
+  ?on_fire:(unit -> unit) -> Cluster.t -> server:int -> at:Simkit.Time.t -> unit
 
 val partition_at :
-  Cluster.t -> left:int list -> right:int list -> at:Simkit.Time.t -> unit
+  ?on_fire:(unit -> unit) ->
+  Cluster.t ->
+  left:int list ->
+  right:int list ->
+  at:Simkit.Time.t ->
+  unit
 
-val heal_at : Cluster.t -> at:Simkit.Time.t -> unit
-val heal_pair_at : Cluster.t -> a:int -> b:int -> at:Simkit.Time.t -> unit
+val heal_at : ?on_fire:(unit -> unit) -> Cluster.t -> at:Simkit.Time.t -> unit
+
+val heal_pair_at :
+  ?on_fire:(unit -> unit) ->
+  Cluster.t ->
+  a:int ->
+  b:int ->
+  at:Simkit.Time.t ->
+  unit
 
 val loss_burst_at :
+  ?on_fire:(unit -> unit) ->
   Cluster.t ->
   probability:float ->
   at:Simkit.Time.t ->
@@ -52,6 +73,7 @@ val loss_burst_at :
   unit
 
 val duplicate_burst_at :
+  ?on_fire:(unit -> unit) ->
   Cluster.t ->
   probability:float ->
   at:Simkit.Time.t ->
@@ -59,6 +81,7 @@ val duplicate_burst_at :
   unit
 
 val disk_degrade_at :
+  ?on_fire:(unit -> unit) ->
   Cluster.t ->
   factor:float ->
   at:Simkit.Time.t ->
@@ -66,8 +89,10 @@ val disk_degrade_at :
   unit
 (** Bursts raise [Invalid_argument] if [until] precedes [at]. Overlapping
     bursts of one kind do not stack: each disarm restores the
-    configuration baseline. *)
+    configuration baseline. [on_fire] runs on the arming event only. *)
 
 val inject : Cluster.t -> event list -> unit
 (** Arm a whole plan. Events in the past raise (the engine refuses
-    retroactive scheduling). *)
+    retroactive scheduling). When the cluster records a journal, each
+    event that fires appends a [Fault_injected] entry carrying its index
+    in [events] and its rendered description. *)

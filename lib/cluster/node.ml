@@ -2,6 +2,7 @@ type services = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
+  journal : Obs.Journal.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;
@@ -41,6 +42,11 @@ let trace_node t ~kind detail =
   Simkit.Trace.emit t.sv.trace
     ~time:(Simkit.Engine.now t.sv.engine)
     ~source:(name t) ~kind detail
+
+let journal_node t kind =
+  Obs.Journal.emit t.sv.journal
+    ~time:(Simkit.Engine.now t.sv.engine)
+    ~node:t.server kind
 
 let key (id : Acp.Txn.id) = (id.origin, id.seq)
 
@@ -302,6 +308,9 @@ let bring_up t ~recover =
       if Simkit.Trace.is_recording t.sv.trace then
         trace_node t ~kind:"detector"
           (Printf.sprintf "suspecting %s" (Netsim.Address.name peer));
+      if Obs.Journal.is_recording t.sv.journal then
+        journal_node t
+          (Obs.Journal.Suspect { peer = Netsim.Address.index peer });
       primary.Acp.Protocol.on_suspect peer;
       match fallback with
       | Some fb -> fb.Acp.Protocol.on_suspect peer
@@ -316,7 +325,10 @@ let bring_up t ~recover =
   t.detector <- Some detector;
   Netsim.Failure_detector.start detector;
   heartbeat_loop t epoch;
-  if not recover then t.serving <- true
+  if not recover then begin
+    t.serving <- true;
+    journal_node t Obs.Journal.Serving
+  end
   else begin
     (* Recovery first reads the whole log partition back from the
        shared device — charged like any other I/O — and only then
@@ -332,16 +344,27 @@ let bring_up t ~recover =
         ~on_complete:(fun () ->
           if t.up && t.epoch = epoch then begin
             trace_node t ~kind:"node.recover" "running recovery";
+            if Obs.Journal.is_recording t.sv.journal then
+              journal_node t
+                (Obs.Journal.Scan_end
+                   {
+                     target = t.server;
+                     records =
+                       (Storage.Wal.stats t.wal).Storage.Wal.records_durable;
+                   });
             primary.Acp.Protocol.recover ();
             (match fallback with
             | Some fb -> fb.Acp.Protocol.recover ()
             | None -> ());
-            t.serving <- true
+            t.serving <- true;
+            journal_node t Obs.Journal.Serving
           end)
         ()
     in
     match outcome with
-    | `Accepted -> ()
+    | `Accepted ->
+        if Obs.Journal.is_recording t.sv.journal then
+          journal_node t (Obs.Journal.Scan_begin { target = t.server })
     | `Rejected ->
         (* Still fenced at the instant of reboot (our unfence raced a
            concurrent fence): come back through another power cycle. *)
@@ -358,6 +381,7 @@ let crash t =
   if t.up then begin
     trace_node t ~kind:"node.crash" "power off";
     Metrics.Ledger.incr t.sv.ledger "node.crash";
+    journal_node t Obs.Journal.Crash;
     t.up <- false;
     t.serving <- false;
     t.epoch <- t.epoch + 1;
@@ -382,6 +406,7 @@ let restart t =
   if not t.up then begin
     trace_node t ~kind:"node.restart" "power on";
     Metrics.Ledger.incr t.sv.ledger "node.restart";
+    journal_node t Obs.Journal.Reboot;
     bring_up t ~recover:true
   end
 
@@ -509,6 +534,11 @@ let run_read t ~owner ~dir ~read ~on_done =
       if alive () then Locks.Lock_manager.release_all locks ~owner;
       on_done (Error "read lock timeout"))
     ()
+
+let suspect_count t =
+  match t.detector with
+  | Some d -> Netsim.Failure_detector.suspected_count d
+  | None -> 0
 
 let outstanding t =
   match (t.primary, t.fallback) with

@@ -20,6 +20,7 @@ type services = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;  (** span tracer shared by every layer *)
+  journal : Obs.Journal.t;  (** lifecycle journal shared by every layer *)
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;
@@ -89,6 +90,10 @@ val restart : t -> unit
 
 val outstanding : t -> int
 (** Transactions the protocol engines still track (0 when down). *)
+
+val suspect_count : t -> int
+(** Peers this node's failure detector currently suspects (0 when
+    down). A telemetry gauge. *)
 
 val owns : t -> Acp.Txn.id -> bool
 (** Either engine holds state for the transaction (used by the cluster

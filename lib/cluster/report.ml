@@ -20,6 +20,7 @@ type t = {
   disk : Storage.Disk.stats;
   nodes : node list;
   ledger : (string * int) list;
+  mttr : Obs.Mttr.window list;
 }
 
 let mean_span spans =
@@ -82,6 +83,7 @@ let collect cluster =
              })
            (Cluster.nodes cluster));
     ledger = Metrics.Ledger.snapshot (Cluster.ledger cluster);
+    mttr = Obs.Mttr.windows (Obs.Journal.entries (Cluster.journal cluster));
   }
 
 let pp ppf r =
@@ -114,6 +116,10 @@ let pp ppf r =
         n.locks.Locks.Lock_manager.acquired n.locks.Locks.Lock_manager.waited
         n.locks.Locks.Lock_manager.timeouts n.outstanding)
     r.nodes;
+  if r.mttr <> [] then begin
+    Fmt.pf ppf "recovery windows:@,";
+    List.iter (fun w -> Fmt.pf ppf "  %a@," Obs.Mttr.pp w) r.mttr
+  end;
   Fmt.pf ppf "ledger:@,";
   List.iter (fun (k, v) -> Fmt.pf ppf "  %-28s %d@," k v) r.ledger;
   Fmt.pf ppf "@]"

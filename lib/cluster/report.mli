@@ -28,6 +28,9 @@ type t = {
   disk : Storage.Disk.stats;
   nodes : node list;
   ledger : (string * int) list;
+  mttr : Obs.Mttr.window list;
+      (** closed unavailability windows from the journal; [] unless the
+          cluster recorded one ([record_journal]) *)
 }
 
 val collect : Cluster.t -> t

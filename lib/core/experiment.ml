@@ -458,9 +458,13 @@ let scale_config ~servers ~seed =
       };
   }
 
-let run_scale_point ?(clients_per_server = 2) ~servers ~txns ~seed protocol =
+let run_scale_point ?config ?(clients_per_server = 2) ~servers ~txns ~seed
+    protocol =
   let config =
-    { (scale_config ~servers ~seed) with Opc_cluster.Config.protocol }
+    match config with
+    | Some c -> { c with Opc_cluster.Config.protocol; servers; seed }
+    | None ->
+        { (scale_config ~servers ~seed) with Opc_cluster.Config.protocol }
   in
   let cluster = Opc_cluster.Cluster.create config in
   let root = Opc_cluster.Cluster.root cluster in
@@ -534,3 +538,76 @@ let sweep_batching ?(batch_sizes = [ 1; 2; 4; 8; 16; 32 ]) ?(count = 100) () =
       in
       { x = float_of_int batch; series })
     batch_sizes
+
+(* ------------------------------------------------------------------ *)
+(* Recovery timeline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type timeline_point = {
+  kind : Acp.Protocol.kind;
+  committed : int;
+  aborted : int;
+  crash_server : int;
+  crash_time : Simkit.Time.t;
+  journal : Obs.Journal.entry list;
+  series : Obs.Timeseries.t;
+  windows : Obs.Mttr.window list;
+}
+
+let timeline_config =
+  {
+    fig6_config with
+    Opc_cluster.Config.txn_timeout = Simkit.Time.span_ms 300;
+    heartbeat_interval = Simkit.Time.span_ms 20;
+    detector_timeout = Simkit.Time.span_ms 100;
+    restart_delay = Simkit.Time.span_ms 50;
+    auto_restart = true;
+    record_journal = true;
+    sample_period = Some (Simkit.Time.span_ms 5);
+  }
+
+let run_timeline ?(config = timeline_config) ?(seed = 1) ?(crash_server = 1)
+    ?(crash_at_ms = 100) protocol =
+  let config = { config with Opc_cluster.Config.protocol; seed } in
+  let cluster = Opc_cluster.Cluster.create config in
+  let root = Opc_cluster.Cluster.root cluster in
+  let servers = config.Opc_cluster.Config.servers in
+  let dirs =
+    Array.init servers (fun i ->
+        Opc_cluster.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "d%d" i) ~server:i ())
+  in
+  (* Same stream derivation as the chaos runner, so a timeline run with
+     the chaos defaults reproduces a chaos run's workload exactly. *)
+  ignore
+    (Workload.closed_loop cluster ~dirs ~clients:6 ~ops_per_client:15
+       ~mix:Chaos.Runner.chaos_mix
+       ~rng:(Simkit.Rng.create ~seed:(seed + 1_000_003))
+       ());
+  let crash_time =
+    Simkit.Time.add
+      (Opc_cluster.Cluster.now cluster)
+      (Simkit.Time.span_ms crash_at_ms)
+  in
+  Opc_cluster.Fault.inject cluster
+    [ Opc_cluster.Fault.Crash { server = crash_server; at = crash_time } ];
+  Opc_cluster.Cluster.run_for cluster (Simkit.Time.span_ms 600);
+  (match
+     Opc_cluster.Cluster.settle ~deadline:(Simkit.Time.span_s 120) cluster
+   with
+  | Opc_cluster.Cluster.Quiescent -> ()
+  | Opc_cluster.Cluster.Deadline_exceeded ->
+      failwith "timeline: cluster did not settle before the deadline"
+  | Opc_cluster.Cluster.Stuck -> failwith "timeline: cluster is stuck");
+  let committed, aborted = Opc_cluster.Cluster.txn_counts cluster in
+  let journal = Obs.Journal.entries (Opc_cluster.Cluster.journal cluster) in
+  {
+    kind = protocol;
+    committed;
+    aborted;
+    crash_server;
+    crash_time;
+    journal;
+    series = Opc_cluster.Cluster.timeseries cluster;
+    windows = Obs.Mttr.windows journal;
+  }

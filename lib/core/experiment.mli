@@ -151,7 +151,14 @@ type scale_point = {
   latency_p99 : Simkit.Time.span;
 }
 
+val scale_config : servers:int -> seed:int -> Opc_cluster.Config.t
+(** The campaign's base configuration: {!fig6_config} with one log
+    device per server ([San.shared_device = false]) and a 60 s
+    transaction timeout. [bench check] re-derives its smoke point from
+    this, so a baseline and its re-measurement share every parameter. *)
+
 val run_scale_point :
+  ?config:Opc_cluster.Config.t ->
   ?clients_per_server:int ->
   servers:int ->
   txns:int ->
@@ -165,7 +172,47 @@ val run_scale_point :
     per server issuing [txns / clients] operations each. Deterministic
     given [(servers, txns, seed, protocol)]. Host wall-clock and
     events/sec are the caller's to measure — this returns the simulated
-    metrics and the engine's dispatch count. *)
+    metrics and the engine's dispatch count. [config] (default
+    {!scale_config}) overrides the base configuration — [protocol],
+    [servers] and [seed] are reapplied on top — e.g. to turn sampling or
+    the journal on for an overhead experiment. *)
+
+(** {1 Recovery timeline — journal, gauges and MTTR for one crash} *)
+
+type timeline_point = {
+  kind : Acp.Protocol.kind;
+  committed : int;
+  aborted : int;
+  crash_server : int;
+  crash_time : Simkit.Time.t;  (** the injected crash instant *)
+  journal : Obs.Journal.entry list;
+  series : Obs.Timeseries.t;
+      (** per-node and cluster gauges sampled every [sample_period] *)
+  windows : Obs.Mttr.window list;
+      (** closed unavailability windows decomposed into
+          detect/fence/scan/resolve *)
+}
+
+val timeline_config : Opc_cluster.Config.t
+(** {!fig6_config} with the chaos harness's failure-handling parameters
+    (300 ms transaction timeout, 20 ms heartbeats, 100 ms detector,
+    50 ms restart delay, auto-restart), the lifecycle journal on, and a
+    5 ms gauge sampling cadence. *)
+
+val run_timeline :
+  ?config:Opc_cluster.Config.t ->
+  ?seed:int ->
+  ?crash_server:int ->
+  ?crash_at_ms:int ->
+  Acp.Protocol.kind ->
+  timeline_point
+(** Drive the chaos workload (6 clients x 15 operations of
+    {!Chaos.Runner.chaos_mix}, stream seeded exactly as the chaos runner
+    seeds it) while [crash_server] (default 1) crashes [crash_at_ms]
+    (default 100) after the workload starts, then run the fault window
+    out and settle. The returned journal, gauge series and MTTR windows
+    are what [bench timeline] renders and exports. Deterministic given
+    [(config, seed, crash_server, crash_at_ms, protocol)]. *)
 
 val compare_shared_vs_independent :
   ?count:int -> unit -> (Acp.Protocol.kind * float * float) list

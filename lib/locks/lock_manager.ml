@@ -260,6 +260,9 @@ let queue_length t ~oid =
   | None -> 0
   | Some e -> live_queue_length e
 
+let live_waiters t =
+  Hashtbl.fold (fun _ e acc -> acc + e.live_waiters) t.table 0
+
 let stats t =
   {
     acquired = t.acquired;

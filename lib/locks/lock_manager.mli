@@ -78,4 +78,9 @@ val release_all : t -> owner:int -> unit
 val holds : t -> owner:int -> oid:int -> mode option
 val holders : t -> oid:int -> (int * mode) list
 val queue_length : t -> oid:int -> int
+
+val live_waiters : t -> int
+(** Total live (not yet granted, timed out or cancelled) waiters across
+    every object — the telemetry gauge for lock contention. *)
+
 val stats : t -> stats

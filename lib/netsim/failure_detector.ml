@@ -105,3 +105,6 @@ let suspected t =
   List.filter_map
     (fun p -> if p.suspected then Some p.address else None)
     t.peers
+
+let suspected_count t =
+  List.fold_left (fun acc p -> if p.suspected then acc + 1 else acc) 0 t.peers

@@ -43,3 +43,7 @@ val is_suspected : t -> Address.t -> bool
 
 val suspected : t -> Address.t list
 (** Currently suspected peers, in peer-list order. *)
+
+val suspected_count : t -> int
+(** [List.length (suspected t)] without the allocation — a telemetry
+    gauge. *)

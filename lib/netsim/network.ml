@@ -40,6 +40,7 @@ type 'msg t = {
   rng : Simkit.Rng.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
+  journal : Obs.Journal.t;
   (* Maps a payload to (name, txn token, baseline) for its transit span;
      [None] payloads (heartbeats) record nothing. Only consulted when
      [obs] is recording. *)
@@ -67,7 +68,7 @@ type 'msg t = {
   mutable in_flight : int;
 }
 
-let create ~engine ~rng ?trace ?obs ?(span_of = fun _ -> None)
+let create ~engine ~rng ?trace ?obs ?journal ?(span_of = fun _ -> None)
     (config : config) =
   if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
     invalid_arg "Network.create: drop_probability outside [0, 1]";
@@ -78,11 +79,15 @@ let create ~engine ~rng ?trace ?obs ?(span_of = fun _ -> None)
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
   let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
+  let journal =
+    match journal with Some j -> j | None -> Obs.Journal.disabled ()
+  in
   {
     engine;
     rng;
     trace;
     obs;
+    journal;
     span_of;
     config;
     drop_probability = config.drop_probability;
@@ -157,8 +162,18 @@ let partition t left right =
         right)
     left
 
-let heal t = Hashtbl.reset t.cuts
-let heal_pair t a b = Hashtbl.remove t.cuts (pair a b)
+let journal_heal t =
+  Obs.Journal.emit t.journal
+    ~time:(Simkit.Engine.now t.engine)
+    ~node:(-1) Obs.Journal.Heal
+
+let heal t =
+  if Hashtbl.length t.cuts > 0 then journal_heal t;
+  Hashtbl.reset t.cuts
+
+let heal_pair t a b =
+  if Hashtbl.mem t.cuts (pair a b) then journal_heal t;
+  Hashtbl.remove t.cuts (pair a b)
 
 let check_probability ~what p =
   if p < 0.0 || p > 1.0 || Float.is_nan p then

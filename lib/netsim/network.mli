@@ -50,6 +50,7 @@ val create :
   rng:Simkit.Rng.t ->
   ?trace:Simkit.Trace.t ->
   ?obs:Obs.Tracer.t ->
+  ?journal:Obs.Journal.t ->
   ?span_of:('msg -> (string * int * bool) option) ->
   config ->
   'msg t
@@ -59,7 +60,9 @@ val create :
     [baseline] marks messages the paper's cost model charges to the
     baseline rather than the commit protocol; [None] (and the default)
     records nothing for that payload. Only consulted while [obs] is
-    recording, so it may allocate freely. *)
+    recording, so it may allocate freely. [journal] (default disabled)
+    receives one cluster-wide [Heal] entry whenever {!heal} or
+    {!heal_pair} actually removes a cut. *)
 
 val register : 'msg t -> name:string -> ('msg envelope -> unit) -> Address.t
 (** Register an endpoint with its delivery handler. Handlers run from

@@ -10,6 +10,13 @@ type t = {
   mutable next_seq : int;
   mutable dispatched : int;
   mutable cancelled_in_queue : int;
+  (* Clock-advance observer: called with the target time just before the
+     clock moves forward, so passive samplers can materialize readings at
+     intermediate instants without ever scheduling events of their own.
+     [has_observer] keeps the common (unobserved) path to one load and a
+     conditional branch. *)
+  mutable has_observer : bool;
+  mutable observer : Time.t -> unit;
 }
 
 and handle = {
@@ -41,9 +48,21 @@ let create () =
     next_seq = 0;
     dispatched = 0;
     cancelled_in_queue = 0;
+    has_observer = false;
+    observer = (fun _ -> ());
   }
 
 let now t = t.clock
+
+let set_clock_observer t f =
+  t.has_observer <- true;
+  t.observer <- f
+
+(* Every clock advance funnels through here so the observer sees each
+   forward move exactly once, before state at the new instant runs. *)
+let advance_clock t at =
+  if t.has_observer && Time.( > ) at t.clock then t.observer at;
+  t.clock <- at
 
 (* The backing array is allocated lazily on the first push so that
    [create] needs no witness element. *)
@@ -140,7 +159,7 @@ let drop_cancelled t =
   done
 
 let dispatch t h =
-  t.clock <- h.at;
+  advance_clock t h.at;
   h.state <- Done;
   t.dispatched <- t.dispatched + 1;
   try h.callback () with exn -> raise (Event_failure (h.label, exn))
@@ -166,7 +185,7 @@ let run ?until ?max_events t =
         let h = t.q.(0) in
         match until with
         | Some stop when Time.( > ) h.at stop ->
-            t.clock <- stop;
+            advance_clock t stop;
             Reached_until
         | _ ->
             ignore (heap_pop t);
@@ -177,6 +196,6 @@ let run ?until ?max_events t =
   in
   let outcome = loop () in
   (match (outcome, until) with
-  | Drained, Some stop when Time.( < ) t.clock stop -> t.clock <- stop
+  | Drained, Some stop when Time.( < ) t.clock stop -> advance_clock t stop
   | _ -> ());
   outcome

@@ -66,3 +66,12 @@ val pending : t -> int
 
 val dispatched : t -> int
 (** Total events dispatched since creation. *)
+
+val set_clock_observer : t -> (Time.t -> unit) -> unit
+(** Install [f], called with the target time immediately before every
+    forward clock move (event dispatch or [run ~until] idle advance) —
+    i.e. while [now] still reads the previous instant. The observer must
+    be passive: it must not schedule, cancel or run events. Intended for
+    simulated-time samplers ({!Obs.Timeseries}); at most one observer,
+    later calls replace earlier ones. When no observer is installed the
+    cost on the dispatch path is one load and one branch. *)

@@ -1,9 +1,15 @@
+(* A cell wider than the column is cut to exactly [width] characters,
+   the last one a '~' continuation marker; a non-positive width has no
+   room for anything, marker included. *)
 let truncate width s =
-  if String.length s <= width then s else String.sub s 0 (width - 1) ^ "~"
+  if width <= 0 then ""
+  else if String.length s <= width then s
+  else String.sub s 0 (width - 1) ^ "~"
 
 let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
 
 let render ?sources ?(keep = fun _ -> true) ?(column_width = 28) entries =
+  let column_width = max 0 column_width in
   let entries = List.filter keep entries in
   let sources =
     match sources with

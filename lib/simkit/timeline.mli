@@ -22,7 +22,9 @@ val render :
   Trace.entry list ->
   string
 (** [keep] filters entries (default: keep all); [column_width] defaults
-    to 28 characters. *)
+    to 28 characters. A cell wider than the column is cut to exactly
+    [column_width] characters, the last a ['~'] marker; widths [<= 0]
+    render empty cells rather than raising. *)
 
 val print :
   ?sources:string list ->

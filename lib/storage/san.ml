@@ -19,6 +19,7 @@ type 'r t = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
+  journal : Obs.Journal.t;
   config : config;
   shared : Disk.t option;  (* the single device, when shared *)
   mutable partition_devices : (int * Disk.t) list;  (* owner -> device *)
@@ -27,15 +28,19 @@ type 'r t = {
   fenced : (int, unit) Hashtbl.t;
 }
 
-let create ~engine ?trace ?obs ~size config =
+let create ~engine ?trace ?obs ?journal ~size config =
   let trace =
     match trace with Some t -> t | None -> Simkit.Trace.disabled ()
   in
   let obs = match obs with Some o -> o | None -> Obs.Tracer.disabled () in
+  let journal =
+    match journal with Some j -> j | None -> Obs.Journal.disabled ()
+  in
   {
     engine;
     trace;
     obs;
+    journal;
     config;
     shared =
       (if config.shared_device then
@@ -107,6 +112,19 @@ let fence t ~victim ~on_fenced =
   Simkit.Trace.emitf t.trace
     ~time:(Simkit.Engine.now t.engine)
     ~source:"san" ~kind:"fence" "victim %a" Netsim.Address.pp victim;
+  if Obs.Journal.is_recording t.journal then
+    Obs.Journal.emit t.journal
+      ~time:(Simkit.Engine.now t.engine)
+      ~node:idx
+      (Obs.Journal.Fence_begin { victim = idx });
+  let on_fenced () =
+    if Obs.Journal.is_recording t.journal then
+      Obs.Journal.emit t.journal
+        ~time:(Simkit.Engine.now t.engine)
+        ~node:idx
+        (Obs.Journal.Fence_end { victim = idx });
+    on_fenced ()
+  in
   ignore
     (Simkit.Engine.schedule t.engine ~label:"san.fenced"
        ~after:t.config.fencing_delay on_fenced)
@@ -126,20 +144,36 @@ let read_partition t ~reader ~target ~on_read =
          (Netsim.Address.name reader)
          (Netsim.Address.name target));
   let bytes = Wal.durable_bytes wal in
+  let reader_idx = Netsim.Address.index reader in
+  let target_idx = Netsim.Address.index target in
   let outcome =
     Disk.submit
-      (device_of t (Netsim.Address.index target))
-      ~initiator:(Netsim.Address.index reader)
+      (device_of t target_idx)
+      ~initiator:reader_idx
       ~bytes
       ~label:
         (Printf.sprintf "%s.read(%s)"
            (Netsim.Address.name reader)
            (Netsim.Address.name target))
-      ~on_complete:(fun () -> on_read (Wal.durable wal))
+      ~on_complete:(fun () ->
+        if Obs.Journal.is_recording t.journal then
+          Obs.Journal.emit t.journal
+            ~time:(Simkit.Engine.now t.engine)
+            ~node:reader_idx
+            (Obs.Journal.Scan_end
+               { target = target_idx; records = (Wal.stats wal).records_durable });
+        on_read (Wal.durable wal))
       ()
   in
   match outcome with
-  | `Accepted -> ()
+  | `Accepted ->
+      if Obs.Journal.is_recording t.journal then begin
+        let time = Simkit.Engine.now t.engine in
+        Obs.Journal.emit t.journal ~time ~node:reader_idx
+          (Obs.Journal.Mount { target = target_idx });
+        Obs.Journal.emit t.journal ~time ~node:reader_idx
+          (Obs.Journal.Scan_begin { target = target_idx })
+      end
   | `Rejected ->
       (* The reader itself is fenced: it is about to be power-cycled, so
          the read silently never completes — exactly what the victim of a

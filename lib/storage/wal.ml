@@ -28,6 +28,11 @@ type 'r t = {
   mutable sync_writes : int;
   mutable async_writes : int;
   mutable rejected_writes : int;
+  (* Records handed to the log (buffered or at the device) whose write
+     has not completed yet — the gauge a sampler reads as "pending /
+     unforced". Clamped at zero: a request that was in service when the
+     owner crashed still completes and decrements after [crash] reset. *)
+  mutable unforced : int;
 }
 
 type stats = {
@@ -64,6 +69,7 @@ let create ~engine ~disk ~owner ~initiator ~size ?(header_bytes = 64)
     sync_writes = 0;
     async_writes = 0;
     rejected_writes = 0;
+    unforced = 0;
   }
 
 let owner t = t.owner
@@ -73,9 +79,11 @@ let write_bytes t records =
   |> max t.header_bytes
 
 let commit_records t records bytes =
+  let n = List.length records in
   List.iter (fun r -> t.durable_records <- r :: t.durable_records) records;
-  t.durable_count <- t.durable_count + List.length records;
-  t.durable_bytes <- t.durable_bytes + bytes
+  t.durable_count <- t.durable_count + n;
+  t.durable_bytes <- t.durable_bytes + bytes;
+  t.unforced <- max 0 (t.unforced - n)
 
 let count_accepted (t : _ t) ~sync =
   if sync then t.sync_writes <- t.sync_writes + 1
@@ -112,11 +120,18 @@ let rec flush_group (t : _ t) =
         List.iter (fun b -> count_accepted t ~sync:b.b_sync) batches
     | `Rejected ->
         t.rejected_writes <- t.rejected_writes + List.length batches;
+        let n =
+          List.fold_left
+            (fun acc b -> acc + List.length b.b_records)
+            0 batches
+        in
+        t.unforced <- max 0 (t.unforced - n);
         t.inflight <- false
 
   end
 
 let submit_grouped t ~sync records ~on_durable =
+  t.unforced <- t.unforced + List.length records;
   Queue.add
     {
       b_records = records;
@@ -155,6 +170,7 @@ let submit t ~sync ?(txn = -1) records ~on_durable =
   in
   match outcome with
   | `Accepted ->
+      t.unforced <- t.unforced + List.length records;
       if sync then t.sync_writes <- t.sync_writes + 1
       else t.async_writes <- t.async_writes + 1;
       if Simkit.Trace.is_recording t.trace then
@@ -187,8 +203,13 @@ let crash t =
      never re-arm the pump, so reset it here. A surviving in-service
      request completing later just pumps once more, which is harmless. *)
   Queue.clear t.pending;
-  t.inflight <- false
+  t.inflight <- false;
+  (* Everything in flight either died with the host (expelled from the
+     device queue) or will decrement through the clamped commit path. *)
+  t.unforced <- 0
 let restart t = ignore t
+
+let unforced t = t.unforced
 
 let gc t ~keep =
   let kept = List.filter keep t.durable_records in

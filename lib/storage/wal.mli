@@ -76,6 +76,11 @@ val append_async :
 val durable : 'r t -> 'r list
 (** Durable records in append order — what a recovery scan reads. *)
 
+val unforced : 'r t -> int
+(** Records handed to the log whose device write has not completed yet
+    (buffered for group commit or queued/in service at the device). A
+    pure gauge for telemetry; reset to zero by {!crash}. *)
+
 val durable_bytes : 'r t -> int
 (** Byte footprint of the durable records (payload + headers). *)
 

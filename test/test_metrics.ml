@@ -34,6 +34,50 @@ let test_ledger_reset () =
   Ledger.reset l;
   Alcotest.(check (list string)) "empty" [] (Ledger.keys l)
 
+(* Small key alphabet so random scripts collide on keys — the
+   interesting cases for diff are keys bumped on both sides of the
+   snapshot, only before, and only after. *)
+let ledger_script_gen =
+  QCheck2.Gen.(
+    list_size (int_bound 30)
+      (pair (map (Printf.sprintf "k%d") (int_bound 7)) (int_range 0 20)))
+
+let prop_ledger_diff_is_per_key_delta =
+  QCheck2.Test.make ~name:"diff after incr = per-key delta" ~count:200
+    QCheck2.Gen.(pair ledger_script_gen ledger_script_gen)
+    (fun (before_ops, after_ops) ->
+      let l = Ledger.create () in
+      List.iter (fun (k, n) -> Ledger.add l k n) before_ops;
+      let before = Ledger.snapshot l in
+      let base k =
+        match List.assoc_opt k before with Some v -> v | None -> 0
+      in
+      List.iter
+        (fun (k, n) ->
+          Ledger.add l k n;
+          Ledger.incr l k)
+        after_ops;
+      let diff = Ledger.diff ~after:l ~before in
+      (* Every live key's reported delta is exactly live minus snapshot,
+         with keys absent from the snapshot counting from zero. *)
+      List.for_all
+        (fun k ->
+          (match List.assoc_opt k diff with Some v -> v | None -> 0)
+          = Ledger.get l k - base k)
+        (Ledger.keys l))
+
+let prop_ledger_snapshot_sorted =
+  QCheck2.Test.make ~name:"snapshot is sorted, unique and live" ~count:200
+    ledger_script_gen
+    (fun ops ->
+      let l = Ledger.create () in
+      List.iter (fun (k, n) -> Ledger.add l k n) ops;
+      let snap = Ledger.snapshot l in
+      let ks = List.map fst snap in
+      List.sort String.compare ks = ks
+      && List.length (List.sort_uniq String.compare ks) = List.length ks
+      && List.for_all (fun (k, v) -> Ledger.get l k = v) snap)
+
 let test_histogram_stats () =
   let h = Histogram.create () in
   Alcotest.(check bool) "empty" true (Histogram.is_empty h);
@@ -155,6 +199,8 @@ let () =
           Alcotest.test_case "counts" `Quick test_ledger_counts;
           Alcotest.test_case "diff" `Quick test_ledger_diff;
           Alcotest.test_case "reset" `Quick test_ledger_reset;
+          QCheck_alcotest.to_alcotest prop_ledger_diff_is_per_key_delta;
+          QCheck_alcotest.to_alcotest prop_ledger_snapshot_sorted;
         ] );
       ( "histogram",
         [

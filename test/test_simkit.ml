@@ -449,6 +449,98 @@ let test_timeline_render () =
   let only0 = Timeline.render ~sources:[ "mds0" ] (Trace.entries tr) in
   Alcotest.(check bool) "mds1 dropped" false (contains only0 "COMMIT")
 
+
+(* Golden swimlane: a whole two-node 1PC CREATE, rendered verbatim.
+   Pins column sizing, padding, the '~' truncation marker and row
+   order; drift in the renderer or in the protocol's deterministic
+   timing shows up as a line diff here. *)
+let test_timeline_golden () =
+  let config =
+    {
+      Opc.Config.default with
+      servers = 2;
+      protocol = Opc.Acp.Protocol.Opc;
+      placement = Opc.Mds.Placement.Spread;
+      record_trace = true;
+    }
+  in
+  let cluster = Opc.Cluster.create config in
+  let dir =
+    Opc.Cluster.add_directory cluster
+      ~parent:(Opc.Cluster.root cluster)
+      ~name:"d" ~server:0 ()
+  in
+  Opc.Cluster.submit cluster
+    (Opc.Mds.Op.create_file ~parent:dir ~name:"f")
+    ~on_done:(fun _ -> ());
+  (match Opc.Cluster.settle cluster with
+  | Opc.Cluster.Quiescent -> ()
+  | _ -> Alcotest.fail "two-node 1PC CREATE did not settle");
+  let rendered =
+    Timeline.render ~sources:[ "mds0"; "mds1" ]
+      (Trace.entries (Opc.Cluster.trace cluster))
+  in
+  let expected =
+    String.concat "\n"
+      [
+        {|time    | mds0                         | mds1                        |};
+        {|--------+------------------------------+-----------------------------|};
+        {|0s      | node.boot first start        |                             |};
+        {|0s      |                              | node.boot first start       |};
+        {|0s      | txn.start t0.0 1PC coordina~ |                             |};
+        {|0s      | log.force 2 record(s), 512B  |                             |};
+        {|100us   |                              | net.recv from mds0          |};
+        {|100us   | net.recv from mds1           |                             |};
+        {|10.24ms | log.durable 2 record(s), 51~ |                             |};
+        {|10.24ms | send UPDATE_REQ t0.0 (1 upd~ |                             |};
+        {|10.34ms |                              | net.recv from mds0          |};
+        {|10.34ms |                              | txn.start t0.0 1PC worker   |};
+        {|10.34ms |                              | log.force 2 record(s), 768B |};
+        {|20.58ms |                              | log.durable 2 record(s), 76~|};
+        {|20.58ms |                              | txn.commit t0.0 worker comm~|};
+        {|20.58ms |                              | send UPDATED t0.0 (ok) -> m~|};
+        {|20.68ms | net.recv from mds1           |                             |};
+        {|20.68ms | txn.commit t0.0 worker comm~ |                             |};
+        {|20.68ms | log.force 2 record(s), 768B  |                             |};
+        {|30.92ms | log.durable 2 record(s), 76~ |                             |};
+        {|30.92ms | send ACK t0.0 -> mds1        |                             |};
+        {|30.92ms | log.gc 4 record(s) collected |                             |};
+        {|31.02ms |                              | net.recv from mds0          |};
+        {|31.02ms |                              | log.append 1 record(s), 192B|};
+        {|41.26ms |                              | log.durable 1 record(s), 19~|};
+        {|41.26ms |                              | log.gc 3 record(s) collected|};
+        "";
+      ]
+  in
+  Alcotest.(check string) "swimlane" expected rendered
+
+let test_timeline_truncation () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:Time.zero ~source:"s" ~kind:"kind" "0123456789";
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  (* A cell one character over the width keeps exactly [width] chars,
+     the last one the marker. *)
+  let out = Timeline.render ~column_width:8 (Trace.entries tr) in
+  Alcotest.(check bool) "cut to width with marker" true
+    (contains out "| kind 01~\n");
+  (* The boundary case: a cell of exactly the column width is kept
+     whole, no marker. *)
+  let exact = Timeline.render ~column_width:15 (Trace.entries tr) in
+  Alcotest.(check bool) "exact fit untouched" true
+    (contains exact "| kind 0123456789\n");
+  (* Degenerate widths render empty cells instead of raising. *)
+  List.iter
+    (fun w ->
+      let out = Timeline.render ~column_width:w (Trace.entries tr) in
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d drops the cell" w)
+        false (contains out "kind"))
+    [ 0; -3 ]
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -502,5 +594,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_trace_basics;
           Alcotest.test_case "disabled" `Quick test_trace_disabled;
           Alcotest.test_case "timeline" `Quick test_timeline_render;
+          Alcotest.test_case "timeline golden" `Quick test_timeline_golden;
+          Alcotest.test_case "timeline truncation" `Quick
+            test_timeline_truncation;
         ] );
     ]
