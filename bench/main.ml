@@ -20,6 +20,7 @@
      dune exec bench/main.exe scale        -- A12: 4->64-server scale campaign
      dune exec bench/main.exe breakdown    -- A13: measured critical-path spans
      dune exec bench/main.exe timeline     -- A14: recovery journal, gauges, MTTR
+     dune exec bench/main.exe profile      -- A14b: host CPU/alloc attribution
      dune exec bench/main.exe check        -- events/s gate vs a scale baseline
 
    Every subcommand writes its results as machine-readable JSON — to
@@ -32,10 +33,14 @@
    disagree with Table I. [timeline] ([--smoke] = 1PC only) writes one
    lifecycle journal per protocol as BENCH_timeline.<protocol>.jsonl
    and exits nonzero if a recovery window's start disagrees with the
-   injected crash instant. [check] re-measures the heaviest 1PC point
+   injected crash instant. [profile] runs one host-profiled scale point
+   per protocol and writes BENCH_profile.json plus a speedscope flame
+   graph per protocol. [check] re-measures the heaviest 1PC point
    of [--against] (default BENCH_scale.json) and exits nonzero if
    events/s fell more than [--tolerance] (default 0.15) below the
-   baseline. Unknown subcommands and flags exit with status 2. *)
+   baseline, naming the subsystem whose self-time grew most when the
+   baseline carries a profile section. Unknown subcommands and flags
+   exit with status 2. *)
 
 let section title =
   Fmt.pr "@.== %s ==@." title
@@ -44,88 +49,11 @@ let section title =
 (* JSON output                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Hand-rolled emitter (no JSON library in the tree): every subcommand
-   builds one of these and [--json <path>] writes it out, so CI and
-   plotting scripts consume machine-readable results instead of
-   scraping the tables. *)
-module Json = struct
-  type t =
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let float_repr f =
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.1f" f
-    else Printf.sprintf "%.6g" f
-
-  let rec write buf = function
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Float f -> Buffer.add_string buf (float_repr f)
-    | Str s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape s);
-        Buffer.add_char buf '"'
-    | List xs ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf x)
-          xs;
-        Buffer.add_char buf ']'
-    | Obj fields ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf (Str k);
-            Buffer.add_char buf ':';
-            write buf v)
-          fields;
-        Buffer.add_char buf '}'
-
-  let to_string j =
-    let buf = Buffer.create 4096 in
-    write buf j;
-    Buffer.add_char buf '\n';
-    Buffer.contents buf
-
-  (* [--json some/new/dir/out.json] must not fail on the missing
-     directory — CI drops artifacts into per-run folders. *)
-  let rec mkdirs dir =
-    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
-    then begin
-      mkdirs (Filename.dirname dir);
-      Sys.mkdir dir 0o755
-    end
-
-  let to_file path j =
-    mkdirs (Filename.dirname path);
-    let oc = open_out path in
-    output_string oc (to_string j);
-    close_out oc
-end
+(* JSON emitter + strict reader, shared with the test suite (see
+   bench/bench_json.ml). Aliased so the subcommands below read as
+   before. *)
+module Json = Bench_json.Json
+module Json_in = Bench_json.Json_in
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Table I                                                        *)
@@ -749,6 +677,142 @@ let micro () =
     [ ("benchmark", Json.Str "micro"); ("rows", Json.List (List.rev !rows)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Host profiling (shared by `profile`, `scale`, `check`)              *)
+(* ------------------------------------------------------------------ *)
+
+(* One profiled scale point: same workload as the timed sweep, but with
+   [record_prof] on. Profiled runs are never the timed ones — the
+   observer pair costs a clock read per dispatch, which would pollute
+   events/s — yet they replay the identical event sequence, so the
+   attribution describes exactly the run the gate measures. *)
+let run_profiled_point ~servers ~txns ~seed kind =
+  let config =
+    {
+      (Opc.Experiment.scale_config ~servers ~seed) with
+      Opc_cluster.Config.record_prof = true;
+    }
+  in
+  let p = Opc.Experiment.run_scale_point ~config ~servers ~txns ~seed kind in
+  match p.Opc.Experiment.profile with
+  | Some r -> (p, r)
+  | None -> failwith "profiled run returned no profile"
+
+let prof_share part whole =
+  if whole = 0 then 0.0 else float_of_int part /. float_of_int whole
+
+let prof_subsystems_json (r : Obs.Prof.report) =
+  Json.List
+    (List.map
+       (fun (name, cpu_ns, minor_words) ->
+         Json.Obj
+           [
+             ("subsystem", Json.Str name);
+             ("cpu_ns", Json.Int cpu_ns);
+             ("minor_words", Json.Int minor_words);
+             ("share", Json.Float (prof_share cpu_ns r.Obs.Prof.total_cpu_ns));
+           ])
+       (Obs.Prof.by_subsystem r))
+
+let prof_buckets_json (r : Obs.Prof.report) =
+  Json.List
+    (List.map
+       (fun (b : Obs.Prof.bucket) ->
+         Json.Obj
+           [
+             ("subsystem", Json.Str b.subsystem);
+             ("label", Json.Str b.label);
+             ("dispatches", Json.Int b.dispatches);
+             ("cpu_ns", Json.Int b.cpu_ns);
+             ("minor_words", Json.Int b.minor_words);
+             ("max_cpu_ns", Json.Int b.max_cpu_ns);
+           ])
+       r.Obs.Prof.buckets)
+
+(* A14b: where does the host CPU go? One profiled scale point per
+   protocol; top-N text table, full buckets in BENCH_profile.json and a
+   speedscope flame graph per protocol. Exits nonzero if any profile
+   comes back empty or the telescoping invariant
+   (buckets + residual = total) breaks — both would mean the observer
+   pair is broken, not that the code got slower. *)
+let profile ~smoke ~txns () =
+  let servers = if smoke then 4 else 8 in
+  let seed = 1 in
+  section
+    (Fmt.str "profile: host CPU/allocation by (subsystem, label), %d \
+              servers x %d txns, seed %d%s"
+       servers txns seed
+       (if smoke then " (smoke)" else ""));
+  let ok = ref true in
+  let points =
+    List.map
+      (fun kind ->
+        let name = Opc.Acp.Protocol.name kind in
+        let p, r = run_profiled_point ~servers ~txns ~seed kind in
+        let bucket_cpu =
+          List.fold_left
+            (fun acc (b : Obs.Prof.bucket) -> acc + b.cpu_ns)
+            0 r.Obs.Prof.buckets
+        in
+        if r.Obs.Prof.buckets = [] then begin
+          Fmt.epr "profile: %s produced no buckets@." name;
+          ok := false
+        end;
+        if bucket_cpu + r.Obs.Prof.residual_cpu_ns <> r.Obs.Prof.total_cpu_ns
+        then begin
+          Fmt.epr
+            "profile: %s buckets (%d ns) + residual (%d ns) do not sum to \
+             total (%d ns)@."
+            name bucket_cpu r.Obs.Prof.residual_cpu_ns r.Obs.Prof.total_cpu_ns;
+          ok := false
+        end;
+        Fmt.pr "@.%s: %d events, %.1f ms CPU, %.2f Mw minor@." name
+          p.Opc.Experiment.events
+          (float_of_int r.Obs.Prof.total_cpu_ns /. 1e6)
+          (float_of_int r.Obs.Prof.total_minor_words /. 1e6);
+        Opc.Metrics.Table.print (Obs.Prof.to_table ~top:10 r);
+        let speedscope = Fmt.str "BENCH_profile.%s.speedscope.json" name in
+        Obs.Prof.speedscope_to_file ~path:speedscope
+          ~name:(Fmt.str "%s scale point (%d servers)" name servers)
+          r;
+        (* The speedscope file must itself be JSON our own strict parser
+           accepts — catches escaping bugs at bench time, not in the
+           browser. *)
+        (try ignore (Json_in.of_file speedscope)
+         with Json_in.Parse_error msg ->
+           Fmt.epr "profile: %s is invalid JSON: %s@." speedscope msg;
+           ok := false);
+        Fmt.pr "wrote %s@." speedscope;
+        Json.Obj
+          [
+            ("protocol", Json.Str name);
+            ("servers", Json.Int servers);
+            ("seed", Json.Int seed);
+            ("txns", Json.Int txns);
+            ("events", Json.Int p.Opc.Experiment.events);
+            ("total_cpu_ns", Json.Int r.Obs.Prof.total_cpu_ns);
+            ("total_minor_words", Json.Int r.Obs.Prof.total_minor_words);
+            ("total_dispatches", Json.Int r.Obs.Prof.total_dispatches);
+            ("residual_cpu_ns", Json.Int r.Obs.Prof.residual_cpu_ns);
+            ( "residual_minor_words",
+              Json.Int r.Obs.Prof.residual_minor_words );
+            ("subsystems", prof_subsystems_json r);
+            ("buckets", prof_buckets_json r);
+            ("speedscope", Json.Str speedscope);
+          ])
+      Opc.Acp.Protocol.all
+  in
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "profile");
+        ("smoke", Json.Bool smoke);
+        ("servers", Json.Int servers);
+        ("seed", Json.Int seed);
+        ("txns", Json.Int txns);
+        ("points", Json.List points);
+      ],
+    !ok )
+
+(* ------------------------------------------------------------------ *)
 (* Scale campaign                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -846,6 +910,20 @@ let scale ~smoke ~seeds ~txns () =
         Opc.Acp.Protocol.all)
     server_counts;
   Opc.Metrics.Table.print t;
+  (* Record the per-subsystem host-CPU split of the heaviest 1PC point
+     alongside the timed numbers, so a later `bench check` against this
+     baseline can say WHICH subsystem slowed down, not just that one
+     did. A separate profiled (untimed) run of the identical point. *)
+  let prof_servers = List.fold_left max 0 server_counts in
+  let p, r =
+    run_profiled_point ~servers:prof_servers ~txns ~seed:1
+      Opc.Acp.Protocol.Opc
+  in
+  Fmt.pr
+    "@.profiled 1PC @ %d servers for the baseline's subsystem split \
+     (%.1f ms CPU)@."
+    prof_servers
+    (float_of_int r.Obs.Prof.total_cpu_ns /. 1e6);
   Json.Obj
     [
       ("benchmark", Json.Str "scale");
@@ -855,6 +933,19 @@ let scale ~smoke ~seeds ~txns () =
       ( "server_counts",
         Json.List (List.map (fun s -> Json.Int s) server_counts) );
       ("points", Json.List (List.rev !points));
+      ( "profile",
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name Opc.Acp.Protocol.Opc));
+            ("servers", Json.Int prof_servers);
+            ("seed", Json.Int 1);
+            ("txns", Json.Int txns);
+            ("events", Json.Int p.Opc.Experiment.events);
+            ("total_cpu_ns", Json.Int r.Obs.Prof.total_cpu_ns);
+            ("residual_cpu_ns", Json.Int r.Obs.Prof.residual_cpu_ns);
+            ("total_minor_words", Json.Int r.Obs.Prof.total_minor_words);
+            ("subsystems", prof_subsystems_json r);
+          ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -1011,187 +1102,6 @@ let timeline ~smoke () =
 (* Check — events/s regression gate                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal JSON reader for our own emitter's output (the tree has no
-   JSON library). Accepts standard JSON; \u escapes outside the Latin-1
-   range are rejected — our emitter never produces them. *)
-module Json_in = struct
-  exception Parse_error of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg =
-      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
-    in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let skip_ws () =
-      while
-        !pos < n
-        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-      do
-        incr pos
-      done
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then incr pos
-      else fail (Printf.sprintf "expected %C" c)
-    in
-    let lit word v =
-      let len = String.length word in
-      if !pos + len <= n && String.sub s !pos len = word then begin
-        pos := !pos + len;
-        v
-      end
-      else fail ("expected " ^ word)
-    in
-    let string_lit () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string";
-        match s.[!pos] with
-        | '"' ->
-            incr pos;
-            Buffer.contents buf
-        | '\\' ->
-            incr pos;
-            if !pos >= n then fail "truncated escape";
-            (match s.[!pos] with
-            | '"' -> Buffer.add_char buf '"'
-            | '\\' -> Buffer.add_char buf '\\'
-            | '/' -> Buffer.add_char buf '/'
-            | 'n' -> Buffer.add_char buf '\n'
-            | 't' -> Buffer.add_char buf '\t'
-            | 'r' -> Buffer.add_char buf '\r'
-            | 'b' -> Buffer.add_char buf '\b'
-            | 'f' -> Buffer.add_char buf '\012'
-            | 'u' ->
-                if !pos + 4 >= n then fail "truncated \\u escape";
-                let code =
-                  match
-                    int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4)
-                  with
-                  | Some c -> c
-                  | None -> fail "bad \\u escape"
-                in
-                if code > 0xff then fail "\\u escape beyond Latin-1";
-                Buffer.add_char buf (Char.chr code);
-                pos := !pos + 4
-            | c -> fail (Printf.sprintf "bad escape \\%c" c));
-            incr pos;
-            go ()
-        | c ->
-            Buffer.add_char buf c;
-            incr pos;
-            go ()
-      in
-      go ()
-    in
-    let number () =
-      let start = !pos in
-      let is_num = function
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && is_num s.[!pos] do
-        incr pos
-      done;
-      if !pos = start then fail "expected a value";
-      let tok = String.sub s start (!pos - start) in
-      match int_of_string_opt tok with
-      | Some i -> Json.Int i
-      | None -> (
-          match float_of_string_opt tok with
-          | Some f -> Json.Float f
-          | None -> fail ("bad number " ^ tok))
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' -> obj ()
-      | Some '[' -> arr ()
-      | Some '"' -> Json.Str (string_lit ())
-      | Some 't' -> lit "true" (Json.Bool true)
-      | Some 'f' -> lit "false" (Json.Bool false)
-      | Some 'n' -> lit "null" (Json.Obj [])
-      | Some _ -> number ()
-      | None -> fail "unexpected end of input"
-    and arr () =
-      expect '[';
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        Json.List []
-      end
-      else begin
-        let items = ref [] in
-        let rec go () =
-          items := value () :: !items;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              incr pos;
-              go ()
-          | Some ']' -> incr pos
-          | _ -> fail "expected ',' or ']'"
-        in
-        go ();
-        Json.List (List.rev !items)
-      end
-    and obj () =
-      expect '{';
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        Json.Obj []
-      end
-      else begin
-        let fields = ref [] in
-        let rec go () =
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          fields := (k, v) :: !fields;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              incr pos;
-              go ()
-          | Some '}' -> incr pos
-          | _ -> fail "expected ',' or '}'"
-        in
-        go ();
-        Json.Obj (List.rev !fields)
-      end
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing input";
-    v
-
-  let of_file path =
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    parse s
-
-  let member k = function Json.Obj fields -> List.assoc_opt k fields | _ -> None
-
-  let to_int = function
-    | Some (Json.Int i) -> Some i
-    | Some (Json.Float f) when Float.is_integer f -> Some (int_of_float f)
-    | _ -> None
-
-  let to_float = function
-    | Some (Json.Float f) -> Some f
-    | Some (Json.Int i) -> Some (float_of_int i)
-    | _ -> None
-
-  let to_str = function Some (Json.Str s) -> Some s | _ -> None
-end
 
 (* Recompute the most demanding 1PC point of a saved scale baseline and
    gate on CPU-time events/s. Meaningful only against a baseline
@@ -1298,6 +1208,99 @@ let regression_check ~against ~tolerance () =
          else
            Fmt.str "REGRESSION: %.1f%% below baseline"
              ((base_eps -. eps) /. base_eps *. 100.0));
+      (* On a tripped gate, turn "slower" into "slower, and THIS
+         subsystem paid for it": re-run the same point profiled and
+         compare per-subsystem self-time per event against the split
+         `bench scale` recorded in the baseline. *)
+      let attribution =
+        if ok then []
+        else
+          match Json_in.member "profile" baseline with
+          | None ->
+              Fmt.pr
+                "  subsystem attribution unavailable: baseline has no \
+                 profile section (regenerate it with `bench scale`)@.";
+              []
+          | Some bprof -> (
+              let base_prof_events =
+                Option.value ~default:base_events
+                  Json_in.(to_int (member "events" bprof))
+              in
+              let base_total_cpu =
+                Option.value ~default:0
+                  Json_in.(to_int (member "total_cpu_ns" bprof))
+              in
+              let base_subs =
+                match Json_in.member "subsystems" bprof with
+                | Some (Json.List l) ->
+                    List.filter_map
+                      (fun s ->
+                        match
+                          ( Json_in.(to_str (member "subsystem" s)),
+                            Json_in.(to_int (member "cpu_ns" s)) )
+                        with
+                        | Some name, Some cpu -> Some (name, cpu)
+                        | _ -> None)
+                      l
+                | _ -> []
+              in
+              if base_subs = [] || base_prof_events = 0 then begin
+                Fmt.pr
+                  "  subsystem attribution unavailable: baseline profile \
+                   section is incomplete@.";
+                []
+              end
+              else
+                let pnow, rnow =
+                  run_profiled_point ~servers ~txns ~seed
+                    Opc.Acp.Protocol.Opc
+                in
+                let now_events = pnow.Opc.Experiment.events in
+                let growths =
+                  List.filter_map
+                    (fun (name, cpu_now, _minor) ->
+                      match List.assoc_opt name base_subs with
+                      | Some cpu_base when cpu_base > 0 && now_events > 0 ->
+                          let per_ev_base =
+                            float_of_int cpu_base
+                            /. float_of_int base_prof_events
+                          in
+                          let per_ev_now =
+                            float_of_int cpu_now /. float_of_int now_events
+                          in
+                          Some (name, per_ev_now /. per_ev_base, cpu_now,
+                                cpu_base)
+                      | _ -> None)
+                    (Obs.Prof.by_subsystem rnow)
+                  |> List.sort (fun (_, a, _, _) (_, b, _, _) ->
+                         compare b a)
+                in
+                match growths with
+                | [] ->
+                    Fmt.pr
+                      "  subsystem attribution unavailable: no subsystem \
+                       appears in both profiles@.";
+                    []
+                | (worst, growth, cpu_now, cpu_base) :: _ ->
+                    Fmt.pr
+                      "  subsystem attribution (profiled rerun): %s \
+                       self-time/event grew %.2fx (%.1f%% -> %.1f%% of run \
+                       CPU)@."
+                      worst growth
+                      (100.0 *. prof_share cpu_base base_total_cpu)
+                      (100.0
+                      *. prof_share cpu_now rnow.Obs.Prof.total_cpu_ns);
+                    List.map
+                      (fun (name, g, cpu_now, cpu_base) ->
+                        Json.Obj
+                          [
+                            ("subsystem", Json.Str name);
+                            ("growth_per_event", Json.Float g);
+                            ("cpu_ns_now", Json.Int cpu_now);
+                            ("cpu_ns_baseline", Json.Int cpu_base);
+                          ])
+                      growths)
+      in
       ( Json.Obj
           [
             ("benchmark", Json.Str "check");
@@ -1316,6 +1319,7 @@ let regression_check ~against ~tolerance () =
             ("cpu_s", Json.Float !best_cpu);
             ("wall_s", Json.Float wall);
             ("ok", Json.Bool ok);
+            ("attribution", Json.List attribution);
           ],
         ok )
 
@@ -1349,14 +1353,15 @@ let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
      [--txns N] [--against PATH] [--tolerance F]@.subcommands: all \
-     (default) | scale | breakdown | timeline | check | \
+     (default) | scale | breakdown | timeline | profile | check | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
      txns/protocol), --txns N per protocol (default 20)@.timeline \
-     flags: --smoke (1PC only)@.check flags: --against PATH (default \
-     BENCH_scale.json), --tolerance F (default 0.15)@.every subcommand \
-     writes BENCH_<name>.json (override with --json) and prints the \
-     path@."
+     flags: --smoke (1PC only)@.profile flags: --smoke (4 servers), \
+     --txns N per protocol (default 20000)@.check flags: --against \
+     PATH (default BENCH_scale.json), --tolerance F (default \
+     0.15)@.every subcommand writes BENCH_<name>.json (override with \
+     --json) and prints the path@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
 let () =
@@ -1449,6 +1454,18 @@ let () =
   | "timeline" ->
       let json, ok = timeline ~smoke:!smoke () in
       emit ~default:"BENCH_timeline.json" json;
+      if not ok then exit 1
+  | "profile" ->
+      if !smoke && not !txns_set then txns := 10_000;
+      let json, ok = profile ~smoke:!smoke ~txns:!txns () in
+      emit ~default:"BENCH_profile.json" json;
+      (* Round-trip the artifact through our own strict parser, like the
+         per-protocol speedscope files above. *)
+      let path = Option.value !json_path ~default:"BENCH_profile.json" in
+      (try ignore (Json_in.of_file path)
+       with Json_in.Parse_error msg ->
+         Fmt.epr "profile: %s is invalid JSON: %s@." path msg;
+         exit 1);
       if not ok then exit 1
   | "check" ->
       let json, ok =

@@ -14,10 +14,17 @@
 # 5. timeline smoke: crash-and-recover run with the sampler + journal
 #    on; exits nonzero if no unavailability window closes or the MTTR
 #    window start drifts from the injected crash instant;
-# 6. perf-regression gate: re-measures the heaviest 1PC point from the
+# 6. profile smoke: one host-profiled scale point per protocol; the
+#    bench exits nonzero unless every profile has buckets and telescopes
+#    exactly (buckets + residual == total CPU), and both BENCH_profile.json
+#    and the speedscope files re-parse through its own JSON reader;
+# 7. perf-regression gate: re-measures the heaviest 1PC point from the
 #    BENCH_scale.json written in step 3 (same machine, same run) and
-#    fails if events/s drops more than 15%; then proves the gate can
-#    fail by checking against a synthetically inflated baseline.
+#    fails if events/s drops more than 15%; a tighter 5% pass first
+#    checks the profiler-disabled dispatch path against the same-run
+#    baseline; then proves the gate can fail (and names the
+#    worst-regressing subsystem) by checking against a synthetically
+#    inflated baseline.
 set -eu
 
 cd "$(dirname "$0")"
@@ -38,20 +45,42 @@ dune exec bench/main.exe -- breakdown --smoke
 echo "== bench timeline --smoke (recovery journal + MTTR decomposition) =="
 dune exec bench/main.exe -- timeline --smoke
 
+echo "== bench profile --smoke (host CPU/alloc attribution) =="
+# The bench self-validates: nonempty buckets per protocol, exact
+# telescoping, and both BENCH_profile.json and the speedscope files
+# re-parsed through its own strict JSON reader. Any violation exits 1.
+dune exec bench/main.exe -- profile --smoke
+
+echo "== bench check at 5% (profiler-disabled path vs same-run baseline) =="
+# The scale baseline above timed runs with the profiler off; holding the
+# re-measurement within 5% of it pins the disabled dispatch path (one
+# flag load + branch per event) to baseline cost.
+dune exec bench/main.exe -- check --against BENCH_scale.json --tolerance 0.05
+
 echo "== bench check negative test (inflated baseline must fail) =="
 # A baseline claiming an absurd events/s must trip the gate: build one
 # from the real file with events_per_s replaced by a value far beyond
 # reach. Run this before the real gate so the BENCH_check.json left on
-# disk is the passing one.
+# disk is the passing one. The tripped gate must also attribute the
+# "regression" — the baseline's profile section names the subsystem
+# whose self-time per event grew most.
 awk '{ gsub(/"events_per_cpu_s":[0-9.eE+-]+/, "\"events_per_cpu_s\":999999999"); print }' \
   BENCH_scale.json > BENCH_scale.inflated.json
-if dune exec bench/main.exe -- check --against BENCH_scale.inflated.json --tolerance 0.15; then
-  rm -f BENCH_scale.inflated.json
+if dune exec bench/main.exe -- check --against BENCH_scale.inflated.json --tolerance 0.15 \
+     > BENCH_check.negative.out 2>&1; then
+  cat BENCH_check.negative.out
+  rm -f BENCH_scale.inflated.json BENCH_check.negative.out
   echo "FAIL: regression gate accepted an inflated baseline" >&2
   exit 1
 fi
-rm -f BENCH_scale.inflated.json
-echo "regression gate trips as expected"
+cat BENCH_check.negative.out
+if ! grep -q "subsystem attribution" BENCH_check.negative.out; then
+  rm -f BENCH_scale.inflated.json BENCH_check.negative.out
+  echo "FAIL: tripped gate printed no subsystem attribution" >&2
+  exit 1
+fi
+rm -f BENCH_scale.inflated.json BENCH_check.negative.out
+echo "regression gate trips and attributes as expected"
 
 echo "== bench check (perf-regression gate vs freshly written baseline) =="
 dune exec bench/main.exe -- check --against BENCH_scale.json --tolerance 0.15

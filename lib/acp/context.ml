@@ -16,7 +16,7 @@ type t = {
   is_hardened : Txn.id -> bool;
   compute : n:int -> (unit -> unit) -> unit;
   set_timer :
-    label:string ->
+    label:Simkit.Label.t ->
     after:Simkit.Time.span ->
     (unit -> unit) ->
     Simkit.Engine.handle;

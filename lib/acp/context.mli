@@ -35,7 +35,7 @@ type t = {
   compute : n:int -> (unit -> unit) -> unit;
       (** continue after [n] object-method latencies *)
   set_timer :
-    label:string ->
+    label:Simkit.Label.t ->
     after:Simkit.Time.span ->
     (unit -> unit) ->
     Simkit.Engine.handle;

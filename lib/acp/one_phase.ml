@@ -1,3 +1,6 @@
+let label_updated_timeout = Simkit.Label.v Acp "1pc.updated_timeout"
+let label_ack_req = Simkit.Label.v Acp "1pc.ack_req"
+
 type cphase =
   | C_starting  (* STARTED+REDO force or local work in progress *)
   | C_working  (* UPDATE_REQ out, waiting for UPDATED *)
@@ -144,7 +147,7 @@ let rec arm_updated_timer t c =
   Common.cancel_timer c.timer;
   c.timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"1pc.updated_timeout"
+      (t.ctx.Context.set_timer ~label:label_updated_timeout
          ~after:t.ctx.Context.timeout (fun () ->
            c.timer := None;
            if c.phase = C_working then
@@ -292,7 +295,7 @@ let rec arm_ack_req_timer t w =
   Common.cancel_timer w.w_timer;
   w.w_timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"1pc.ack_req"
+      (t.ctx.Context.set_timer ~label:label_ack_req
          ~after:t.ctx.Context.timeout (fun () ->
            w.w_timer := None;
            if w.committed then begin

@@ -1,3 +1,8 @@
+let label_ack_resend = Simkit.Label.v Acp "2pc.ack_resend"
+let label_vote_timeout = Simkit.Label.v Acp "2pc.vote_timeout"
+let label_decision_req = Simkit.Label.v Acp "2pc.decision_req"
+let label_worker_abandon = Simkit.Label.v Acp "2pc.worker_abandon"
+
 type variant = {
   variant_name : string;
   presume_commit : bool;
@@ -156,7 +161,7 @@ and arm_ack_resend t c =
   Common.cancel_timer c.timer;
   c.timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"2pc.ack_resend"
+      (t.ctx.Context.set_timer ~label:label_ack_resend
          ~after:t.ctx.Context.timeout (fun () ->
            c.timer := None;
            match c.phase with
@@ -220,7 +225,7 @@ let arm_vote_timer t c =
   Common.cancel_timer c.timer;
   c.timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"2pc.vote_timeout"
+      (t.ctx.Context.set_timer ~label:label_vote_timeout
          ~after:t.ctx.Context.timeout (fun () ->
            c.timer := None;
            match c.phase with
@@ -375,7 +380,7 @@ let rec arm_decision_timer t w =
   Common.cancel_timer w.w_timer;
   w.w_timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"2pc.decision_req"
+      (t.ctx.Context.set_timer ~label:label_decision_req
          ~after:t.ctx.Context.timeout (fun () ->
            w.w_timer := None;
            if w.wstate = W_prepared then begin
@@ -391,7 +396,7 @@ let arm_abandon_timer t w =
   Common.cancel_timer w.w_timer;
   w.w_timer :=
     Some
-      (t.ctx.Context.set_timer ~label:"2pc.worker_abandon"
+      (t.ctx.Context.set_timer ~label:label_worker_abandon
          ~after:(Simkit.Time.mul_span t.ctx.Context.timeout 2) (fun () ->
            w.w_timer := None;
            if w.wstate = W_updated then begin

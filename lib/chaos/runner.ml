@@ -102,7 +102,7 @@ let execute ?schedule spec ~protocol ~seed =
       ignore
         (Simkit.Engine.schedule_at
            (Opc_cluster.Cluster.engine cluster)
-           ~label:"chaos.cleanup"
+           ~label:(Simkit.Label.v Chaos "chaos.cleanup")
            ~at:(Simkit.Time.add origin
                   (Simkit.Time.span_ms (spec.window_ms + 1)))
            (fun () ->

@@ -1,3 +1,5 @@
+let label_window = Simkit.Label.v Cluster "batch.window"
+
 type pending = {
   plan : Mds.Plan.t;
   on_done : Acp.Txn.outcome -> unit;
@@ -90,7 +92,7 @@ let submit t op ~on_done =
               Some
                 (Simkit.Engine.schedule
                    (Cluster.engine t.cluster)
-                   ~label:"batch.window" ~after:t.window (fun () ->
+                   ~label:label_window ~after:t.window (fun () ->
                      flush_group t key))
       | _, _ ->
           (* Deletes, renames, local and multi-worker plans go straight

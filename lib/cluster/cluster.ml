@@ -1,3 +1,6 @@
+let label_stonith = Simkit.Label.v Cluster "stonith.reboot"
+let label_auto_restart = Simkit.Label.v Cluster "auto.restart"
+
 type waiting = {
   submitted_at : Simkit.Time.t;
   mutable callback : (Acp.Txn.outcome -> unit) option;
@@ -11,6 +14,7 @@ type t = {
   obs : Obs.Tracer.t;
   journal : Obs.Journal.t;
   timeseries : Obs.Timeseries.t;
+  prof : Obs.Prof.t;
   ledger : Metrics.Ledger.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
@@ -35,6 +39,7 @@ let trace t = t.trace
 let obs t = t.obs
 let journal t = t.journal
 let timeseries t = t.timeseries
+let prof t = t.prof
 let ledger t = t.ledger
 let network t = t.network
 let san t = t.san
@@ -188,6 +193,12 @@ let create (config : Config.t) =
     | Some period -> Obs.Timeseries.create ~period
     | None -> Obs.Timeseries.disabled ()
   in
+  (* Attached immediately so the profile's run window covers assembly
+     and bootstrap too; a disabled profiler installs no observer. *)
+  let prof =
+    if config.record_prof then Obs.Prof.create () else Obs.Prof.disabled ()
+  in
+  Obs.Prof.attach prof engine;
   let ledger = Metrics.Ledger.create () in
   (* Heartbeats are background chatter, not transaction causality; every
      protocol message becomes a transit span named after its wire label. *)
@@ -224,6 +235,7 @@ let create (config : Config.t) =
       obs;
       journal;
       timeseries;
+      prof;
       ledger;
       network;
       san;
@@ -265,7 +277,7 @@ let create (config : Config.t) =
              coordinated and lost are swept (aborted) rather than left
              waiting forever. *)
           ignore
-            (Simkit.Engine.schedule engine ~label:"stonith.reboot"
+            (Simkit.Engine.schedule engine ~label:label_stonith
                ~after:config.restart_delay (fun () ->
                  restart_if_down t server)));
       mark = (fun id label -> mark t id label);
@@ -297,6 +309,20 @@ let create (config : Config.t) =
   if Obs.Timeseries.is_recording timeseries then begin
     Obs.Timeseries.register timeseries ~name:"engine.pending" (fun () ->
         Simkit.Engine.pending engine);
+    (* Read-and-reset: each sample reports the heap's maximum occupancy
+       during its own interval, not since boot. *)
+    Obs.Timeseries.register timeseries ~name:"engine.heap_pending_max"
+      (fun () ->
+        let m = Simkit.Engine.pending_high_water engine in
+        Simkit.Engine.reset_pending_high_water engine;
+        m);
+    Obs.Timeseries.register timeseries ~name:"engine.dispatch_rate"
+      (let last = ref 0 in
+       fun () ->
+         let d = Simkit.Engine.dispatched engine in
+         let rate = d - !last in
+         last := d;
+         rate);
     Obs.Timeseries.register timeseries ~name:"net.in_flight" (fun () ->
         Netsim.Network.in_flight network);
     Obs.Timeseries.register timeseries ~name:"cluster.pending_replies"
@@ -437,7 +463,7 @@ let crash t server =
   Node.crash t.nodes.(server);
   if t.config.auto_restart then
     ignore
-      (Simkit.Engine.schedule t.engine ~label:"auto.restart"
+      (Simkit.Engine.schedule t.engine ~label:label_auto_restart
          ~after:t.config.restart_delay (fun () -> restart_if_down t server))
 
 let restart t server = restart_if_down t server

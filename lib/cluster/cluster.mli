@@ -34,6 +34,10 @@ val timeseries : t -> Obs.Timeseries.t
 (** Per-node and cluster gauges sampled every [sample_period] of
     simulated time; disabled (and empty) when the period is [None]. *)
 
+val prof : t -> Obs.Prof.t
+(** Host profiler wrapping every engine dispatch when [record_prof] is
+    set; disabled otherwise. Call {!Obs.Prof.report} after the run. *)
+
 val ledger : t -> Metrics.Ledger.t
 val network : t -> Msg.t Netsim.Network.t
 val san : t -> Acp.Log_record.t Storage.San.t

@@ -17,6 +17,7 @@ type t = {
   record_spans : bool;
   record_journal : bool;
   sample_period : Simkit.Time.span option;
+  record_prof : bool;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     record_spans = false;
     record_journal = false;
     sample_period = None;
+    record_prof = false;
   }
 
 let validate t =

@@ -39,6 +39,10 @@ type t = {
       (** when [Some p], sample per-node and cluster gauges every [p] of
           simulated time into an {!Obs.Timeseries}; [None] (default)
           records nothing and installs no engine observer *)
+  record_prof : bool;
+      (** profile host CPU and minor-heap allocation per
+          (subsystem, event label) into an {!Obs.Prof}; off by default —
+          the disabled path keeps dispatch at one load and one branch *)
 }
 
 val default : t

@@ -1,3 +1,15 @@
+let label_crash = Simkit.Label.v Chaos "fault.crash"
+let label_restart = Simkit.Label.v Chaos "fault.restart"
+let label_partition = Simkit.Label.v Chaos "fault.partition"
+let label_heal = Simkit.Label.v Chaos "fault.heal"
+let label_heal_pair = Simkit.Label.v Chaos "fault.heal_pair"
+let label_loss_burst = Simkit.Label.v Chaos "fault.loss_burst"
+let label_loss_burst_end = Simkit.Label.v Chaos "fault.loss_burst.end"
+let label_dup_burst = Simkit.Label.v Chaos "fault.dup_burst"
+let label_dup_burst_end = Simkit.Label.v Chaos "fault.dup_burst.end"
+let label_disk_degrade = Simkit.Label.v Chaos "fault.disk_degrade"
+let label_disk_degrade_end = Simkit.Label.v Chaos "fault.disk_degrade.end"
+
 type event =
   | Crash of { server : int; at : Simkit.Time.t }
   | Restart of { server : int; at : Simkit.Time.t }
@@ -50,7 +62,7 @@ let pp_event ppf = function
 
 let crash_at ?(on_fire = ignore) cluster ~server ~at =
   ignore
-    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.crash"
+    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:label_crash
        ~at (fun () ->
          on_fire ();
          Cluster.crash cluster server))
@@ -58,20 +70,20 @@ let crash_at ?(on_fire = ignore) cluster ~server ~at =
 let restart_at ?(on_fire = ignore) cluster ~server ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
-       ~label:"fault.restart" ~at (fun () ->
+       ~label:label_restart ~at (fun () ->
          on_fire ();
          Cluster.restart cluster server))
 
 let partition_at ?(on_fire = ignore) cluster ~left ~right ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
-       ~label:"fault.partition" ~at (fun () ->
+       ~label:label_partition ~at (fun () ->
          on_fire ();
          Cluster.partition cluster left right))
 
 let heal_at ?(on_fire = ignore) cluster ~at =
   ignore
-    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:"fault.heal"
+    (Simkit.Engine.schedule_at (Cluster.engine cluster) ~label:label_heal
        ~at (fun () ->
          on_fire ();
          Cluster.heal cluster))
@@ -79,7 +91,7 @@ let heal_at ?(on_fire = ignore) cluster ~at =
 let heal_pair_at ?(on_fire = ignore) cluster ~a ~b ~at =
   ignore
     (Simkit.Engine.schedule_at (Cluster.engine cluster)
-       ~label:"fault.heal_pair" ~at (fun () ->
+       ~label:label_heal_pair ~at (fun () ->
          on_fire ();
          Cluster.heal_pair cluster a b))
 
@@ -95,11 +107,11 @@ let loss_burst_at ?(on_fire = ignore) cluster ~probability ~at ~until =
   check_burst ~what:"loss_burst_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst" ~at (fun () ->
+    (Simkit.Engine.schedule_at engine ~label:label_loss_burst ~at (fun () ->
          on_fire ();
          Cluster.set_drop_probability cluster probability));
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.loss_burst.end" ~at:until
+    (Simkit.Engine.schedule_at engine ~label:label_loss_burst_end ~at:until
        (fun () ->
          Cluster.set_drop_probability cluster
            (Cluster.config cluster).Config.network
@@ -109,11 +121,11 @@ let duplicate_burst_at ?(on_fire = ignore) cluster ~probability ~at ~until =
   check_burst ~what:"duplicate_burst_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst" ~at (fun () ->
+    (Simkit.Engine.schedule_at engine ~label:label_dup_burst ~at (fun () ->
          on_fire ();
          Cluster.set_duplicate_probability cluster probability));
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.dup_burst.end" ~at:until
+    (Simkit.Engine.schedule_at engine ~label:label_dup_burst_end ~at:until
        (fun () ->
          Cluster.set_duplicate_probability cluster
            (Cluster.config cluster).Config.network
@@ -123,12 +135,12 @@ let disk_degrade_at ?(on_fire = ignore) cluster ~factor ~at ~until =
   check_burst ~what:"disk_degrade_at" ~at ~until;
   let engine = Cluster.engine cluster in
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade" ~at
+    (Simkit.Engine.schedule_at engine ~label:label_disk_degrade ~at
        (fun () ->
          on_fire ();
          Cluster.set_disk_slowdown cluster factor));
   ignore
-    (Simkit.Engine.schedule_at engine ~label:"fault.disk_degrade.end"
+    (Simkit.Engine.schedule_at engine ~label:label_disk_degrade_end
        ~at:until (fun () -> Cluster.set_disk_slowdown cluster 1.0))
 
 let inject cluster events =

@@ -1,3 +1,8 @@
+let label_compute = Simkit.Label.v Cluster "compute"
+let label_local_compute = Simkit.Label.v Cluster "local.compute"
+let label_read_compute = Simkit.Label.v Cluster "read.compute"
+let label_heartbeat = Simkit.Label.v Cluster "heartbeat"
+
 type services = {
   engine : Simkit.Engine.t;
   trace : Simkit.Trace.t;
@@ -208,7 +213,7 @@ let make_context t =
       (fun ~n k ->
         let span = Simkit.Time.mul_span t.sv.config.Config.method_latency n in
         ignore
-          (Simkit.Engine.schedule t.sv.engine ~label:"compute" ~after:span
+          (Simkit.Engine.schedule t.sv.engine ~label:label_compute ~after:span
              (fun () -> guard k)));
     set_timer =
       (fun ~label ~after f ->
@@ -277,7 +282,7 @@ let rec heartbeat_loop t epoch =
           Msg.Heartbeat)
       (peers t);
     ignore
-      (Simkit.Engine.schedule t.sv.engine ~label:"heartbeat"
+      (Simkit.Engine.schedule t.sv.engine ~label:label_heartbeat
          ~after:t.sv.config.Config.heartbeat_interval (fun () ->
            heartbeat_loop t epoch))
   end
@@ -452,7 +457,7 @@ let run_local t (txn : Acp.Txn.t) =
         let n = List.length side.Mds.Plan.updates in
         let span = Simkit.Time.mul_span t.sv.config.Config.method_latency n in
         ignore
-          (Simkit.Engine.schedule t.sv.engine ~label:"local.compute"
+          (Simkit.Engine.schedule t.sv.engine ~label:label_local_compute
              ~after:span (fun () ->
                if alive () then begin
                  let rec apply inverses = function
@@ -522,7 +527,7 @@ let run_read t ~owner ~dir ~read ~on_done =
     ~mode:Locks.Lock_manager.Shared ~timeout:t.sv.config.Config.txn_timeout
     ~on_grant:(fun () ->
       ignore
-        (Simkit.Engine.schedule t.sv.engine ~label:"read.compute"
+        (Simkit.Engine.schedule t.sv.engine ~label:label_read_compute
            ~after:t.sv.config.Config.method_latency (fun () ->
              if alive () then begin
                let result = read (Mds.Store.volatile t.store) in

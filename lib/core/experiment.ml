@@ -441,6 +441,7 @@ type scale_point = {
   latency_p50 : Simkit.Time.span;
   latency_p95 : Simkit.Time.span;
   latency_p99 : Simkit.Time.span;
+  profile : Obs.Prof.report option;
 }
 
 let scale_config ~servers ~seed =
@@ -524,6 +525,10 @@ let run_scale_point ?config ?(clients_per_server = 2) ~servers ~txns ~seed
     latency_p50 = p50;
     latency_p95 = p95;
     latency_p99 = p99;
+    profile =
+      (let prof = Opc_cluster.Cluster.prof cluster in
+       if Obs.Prof.is_recording prof then Some (Obs.Prof.report prof)
+       else None);
   }
 
 let sweep_batching ?(batch_sizes = [ 1; 2; 4; 8; 16; 32 ]) ?(count = 100) () =

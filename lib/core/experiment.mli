@@ -149,6 +149,10 @@ type scale_point = {
   latency_p50 : Simkit.Time.span;
   latency_p95 : Simkit.Time.span;
   latency_p99 : Simkit.Time.span;
+  profile : Obs.Prof.report option;
+      (** host CPU/allocation attribution when the run's configuration
+          sets [record_prof]; [None] otherwise. The report window spans
+          cluster assembly through settle. *)
 }
 
 val scale_config : servers:int -> seed:int -> Opc_cluster.Config.t

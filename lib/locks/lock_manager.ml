@@ -1,3 +1,7 @@
+let label_grant = Simkit.Label.v Locks "lock.grant"
+let label_reentrant = Simkit.Label.v Locks "lock.reentrant"
+let label_timeout = Simkit.Label.v Locks "lock.timeout"
+
 type mode = Shared | Exclusive
 
 let pp_mode ppf = function
@@ -122,7 +126,7 @@ let grant t oid e w =
       ~time:(Simkit.Engine.now t.engine)
       ~source:t.name ~kind:"lock.grant" "txn %d %a oid %d" w.owner pp_mode
       w.mode oid;
-  ignore (Simkit.Engine.defer t.engine ~label:"lock.grant" w.on_grant)
+  ignore (Simkit.Engine.defer t.engine ~label:label_grant w.on_grant)
 
 (* Grant the longest compatible live prefix of the queue. Upgrades are
    handled naturally: an upgrading waiter at the head is granted as soon
@@ -148,7 +152,7 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
   match (held, mode) with
   | Some Exclusive, _ | Some Shared, Shared ->
       (* Re-entrant, already strong enough. *)
-      ignore (Simkit.Engine.defer t.engine ~label:"lock.reentrant" on_grant)
+      ignore (Simkit.Engine.defer t.engine ~label:label_reentrant on_grant)
   | (None | Some Shared), _ ->
       let w =
         {
@@ -181,7 +185,7 @@ let acquire t ~owner ~oid ~mode ?timeout ~on_grant
         | None -> ()
         | Some span ->
             let h =
-              Simkit.Engine.schedule t.engine ~label:"lock.timeout"
+              Simkit.Engine.schedule t.engine ~label:label_timeout
                 ~after:span (fun () ->
                   if w.live then begin
                     w.live <- false;

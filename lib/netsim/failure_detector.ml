@@ -1,3 +1,5 @@
+let label_sweep = Simkit.Label.v Net "detector.sweep"
+
 type peer_state = {
   address : Address.t;
   mutable last_heard : Simkit.Time.t;
@@ -65,7 +67,7 @@ let check_peer t now p =
 
 let rec arm t =
   let h =
-    Simkit.Engine.schedule t.engine ~label:"detector.sweep"
+    Simkit.Engine.schedule t.engine ~label:label_sweep
       ~after:t.sweep_interval (fun () ->
         if t.running then begin
           let now = Simkit.Engine.now t.engine in

@@ -1,3 +1,5 @@
+let label_deliver = Simkit.Label.v Net "net.deliver"
+
 type 'msg envelope = {
   src : Address.t;
   dst : Address.t;
@@ -271,7 +273,7 @@ let send t ~src ~dst payload =
         end
       in
       ignore
-        (Simkit.Engine.schedule_at t.engine ~label:"net.deliver" ~at deliver)
+        (Simkit.Engine.schedule_at t.engine ~label:label_deliver ~at deliver)
     done
   end
 

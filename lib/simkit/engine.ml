@@ -17,13 +17,24 @@ type t = {
      conditional branch. *)
   mutable has_observer : bool;
   mutable observer : Time.t -> unit;
+  (* Dispatch observer pair: [before_dispatch] runs just before an event's
+     callback, [after_dispatch] just after (also on the exception path),
+     receiving the event's label. Same passivity contract and same
+     one-load-one-branch disabled cost as the clock observer; used by the
+     host profiler ({!Obs.Prof}) to stamp clocks around each callback. *)
+  mutable has_dispatch_observer : bool;
+  mutable before_dispatch : unit -> unit;
+  mutable after_dispatch : Label.t -> unit;
+  (* High-water mark of [qlen] (raw heap occupancy, cancelled tombstones
+     included) since creation or the last [reset_pending_high_water]. *)
+  mutable qlen_hwm : int;
 }
 
 and handle = {
   owner : t;
   at : Time.t;
   seq : int;
-  label : string;
+  label : Label.t;
   callback : unit -> unit;
   mutable state : state;
 }
@@ -50,6 +61,10 @@ let create () =
     cancelled_in_queue = 0;
     has_observer = false;
     observer = (fun _ -> ());
+    has_dispatch_observer = false;
+    before_dispatch = (fun () -> ());
+    after_dispatch = (fun _ -> ());
+    qlen_hwm = 0;
   }
 
 let now t = t.clock
@@ -57,6 +72,11 @@ let now t = t.clock
 let set_clock_observer t f =
   t.has_observer <- true;
   t.observer <- f
+
+let set_dispatch_observer t ~before ~after =
+  t.has_dispatch_observer <- true;
+  t.before_dispatch <- before;
+  t.after_dispatch <- after
 
 (* Every clock advance funnels through here so the observer sees each
    forward move exactly once, before state at the new instant runs. *)
@@ -82,6 +102,7 @@ let heap_push t h =
   let q = t.q in
   let i = ref t.qlen in
   t.qlen <- t.qlen + 1;
+  if t.qlen > t.qlen_hwm then t.qlen_hwm <- t.qlen;
   let stop = ref false in
   while (not !stop) && !i > 0 do
     let parent = (!i - 1) lsr 2 in
@@ -130,15 +151,15 @@ let enqueue t ~at ~label callback =
   heap_push t h;
   h
 
-let schedule t ?(label = "event") ~after f =
+let schedule t ?(label = Label.event) ~after f =
   enqueue t ~at:(Time.add t.clock after) ~label f
 
-let schedule_at t ?(label = "event") ~at f =
+let schedule_at t ?(label = Label.event) ~at f =
   if Time.( < ) at t.clock then
     invalid_arg "Engine.schedule_at: time in the past";
   enqueue t ~at ~label f
 
-let defer t ?(label = "deferred") f = enqueue t ~at:t.clock ~label f
+let defer t ?(label = Label.deferred) f = enqueue t ~at:t.clock ~label f
 
 let cancel h =
   if h.state = Pending then begin
@@ -150,6 +171,8 @@ let is_pending h = h.state = Pending
 
 let pending t = t.qlen - t.cancelled_in_queue
 let dispatched t = t.dispatched
+let pending_high_water t = t.qlen_hwm
+let reset_pending_high_water t = t.qlen_hwm <- t.qlen
 
 (* Discard tombstones left by [cancel] from the top of the heap. *)
 let drop_cancelled t =
@@ -162,7 +185,17 @@ let dispatch t h =
   advance_clock t h.at;
   h.state <- Done;
   t.dispatched <- t.dispatched + 1;
-  try h.callback () with exn -> raise (Event_failure (h.label, exn))
+  if t.has_dispatch_observer then begin
+    t.before_dispatch ();
+    (try h.callback ()
+     with exn ->
+       t.after_dispatch h.label;
+       raise (Event_failure (Label.name h.label, exn)));
+    t.after_dispatch h.label
+  end
+  else
+    try h.callback ()
+    with exn -> raise (Event_failure (Label.name h.label, exn))
 
 let step t =
   drop_cancelled t;

@@ -19,7 +19,7 @@ type handle
 
 exception Event_failure of string * exn
 (** [Event_failure (label, exn)]: the callback of the event labelled
-    [label] raised [exn]. *)
+    [label] (the {!Label.name} of its label) raised [exn]. *)
 
 val create : unit -> t
 (** A fresh engine with the clock at {!Time.zero} and no pending events. *)
@@ -27,15 +27,18 @@ val create : unit -> t
 val now : t -> Time.t
 (** Current simulated time. *)
 
-val schedule : t -> ?label:string -> after:Time.span -> (unit -> unit) -> handle
+val schedule :
+  t -> ?label:Label.t -> after:Time.span -> (unit -> unit) -> handle
 (** [schedule t ~after f] runs [f] at [now t + after]. [label] names the
-    event in error reports and debugging dumps (default ["event"]). *)
+    event in error reports, debugging dumps and profiles (default
+    {!Label.event}); call sites bind their interned label once, not per
+    call. *)
 
-val schedule_at : t -> ?label:string -> at:Time.t -> (unit -> unit) -> handle
+val schedule_at : t -> ?label:Label.t -> at:Time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~at f] runs [f] at absolute time [at].
     @raise Invalid_argument if [at] is in the past. *)
 
-val defer : t -> ?label:string -> (unit -> unit) -> handle
+val defer : t -> ?label:Label.t -> (unit -> unit) -> handle
 (** [defer t f] schedules [f] at the current instant, after all events
     already scheduled for this instant. Useful to break call cycles. *)
 
@@ -67,6 +70,15 @@ val pending : t -> int
 val dispatched : t -> int
 (** Total events dispatched since creation. *)
 
+val pending_high_water : t -> int
+(** High-water mark of the raw heap occupancy (cancelled-but-unpopped
+    tombstones included) since creation or the last
+    {!reset_pending_high_water}. *)
+
+val reset_pending_high_water : t -> unit
+(** Reset the high-water mark to the current occupancy, so periodic
+    samplers can read per-interval maxima. *)
+
 val set_clock_observer : t -> (Time.t -> unit) -> unit
 (** Install [f], called with the target time immediately before every
     forward clock move (event dispatch or [run ~until] idle advance) —
@@ -75,3 +87,17 @@ val set_clock_observer : t -> (Time.t -> unit) -> unit
     simulated-time samplers ({!Obs.Timeseries}); at most one observer,
     later calls replace earlier ones. When no observer is installed the
     cost on the dispatch path is one load and one branch. *)
+
+val set_dispatch_observer :
+  t -> before:(unit -> unit) -> after:(Label.t -> unit) -> unit
+(** Install a pre/post pair around every event dispatch: [before ()] runs
+    immediately before the event's callback, [after label] immediately
+    after it returns — including when the callback raises, in which case
+    [after] runs before the exception is re-raised as {!Event_failure}.
+    The pair must be passive with respect to the simulation: it must not
+    schedule, cancel or run events, read the simulated clock into
+    simulation state, or consume randomness — it exists so host-side
+    profilers ({!Obs.Prof}) can stamp monotonic/allocation counters
+    around each callback. At most one observer pair; later calls replace
+    earlier ones. When none is installed the cost on the dispatch path is
+    one load and one branch. *)

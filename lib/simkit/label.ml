@@ -1,0 +1,51 @@
+type subsystem =
+  | Engine
+  | Net
+  | Storage
+  | Locks
+  | Acp
+  | Chaos
+  | Cluster
+  | Other
+
+let subsystem_name = function
+  | Engine -> "engine"
+  | Net -> "net"
+  | Storage -> "storage"
+  | Locks -> "locks"
+  | Acp -> "acp"
+  | Chaos -> "chaos"
+  | Cluster -> "cluster"
+  | Other -> "other"
+
+type t = { id : int; subsystem : subsystem; name : string }
+
+(* Intern table. Labels are created at module-initialization or assembly
+   time (a handful of constants per subsystem), never per event, so a
+   Hashtbl keyed by (subsystem, name) is plenty. Ids are dense from 0 in
+   first-intern order — profilers index flat arrays by them. *)
+let interned : (subsystem * string, t) Hashtbl.t = Hashtbl.create 64
+
+let all_rev = ref []
+let next_id = ref 0
+
+let v subsystem name =
+  let key = (subsystem, name) in
+  match Hashtbl.find_opt interned key with
+  | Some l -> l
+  | None ->
+      let l = { id = !next_id; subsystem; name } in
+      incr next_id;
+      Hashtbl.add interned key l;
+      all_rev := l :: !all_rev;
+      l
+
+let id l = l.id
+let name l = l.name
+let subsystem l = l.subsystem
+let count () = !next_id
+let pp ppf l = Format.fprintf ppf "%s/%s" (subsystem_name l.subsystem) l.name
+
+(* The engine's own defaults. *)
+let event = v Other "event"
+let deferred = v Other "deferred"

@@ -1,0 +1,49 @@
+(** Interned, structured event labels.
+
+    An event label names what a scheduled callback does ("net.deliver",
+    "lock.timeout") and which subsystem owns it. Labels are interned:
+    [v subsystem name] returns the unique {!t} for that pair, carrying a
+    dense integer {!id} assigned in first-intern order. Call sites bind
+    their labels once, at module-initialization or assembly time, so the
+    engine's dispatch path never touches a string — profilers attribute
+    a dispatch by indexing a flat array with [id] ({!Obs.Prof}). *)
+
+type subsystem =
+  | Engine  (** the simulation kernel itself (residual bucket) *)
+  | Net  (** message delivery, failure detection *)
+  | Storage  (** disk service completions, SAN fencing *)
+  | Locks  (** grants, re-entrant wakeups, lease timeouts *)
+  | Acp  (** protocol steps and timers of both commit protocols *)
+  | Chaos  (** fault injection and chaos-harness bookkeeping *)
+  | Cluster  (** node timers: compute, heartbeats, restarts, batching *)
+  | Other  (** unattributed (tests, ad-hoc schedules) *)
+
+val subsystem_name : subsystem -> string
+(** Lowercase stable name, e.g. [Storage] -> ["storage"]. *)
+
+type t = private { id : int; subsystem : subsystem; name : string }
+
+val v : subsystem -> string -> t
+(** [v subsystem name] interns the label: the same pair always returns
+    the same value (and the same [id]). Not for hot paths — bind the
+    result once and reuse it. *)
+
+val id : t -> int
+(** Dense from 0 in first-intern order; [0 <= id < count ()]. *)
+
+val name : t -> string
+
+val subsystem : t -> subsystem
+
+val count : unit -> int
+(** Number of distinct labels interned so far. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["subsystem/name"]. *)
+
+val event : t
+(** The engine's default label for [schedule]/[schedule_at]
+    ([Other]/"event"). *)
+
+val deferred : t
+(** The engine's default label for [defer] ([Other]/"deferred"). *)

@@ -1,3 +1,5 @@
+let label_complete = Simkit.Label.v Storage "disk.complete"
+
 type config = { bandwidth_bytes_per_s : int; block_bytes : int }
 
 let default_config = { bandwidth_bytes_per_s = 400_000; block_bytes = 4096 }
@@ -157,7 +159,7 @@ let rec start_next t =
           Simkit.Trace.emitf t.trace ~time:now ~source:"disk" ~kind:"io.start"
             "%s (%dB, %a)" req.label req.bytes Simkit.Time.pp_span span;
         ignore
-          (Simkit.Engine.schedule t.engine ~label:"disk.complete" ~after:span
+          (Simkit.Engine.schedule t.engine ~label:label_complete ~after:span
              (fun () ->
                t.in_service <- None;
                t.requests_completed <- t.requests_completed + 1;

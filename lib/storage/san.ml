@@ -1,3 +1,5 @@
+let label_fenced = Simkit.Label.v Storage "san.fenced"
+
 type config = {
   disk : Disk.config;
   fencing_delay : Simkit.Time.span;
@@ -126,7 +128,7 @@ let fence t ~victim ~on_fenced =
     on_fenced ()
   in
   ignore
-    (Simkit.Engine.schedule t.engine ~label:"san.fenced"
+    (Simkit.Engine.schedule t.engine ~label:label_fenced
        ~after:t.config.fencing_delay on_fenced)
 
 let unfence t a =

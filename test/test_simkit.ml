@@ -347,8 +347,8 @@ let test_engine_past_raises () =
 let test_engine_event_failure () =
   let e = Engine.create () in
   ignore
-    (Engine.schedule e ~label:"boom" ~after:Time.zero_span (fun () ->
-         failwith "kaput"));
+    (Engine.schedule e ~label:(Label.v Other "boom") ~after:Time.zero_span
+       (fun () -> failwith "kaput"));
   match Engine.run e with
   | exception Engine.Event_failure (label, _) ->
       Alcotest.(check string) "label" "boom" label
