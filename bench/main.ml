@@ -22,6 +22,7 @@
      dune exec bench/main.exe timeline     -- A14: recovery journal, gauges, MTTR
      dune exec bench/main.exe profile      -- A14b: host CPU/alloc attribution
      dune exec bench/main.exe check        -- events/s gate vs a scale baseline
+     dune exec bench/main.exe overload     -- A15: open-loop goodput curves
 
    Every subcommand writes its results as machine-readable JSON — to
    BENCH_<name>.json by default, or wherever [--json PATH] points
@@ -1324,6 +1325,210 @@ let regression_check ~against ~tolerance () =
         ok )
 
 (* ------------------------------------------------------------------ *)
+(* A15 — overload: goodput curves across the capacity knee             *)
+(* ------------------------------------------------------------------ *)
+
+(* One fault-free open-loop point: [rate] requests/s for [duration_ms]
+   through the ingress front door. Same cluster shape and retry policy
+   as Chaos.Overload — the chaos campaign stresses fault schedules at
+   two rates, this sweep maps the whole goodput curve. *)
+let overload_point ~protocol ~seed ~rate ~duration_ms ~max_inflight
+    ~queue_capacity =
+  let config =
+    {
+      Opc.Config.default with
+      servers = 4;
+      protocol;
+      placement = Opc.Mds.Placement.Spread;
+      txn_timeout = Opc.Simkit.Time.span_ms 300;
+      heartbeat_interval = Opc.Simkit.Time.span_ms 20;
+      detector_timeout = Opc.Simkit.Time.span_ms 100;
+      restart_delay = Opc.Simkit.Time.span_ms 50;
+      auto_restart = true;
+      seed;
+    }
+  in
+  let cluster = Opc.Cluster.create config in
+  let root = Opc.Cluster.root cluster in
+  let dirs =
+    Array.init 4 (fun i ->
+        Opc.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "d%d" i) ~server:i ())
+  in
+  let ingress = Opc.Ingress.create ~max_inflight ~queue_capacity cluster in
+  let spec =
+    {
+      Opc.Workload.Open_loop.arrival = Opc.Workload.Open_loop.Poisson;
+      rate_per_s = rate;
+      duration = Opc.Simkit.Time.span_ms duration_ms;
+      dirs;
+      zipf_s = 1.1;
+      policy = Opc.Chaos.Overload.policy;
+    }
+  in
+  let ol =
+    Opc.Workload.Open_loop.run cluster ingress spec
+      ~rng:(Opc.Simkit.Rng.create ~seed:(seed + 2_000_003))
+  in
+  let settled =
+    Opc.Workload.Open_loop.settle ~deadline:(Opc.Simkit.Time.span_s 120) ol
+  in
+  let violations =
+    Opc.Chaos.Oracle.check_open_loop cluster ~ingress ~open_loop:ol ~dirs
+      ~settled
+  in
+  let quantiles =
+    Opc.Metrics.Histogram.quantiles
+      (Opc.Workload.Open_loop.latency ol)
+      [ 0.50; 0.95; 0.99 ]
+  in
+  ( Opc.Workload.Open_loop.stats ol,
+    Opc.Ingress.stats ingress,
+    quantiles,
+    violations )
+
+let overload ~smoke ~unbounded () =
+  section
+    (if unbounded then
+       "A15: overload sweep — UNBOUNDED admission (negative control)"
+     else "A15: overload sweep: goodput across the capacity knee");
+  let base_rate = 100.0 in
+  let duration_ms = if smoke then 400 else 600 in
+  let multipliers =
+    if smoke then [ 0.5; 1.0; 2.0; 6.0 ]
+    else [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0 ]
+  in
+  let max_inflight = if unbounded then 1_000_000 else 24 in
+  let queue_capacity = if unbounded then 1_000_000 else 64 in
+  let floor = 0.25 in
+  let seed = 1 in
+  Fmt.pr
+    "(open-loop Poisson arrivals x Zipf(1.1) over 4 dirs, base %.0f req/s, \
+     %d ms window; client policy: 500 ms patience, 60 ms backoff x2 with \
+     20%% jitter, 4 attempts; ingress: %s)@."
+    base_rate duration_ms
+    (if unbounded then "UNBOUNDED (no admission control)"
+     else Fmt.str "max_inflight=%d, queue=%d" max_inflight queue_capacity);
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [
+          "protocol"; "x"; "offered"; "committed"; "gave up"; "shed";
+          "good/s"; "amp"; "p95 [ms]";
+        ]
+  in
+  let ms span = float_of_int (Opc.Simkit.Time.span_to_ns span) /. 1e6 in
+  let gate_failures = ref [] in
+  let proto_rows =
+    List.map
+      (fun protocol ->
+        let points =
+          List.map
+            (fun m ->
+              let rate = base_rate *. m in
+              let st, ing, quantiles, violations =
+                overload_point ~protocol ~seed ~rate ~duration_ms
+                  ~max_inflight ~queue_capacity
+              in
+              let p50, p95, p99 =
+                match quantiles with
+                | [ a; b; c ] -> (ms a, ms b, ms c)
+                | _ -> (0.0, 0.0, 0.0)
+              in
+              let open Opc.Workload.Open_loop in
+              let shed = ing.Opc.Ingress.shed in
+              let shed_rate =
+                float_of_int shed
+                /. float_of_int (max 1 ing.Opc.Ingress.submitted)
+              in
+              Opc.Metrics.Table.add_rowf t
+                "%s|%.2f|%d|%d|%d|%d|%.1f|%.2f|%.1f"
+                (Opc.Acp.Protocol.name protocol)
+                m st.offered st.committed st.gave_up shed st.goodput_per_s
+                st.retry_amplification p95;
+              let json =
+                Json.Obj
+                  [
+                    ("multiplier", Json.Float m);
+                    ("offered_per_s", Json.Float rate);
+                    ("offered", Json.Int st.offered);
+                    ("committed", Json.Int st.committed);
+                    ("aborted", Json.Int st.aborted);
+                    ("gave_up", Json.Int st.gave_up);
+                    ("busy_replies", Json.Int st.busy_replies);
+                    ("attempt_timeouts", Json.Int st.attempt_timeouts);
+                    ("attempts", Json.Int st.attempts);
+                    ("shed", Json.Int shed);
+                    ("replayed", Json.Int ing.Opc.Ingress.replayed);
+                    ("shed_rate", Json.Float shed_rate);
+                    ("goodput_per_s", Json.Float st.goodput_per_s);
+                    ( "retry_amplification",
+                      Json.Float st.retry_amplification );
+                    ("p50_ms", Json.Float p50);
+                    ("p95_ms", Json.Float p95);
+                    ("p99_ms", Json.Float p99);
+                    ("violations", Json.Int (List.length violations));
+                  ]
+              in
+              (json, st.goodput_per_s, List.length violations))
+            multipliers
+        in
+        let goodputs = List.map (fun (_, g, _) -> g) points in
+        let peak = List.fold_left max 0.0 goodputs in
+        let final = List.nth goodputs (List.length goodputs - 1) in
+        let viols =
+          List.fold_left (fun acc (_, _, v) -> acc + v) 0 points
+        in
+        (* Graceful degradation, within-sweep: goodput at the heaviest
+           offered load must hold [floor] of the sweep's own peak, and no
+           point may trip a correctness oracle. *)
+        let gate_ok = viols = 0 && (peak <= 0.0 || final >= floor *. peak) in
+        if not gate_ok then
+          gate_failures := (protocol, peak, final, viols) :: !gate_failures;
+        Json.Obj
+          [
+            ("protocol", Json.Str (Opc.Acp.Protocol.name protocol));
+            ("points", Json.List (List.map (fun (j, _, _) -> j) points));
+            ("peak_goodput_per_s", Json.Float peak);
+            ("goodput_at_max_offered_per_s", Json.Float final);
+            ("oracle_violations", Json.Int viols);
+            ("gate_ok", Json.Bool gate_ok);
+          ])
+      Opc.Acp.Protocol.all
+  in
+  Opc.Metrics.Table.print t;
+  let ok = !gate_failures = [] in
+  if ok then
+    Fmt.pr
+      "gate: all protocols hold >= %.0f%% of peak goodput at max offered \
+       load, zero oracle violations@."
+      (100.0 *. floor)
+  else
+    List.iter
+      (fun (protocol, peak, final, viols) ->
+        Fmt.pr
+          "gate: %s FAILS graceful degradation — %.1f/s goodput at max \
+           offered load vs %.1f/s peak (floor %.0f%%), %d oracle \
+           violation(s)@."
+          (Opc.Acp.Protocol.name protocol)
+          final peak (100.0 *. floor) viols)
+      (List.rev !gate_failures);
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "overload");
+        ("base_rate_per_s", Json.Float base_rate);
+        ("duration_ms", Json.Int duration_ms);
+        ("seed", Json.Int seed);
+        ("max_inflight", Json.Int max_inflight);
+        ("queue_capacity", Json.Int queue_capacity);
+        ("unbounded", Json.Bool unbounded);
+        ("goodput_floor", Json.Float floor);
+        ("protocols", Json.List proto_rows);
+        ("ok", Json.Bool ok);
+      ],
+    ok )
+
+(* ------------------------------------------------------------------ *)
 
 let subcommands :
     (string * (unit -> Json.t)) list Lazy.t =
@@ -1352,16 +1557,20 @@ let all () =
 let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
-     [--txns N] [--against PATH] [--tolerance F]@.subcommands: all \
+     [--txns N] [--against PATH] [--tolerance F] \
+     [--unbounded]@.subcommands: all \
      (default) | scale | breakdown | timeline | profile | check | \
+     overload | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
      txns/protocol), --txns N per protocol (default 20)@.timeline \
      flags: --smoke (1PC only)@.profile flags: --smoke (4 servers), \
      --txns N per protocol (default 20000)@.check flags: --against \
      PATH (default BENCH_scale.json), --tolerance F (default \
-     0.15)@.every subcommand writes BENCH_<name>.json (override with \
-     --json) and prints the path@."
+     0.15)@.overload flags: --smoke (shorter sweep), --unbounded \
+     (disable admission control; the graceful-degradation gate should \
+     then fail)@.every subcommand writes BENCH_<name>.json (override \
+     with --json) and prints the path@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
 let () =
@@ -1373,6 +1582,7 @@ let () =
   let txns_set = ref false in
   let against = ref "BENCH_scale.json" in
   let tolerance = ref 0.15 in
+  let unbounded = ref false in
   let bad fmt =
     Fmt.kstr
       (fun msg ->
@@ -1398,6 +1608,9 @@ let () =
           parse (i + 2)
       | "--smoke" ->
           smoke := true;
+          parse (i + 1)
+      | "--unbounded" ->
+          unbounded := true;
           parse (i + 1)
       | "--seeds" ->
           seeds := int_arg "--seeds" (next_value "--seeds");
@@ -1472,6 +1685,16 @@ let () =
         regression_check ~against:!against ~tolerance:!tolerance ()
       in
       emit ~default:"BENCH_check.json" json;
+      if not ok then exit 1
+  | "overload" ->
+      let json, ok = overload ~smoke:!smoke ~unbounded:!unbounded () in
+      emit ~default:"BENCH_overload.json" json;
+      (* Round-trip the artifact through our own strict parser. *)
+      let path = Option.value !json_path ~default:"BENCH_overload.json" in
+      (try ignore (Json_in.of_file path)
+       with Json_in.Parse_error msg ->
+         Fmt.epr "overload: %s is invalid JSON: %s@." path msg;
+         exit 1);
       if not ok then exit 1
   | name -> (
       match List.assoc_opt name (Lazy.force subcommands) with

@@ -57,7 +57,51 @@ let shrink_arg =
   in
   Arg.(value & flag & info [ "shrink" ] ~doc)
 
-let chaos protocols seeds first_seed duration servers clients ops shrink =
+let overload_arg =
+  let doc = "Run the overload campaign instead of the closed-loop one: \
+             each seed pairs a below-knee reference run with an open-loop \
+             retry storm (plus fault schedule) through the admission-\
+             controlled ingress, checked against the graceful-degradation \
+             oracles. --clients and --ops are ignored; --duration sets the \
+             fault window."
+  in
+  Arg.(value & flag & info [ "overload" ] ~doc)
+
+let run_overload protocols seeds first_seed duration servers shrink =
+  let spec =
+    {
+      Opc.Chaos.Overload.default_spec with
+      servers;
+      window_ms = duration;
+    }
+  in
+  let campaign =
+    Opc.Chaos.Overload.campaign ~protocols ~first_seed ~seeds spec
+  in
+  Opc.Metrics.Table.print (Opc.Chaos.Overload.table campaign);
+  match Opc.Chaos.Overload.failures campaign with
+  | [] ->
+      Fmt.pr "all %d overload runs passed@." (seeds * List.length protocols);
+      0
+  | fails ->
+      List.iter
+        (fun (o : Opc.Chaos.Overload.outcome) ->
+          Fmt.pr "@.%a@." Opc.Chaos.Overload.pp_outcome o;
+          if shrink then
+            match Opc.Chaos.Overload.shrink spec o with
+            | None -> Fmt.pr "(no fault schedule to shrink)@."
+            | Some r ->
+                Fmt.pr
+                  "shrunk to %d event(s) in %d attempt(s) (%d removed, %d \
+                   delayed)@."
+                  (Opc.Chaos.Schedule.length r.Opc.Chaos.Shrink.schedule)
+                  r.Opc.Chaos.Shrink.attempts r.Opc.Chaos.Shrink.removed
+                  r.Opc.Chaos.Shrink.delayed)
+        fails;
+      1
+
+let chaos protocols seeds first_seed duration servers clients ops shrink
+    overload =
   let usage_error msg =
     Fmt.epr "chaos: %s@." msg;
     exit 2
@@ -79,6 +123,8 @@ let chaos protocols seeds first_seed duration servers clients ops shrink =
   let protocols =
     match protocols with [] -> Opc.Acp.Protocol.all | ps -> ps
   in
+  if overload then run_overload protocols seeds first_seed duration servers shrink
+  else
   let campaign = Opc.Chaos.Runner.campaign ~protocols ~first_seed ~seeds spec in
   Opc.Metrics.Table.print (Opc.Chaos.Runner.table campaign);
   match Opc.Chaos.Runner.failures campaign with
@@ -113,6 +159,6 @@ let main =
           atomicity/liveness oracles and counterexample shrinking.")
     Term.(
       const chaos $ protocols_arg $ seeds_arg $ first_seed_arg $ duration_arg
-      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg)
+      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg $ overload_arg)
 
 let () = exit (Cmd.eval' main)

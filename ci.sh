@@ -24,7 +24,13 @@
 #    checks the profiler-disabled dispatch path against the same-run
 #    baseline; then proves the gate can fail (and names the
 #    worst-regressing subsystem) by checking against a synthetically
-#    inflated baseline.
+#    inflated baseline;
+# 8. overload smoke: open-loop retry storms for all four protocols
+#    through the admission-controlled ingress — the in-bench
+#    graceful-degradation gate must pass with admission control on,
+#    provably fail with it off (--unbounded), and the overload chaos
+#    campaign (reference/storm pairs with fault schedules, >= 30 runs)
+#    must satisfy every oracle.
 set -eu
 
 cd "$(dirname "$0")"
@@ -84,5 +90,34 @@ echo "regression gate trips and attributes as expected"
 
 echo "== bench check (perf-regression gate vs freshly written baseline) =="
 dune exec bench/main.exe -- check --against BENCH_scale.json --tolerance 0.15
+
+echo "== bench overload --smoke (goodput across the knee, gated) =="
+# Sweeps offered load past the capacity knee for all four protocols and
+# exits 1 unless every protocol holds >= 25% of its peak goodput at the
+# heaviest offered load with zero oracle violations. The artifact is
+# re-parsed through the bench's own strict JSON reader.
+dune exec bench/main.exe -- overload --smoke
+
+echo "== bench overload negative test (unbounded admission must fail) =="
+# With admission control disabled the open-loop retry storm drives
+# goodput toward zero: the graceful-degradation gate must trip.
+if dune exec bench/main.exe -- overload --smoke --unbounded \
+     --json BENCH_overload.unbounded.json > BENCH_overload.negative.out 2>&1; then
+  cat BENCH_overload.negative.out
+  rm -f BENCH_overload.unbounded.json BENCH_overload.negative.out
+  echo "FAIL: overload gate accepted an unbounded-admission collapse" >&2
+  exit 1
+fi
+if ! grep -q "FAILS graceful degradation" BENCH_overload.negative.out; then
+  cat BENCH_overload.negative.out
+  rm -f BENCH_overload.unbounded.json BENCH_overload.negative.out
+  echo "FAIL: tripped overload gate named no protocol" >&2
+  exit 1
+fi
+rm -f BENCH_overload.unbounded.json BENCH_overload.negative.out
+echo "overload gate trips on unbounded admission as expected"
+
+echo "== overload chaos campaign: 8 seeds x 4 protocols (retry storms + faults) =="
+dune exec bin/chaos.exe -- --overload --seeds 8 --first-seed 1
 
 echo "CI OK"

@@ -21,6 +21,11 @@ type t = {
     (unit -> unit) ->
     Simkit.Engine.handle;
   timeout : Simkit.Time.span;
+  resend_interval : Simkit.Time.span;
+  resend_backoff : float;
+  max_soft_retries : int;
+  tombstone_ttl : Simkit.Time.span;
+  tombstone_cap : int;
   suspects : Netsim.Address.t -> bool;
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;

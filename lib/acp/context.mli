@@ -40,6 +40,16 @@ type t = {
     (unit -> unit) ->
     Simkit.Engine.handle;
   timeout : Simkit.Time.span;  (** protocol timeout (votes, decisions) *)
+  resend_interval : Simkit.Time.span;
+      (** base retransmission period (historically equal to [timeout]) *)
+  resend_backoff : float;
+      (** growth factor per successive resend of the same message
+          ([>= 1.0]; [1.0] = fixed period). See {!Common.resend_after}. *)
+  max_soft_retries : int;
+      (** 1PC UPDATE_REQ retries before fence-and-read *)
+  tombstone_ttl : Simkit.Time.span;
+      (** lifetime of a 1PC NO-vote tombstone since last touch *)
+  tombstone_cap : int;  (** hard bound on live tombstones *)
   suspects : Netsim.Address.t -> bool;  (** failure-detector verdict *)
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;

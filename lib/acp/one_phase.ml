@@ -26,6 +26,7 @@ type work = {
   coordinator : int;
   w_updates : Mds.Update.t list;
   mutable committed : bool;  (* force completed, awaiting ACK *)
+  mutable w_resends : int;  (* ACK_REQ retransmissions so far *)
   mutable w_ospan : int;  (* open worker-lifetime Phase span, -1 = none *)
   w_timer : Simkit.Engine.handle option ref;
 }
@@ -41,11 +42,24 @@ type t = {
      answered the client with an abort. A fresh incarnation starts with
      an empty table, which is sound: its predecessor's rejection implies
      no commit record, and the coordinator stops resending once the NO
-     vote (or the crash suspicion) reaches it. *)
-  rejected : (int * int, unit) Hashtbl.t;
-}
+     vote (or the crash suspicion) reaches it.
 
-let max_soft_retries = 2
+     The table is bounded. Each tombstone carries an expiry deadline
+     ([tombstone_ttl] past the last UPDATE_REQ that touched it) and the
+     table never exceeds [tombstone_cap] entries; [reject_fifo] drives
+     lazy expiry at existing dispatch points (no timers, so enabling or
+     shrinking the bound cannot perturb event order). Expiry does not
+     forget the vote: an expired transaction's sequence number falls
+     below [stale_below], and any UPDATE_REQ under that horizon is
+     answered with a NO vote instead of being executed. Sequence numbers
+     are allocated from one cluster-wide counter, so every transaction
+     submitted after the expired one sits above the horizon and a
+     spurious NO can only hit a request older than the expired
+     tombstone — a conservative abort, never an inconsistency. *)
+  rejected : (int * int, Simkit.Time.t) Hashtbl.t;
+  reject_fifo : ((int * int) * Simkit.Time.t) Queue.t;
+  mutable stale_below : int;
+}
 
 let key (id : Txn.id) = (id.origin, id.seq)
 
@@ -55,7 +69,57 @@ let create ctx =
     coords = Hashtbl.create 64;
     works = Hashtbl.create 64;
     rejected = Hashtbl.create 64;
+    reject_fifo = Queue.create ();
+    stale_below = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* NO-vote tombstones                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tombstone_count t = Hashtbl.length t.rejected
+
+let expire_tombstone t k =
+  Hashtbl.remove t.rejected k;
+  t.stale_below <- max t.stale_below (snd k + 1);
+  Metrics.Ledger.incr t.ctx.Context.ledger "acp.tombstone.expired"
+
+(* Lazy deletion against [reject_fifo]: a refresh re-enqueues the key,
+   so a popped entry whose recorded deadline is stale (the table holds a
+   later one) is simply dropped — the live deadline still has its own
+   queue entry. Runs in amortized O(1) per tombstone ever created. *)
+let gc_tombstones t =
+  let now = Simkit.Engine.now t.ctx.Context.engine in
+  let rec drain () =
+    match Queue.peek_opt t.reject_fifo with
+    | Some (k, deadline) when Simkit.Time.( <= ) deadline now -> (
+        ignore (Queue.pop t.reject_fifo);
+        (match Hashtbl.find_opt t.rejected k with
+        | Some live when Simkit.Time.( <= ) live now -> expire_tombstone t k
+        | Some _ | None -> ());
+        drain ())
+    | _ -> ()
+  in
+  drain ();
+  (* Hard cap: force-expire the oldest queue entries. Early expiry only
+     widens the stale horizon, which is safe (see the table comment). *)
+  while tombstone_count t > t.ctx.Context.tombstone_cap do
+    match Queue.pop t.reject_fifo with
+    | k, _ -> if Hashtbl.mem t.rejected k then expire_tombstone t k
+    | exception Queue.Empty -> assert false (* fifo covers every entry *)
+  done
+
+let touch_tombstone t k =
+  let deadline =
+    Simkit.Time.add
+      (Simkit.Engine.now t.ctx.Context.engine)
+      t.ctx.Context.tombstone_ttl
+  in
+  if not (Hashtbl.mem t.rejected k) then
+    Metrics.Ledger.incr t.ctx.Context.ledger "acp.tombstone.add";
+  Hashtbl.replace t.rejected k deadline;
+  Queue.push (k, deadline) t.reject_fifo;
+  gc_tombstones t
 
 let outstanding t = Hashtbl.length t.coords + Hashtbl.length t.works
 
@@ -148,12 +212,12 @@ let rec arm_updated_timer t c =
   c.timer :=
     Some
       (t.ctx.Context.set_timer ~label:label_updated_timeout
-         ~after:t.ctx.Context.timeout (fun () ->
+         ~after:(Common.resend_after t.ctx ~attempt:c.retries) (fun () ->
            c.timer := None;
            if c.phase = C_working then
              if
                t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
-               || c.retries >= max_soft_retries
+               || c.retries >= t.ctx.Context.max_soft_retries
              then coord_fence_and_decide t c
              else begin
                (* Alive but slow (or a lost message): retry — the worker
@@ -296,17 +360,18 @@ let rec arm_ack_req_timer t w =
   w.w_timer :=
     Some
       (t.ctx.Context.set_timer ~label:label_ack_req
-         ~after:t.ctx.Context.timeout (fun () ->
+         ~after:(Common.resend_after t.ctx ~attempt:w.w_resends) (fun () ->
            w.w_timer := None;
            if w.committed then begin
+             w.w_resends <- w.w_resends + 1;
              send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
              arm_ack_req_timer t w
            end))
 
-let work_reject t txn =
-  Hashtbl.replace t.rejected (key txn) ()
+let work_reject t txn = touch_tombstone t (key txn)
 
 let work_on_update_req t ~src txn updates =
+  gc_tombstones t;
   match Hashtbl.find_opt t.works (key txn) with
   | Some w when w.committed ->
       (* Coordinator retry racing our reply. *)
@@ -316,11 +381,22 @@ let work_on_update_req t ~src txn updates =
       if t.ctx.Context.is_hardened txn then
         (* Committed in a previous incarnation. *)
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
-      else if Hashtbl.mem t.rejected (key txn) then
+      else if Hashtbl.mem t.rejected (key txn) then begin
         (* Already voted NO: a duplicate or retried request gets the
            same vote. Re-executing could commit a transaction the
            coordinator has meanwhile aborted on our earlier vote. *)
+        touch_tombstone t (key txn);
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = false })
+      end
+      else if txn.seq < t.stale_below then begin
+        (* Below the expiry horizon we can no longer tell a duplicate of
+           an expired NO vote from a never-seen request, so vote NO
+           conservatively. Any transaction submitted after the expired
+           one holds a higher cluster-wide sequence number and is
+           unaffected. *)
+        Metrics.Ledger.incr t.ctx.Context.ledger "acp.stale_nack";
+        t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = false })
+      end
       else begin
         let w =
           {
@@ -328,6 +404,7 @@ let work_on_update_req t ~src txn updates =
             coordinator = txn.origin;
             w_updates = updates;
             committed = false;
+            w_resends = 0;
             w_ospan = -1;
             w_timer = ref None;
           }
@@ -461,6 +538,7 @@ let recover_worker t (img : Log_scan.image) =
         coordinator = img.id.origin;
         w_updates = img.updates;
         committed = true;
+        w_resends = 0;
         w_ospan = -1;
         w_timer = ref None;
       }

@@ -38,6 +38,16 @@ type violation =
   | Run_exception of string
       (** an exception escaped the simulation (fencing discipline
           violations raise; so do simulator bugs) *)
+  | Unresolved_request of { index : int; op : string }
+      (** an open-loop client never reached commit, abort or give-up *)
+  | Reexecution of { index : int; op : string; execs : int }
+      (** one idempotency key handed to the cluster more than once *)
+  | Reply_mismatch of { index : int; op : string; detail : string }
+      (** client-observed outcome disagrees with the replay cache *)
+  | Shed_leak of { dir : Mds.Update.ino; name : string }
+      (** an operation answered BUSY on every attempt left state behind *)
+  | Goodput_collapse of { reference : float; storm : float; floor : float }
+      (** goodput past the knee fell under [floor * reference] *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -52,3 +62,27 @@ val check :
 (** All violations ([] = the run passes). [dirs] are the directories the
     workload targeted; [workload] supplies the per-operation records
     ({!Workload.records}). *)
+
+val check_open_loop :
+  Opc_cluster.Cluster.t ->
+  ingress:Opc_cluster.Ingress.t ->
+  open_loop:Workload.Open_loop.t ->
+  dirs:Mds.Update.ino array ->
+  settled:Opc_cluster.Cluster.settle_outcome ->
+  violation list
+(** The overload variant of {!check}, for a run driven through an
+    {!Opc_cluster.Ingress} by {!Workload.Open_loop}: liveness, every
+    request resolved client-side, exactly-once execution per idempotency
+    key, replay-cache/client agreement, §II invariants, cache/stable
+    convergence, and the durable namespace equal to a replay of the
+    ingress's committed completions — which implies a shed (all-BUSY)
+    request left zero state ({!Shed_leak} names that case precisely). *)
+
+val check_goodput_floor :
+  reference:Workload.Open_loop.stats ->
+  storm:Workload.Open_loop.stats ->
+  floor:float ->
+  violation list
+(** Graceful degradation: the storm run's goodput must be at least
+    [floor] of the reference run's ([] when it is, or when the reference
+    itself committed nothing). *)

@@ -1,0 +1,276 @@
+type spec = {
+  servers : int;
+  dir_count : int;
+  reference_rate : float;
+  storm_multiplier : float;
+  duration_ms : int;
+  max_inflight : int;
+  queue_capacity : int;
+  goodput_floor : float;
+  settle_deadline_ms : int;
+  window_ms : int;
+  with_faults : bool;
+}
+
+let default_spec =
+  {
+    servers = 4;
+    dir_count = 4;
+    reference_rate = 100.0;
+    storm_multiplier = 6.0;
+    duration_ms = 600;
+    max_inflight = 24;
+    queue_capacity = 64;
+    goodput_floor = 0.25;
+    settle_deadline_ms = 120_000;
+    window_ms = 600;
+    with_faults = true;
+  }
+
+(* Same cluster shape as {!Runner.config_of}: a short transaction
+   timeout so overload manifests inside the run, fast detection, auto
+   restart. *)
+let config_of spec ~protocol ~seed =
+  {
+    Opc_cluster.Config.default with
+    servers = spec.servers;
+    protocol;
+    placement = Mds.Placement.Spread;
+    txn_timeout = Simkit.Time.span_ms 300;
+    heartbeat_interval = Simkit.Time.span_ms 20;
+    detector_timeout = Simkit.Time.span_ms 100;
+    restart_delay = Simkit.Time.span_ms 50;
+    auto_restart = true;
+    seed;
+  }
+
+let policy =
+  {
+    Workload.Open_loop.attempt_timeout = Simkit.Time.span_ms 500;
+    backoff = Simkit.Time.span_ms 60;
+    backoff_multiplier = 2.0;
+    jitter = 0.2;
+    max_attempts = 4;
+  }
+
+(* Independent of both the schedule stream (seed) and the closed-loop
+   chaos stream (seed + 1_000_003): editing any of those must not
+   perturb the open-loop arrival draws. *)
+let workload_rng seed = Simkit.Rng.create ~seed:(seed + 2_000_003)
+
+type run = {
+  stats : Workload.Open_loop.stats;
+  ingress : Opc_cluster.Ingress.stats;
+  p50 : Simkit.Time.span;
+  p95 : Simkit.Time.span;
+  p99 : Simkit.Time.span;
+  violations : Oracle.violation list;
+}
+
+type outcome = {
+  seed : int;
+  protocol : Acp.Protocol.kind;
+  schedule : Schedule.t option;  (* injected into the storm run *)
+  reference : run;
+  storm : run;
+  violations : Oracle.violation list;  (* both runs + goodput floor *)
+}
+
+let passed o = o.violations = []
+
+let run_one spec ~protocol ~seed ~rate ~schedule =
+  let config = config_of spec ~protocol ~seed in
+  let cluster = Opc_cluster.Cluster.create config in
+  let root = Opc_cluster.Cluster.root cluster in
+  let dirs =
+    Array.init spec.dir_count (fun i ->
+        Opc_cluster.Cluster.add_directory cluster ~parent:root
+          ~name:(Printf.sprintf "d%d" i)
+          ~server:(i mod spec.servers) ())
+  in
+  let ingress =
+    Opc_cluster.Ingress.create ~max_inflight:spec.max_inflight
+      ~queue_capacity:spec.queue_capacity cluster
+  in
+  let ol_spec =
+    {
+      Workload.Open_loop.arrival = Workload.Open_loop.Poisson;
+      rate_per_s = rate;
+      duration = Simkit.Time.span_ms spec.duration_ms;
+      dirs;
+      zipf_s = 1.1;  (* hot-directory skew *)
+      policy;
+    }
+  in
+  let ol =
+    Workload.Open_loop.run cluster ingress ol_spec ~rng:(workload_rng seed)
+  in
+  let violations =
+    try
+      (match schedule with
+      | None -> ()
+      | Some s ->
+          let origin = Opc_cluster.Cluster.now cluster in
+          Opc_cluster.Fault.inject cluster
+            (Schedule.to_faults ~origin ~servers:spec.servers s);
+          let baseline = config.Opc_cluster.Config.network in
+          ignore
+            (Simkit.Engine.schedule_at
+               (Opc_cluster.Cluster.engine cluster)
+               ~label:(Simkit.Label.v Chaos "chaos.overload.cleanup")
+               ~at:
+                 (Simkit.Time.add origin
+                    (Simkit.Time.span_ms (spec.window_ms + 1)))
+               (fun () ->
+                 Opc_cluster.Cluster.heal cluster;
+                 Opc_cluster.Cluster.set_drop_probability cluster
+                   baseline.Netsim.Network.drop_probability;
+                 Opc_cluster.Cluster.set_duplicate_probability cluster
+                   baseline.Netsim.Network.duplicate_probability;
+                 Opc_cluster.Cluster.set_disk_slowdown cluster 1.0)));
+      let settled =
+        Workload.Open_loop.settle
+          ~deadline:(Simkit.Time.span_ms spec.settle_deadline_ms)
+          ol
+      in
+      Oracle.check_open_loop cluster ~ingress ~open_loop:ol ~dirs ~settled
+    with exn -> [ Oracle.Run_exception (Printexc.to_string exn) ]
+  in
+  let lat = Workload.Open_loop.latency ol in
+  let quantiles = Metrics.Histogram.quantiles lat [ 0.50; 0.95; 0.99 ] in
+  let p50, p95, p99 =
+    match quantiles with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> (Simkit.Time.zero_span, Simkit.Time.zero_span, Simkit.Time.zero_span)
+  in
+  {
+    stats = Workload.Open_loop.stats ol;
+    ingress = Opc_cluster.Ingress.stats ingress;
+    p50;
+    p95;
+    p99;
+    violations;
+  }
+
+let generate_schedule spec ~seed =
+  Schedule.generate
+    ~rng:(Simkit.Rng.create ~seed)
+    ~servers:spec.servers ~window_ms:spec.window_ms
+
+let execute ?schedule spec ~protocol ~seed =
+  let schedule =
+    match schedule with
+    | Some s -> Some s
+    | None ->
+        if spec.with_faults then Some (generate_schedule spec ~seed) else None
+  in
+  (match schedule with
+  | Some s -> (
+      match Schedule.validate ~servers:spec.servers s with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Overload.execute: bad schedule: " ^ e))
+  | None -> ());
+  (* Reference: fault-free, below the knee — the goodput yardstick. *)
+  let reference =
+    run_one spec ~protocol ~seed ~rate:spec.reference_rate ~schedule:None
+  in
+  (* Storm: offered load far past the knee, faults riding along. *)
+  let storm =
+    run_one spec ~protocol ~seed
+      ~rate:(spec.reference_rate *. spec.storm_multiplier)
+      ~schedule
+  in
+  let floor_violations =
+    Oracle.check_goodput_floor ~reference:reference.stats ~storm:storm.stats
+      ~floor:spec.goodput_floor
+  in
+  {
+    seed;
+    protocol;
+    schedule;
+    reference;
+    storm;
+    violations = reference.violations @ storm.violations @ floor_violations;
+  }
+
+let pp_outcome ppf o =
+  if passed o then
+    Fmt.pf ppf
+      "%a seed %d: pass (ref %.0f/s good, storm %.0f/s good, %d shed, %.2fx \
+       retries)"
+      Acp.Protocol.pp o.protocol o.seed
+      o.reference.stats.Workload.Open_loop.goodput_per_s
+      o.storm.stats.Workload.Open_loop.goodput_per_s
+      o.storm.ingress.Opc_cluster.Ingress.shed
+      o.storm.stats.Workload.Open_loop.retry_amplification
+  else
+    Fmt.pf ppf "@[<v>%a seed %d: FAIL@,%a%a@]" Acp.Protocol.pp o.protocol
+      o.seed
+      Fmt.(list ~sep:cut Oracle.pp_violation)
+      o.violations
+      Fmt.(
+        option (fun ppf s -> pf ppf "@,schedule: %a" Schedule.pp s))
+      o.schedule
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns and shrinking                                             *)
+(* ------------------------------------------------------------------ *)
+
+type campaign = { spec : spec; outcomes : outcome list }
+
+let failures c = List.filter (fun o -> not (passed o)) c.outcomes
+
+let campaign ?(protocols = Acp.Protocol.all) ?(first_seed = 0) ~seeds spec =
+  let outcomes =
+    List.concat_map
+      (fun protocol ->
+        List.init seeds (fun i -> execute spec ~protocol ~seed:(first_seed + i)))
+      protocols
+  in
+  { spec; outcomes }
+
+let table c =
+  let t =
+    Metrics.Table.create
+      ~columns:
+        [
+          "protocol"; "runs"; "pass"; "fail"; "ref good/s"; "storm good/s";
+          "shed"; "gave up";
+        ]
+  in
+  let protocols =
+    List.filter
+      (fun p -> List.exists (fun o -> o.protocol = p) c.outcomes)
+      Acp.Protocol.all
+  in
+  List.iter
+    (fun p ->
+      let runs = List.filter (fun o -> o.protocol = p) c.outcomes in
+      let n = List.length runs in
+      let pass = List.length (List.filter passed runs) in
+      let favg f =
+        if n = 0 then 0.0
+        else List.fold_left (fun acc o -> acc +. f o) 0.0 runs /. float_of_int n
+      in
+      let sum f = List.fold_left (fun acc o -> acc + f o) 0 runs in
+      Metrics.Table.add_rowf t "%s|%d|%d|%d|%.1f|%.1f|%d|%d"
+        (Acp.Protocol.name p) n pass (n - pass)
+        (favg (fun o -> o.reference.stats.Workload.Open_loop.goodput_per_s))
+        (favg (fun o -> o.storm.stats.Workload.Open_loop.goodput_per_s))
+        (sum (fun o -> o.storm.ingress.Opc_cluster.Ingress.shed))
+        (sum (fun o -> o.storm.stats.Workload.Open_loop.gave_up)))
+    protocols;
+  t
+
+let still_fails spec ~protocol ~seed schedule =
+  not (passed (execute ~schedule spec ~protocol ~seed))
+
+let shrink ?max_attempts spec outcome =
+  match outcome.schedule with
+  | None -> None
+  | Some schedule ->
+      Some
+        (Shrink.minimize ?max_attempts
+           ~still_fails:
+             (still_fails spec ~protocol:outcome.protocol ~seed:outcome.seed)
+           schedule)

@@ -31,7 +31,13 @@ type t = {
   mutable next_seq : int;
   mutable next_ino : Mds.Update.ino;
   mutable pending_reads : int;
+  (* (queue length, in flight) of an ingress front door, when one is
+     attached. A hook rather than a direct reference because the gauge
+     set freezes at attach time — before the ingress layer exists. *)
+  mutable ingress_probe : (unit -> int * int) option;
 }
+
+let set_ingress_probe t probe = t.ingress_probe <- Some probe
 
 let config t = t.config
 let engine t = t.engine
@@ -252,6 +258,7 @@ let create (config : Config.t) =
       next_seq = 0;
       next_ino = 1;
       pending_reads = 0;
+      ingress_probe = None;
     }
   in
   let services : Node.services =
@@ -327,6 +334,10 @@ let create (config : Config.t) =
         Netsim.Network.in_flight network);
     Obs.Timeseries.register timeseries ~name:"cluster.pending_replies"
       (fun () -> Hashtbl.length t.waiting);
+    Obs.Timeseries.register timeseries ~name:"ingress.queue" (fun () ->
+        match t.ingress_probe with Some p -> fst (p ()) | None -> 0);
+    Obs.Timeseries.register timeseries ~name:"ingress.inflight" (fun () ->
+        match t.ingress_probe with Some p -> snd (p ()) | None -> 0);
     if config.san.Storage.San.shared_device then
       Obs.Timeseries.register timeseries ~name:"disk.queue" (fun () ->
           Storage.Disk.queue_depth (Storage.San.disk san));

@@ -69,6 +69,11 @@ val submit : t -> Mds.Op.t -> on_done:(Acp.Txn.outcome -> unit) -> unit
 val pending_replies : t -> int
 (** Operations submitted whose [on_done] has not fired yet. *)
 
+val set_ingress_probe : t -> (unit -> int * int) -> unit
+(** Install the [(queue length, in flight)] depth probe the
+    ["ingress.queue"]/["ingress.inflight"] time-series gauges read.
+    Called by {!Ingress.create}; the gauges report zero until then. *)
+
 val plan : t -> Mds.Op.t -> (Mds.Plan.t, string) result
 (** Plan an operation without running it (allocates/places new inodes
     as a side effect, exactly like {!submit} would). Building block for

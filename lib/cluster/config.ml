@@ -8,6 +8,11 @@ type t = {
   encoded_sizes : bool;
   method_latency : Simkit.Time.span;
   txn_timeout : Simkit.Time.span;
+  resend_interval : Simkit.Time.span option;
+  resend_backoff : float;
+  max_soft_retries : int;
+  tombstone_ttl : Simkit.Time.span option;
+  tombstone_cap : int;
   heartbeat_interval : Simkit.Time.span;
   detector_timeout : Simkit.Time.span;
   restart_delay : Simkit.Time.span;
@@ -31,6 +36,11 @@ let default =
     encoded_sizes = false;
     method_latency = Simkit.Time.span_us 1;
     txn_timeout = Simkit.Time.span_s 30;
+    resend_interval = None;
+    resend_backoff = 1.0;
+    max_soft_retries = 2;
+    tombstone_ttl = None;
+    tombstone_cap = 4096;
     heartbeat_interval = Simkit.Time.span_ms 50;
     detector_timeout = Simkit.Time.span_ms 250;
     restart_delay = Simkit.Time.span_ms 100;
@@ -50,6 +60,21 @@ let validate t =
   then Error "heartbeat interval must be shorter than the detector timeout"
   else if Simkit.Time.span_to_ns t.txn_timeout = 0 then
     Error "zero transaction timeout"
+  else if
+    match t.resend_interval with
+    | Some s -> Simkit.Time.span_to_ns s = 0
+    | None -> false
+  then Error "zero resend interval"
+  else if t.resend_backoff < 1.0 then
+    Error "resend backoff must be at least 1.0"
+  else if t.max_soft_retries < 0 then
+    Error "negative soft-retry budget"
+  else if
+    match t.tombstone_ttl with
+    | Some s -> Simkit.Time.span_to_ns s = 0
+    | None -> false
+  then Error "zero tombstone TTL"
+  else if t.tombstone_cap < 1 then Error "tombstone cap must be positive"
   else
     match t.sample_period with
     | Some p when Simkit.Time.span_to_ns p <= 0 ->

@@ -22,6 +22,30 @@ type t = {
           the calibrated [sizing] constants (robustness ablation) *)
   method_latency : Simkit.Time.span;  (** per object read/write method *)
   txn_timeout : Simkit.Time.span;
+  resend_interval : Simkit.Time.span option;
+      (** base period of the protocols' retransmission timers (1PC
+          UPDATE_REQ retries and ACK requests, 2PC decision resends and
+          outcome queries); [None] (default) keeps the historical
+          behaviour of reusing [txn_timeout] *)
+  resend_backoff : float;
+      (** multiplier applied to the resend interval after each
+          successive retransmission of the same message ([>= 1.0]);
+          [1.0] (default) resends at a fixed period *)
+  max_soft_retries : int;
+      (** UPDATE_REQ retransmissions a 1PC coordinator attempts against
+          an unsuspected worker before escalating to fence-and-read
+          (default 2) *)
+  tombstone_ttl : Simkit.Time.span option;
+      (** lifetime of a 1PC worker's sticky NO-vote tombstone, counted
+          from the last UPDATE_REQ that touched it; [None] (default)
+          means 8 x [txn_timeout]. Expired transactions are refused via
+          a conservative stale-sequence horizon, never re-executed, so
+          the table stays bounded under retry storms without weakening
+          the sticky-vote guarantee *)
+  tombstone_cap : int;
+      (** hard bound on live tombstones per node; exceeding it expires
+          the oldest entries early (still safe — they fall behind the
+          stale horizon) *)
   heartbeat_interval : Simkit.Time.span;
   detector_timeout : Simkit.Time.span;
   restart_delay : Simkit.Time.span;  (** reboot time after crash/STONITH *)

@@ -219,6 +219,15 @@ let make_context t =
       (fun ~label ~after f ->
         Simkit.Engine.schedule t.sv.engine ~label ~after (fun () -> guard f));
     timeout = t.sv.config.Config.txn_timeout;
+    resend_interval =
+      Option.value t.sv.config.Config.resend_interval
+        ~default:t.sv.config.Config.txn_timeout;
+    resend_backoff = t.sv.config.Config.resend_backoff;
+    max_soft_retries = t.sv.config.Config.max_soft_retries;
+    tombstone_ttl =
+      Option.value t.sv.config.Config.tombstone_ttl
+        ~default:(Simkit.Time.mul_span t.sv.config.Config.txn_timeout 8);
+    tombstone_cap = t.sv.config.Config.tombstone_cap;
     suspects =
       (fun peer ->
         match t.detector with

@@ -33,6 +33,7 @@ module Config = Opc_cluster.Config
 module Msg = Opc_cluster.Msg
 module Node = Opc_cluster.Node
 module Cluster = Opc_cluster.Cluster
+module Ingress = Opc_cluster.Ingress
 module Batching = Opc_cluster.Batching
 module Report = Opc_cluster.Report
 module Fault = Opc_cluster.Fault

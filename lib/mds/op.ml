@@ -15,6 +15,8 @@ let delete ~parent ~name = Delete { parent; name }
 let rename ~src_dir ~src_name ~dst_dir ~dst_name =
   Rename { src_dir; src_name; dst_dir; dst_name }
 
+let equal (a : t) (b : t) = a = b
+
 let pp ppf = function
   | Create { parent; name; kind = Update.File } ->
       Fmt.pf ppf "CREATE %d/%S" parent name

@@ -26,6 +26,9 @@ val rename :
   dst_name:string ->
   t
 
+val equal : t -> t -> bool
+(** Structural equality (operations carry only scalars and strings). *)
+
 val pp : Format.formatter -> t -> unit
 val label : t -> string
 (** Short tag: ["create"], ["delete"], ["rename"]. *)

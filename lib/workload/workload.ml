@@ -354,3 +354,300 @@ let replay cluster ?(concurrency = 1) script =
     pump ()
   done;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop arrivals                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Open_loop = struct
+  let label_arrival = Simkit.Label.v Other "wl.openloop.arrival"
+  let label_attempt_timeout = Simkit.Label.v Other "wl.openloop.timeout"
+  let label_retry = Simkit.Label.v Other "wl.openloop.retry"
+
+  type arrival = Poisson | Bursty of { burst : int }
+
+  type policy = {
+    attempt_timeout : Simkit.Time.span;
+    backoff : Simkit.Time.span;
+    backoff_multiplier : float;
+    jitter : float;
+    max_attempts : int;
+  }
+
+  let default_policy =
+    {
+      attempt_timeout = Simkit.Time.span_ms 500;
+      backoff = Simkit.Time.span_ms 100;
+      backoff_multiplier = 2.0;
+      jitter = 0.2;
+      max_attempts = 4;
+    }
+
+  type spec = {
+    arrival : arrival;
+    rate_per_s : float;
+    duration : Simkit.Time.span;
+    dirs : Mds.Update.ino array;
+    zipf_s : float;
+    policy : policy;
+  }
+
+  type resolution = R_committed | R_aborted of string | R_gave_up
+
+  type request = {
+    req_index : int;
+    req_key : Opc_cluster.Ingress.key;
+    req_op : Mds.Op.t;
+    arrived_at : Simkit.Time.t;
+    mutable attempts : int;
+    mutable busy_replies : int;
+    mutable attempt_timeouts : int;
+    mutable resolution : resolution option;
+    mutable resolved_at : Simkit.Time.t;
+    mutable gen : int;  (* generation of the live attempt *)
+    timer : Simkit.Engine.handle option ref;
+  }
+
+  type t = {
+    cluster : Opc_cluster.Cluster.t;
+    ingress : Opc_cluster.Ingress.t;
+    spec : spec;
+    rng : Simkit.Rng.t;
+    mutable launched : int;
+    mutable resolved : int;
+    mutable committed : int;
+    mutable aborted : int;
+    mutable gave_up : int;
+    mutable busy : int;
+    mutable timeouts : int;
+    mutable total_attempts : int;
+    mutable arrivals_open : bool;
+    latency : Metrics.Histogram.t;  (* committed: arrival -> resolution *)
+    mutable requests_rev : request list;
+  }
+
+  let cancel_slot slot =
+    match !slot with
+    | Some h ->
+        Simkit.Engine.cancel h;
+        slot := None
+    | None -> ()
+
+  let now t = Opc_cluster.Cluster.now t.cluster
+  let engine t = Opc_cluster.Cluster.engine t.cluster
+
+  let resolve t r res =
+    match r.resolution with
+    | Some _ -> ()
+    | None -> (
+        r.resolution <- Some res;
+        r.resolved_at <- now t;
+        t.resolved <- t.resolved + 1;
+        match res with
+        | R_committed ->
+            t.committed <- t.committed + 1;
+            Metrics.Histogram.record t.latency
+              (Simkit.Time.diff r.resolved_at r.arrived_at)
+        | R_aborted _ -> t.aborted <- t.aborted + 1
+        | R_gave_up -> t.gave_up <- t.gave_up + 1)
+
+  (* Exponential backoff with deterministic, seeded, symmetric jitter:
+     base * multiplier^(attempt-1), scaled by 1 +/- jitter. *)
+  let backoff_delay t r =
+    let p = t.spec.policy in
+    let base =
+      float_of_int (Simkit.Time.span_to_ns p.backoff)
+      *. (p.backoff_multiplier ** float_of_int (r.attempts - 1))
+    in
+    let factor =
+      if p.jitter > 0.0 then
+        1.0 +. (p.jitter *. ((2.0 *. Simkit.Rng.float t.rng 1.0) -. 1.0))
+      else 1.0
+    in
+    Simkit.Time.span_ns (max 1 (int_of_float (base *. factor)))
+
+  let rec attempt t r =
+    r.attempts <- r.attempts + 1;
+    t.total_attempts <- t.total_attempts + 1;
+    let gen = r.gen in
+    cancel_slot r.timer;
+    r.timer :=
+      Some
+        (Simkit.Engine.schedule (engine t) ~label:label_attempt_timeout
+           ~after:t.spec.policy.attempt_timeout (fun () ->
+             r.timer := None;
+             if r.resolution = None && r.gen = gen then begin
+               (* The attempt is dead to the client; a late reply for it
+                  is ignored and the retry reuses the idempotency key. *)
+               r.gen <- r.gen + 1;
+               r.attempt_timeouts <- r.attempt_timeouts + 1;
+               t.timeouts <- t.timeouts + 1;
+               retry_or_give_up t r
+             end));
+    Opc_cluster.Ingress.submit t.ingress ~key:r.req_key r.req_op
+      ~on_reply:(fun reply ->
+        if r.gen = gen && r.resolution = None then begin
+          r.gen <- r.gen + 1;
+          cancel_slot r.timer;
+          match reply with
+          | Opc_cluster.Ingress.Busy ->
+              r.busy_replies <- r.busy_replies + 1;
+              t.busy <- t.busy + 1;
+              retry_or_give_up t r
+          | Opc_cluster.Ingress.Done Acp.Txn.Committed ->
+              resolve t r R_committed
+          | Opc_cluster.Ingress.Done (Acp.Txn.Aborted reason) ->
+              resolve t r (R_aborted reason)
+        end)
+
+  and retry_or_give_up t r =
+    if r.attempts >= t.spec.policy.max_attempts then resolve t r R_gave_up
+    else
+      ignore
+        (Simkit.Engine.schedule (engine t) ~label:label_retry
+           ~after:(backoff_delay t r) (fun () ->
+             if r.resolution = None then attempt t r))
+
+  let launch t =
+    let dir =
+      t.spec.dirs.(Simkit.Rng.zipf t.rng
+                     ~n:(Array.length t.spec.dirs)
+                     ~s:t.spec.zipf_s)
+    in
+    let idx = t.launched in
+    t.launched <- t.launched + 1;
+    let r =
+      {
+        req_index = idx;
+        req_key = { Opc_cluster.Ingress.client = idx; request = 0 };
+        req_op =
+          Mds.Op.create_file ~parent:dir ~name:(Printf.sprintf "ol%d" idx);
+        arrived_at = now t;
+        attempts = 0;
+        busy_replies = 0;
+        attempt_timeouts = 0;
+        resolution = None;
+        resolved_at = Simkit.Time.zero;
+        gen = 0;
+        timer = ref None;
+      }
+    in
+    t.requests_rev <- r :: t.requests_rev;
+    attempt t r
+
+  let rec schedule_next_arrival t ~stop =
+    let mean =
+      let per_arrival =
+        match t.spec.arrival with
+        | Poisson -> 1.0
+        | Bursty { burst } -> float_of_int burst
+      in
+      Simkit.Time.span_ns
+        (max 1 (int_of_float (per_arrival *. 1e9 /. t.spec.rate_per_s)))
+    in
+    let gap = Simkit.Rng.exponential_span t.rng ~mean in
+    if Simkit.Time.( > ) (Simkit.Time.add (now t) gap) stop then
+      t.arrivals_open <- false
+    else
+      ignore
+        (Simkit.Engine.schedule (engine t) ~label:label_arrival ~after:gap
+           (fun () ->
+             (match t.spec.arrival with
+             | Poisson -> launch t
+             | Bursty { burst } ->
+                 for _ = 1 to burst do
+                   launch t
+                 done);
+             schedule_next_arrival t ~stop))
+
+  let run cluster ingress spec ~rng =
+    if Array.length spec.dirs = 0 then
+      invalid_arg "Open_loop.run: no directories";
+    if spec.rate_per_s <= 0.0 then
+      invalid_arg "Open_loop.run: offered rate must be positive";
+    if spec.policy.max_attempts < 1 then
+      invalid_arg "Open_loop.run: max_attempts must be at least 1";
+    if spec.policy.backoff_multiplier < 1.0 then
+      invalid_arg "Open_loop.run: backoff_multiplier below 1.0";
+    if spec.policy.jitter < 0.0 || spec.policy.jitter >= 1.0 then
+      invalid_arg "Open_loop.run: jitter must be in [0, 1)";
+    (match spec.arrival with
+    | Bursty { burst } when burst < 1 ->
+        invalid_arg "Open_loop.run: empty burst"
+    | Bursty _ | Poisson -> ());
+    let t =
+      {
+        cluster;
+        ingress;
+        spec;
+        rng;
+        launched = 0;
+        resolved = 0;
+        committed = 0;
+        aborted = 0;
+        gave_up = 0;
+        busy = 0;
+        timeouts = 0;
+        total_attempts = 0;
+        arrivals_open = true;
+        latency = Metrics.Histogram.create ();
+        requests_rev = [];
+      }
+    in
+    let stop = Simkit.Time.add (now t) spec.duration in
+    schedule_next_arrival t ~stop;
+    t
+
+  (* The cluster's own settle is not enough: a retry backoff or arrival
+     timer is client state the cluster cannot see, so it could report
+     quiescence while requests are still due to fire. Drain the client
+     side first, then hand the remaining deadline to the cluster. *)
+  let settle ?(deadline = Simkit.Time.span_s 600) t =
+    let eng = engine t in
+    let stop = Simkit.Time.add (Simkit.Engine.now eng) deadline in
+    let rec loop () =
+      if (not t.arrivals_open) && t.resolved >= t.launched then
+        Opc_cluster.Cluster.settle
+          ~deadline:(Simkit.Time.diff stop (Simkit.Engine.now eng))
+          t.cluster
+      else if Simkit.Time.( > ) (Simkit.Engine.now eng) stop then
+        Opc_cluster.Cluster.Deadline_exceeded
+      else if Simkit.Engine.step eng then loop ()
+      else Opc_cluster.Cluster.Stuck
+    in
+    loop ()
+
+  let requests t = List.rev t.requests_rev
+  let latency t = t.latency
+
+  type stats = {
+    offered : int;
+    resolved : int;
+    committed : int;
+    aborted : int;
+    gave_up : int;
+    busy_replies : int;
+    attempt_timeouts : int;
+    attempts : int;
+    goodput_per_s : float;
+    retry_amplification : float;
+  }
+
+  let stats (t : t) =
+    {
+      offered = t.launched;
+      resolved = t.resolved;
+      committed = t.committed;
+      aborted = t.aborted;
+      gave_up = t.gave_up;
+      busy_replies = t.busy;
+      attempt_timeouts = t.timeouts;
+      attempts = t.total_attempts;
+      goodput_per_s =
+        (let s = Simkit.Time.span_to_float_s t.spec.duration in
+         if s <= 0.0 then 0.0 else float_of_int t.committed /. s);
+      retry_amplification =
+        (if t.launched = 0 then 1.0
+         else float_of_int t.total_attempts /. float_of_int t.launched);
+    }
+end

@@ -140,3 +140,110 @@ val replay :
 (** Submit the script's operations in order, keeping up to
     [concurrency] (default 1) in flight. Operations whose parent path
     does not resolve abort immediately (counted as aborted). *)
+
+(** {1 Open-loop arrivals}
+
+    The overload harness: requests arrive on their own clock (Poisson or
+    bursty), regardless of whether earlier ones completed — so offered
+    load can be pushed past the cluster's capacity knee, which a
+    closed loop by construction cannot do. Each logical request is a
+    lightweight fire-and-track client with a retry policy: a per-attempt
+    timeout, exponential backoff with deterministic seeded jitter, a
+    bounded attempt budget, and one idempotency key held stable across
+    every retry, submitted through an {!Opc_cluster.Ingress} front
+    door. *)
+
+module Open_loop : sig
+  type arrival =
+    | Poisson  (** independent exponential inter-arrivals *)
+    | Bursty of { burst : int }
+        (** [burst] simultaneous arrivals per (Poisson) arrival event,
+            with the gap scaled so the mean offered rate is unchanged *)
+
+  type policy = {
+    attempt_timeout : Simkit.Time.span;
+        (** client-side patience per attempt *)
+    backoff : Simkit.Time.span;  (** delay before the first retry *)
+    backoff_multiplier : float;  (** growth per retry ([>= 1.0]) *)
+    jitter : float;
+        (** symmetric fractional jitter on each backoff, in [\[0, 1)];
+            drawn from the workload's seeded generator *)
+    max_attempts : int;  (** total attempts, first submission included *)
+  }
+
+  val default_policy : policy
+  (** 500 ms patience, 100 ms backoff doubling per retry with 20 %
+      jitter, 4 attempts. *)
+
+  type spec = {
+    arrival : arrival;
+    rate_per_s : float;  (** mean offered load, requests per second *)
+    duration : Simkit.Time.span;  (** arrival window *)
+    dirs : Mds.Update.ino array;  (** targets, drawn Zipf([zipf_s]) *)
+    zipf_s : float;
+    policy : policy;
+  }
+
+  type resolution =
+    | R_committed
+    | R_aborted of string  (** definitive cluster abort; not retried *)
+    | R_gave_up  (** attempt budget exhausted (timeouts and/or BUSY) *)
+
+  type request = {
+    req_index : int;
+    req_key : Opc_cluster.Ingress.key;  (** stable across retries *)
+    req_op : Mds.Op.t;
+    arrived_at : Simkit.Time.t;
+    mutable attempts : int;
+    mutable busy_replies : int;
+    mutable attempt_timeouts : int;
+    mutable resolution : resolution option;
+    mutable resolved_at : Simkit.Time.t;
+    mutable gen : int;  (** internal: live-attempt generation *)
+    timer : Simkit.Engine.handle option ref;
+  }
+
+  type t
+
+  val run :
+    Opc_cluster.Cluster.t ->
+    Opc_cluster.Ingress.t ->
+    spec ->
+    rng:Simkit.Rng.t ->
+    t
+  (** Schedule the arrival process (requests fire as the engine runs;
+      nothing has executed yet on return). Run the engine — normally via
+      {!settle} — to completion.
+      @raise Invalid_argument on an empty [dirs], a non-positive rate or
+      a nonsensical policy. *)
+
+  val settle :
+    ?deadline:Simkit.Time.span -> t -> Opc_cluster.Cluster.settle_outcome
+  (** Step until every request is resolved {e and} the cluster itself is
+      quiescent. The client side drains first: retry and arrival timers
+      are invisible to {!Opc_cluster.Cluster.settle}, which could
+      otherwise report quiescence with retries still pending. *)
+
+  val requests : t -> request list
+  (** Every launched request in arrival order — raw material for the
+      exactly-once and namespace oracles. *)
+
+  val latency : t -> Metrics.Histogram.t
+  (** Arrival-to-commit latency of committed requests (the client view:
+      backoff and retries included). *)
+
+  type stats = {
+    offered : int;  (** requests launched *)
+    resolved : int;
+    committed : int;
+    aborted : int;
+    gave_up : int;
+    busy_replies : int;  (** BUSY replies received across all attempts *)
+    attempt_timeouts : int;
+    attempts : int;  (** submissions incl. retries *)
+    goodput_per_s : float;  (** committed / arrival window *)
+    retry_amplification : float;  (** attempts / offered *)
+  }
+
+  val stats : t -> stats
+end

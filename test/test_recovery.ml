@@ -92,6 +92,11 @@ let make_harness ?(initial_log = []) () =
       set_timer =
         (fun ~label ~after f -> Simkit.Engine.schedule engine ~label ~after f);
       timeout = Simkit.Time.span_ms 100;
+      resend_interval = Simkit.Time.span_ms 100;
+      resend_backoff = 1.0;
+      max_soft_retries = 2;
+      tombstone_ttl = Simkit.Time.span_ms 800;
+      tombstone_cap = 4096;
       suspects =
         (fun peer -> Hashtbl.mem suspected (Netsim.Address.index peer));
       ledger = Metrics.Ledger.create ();
@@ -583,6 +588,104 @@ let test_1pc_worker_dedup () =
   Alcotest.(check bool) "applied exactly once" true
     (Mds.State.inode (Mds.Store.durable h.store) 7 <> None)
 
+(* The sticky NO-vote tombstone set is bounded: each entry expires
+   [tombstone_ttl] after its last touch. Expiry must not forget the
+   vote — a duplicate UPDATE_REQ arriving after its tombstone was
+   collected is still answered NO (via the stale-sequence horizon),
+   because re-executing it could commit a transaction the coordinator
+   already aborted. Transactions sequenced after the expired one are
+   unaffected. *)
+let test_1pc_tombstone_expiry_still_nacks () =
+  let h = make_harness () in
+  let p = instance Protocol.Opc h in
+  let txn_a = { Txn.origin = 3; seq = 9 } in
+  let txn_b = { Txn.origin = 3; seq = 10 } in
+  let txn_c = { Txn.origin = 3; seq = 11 } in
+  let update_req txn updates =
+    p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+      (Wire.Update_req
+         { txn; updates; piggyback_prepare = false; one_phase = true })
+  in
+  let ledger = h.ctx.Context.ledger in
+  (* A commits: inode 7 becomes durable. *)
+  update_req txn_a updates_w;
+  step h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Ack { txn = txn_a });
+  step h;
+  clear_sent h;
+  (* B collides with A's inode: the worker votes NO and tombstones B. *)
+  update_req txn_b updates_w;
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Updated { ok = false; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected a NO vote for the colliding request");
+  Alcotest.(check int) "tombstone recorded" 1
+    (Metrics.Ledger.get ledger "acp.tombstone.add");
+  clear_sent h;
+  (* Idle past the 800 ms harness TTL; expiry is lazy, so nothing is
+     collected until the next dispatch. *)
+  run_timers h (Simkit.Time.span_s 2);
+  (* A late duplicate of B: its tombstone is expired on dispatch, but
+     the stale horizon still answers NO — B is never re-executed. *)
+  update_req txn_b updates_w;
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Updated { ok = false; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected a NO vote after tombstone expiry");
+  Alcotest.(check int) "tombstone expired" 1
+    (Metrics.Ledger.get ledger "acp.tombstone.expired");
+  Alcotest.(check int) "answered from the stale horizon" 1
+    (Metrics.Ledger.get ledger "acp.stale_nack");
+  clear_sent h;
+  (* A fresh transaction above the horizon executes normally. *)
+  update_req txn_c
+    [ Mds.Update.Create_inode { ino = 8; kind = Mds.Update.File; nlink = 1 } ];
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Updated { ok = true; _ }) ] -> ()
+  | _ -> Alcotest.fail "post-horizon transaction should commit");
+  Alcotest.(check bool) "post-horizon commit is durable" true
+    (Mds.State.inode (Mds.Store.durable h.store) 8 <> None)
+
+(* The tombstone table also has a hard cap: overflowing it force-expires
+   the oldest entries instead of growing without bound, and the evicted
+   keys fall under the stale horizon. *)
+let test_1pc_tombstone_cap () =
+  let h = make_harness () in
+  (* Shrink the cap so the test overflows it quickly. *)
+  let ctx = { h.ctx with Context.tombstone_cap = 4 } in
+  let h = { h with ctx } in
+  let p = instance Protocol.Opc h in
+  let update_req txn updates =
+    p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+      (Wire.Update_req
+         { txn; updates; piggyback_prepare = false; one_phase = true })
+  in
+  (* Commit inode 7 once, then hammer colliding requests with ascending
+     sequence numbers: every one votes NO and leaves a tombstone. *)
+  update_req { Txn.origin = 3; seq = 1 } updates_w;
+  step h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Ack { txn = { Txn.origin = 3; seq = 1 } });
+  step h;
+  for seq = 2 to 11 do
+    update_req { Txn.origin = 3; seq } updates_w;
+    step h
+  done;
+  Alcotest.(check int) "all rejections tombstoned" 10
+    (Metrics.Ledger.get h.ctx.Context.ledger "acp.tombstone.add");
+  (* 10 added against a cap of 4: at least 6 were force-expired. *)
+  Alcotest.(check bool) "cap held by force-expiry" true
+    (Metrics.Ledger.get h.ctx.Context.ledger "acp.tombstone.expired" >= 6);
+  (* Evicted keys still answer NO from the horizon. *)
+  clear_sent h;
+  update_req { Txn.origin = 3; seq = 2 } updates_w;
+  step h;
+  match List.rev !(h.sent) with
+  | [ (3, Wire.Updated { ok = false; _ }) ] -> ()
+  | _ -> Alcotest.fail "evicted tombstone must still vote NO"
+
 (* Fuzz: recovery must never raise, whatever record soup the log
    contains — including shapes no run of this implementation would
    produce (a recovering server cannot afford to die on a surprising
@@ -684,6 +787,10 @@ let () =
             test_1pc_fence_abort;
           Alcotest.test_case "worker dedups re-sent request" `Quick
             test_1pc_worker_dedup;
+          Alcotest.test_case "tombstone expiry still NACKs" `Quick
+            test_1pc_tombstone_expiry_still_nacks;
+          Alcotest.test_case "tombstone cap force-expires" `Quick
+            test_1pc_tombstone_cap;
         ] );
       ( "fuzz",
         List.map
