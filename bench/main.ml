@@ -208,7 +208,11 @@ let latency () =
    failure (nonzero exit), because it means the instrumentation, the
    walk, or a protocol drifted. Also drops one Chrome trace per
    protocol next to the JSON for chrome://tracing / Perfetto. *)
-let breakdown ~count () =
+(* [wrong_l1pc_row] is a negative control for CI: it swaps L1PC's
+   expected Table-I row for a deliberately wrong one, so the run MUST
+   report a mismatch and exit nonzero — proving the cross-check gate
+   actually compares rather than rubber-stamping. *)
+let breakdown ?(wrong_l1pc_row = false) ~count () =
   section
     (Fmt.str
        "breakdown: critical-path latency decomposition (%d isolated CREATEs \
@@ -230,6 +234,15 @@ let breakdown ~count () =
       (fun (p : Opc.Experiment.breakdown_point) ->
         let name = Opc.Acp.Protocol.name p.kind in
         let costs = Opc.Acp.Cost_model.paper_table1 p.kind in
+        let costs =
+          if wrong_l1pc_row && p.kind = Opc.Acp.Protocol.Lp1 then
+            {
+              costs with
+              Opc.Acp.Cost_model.critical_sync = 1;
+              critical_messages = 3;
+            }
+          else costs
+        in
         let s = p.summary in
         let check label expected got =
           match got with
@@ -1563,7 +1576,9 @@ let usage () =
      overload | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
-     txns/protocol), --txns N per protocol (default 20)@.timeline \
+     txns/protocol), --txns N per protocol (default 20), \
+     --wrong-l1pc-row (negative control: corrupt the expected L1PC row \
+     so the gate must trip)@.timeline \
      flags: --smoke (1PC only)@.profile flags: --smoke (4 servers), \
      --txns N per protocol (default 20000)@.check flags: --against \
      PATH (default BENCH_scale.json), --tolerance F (default \
@@ -1583,6 +1598,7 @@ let () =
   let against = ref "BENCH_scale.json" in
   let tolerance = ref 0.15 in
   let unbounded = ref false in
+  let wrong_l1pc_row = ref false in
   let bad fmt =
     Fmt.kstr
       (fun msg ->
@@ -1611,6 +1627,9 @@ let () =
           parse (i + 1)
       | "--unbounded" ->
           unbounded := true;
+          parse (i + 1)
+      | "--wrong-l1pc-row" ->
+          wrong_l1pc_row := true;
           parse (i + 1)
       | "--seeds" ->
           seeds := int_arg "--seeds" (next_value "--seeds");
@@ -1661,7 +1680,7 @@ let () =
       let count =
         if !txns_set then !txns else if !smoke then 5 else 20
       in
-      let json, ok = breakdown ~count () in
+      let json, ok = breakdown ~wrong_l1pc_row:!wrong_l1pc_row ~count () in
       emit ~default:"BENCH_breakdown.json" json;
       if not ok then exit 1
   | "timeline" ->

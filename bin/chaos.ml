@@ -13,13 +13,13 @@ let protocol_conv =
   let parse s =
     match Opc.Acp.Protocol.of_name s with
     | Some k -> Ok k
-    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S (expected prn, prc, ep, 1pc or l1pc)" s))
   in
   Arg.conv (parse, Opc.Acp.Protocol.pp)
 
 let protocols_arg =
-  let doc = "Protocol to test: prn (2pc), prc, ep or 1pc. Repeatable; \
-             default is all four."
+  let doc = "Protocol to test: prn (2pc), prc, ep, 1pc or l1pc. \
+             Repeatable; default is all five."
   in
   Arg.(value & opt_all protocol_conv [] & info [ "p"; "protocol" ] ~doc)
 

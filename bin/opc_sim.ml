@@ -19,12 +19,12 @@ let protocol_conv =
   let parse s =
     match Opc.Acp.Protocol.of_name s with
     | Some k -> Ok k
-    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S (expected prn, prc, ep, 1pc or l1pc)" s))
   in
   Arg.conv (parse, Opc.Acp.Protocol.pp)
 
 let protocol_arg =
-  let doc = "Protocol: prn (2pc), prc, ep or 1pc." in
+  let doc = "Protocol: prn (2pc), prc, ep, 1pc or l1pc." in
   Arg.(value & opt protocol_conv Opc.Acp.Protocol.Opc & info [ "p"; "protocol" ] ~doc)
 
 let count_arg default =

@@ -4,13 +4,15 @@
 #   ./ci.sh
 #
 # 1. full build + test suite (unit, property, golden, crash sweeps);
-# 2. bounded chaos smoke: 30 seeds x 4 protocols of randomized
-#    fault-schedule campaigns (~120 runs, a few seconds);
+# 2. bounded chaos smoke: 30 seeds x 5 protocols of randomized
+#    fault-schedule campaigns (~150 runs, a few seconds);
 # 3. scale-campaign smoke: emits BENCH_scale.json so the machine-readable
 #    baseline stays exercised end to end;
-# 4. breakdown smoke: one small span-recorded run per protocol; the
-#    bench exits nonzero unless the measured critical-path force and
-#    message counts equal Acp.Cost_model.paper_table1;
+# 4. breakdown smoke: one small span-recorded run per protocol (all
+#    five, L1PC included); the bench exits nonzero unless the measured
+#    critical-path force and message counts equal
+#    Acp.Cost_model.paper_table1 — plus a negative control that corrupts
+#    the expected L1PC row and demands the gate trip;
 # 5. timeline smoke: crash-and-recover run with the sampler + journal
 #    on; exits nonzero if no unavailability window closes or the MTTR
 #    window start drifts from the injected crash instant;
@@ -25,7 +27,7 @@
 #    baseline; then proves the gate can fail (and names the
 #    worst-regressing subsystem) by checking against a synthetically
 #    inflated baseline;
-# 8. overload smoke: open-loop retry storms for all four protocols
+# 8. overload smoke: open-loop retry storms for every protocol
 #    through the admission-controlled ingress — the in-bench
 #    graceful-degradation gate must pass with admission control on,
 #    provably fail with it off (--unbounded), and the overload chaos
@@ -39,7 +41,7 @@ echo "== dune build && dune runtest =="
 dune build
 dune runtest
 
-echo "== chaos smoke: 30 seeds x 4 protocols =="
+echo "== chaos smoke: 30 seeds x 5 protocols =="
 dune exec bin/chaos.exe -- --seeds 30 --first-seed 1
 
 echo "== bench scale --smoke (writes BENCH_scale.json) =="
@@ -47,6 +49,26 @@ dune exec bench/main.exe -- scale --smoke
 
 echo "== bench breakdown --smoke (cross-checks Table I critical path) =="
 dune exec bench/main.exe -- breakdown --smoke
+
+echo "== bench breakdown negative test (wrong L1PC row must fail) =="
+# A deliberately corrupted expected row for L1PC must trip the
+# cross-check: nonzero exit and a named mismatch. Proves the gate
+# compares instead of rubber-stamping.
+if dune exec bench/main.exe -- breakdown --smoke --wrong-l1pc-row \
+     --json BENCH_breakdown.negative.json > BENCH_breakdown.negative.out 2>&1; then
+  cat BENCH_breakdown.negative.out
+  rm -f BENCH_breakdown.negative.json BENCH_breakdown.negative.out
+  echo "FAIL: breakdown gate accepted a wrong L1PC cost row" >&2
+  exit 1
+fi
+if ! grep -q "L1PC.*mismatch" BENCH_breakdown.negative.out; then
+  cat BENCH_breakdown.negative.out
+  rm -f BENCH_breakdown.negative.json BENCH_breakdown.negative.out
+  echo "FAIL: tripped breakdown gate named no L1PC mismatch" >&2
+  exit 1
+fi
+rm -f BENCH_breakdown.negative.json BENCH_breakdown.negative.out
+echo "breakdown gate trips on a wrong L1PC row as expected"
 
 echo "== bench timeline --smoke (recovery journal + MTTR decomposition) =="
 dune exec bench/main.exe -- timeline --smoke
@@ -92,7 +114,7 @@ echo "== bench check (perf-regression gate vs freshly written baseline) =="
 dune exec bench/main.exe -- check --against BENCH_scale.json --tolerance 0.15
 
 echo "== bench overload --smoke (goodput across the knee, gated) =="
-# Sweeps offered load past the capacity knee for all four protocols and
+# Sweeps offered load past the capacity knee for every protocol and
 # exits 1 unless every protocol holds >= 25% of its peak goodput at the
 # heaviest offered load with zero oracle violations. The artifact is
 # re-parsed through the bench's own strict JSON reader.
@@ -117,7 +139,7 @@ fi
 rm -f BENCH_overload.unbounded.json BENCH_overload.negative.out
 echo "overload gate trips on unbounded admission as expected"
 
-echo "== overload chaos campaign: 8 seeds x 4 protocols (retry storms + faults) =="
+echo "== overload chaos campaign: 8 seeds x 5 protocols (retry storms + faults) =="
 dune exec bin/chaos.exe -- --overload --seeds 8 --first-seed 1
 
 echo "CI OK"

@@ -301,6 +301,44 @@ let write_message buf (m : Wire.t) =
   | Ack_req { txn } ->
       write_tag buf 9;
       write_txn buf txn
+  | Vote_req { txn; updates } ->
+      write_tag buf 10;
+      write_txn buf txn;
+      write_list buf write_update updates
+  | Vote { txn; vote } ->
+      write_tag buf 11;
+      write_txn buf txn;
+      write_bool buf vote
+  | Rep_store { txn; owner; updates } ->
+      write_tag buf 12;
+      write_txn buf txn;
+      write_varint buf owner;
+      write_list buf write_update updates
+  | Rep_ack { txn } ->
+      write_tag buf 13;
+      write_txn buf txn
+  | Decide { txn; commit; updates } ->
+      write_tag buf 14;
+      write_txn buf txn;
+      write_bool buf commit;
+      write_list buf write_update updates
+  | Decide_ack { txn } ->
+      write_tag buf 15;
+      write_txn buf txn
+  | Rep_drop { txn } ->
+      write_tag buf 16;
+      write_txn buf txn
+  | Recover_req { owner } ->
+      write_tag buf 17;
+      write_varint buf owner
+  | Recover_resp { owner; items } ->
+      write_tag buf 18;
+      write_varint buf owner;
+      write_list buf
+        (fun b (id, ups) ->
+          write_txn b id;
+          write_list b write_update ups)
+        items
 
 let read_message s pos : Wire.t =
   match read_tag s pos with
@@ -328,6 +366,37 @@ let read_message s pos : Wire.t =
       let committed = read_bool s pos in
       Decision { txn; committed }
   | 9 -> Ack_req { txn = read_txn s pos }
+  | 10 ->
+      let txn = read_txn s pos in
+      let updates = read_list s pos read_update in
+      Vote_req { txn; updates }
+  | 11 ->
+      let txn = read_txn s pos in
+      let vote = read_bool s pos in
+      Vote { txn; vote }
+  | 12 ->
+      let txn = read_txn s pos in
+      let owner = read_varint s pos in
+      let updates = read_list s pos read_update in
+      Rep_store { txn; owner; updates }
+  | 13 -> Rep_ack { txn = read_txn s pos }
+  | 14 ->
+      let txn = read_txn s pos in
+      let commit = read_bool s pos in
+      let updates = read_list s pos read_update in
+      Decide { txn; commit; updates }
+  | 15 -> Decide_ack { txn = read_txn s pos }
+  | 16 -> Rep_drop { txn = read_txn s pos }
+  | 17 -> Recover_req { owner = read_varint s pos }
+  | 18 ->
+      let owner = read_varint s pos in
+      let items =
+        read_list s pos (fun s pos ->
+            let id = read_txn s pos in
+            let ups = read_list s pos read_update in
+            (id, ups))
+      in
+      Recover_resp { owner; items }
   | t -> fail "unknown message tag %d" t
 
 let with_buffer write x =

@@ -26,6 +26,7 @@ type t = {
   max_soft_retries : int;
   tombstone_ttl : Simkit.Time.span;
   tombstone_cap : int;
+  replicas : int list;
   suspects : Netsim.Address.t -> bool;
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;

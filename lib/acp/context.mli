@@ -50,6 +50,10 @@ type t = {
   tombstone_ttl : Simkit.Time.span;
       (** lifetime of a 1PC NO-vote tombstone since last touch *)
   tombstone_cap : int;  (** hard bound on live tombstones *)
+  replicas : int list;
+      (** L1PC replica group: the server slots holding copies of this
+          server's volatile vote state (never includes [self_server];
+          empty in degenerate single-server clusters) *)
   suspects : Netsim.Address.t -> bool;  (** failure-detector verdict *)
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;

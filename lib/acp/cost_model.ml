@@ -72,6 +72,24 @@ let failure_free (kind : Protocol.kind) =
         total_messages = 1;
         critical_messages = 0;
       }
+  | Protocol.Lp1 ->
+      (* Logless: no WAL at all. Coordinator applies volatilely, sends
+         VOTE_REQ (baseline); worker applies, parks its vote state at
+         both replica-group members (REP_STORE x2), waits for the first
+         REP_ACK, then votes (baseline). The coordinator replies to the
+         client on the YES vote and sends DECIDE; the worker answers
+         DECIDE_ACK and releases its replicas (REP_DROP x2). Critical
+         path: one REP_STORE + one REP_ACK — the replication round trip
+         the vote waits on; everything after the reply is off-path.
+         8 additional messages total, 0 forces anywhere. *)
+      {
+        total_sync = 0;
+        total_async = 0;
+        critical_sync = 0;
+        critical_async = 0;
+        total_messages = 8;
+        critical_messages = 2;
+      }
 
 (* Abort provoked by a worker NO vote at update time. All protocols
    force STARTED (for 1PC together with the REDO record) and then force
@@ -114,8 +132,22 @@ let worker_rejected (kind : Protocol.kind) =
         total_messages = 0;
         critical_messages = 0;
       }
+  | Protocol.Lp1 ->
+      (* The rejecting worker never replicated anything and the
+         coordinator keeps nothing durable: the NO vote itself (baseline)
+         ends the transaction. Nothing forced, nothing extra sent. *)
+      {
+        total_sync = 0;
+        total_async = 0;
+        critical_sync = 0;
+        critical_async = 0;
+        total_messages = 0;
+        critical_messages = 0;
+      }
 
-(* The published Table I, verbatim. *)
+(* The published Table I, verbatim — extended with the derived L1PC row
+   (the logless protocol postdates the paper, so its row is ours, kept
+   as a literal for the same cannot-silently-drift reason). *)
 let paper_table1 (kind : Protocol.kind) =
   match kind with
   | Protocol.Prn ->
@@ -154,11 +186,21 @@ let paper_table1 (kind : Protocol.kind) =
         total_messages = 1;
         critical_messages = 0;
       }
+  | Protocol.Lp1 ->
+      {
+        total_sync = 0;
+        total_async = 0;
+        critical_sync = 0;
+        critical_async = 0;
+        total_messages = 8;
+        critical_messages = 2;
+      }
 
 let predicted_storm_throughput ~bandwidth_bytes_per_s ~block_bytes kind =
   let c = failure_free kind in
   let writes = c.total_sync + c.total_async in
-  float_of_int bandwidth_bytes_per_s /. float_of_int (block_bytes * writes)
+  if writes = 0 then Float.infinity
+  else float_of_int bandwidth_bytes_per_s /. float_of_int (block_bytes * writes)
 
 let pp_costs ppf c =
   Fmt.pf ppf "(%d,%d) total, (%d,%d) critical, %d msgs (%d critical)"

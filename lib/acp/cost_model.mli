@@ -34,9 +34,10 @@ val worker_rejected : Protocol.kind -> costs
     = until the client hears the abort. *)
 
 val paper_table1 : Protocol.kind -> costs
-(** The values printed in the paper. Identical to {!failure_free} — kept
-    as a separate literal table so a regression in the derivation cannot
-    silently rewrite the reference. *)
+(** The values printed in the paper (plus our derived L1PC row, which
+    postdates it). Identical to {!failure_free} — kept as a separate
+    literal table so a regression in the derivation cannot silently
+    rewrite the reference. *)
 
 val predicted_storm_throughput :
   bandwidth_bytes_per_s:int -> block_bytes:int -> Protocol.kind -> float
@@ -50,7 +51,9 @@ val predicted_storm_throughput :
     — PrN 6 writes, PrC/EP 5, 1PC 4. The simulator must land within a
     few percent of this (a test asserts it): the mechanism and the
     arithmetic agree, which is the strongest check that the measured
-    Figure 6 is the cost table and nothing else. *)
+    Figure 6 is the cost table and nothing else. L1PC writes no log at
+    all, so the disk is never its bottleneck: the prediction is
+    [infinity] (the network, not this formula, limits it). *)
 
 val pp_costs : Format.formatter -> costs -> unit
 

@@ -485,7 +485,9 @@ let on_message t ~src (msg : Wire.t) =
       in
       t.ctx.Context.send ~dst:src (Wire.Decision { txn; committed })
   | Wire.Prepare _ | Wire.Prepared _ | Wire.Commit _ | Wire.Abort _
-  | Wire.Decision _ ->
+  | Wire.Decision _ | Wire.Vote_req _ | Wire.Vote _ | Wire.Rep_store _
+  | Wire.Rep_ack _ | Wire.Decide _ | Wire.Decide_ack _ | Wire.Rep_drop _
+  | Wire.Recover_req _ | Wire.Recover_resp _ ->
       ()
 
 let on_suspect t peer =

@@ -1,12 +1,13 @@
-type kind = Prn | Prc | Ep | Opc
+type kind = Prn | Prc | Ep | Opc | Lp1
 
-let all = [ Prn; Prc; Ep; Opc ]
+let all = [ Prn; Prc; Ep; Opc; Lp1 ]
 
 let name = function
   | Prn -> "PrN"
   | Prc -> "PrC"
   | Ep -> "EP"
   | Opc -> "1PC"
+  | Lp1 -> "L1PC"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -14,17 +15,18 @@ let of_name s =
   | "prc" -> Some Prc
   | "ep" -> Some Ep
   | "1pc" | "opc" -> Some Opc
+  | "l1pc" | "lp1" -> Some Lp1
   | _ -> None
 
 let pp ppf k = Fmt.string ppf (name k)
 
-let max_workers = function Prn | Prc | Ep -> None | Opc -> Some 1
+let max_workers = function Prn | Prc | Ep -> None | Opc | Lp1 -> Some 1
 
 type instance = {
   kind : kind;
   submit : Txn.t -> unit;
   on_message : src:Netsim.Address.t -> Wire.t -> unit;
-  recover : unit -> unit;
+  recover : on_done:(unit -> unit) -> unit;
   on_suspect : Netsim.Address.t -> unit;
   outstanding : unit -> int;
   owns : Txn.id -> bool;
@@ -36,7 +38,10 @@ let of_two_phase kind variant ctx =
     kind;
     submit = Two_phase.submit t;
     on_message = (fun ~src msg -> Two_phase.on_message t ~src msg);
-    recover = (fun () -> Two_phase.recover t);
+    recover =
+      (fun ~on_done ->
+        Two_phase.recover t;
+        on_done ());
     on_suspect = Two_phase.on_suspect t;
     outstanding = (fun () -> Two_phase.outstanding t);
     owns = Two_phase.owns t;
@@ -53,8 +58,22 @@ let instantiate kind ctx =
         kind = Opc;
         submit = One_phase.submit t;
         on_message = (fun ~src msg -> One_phase.on_message t ~src msg);
-        recover = (fun () -> One_phase.recover t);
+        recover =
+          (fun ~on_done ->
+            One_phase.recover t;
+            on_done ());
         on_suspect = One_phase.on_suspect t;
         outstanding = (fun () -> One_phase.outstanding t);
         owns = One_phase.owns t;
+      }
+  | Lp1 ->
+      let t = Logless.create ctx in
+      {
+        kind = Lp1;
+        submit = Logless.submit t;
+        on_message = (fun ~src msg -> Logless.on_message t ~src msg);
+        recover = (fun ~on_done -> Logless.recover t ~on_done);
+        on_suspect = Logless.on_suspect t;
+        outstanding = (fun () -> Logless.outstanding t);
+        owns = Logless.owns t;
       }

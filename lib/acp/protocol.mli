@@ -1,33 +1,40 @@
 (** Protocol registry.
 
-    A uniform closure-record interface over the four commitment
+    A uniform closure-record interface over the five commitment
     protocols, so the cluster layer can hold "whatever protocol this
     server runs" without a functor. A fresh instance per server boot:
     crashing a node is modelled by dropping its instance (all volatile
     protocol state lives inside) and creating + recovering a new one. *)
 
-type kind = Prn | Prc | Ep | Opc
+type kind = Prn | Prc | Ep | Opc | Lp1
 
 val all : kind list
-(** In the paper's presentation order: PrN, PrC, EP, 1PC. *)
+(** In the paper's presentation order — PrN, PrC, EP, 1PC — with the
+    logless extension L1PC last. *)
 
 val name : kind -> string
-(** ["PrN"], ["PrC"], ["EP"], ["1PC"]. *)
+(** ["PrN"], ["PrC"], ["EP"], ["1PC"], ["L1PC"]. *)
 
 val of_name : string -> kind option
-(** Case-insensitive; also accepts ["2pc"] for PrN and ["opc"] for 1PC. *)
+(** Case-insensitive; also accepts ["2pc"] for PrN, ["opc"] for 1PC,
+    and ["lp1"] for L1PC. *)
 
 val pp : Format.formatter -> kind -> unit
 
 val max_workers : kind -> int option
-(** [Some 1] for 1PC (two-server transactions only); [None] = unlimited
-    for the 2PC family. *)
+(** [Some 1] for 1PC and L1PC (two-server transactions only); [None] =
+    unlimited for the 2PC family. *)
 
 type instance = {
   kind : kind;
   submit : Txn.t -> unit;
   on_message : src:Netsim.Address.t -> Wire.t -> unit;
-  recover : unit -> unit;
+  recover : on_done:(unit -> unit) -> unit;
+      (** Replay durable state after a reboot. Logged protocols finish
+          synchronously and call [on_done] before returning; L1PC must
+          first read back its replica group over the network, so
+          [on_done] fires later — the node stays non-serving until
+          then. *)
   on_suspect : Netsim.Address.t -> unit;
   outstanding : unit -> int;
   owns : Txn.id -> bool;

@@ -595,6 +595,12 @@ let on_message t ~src (msg : Wire.t) =
       (* 1PC-only traffic; answering ACK is harmless and keeps mixed
          clusters live. *)
       t.ctx.Context.send ~dst:src (Wire.Ack { txn })
+  | Wire.Vote_req _ | Wire.Vote _ | Wire.Rep_store _ | Wire.Rep_ack _
+  | Wire.Decide _ | Wire.Decide_ack _ | Wire.Rep_drop _ | Wire.Recover_req _
+  | Wire.Recover_resp _ ->
+      (* L1PC-only traffic; a logged node has no volatile vote state to
+         offer, so silence is the truthful answer. *)
+      ()
 
 let on_suspect _t _peer = ()
 
@@ -746,10 +752,16 @@ let rec recover_worker t (img : Log_scan.image) =
 (* A server can host a 1PC engine alongside this one (1PC nodes fall
    back to PrN for multi-worker plans), so recovery must only touch this
    family's transactions: coordinator images carrying a REDO plan and
-   worker images that never prepared are 1PC's. *)
+   committed-but-never-prepared worker images are 1PC's. An aborted
+   worker image is always ours even without a PREPARED record: an
+   unprepared worker forces [ABORTED] on receiving the decision, and a
+   crash during that force can land it as the image's only record (the
+   in-service write completes after the host dies). 1PC workers never
+   write ABORTED, so claiming these is safe — and necessary, or the
+   orphan record is never collected and the log never drains. *)
 let owns_image t (img : Log_scan.image) =
   if img.id.origin = t.ctx.Context.self_server then img.plan = None
-  else img.prepared
+  else img.prepared || img.aborted
 
 let owns t id =
   Hashtbl.mem t.coords (key id) || Hashtbl.mem t.works (key id)

@@ -1,11 +1,11 @@
 (** Inter-MDS protocol messages.
 
-    One message type serves all four protocols; each uses the subset its
-    state machine needs. The [Update_req]/[Updated] pair is the {e
-    baseline} traffic any distributed namespace operation needs even
-    without an atomic commitment protocol; everything else is ACP
-    overhead — the distinction Table I draws with its "additional
-    messages" columns. *)
+    One message type serves all five protocols; each uses the subset its
+    state machine needs. The [Update_req]/[Updated] pair — and its
+    logless twin [Vote_req]/[Vote] — is the {e baseline} traffic any
+    distributed namespace operation needs even without an atomic
+    commitment protocol; everything else is ACP overhead — the
+    distinction Table I draws with its "additional messages" columns. *)
 
 type t =
   | Update_req of {
@@ -30,10 +30,42 @@ type t =
   | Decision of { txn : Txn.id; committed : bool }
   | Ack_req of { txn : Txn.id }
       (** 1PC worker asking the coordinator to resend ACKNOWLEDGE. *)
+  | Vote_req of { txn : Txn.id; updates : Mds.Update.t list }
+      (** L1PC: apply these updates volatilely and vote — the logless
+          twin of a one-phase [Update_req]. *)
+  | Vote of { txn : Txn.id; vote : bool }
+      (** L1PC worker's vote, sent once its vote state is replicated.
+          [vote = false] means the updates failed and nothing was
+          kept. *)
+  | Rep_store of { txn : Txn.id; owner : int; updates : Mds.Update.t list }
+      (** L1PC worker [owner] parking its volatile vote state at a
+          replica-group member. *)
+  | Rep_ack of { txn : Txn.id }
+  | Decide of { txn : Txn.id; commit : bool; updates : Mds.Update.t list }
+      (** L1PC coordinator's decision. Carries the worker's updates so a
+          worker that lost everything can still apply a commit. *)
+  | Decide_ack of { txn : Txn.id }
+  | Rep_drop of { txn : Txn.id }
+      (** L1PC worker releasing a replica entry after the decision. *)
+  | Recover_req of { owner : int }
+      (** L1PC restart: [owner] asking a replica-group member for every
+          vote entry it holds on [owner]'s behalf. *)
+  | Recover_resp of {
+      owner : int;
+      items : (Txn.id * Mds.Update.t list) list;
+    }
 
 val txn : t -> Txn.id
+(** Total. Owner-scoped recovery messages answer with a synthetic id
+    [{origin = owner; seq = 0}]; seq 0 is never a real transaction. *)
+
 val is_baseline : t -> bool
-(** [Update_req]/[Updated] — traffic that exists even without an ACP. *)
+(** [Update_req]/[Updated] and [Vote_req]/[Vote] — traffic that exists
+    even without an ACP. *)
+
+val is_recovery : t -> bool
+(** [Recover_req]/[Recover_resp] — the only messages a node answers
+    while it is up but not yet serving. *)
 
 val label : t -> string
 (** Short tag for tracing and ledger keys, e.g. ["prepare"]. *)

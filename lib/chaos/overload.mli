@@ -76,7 +76,7 @@ val campaign :
   seeds:int ->
   spec ->
   campaign
-(** [seeds] pairs per protocol (default: all four). *)
+(** [seeds] pairs per protocol (default: all five). *)
 
 val failures : campaign -> outcome list
 

@@ -111,7 +111,8 @@ let execute ?schedule spec ~protocol ~seed =
                baseline.Netsim.Network.drop_probability;
              Opc_cluster.Cluster.set_duplicate_probability cluster
                baseline.Netsim.Network.duplicate_probability;
-             Opc_cluster.Cluster.set_disk_slowdown cluster 1.0));
+             Opc_cluster.Cluster.set_disk_slowdown cluster 1.0;
+             Opc_cluster.Cluster.set_fencing_available cluster true));
       Opc_cluster.Cluster.run_for cluster
         (Simkit.Time.span_ms (spec.window_ms + 200));
       let settled =
@@ -231,5 +232,6 @@ let repro_snippet spec ~protocol ~seed schedule =
     | Acp.Protocol.Prn -> "Prn"
     | Acp.Protocol.Prc -> "Prc"
     | Acp.Protocol.Ep -> "Ep"
-    | Acp.Protocol.Opc -> "Opc")
+    | Acp.Protocol.Opc -> "Opc"
+    | Acp.Protocol.Lp1 -> "Lp1")
     seed

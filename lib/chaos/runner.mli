@@ -69,7 +69,7 @@ val campaign :
   seeds:int ->
   spec ->
   campaign
-(** [seeds] runs per protocol (default: all four), seeded
+(** [seeds] runs per protocol (default: all five), seeded
     [first_seed .. first_seed + seeds - 1] — the same seeds, hence the
     same schedules and workloads, for every protocol. *)
 

@@ -8,6 +8,7 @@ type event =
   | Loss_burst of { pct : int; at_ms : int; until_ms : int }
   | Duplicate_burst of { pct : int; at_ms : int; until_ms : int }
   | Disk_degrade of { factor_x10 : int; at_ms : int; until_ms : int }
+  | San_outage of { at_ms : int; until_ms : int }
 
 type t = { window_ms : int; events : event list }
 
@@ -20,7 +21,8 @@ let time_of = function
   | Heal_all { at_ms }
   | Loss_burst { at_ms; _ }
   | Duplicate_burst { at_ms; _ }
-  | Disk_degrade { at_ms; _ } ->
+  | Disk_degrade { at_ms; _ }
+  | San_outage { at_ms; _ } ->
       at_ms
 
 let pp_event ppf = function
@@ -39,6 +41,8 @@ let pp_event ppf = function
   | Disk_degrade { factor_x10; at_ms; until_ms } ->
       Fmt.pf ppf "%d..%dms disk x%.1f" at_ms until_ms
         (float_of_int factor_x10 /. 10.)
+  | San_outage { at_ms; until_ms } ->
+      Fmt.pf ppf "%d..%dms san outage" at_ms until_ms
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%dms window:@,%a@]" t.window_ms
@@ -70,6 +74,8 @@ let pp_ocaml_event ppf = function
       Fmt.pf ppf
         "Disk_degrade { factor_x10 = %d; at_ms = %d; until_ms = %d }"
         factor_x10 at_ms until_ms
+  | San_outage { at_ms; until_ms } ->
+      Fmt.pf ppf "San_outage { at_ms = %d; until_ms = %d }" at_ms until_ms
 
 let pp_ocaml ppf t =
   Fmt.pf ppf
@@ -139,6 +145,7 @@ let validate ~servers t =
     | Disk_degrade { factor_x10; at_ms; until_ms } ->
         if factor_x10 < 1 then bad "degrade factor must be >= 0.1"
         else check_burst ~at_ms ~until_ms
+    | San_outage { at_ms; until_ms } -> check_burst ~at_ms ~until_ms
   in
   if t.window_ms <= 0 then bad "empty window"
   else
@@ -244,5 +251,7 @@ let to_faults ~origin ~servers t =
           Opc_cluster.Fault.Disk_degrade
             { factor = float_of_int factor_x10 /. 10.0;
               at = at at_ms;
-              until = at until_ms })
+              until = at until_ms }
+      | San_outage { at_ms; until_ms } ->
+          Opc_cluster.Fault.San_outage { at = at at_ms; until = at until_ms })
     t.events

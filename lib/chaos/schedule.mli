@@ -19,6 +19,11 @@ type event =
   | Duplicate_burst of { pct : int; at_ms : int; until_ms : int }
   | Disk_degrade of { factor_x10 : int; at_ms : int; until_ms : int }
       (** scale log-device service time by [factor_x10 / 10] *)
+  | San_outage of { at_ms : int; until_ms : int }
+      (** fencing controller unreachable between the two times. Never
+          drawn by {!generate} (keeping historical seeded schedules
+          bit-identical); written by hand for the SAN-availability
+          differential tests *)
 
 type t = { window_ms : int; events : event list }
 

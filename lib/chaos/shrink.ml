@@ -19,6 +19,7 @@ let with_time e at_ms =
   | Loss_burst r -> Loss_burst { r with at_ms }
   | Duplicate_burst r -> Duplicate_burst { r with at_ms }
   | Disk_degrade r -> Disk_degrade { r with at_ms }
+  | San_outage r -> San_outage { r with at_ms }
 
 (* A delay candidate halves the event's remaining activity: point events
    move halfway to the window's end (less of the run is disturbed),
@@ -32,7 +33,8 @@ let delayed_event window_ms e =
     match e with
     | Loss_burst { until_ms; _ }
     | Duplicate_burst { until_ms; _ }
-    | Disk_degrade { until_ms; _ } ->
+    | Disk_degrade { until_ms; _ }
+    | San_outage { until_ms; _ } ->
         halfway at until_ms
     | Crash _ | Restart _ | Partition_pair _ | Partition_group _
     | Heal_pair _ | Heal_all _ ->

@@ -500,6 +500,8 @@ let set_disk_slowdown t factor =
     (fun d -> Storage.Disk.set_slowdown d factor)
     (Storage.San.devices t.san)
 
+let set_fencing_available t b = Storage.San.set_fencing_available t.san b
+
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
 (* ------------------------------------------------------------------ *)

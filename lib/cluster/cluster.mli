@@ -131,6 +131,11 @@ val set_disk_slowdown : t -> float -> unit
     [1.0] restores nominal bandwidth) — transient shared-storage
     degradation. *)
 
+val set_fencing_available : t -> bool -> unit
+(** Toggle the SAN's fencing controller ({!Storage.San.set_fencing_available});
+    [false] silently drops new fence requests — the availability fault
+    the L1PC differential test injects. *)
+
 (** {1 Running} *)
 
 val run_for : t -> Simkit.Time.span -> unit

@@ -13,6 +13,7 @@ type t = {
   max_soft_retries : int;
   tombstone_ttl : Simkit.Time.span option;
   tombstone_cap : int;
+  replica_group_size : int;
   heartbeat_interval : Simkit.Time.span;
   detector_timeout : Simkit.Time.span;
   restart_delay : Simkit.Time.span;
@@ -41,6 +42,7 @@ let default =
     max_soft_retries = 2;
     tombstone_ttl = None;
     tombstone_cap = 4096;
+    replica_group_size = 2;
     heartbeat_interval = Simkit.Time.span_ms 50;
     detector_timeout = Simkit.Time.span_ms 250;
     restart_delay = Simkit.Time.span_ms 100;
@@ -75,6 +77,8 @@ let validate t =
     | None -> false
   then Error "zero tombstone TTL"
   else if t.tombstone_cap < 1 then Error "tombstone cap must be positive"
+  else if t.replica_group_size < 1 then
+    Error "replica group size must be positive"
   else
     match t.sample_period with
     | Some p when Simkit.Time.span_to_ns p <= 0 ->

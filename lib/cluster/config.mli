@@ -46,6 +46,10 @@ type t = {
       (** hard bound on live tombstones per node; exceeding it expires
           the oldest entries early (still safe — they fall behind the
           stale horizon) *)
+  replica_group_size : int;
+      (** L1PC: how many peers hold copies of each server's volatile
+          vote state (ring successors by server slot, clamped to
+          [servers - 1]; default 2). Ignored by the logged protocols *)
   heartbeat_interval : Simkit.Time.span;
   detector_timeout : Simkit.Time.span;
   restart_delay : Simkit.Time.span;  (** reboot time after crash/STONITH *)

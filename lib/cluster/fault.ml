@@ -9,6 +9,8 @@ let label_dup_burst = Simkit.Label.v Chaos "fault.dup_burst"
 let label_dup_burst_end = Simkit.Label.v Chaos "fault.dup_burst.end"
 let label_disk_degrade = Simkit.Label.v Chaos "fault.disk_degrade"
 let label_disk_degrade_end = Simkit.Label.v Chaos "fault.disk_degrade.end"
+let label_san_outage = Simkit.Label.v Chaos "fault.san_outage"
+let label_san_outage_end = Simkit.Label.v Chaos "fault.san_outage.end"
 
 type event =
   | Crash of { server : int; at : Simkit.Time.t }
@@ -31,6 +33,7 @@ type event =
       at : Simkit.Time.t;
       until : Simkit.Time.t;
     }
+  | San_outage of { at : Simkit.Time.t; until : Simkit.Time.t }
 
 let pp_event ppf = function
   | Crash { server; at } ->
@@ -55,6 +58,9 @@ let pp_event ppf = function
   | Disk_degrade { factor; at; until } ->
       Fmt.pf ppf "disk degrade x%g @ %a .. %a" factor Simkit.Time.pp at
         Simkit.Time.pp until
+  | San_outage { at; until } ->
+      Fmt.pf ppf "san outage @ %a .. %a" Simkit.Time.pp at Simkit.Time.pp
+        until
 
 (* [on_fire] runs inside the already-scheduled callback, just before the
    fault itself, so threading it through (the journal hook) adds no
@@ -143,6 +149,17 @@ let disk_degrade_at ?(on_fire = ignore) cluster ~factor ~at ~until =
     (Simkit.Engine.schedule_at engine ~label:label_disk_degrade_end
        ~at:until (fun () -> Cluster.set_disk_slowdown cluster 1.0))
 
+let san_outage_at ?(on_fire = ignore) cluster ~at ~until =
+  check_burst ~what:"san_outage_at" ~at ~until;
+  let engine = Cluster.engine cluster in
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:label_san_outage ~at (fun () ->
+         on_fire ();
+         Cluster.set_fencing_available cluster false));
+  ignore
+    (Simkit.Engine.schedule_at engine ~label:label_san_outage_end ~at:until
+       (fun () -> Cluster.set_fencing_available cluster true))
+
 let inject cluster events =
   let journal = Cluster.journal cluster in
   List.iteri
@@ -170,5 +187,6 @@ let inject cluster events =
       | Duplicate_burst { probability; at; until } ->
           duplicate_burst_at ~on_fire cluster ~probability ~at ~until
       | Disk_degrade { factor; at; until } ->
-          disk_degrade_at ~on_fire cluster ~factor ~at ~until)
+          disk_degrade_at ~on_fire cluster ~factor ~at ~until
+      | San_outage { at; until } -> san_outage_at ~on_fire cluster ~at ~until)
     events

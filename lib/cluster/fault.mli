@@ -32,6 +32,11 @@ type event =
     }
       (** multiply every log device's service time by [factor], back to
           nominal at [until] *)
+  | San_outage of { at : Simkit.Time.t; until : Simkit.Time.t }
+      (** fencing controller unreachable: {!Storage.San.fence} requests
+          are silently lost between [at] and [until] — the differential
+          fault that stalls SAN-dependent 1PC recovery while L1PC's
+          replica-quorum recovery sails through *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -90,6 +95,13 @@ val disk_degrade_at :
 (** Bursts raise [Invalid_argument] if [until] precedes [at]. Overlapping
     bursts of one kind do not stack: each disarm restores the
     configuration baseline. [on_fire] runs on the arming event only. *)
+
+val san_outage_at :
+  ?on_fire:(unit -> unit) ->
+  Cluster.t ->
+  at:Simkit.Time.t ->
+  until:Simkit.Time.t ->
+  unit
 
 val inject : Cluster.t -> event list -> unit
 (** Arm a whole plan. Events in the past raise (the engine refuses

@@ -89,6 +89,11 @@ let dispatch t ~src (wire : Acp.Wire.t) =
             ->
               fb
           | Acp.Wire.Updated _ | Acp.Wire.Ack _ -> p
+          | Acp.Wire.Vote_req _ | Acp.Wire.Vote _ | Acp.Wire.Rep_store _
+          | Acp.Wire.Rep_ack _ | Acp.Wire.Decide _ | Acp.Wire.Decide_ack _
+          | Acp.Wire.Rep_drop _ | Acp.Wire.Recover_req _
+          | Acp.Wire.Recover_resp _ ->
+              p
         in
         target.Acp.Protocol.on_message ~src wire
   | None, _ -> ()
@@ -102,8 +107,13 @@ let handle_envelope t (env : Msg.t Netsim.Network.envelope) =
     | Msg.Heartbeat -> ()
     | Msg.Acp wire ->
         (* A server still replaying its log does not serve protocol
-           traffic; peers retransmit on their timers. *)
-        if t.serving then dispatch t ~src:env.src wire
+           traffic; peers retransmit on their timers. Quorum-read
+           recovery messages are the exception: a restarting L1PC node
+           must be able to ask a peer that is itself mid-recovery (or
+           vice versa), or two nodes felled by the same burst would
+           deadlock waiting for each other to start serving. *)
+        if t.serving || Acp.Wire.is_recovery wire then
+          dispatch t ~src:env.src wire
   end
 
 (* ------------------------------------------------------------------ *)
@@ -228,6 +238,15 @@ let make_context t =
       Option.value t.sv.config.Config.tombstone_ttl
         ~default:(Simkit.Time.mul_span t.sv.config.Config.txn_timeout 8);
     tombstone_cap = t.sv.config.Config.tombstone_cap;
+    replicas =
+      (* Ring successors by server slot — deterministic, no discovery
+         round, and evenly spread: each node both owns a group and sits
+         in [replica_group_size] other groups. *)
+      (let n = List.length (Netsim.Network.endpoints t.sv.network) in
+       let count =
+         min t.sv.config.Config.replica_group_size (max (n - 1) 0)
+       in
+       List.init count (fun i -> (t.server + i + 1) mod n));
     suspects =
       (fun peer ->
         match t.detector with
@@ -366,12 +385,21 @@ let bring_up t ~recover =
                      records =
                        (Storage.Wal.stats t.wal).Storage.Wal.records_durable;
                    });
-            primary.Acp.Protocol.recover ();
-            (match fallback with
-            | Some fb -> fb.Acp.Protocol.recover ()
-            | None -> ());
-            t.serving <- true;
-            journal_node t Obs.Journal.Serving
+            (* Logged protocols recover synchronously (their [on_done]
+               fires inline, preserving the historical event order);
+               L1PC's quorum read completes asynchronously, and the node
+               must not serve until the parked votes are re-installed. *)
+            let finish () =
+              if t.up && t.epoch = epoch then begin
+                t.serving <- true;
+                journal_node t Obs.Journal.Serving
+              end
+            in
+            primary.Acp.Protocol.recover ~on_done:(fun () ->
+                if t.up && t.epoch = epoch then
+                  match fallback with
+                  | Some fb -> fb.Acp.Protocol.recover ~on_done:finish
+                  | None -> finish ())
           end)
         ()
     in

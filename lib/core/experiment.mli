@@ -18,7 +18,9 @@ type fig6_point = {
 }
 
 val paper_fig6 : Acp.Protocol.kind -> float
-(** The published series: PrN 15, PrC 15.06, EP 16, 1PC 24 ops/s. *)
+(** The published series: PrN 15, PrC 15.06, EP 16, 1PC 24 ops/s.
+    L1PC is not in the paper; it reuses the 1PC figure as its closest
+    published reference point. *)
 
 val fig6_config : Opc_cluster.Config.t
 (** The §IV parameters: 1 µs methods, 100 µs network, 400 KB/s disk,
@@ -33,7 +35,7 @@ val run_fig6_point :
 
 val run_fig6 :
   ?config:Opc_cluster.Config.t -> ?count:int -> unit -> fig6_point list
-(** All four protocols. *)
+(** All five protocols. *)
 
 (** {1 Table I — protocol cost accounting} *)
 
@@ -70,7 +72,7 @@ val run_breakdown :
     paper's critical-path categories ({!Obs.Breakdown}). In this
     one-at-a-time regime the walk's force and message counts must equal
     the critical-path columns of {!Acp.Cost_model.paper_table1} — the
-    test suite asserts it for all four protocols. *)
+    test suite asserts it for every protocol. *)
 
 val run_abort_measured :
   ?config:Opc_cluster.Config.t -> ?count:int -> Acp.Protocol.kind ->

@@ -28,6 +28,7 @@ type 'r t = {
   size : 'r -> int;
   partitions : (int, 'r Wal.t) Hashtbl.t;
   fenced : (int, unit) Hashtbl.t;
+  mutable fencing_available : bool;
 }
 
 let create ~engine ?trace ?obs ?journal ~size config =
@@ -52,7 +53,10 @@ let create ~engine ?trace ?obs ?journal ~size config =
     size;
     partitions = Hashtbl.create 8;
     fenced = Hashtbl.create 8;
+    fencing_available = true;
   }
+
+let set_fencing_available t b = t.fencing_available <- b
 
 let disk t =
   match t.shared with
@@ -108,6 +112,15 @@ let wal t owner = Hashtbl.find t.partitions (Netsim.Address.index owner)
 let is_fenced t a = Hashtbl.mem t.fenced (Netsim.Address.index a)
 
 let fence t ~victim ~on_fenced =
+  if not t.fencing_available then
+    (* The fencing controller is unreachable: the request is lost and the
+       callback never fires — the caller's own retries (or a human) must
+       get it unstuck. This is the availability hazard L1PC removes. *)
+    Simkit.Trace.emitf t.trace
+      ~time:(Simkit.Engine.now t.engine)
+      ~source:"san" ~kind:"fence.unavailable" "victim %a" Netsim.Address.pp
+      victim
+  else begin
   let idx = Netsim.Address.index victim in
   expel_everywhere t ~initiator:idx;
   Hashtbl.replace t.fenced idx ();
@@ -130,6 +143,7 @@ let fence t ~victim ~on_fenced =
   ignore
     (Simkit.Engine.schedule t.engine ~label:label_fenced
        ~after:t.config.fencing_delay on_fenced)
+  end
 
 let unfence t a =
   let idx = Netsim.Address.index a in

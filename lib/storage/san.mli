@@ -80,7 +80,16 @@ val wal : 'r t -> Netsim.Address.t -> 'r Wal.t
 val fence : 'r t -> victim:Netsim.Address.t -> on_fenced:(unit -> unit) -> unit
 (** Expel [victim] from the device immediately and run [on_fenced] after
     the fencing delay. Idempotent while already fenced (the callback still
-    runs after the delay). *)
+    runs after the delay). While fencing is unavailable
+    ({!set_fencing_available}) the request is dropped silently and
+    [on_fenced] never runs. *)
+
+val set_fencing_available : 'r t -> bool -> unit
+(** Fault injection: [false] models an unreachable fencing controller
+    (fabric management outage) — {!fence} requests are lost until
+    availability is restored. Already-established fences and partition
+    reads are unaffected; this only blocks {e new} fence operations,
+    which is exactly the dependency logless recovery removes. *)
 
 val unfence : 'r t -> Netsim.Address.t -> unit
 (** Readmit a node (after it has properly rebooted and re-joined). *)

@@ -138,6 +138,10 @@ let test_protocol_names () =
     Protocol.all;
   Alcotest.(check bool) "2pc alias" true (Protocol.of_name "2PC" = Some Protocol.Prn);
   Alcotest.(check bool) "opc alias" true (Protocol.of_name "opc" = Some Protocol.Opc);
+  Alcotest.(check bool) "l1pc alias" true
+    (Protocol.of_name "l1pc" = Some Protocol.Lp1);
+  Alcotest.(check bool) "lp1 alias" true
+    (Protocol.of_name "LP1" = Some Protocol.Lp1);
   Alcotest.(check bool) "junk" true (Protocol.of_name "3pc" = None);
   Alcotest.(check bool) "1pc two servers only" true
     (Protocol.max_workers Protocol.Opc = Some 1);
@@ -165,8 +169,22 @@ let test_cost_model_values () =
   let p = Cost_model.failure_free Protocol.Prn in
   Alcotest.(check int) "PrN total sync" 5 p.Cost_model.total_sync;
   Alcotest.(check int) "PrN critical messages" 4 p.Cost_model.critical_messages;
-  (* The paper's ordering: every column weakly improves down the table. *)
-  let seq = List.map Cost_model.failure_free Protocol.all in
+  (* L1PC trades log writes for replication messages: zero forces
+     anywhere, but a bigger message bill than 1PC. *)
+  let l = Cost_model.failure_free Protocol.Lp1 in
+  Alcotest.(check int) "L1PC total sync" 0 l.Cost_model.total_sync;
+  Alcotest.(check int) "L1PC critical sync" 0 l.Cost_model.critical_sync;
+  Alcotest.(check int) "L1PC total async" 0 l.Cost_model.total_async;
+  Alcotest.(check int) "L1PC messages" 8 l.Cost_model.total_messages;
+  Alcotest.(check int) "L1PC critical messages" 2 l.Cost_model.critical_messages;
+  (* The paper's ordering: every column weakly improves down Table I.
+     That claim covers the logged protocols; L1PC sits outside the table
+     (it spends messages to eliminate writes), so it is excluded here and
+     pinned exactly above instead. *)
+  let seq =
+    List.map Cost_model.failure_free
+      [ Protocol.Prn; Protocol.Prc; Protocol.Ep; Protocol.Opc ]
+  in
   let rec monotone = function
     | a :: (b :: _ as rest) ->
         a.Cost_model.total_sync >= b.Cost_model.total_sync
@@ -192,7 +210,7 @@ let test_cost_model_table_renders () =
   List.iter
     (fun needle ->
       if not (contains s needle) then Alcotest.failf "table missing %S" needle)
-    [ "PrN"; "PrC"; "EP"; "1PC"; "(5, 1)"; "(3, 1)" ]
+    [ "PrN"; "PrC"; "EP"; "1PC"; "L1PC"; "(5, 1)"; "(3, 1)"; "(0, 0)" ]
 
 (* ------------------------------------------------------------------ *)
 (* Codec                                                               *)
@@ -378,6 +396,25 @@ let every_message =
     Wire.Decision_req { txn };
     Wire.Decision { txn; committed = true };
     Wire.Ack_req { txn };
+    Wire.Vote_req { txn; updates = [ Opc.Mds.Update.Touch { ino = 4 } ] };
+    Wire.Vote { txn; vote = false };
+    Wire.Rep_store
+      { txn; owner = 2; updates = [ Opc.Mds.Update.Unref { ino = 9 } ] };
+    Wire.Rep_ack { txn };
+    Wire.Decide
+      { txn; commit = true; updates = [ Opc.Mds.Update.Ref { ino = 3 } ] };
+    Wire.Decide_ack { txn };
+    Wire.Rep_drop { txn };
+    Wire.Recover_req { owner = 3 };
+    Wire.Recover_resp
+      {
+        owner = 3;
+        items =
+          [
+            (id 1 4, [ Opc.Mds.Update.Touch { ino = 11 } ]);
+            (id 2 6, []);
+          ];
+      };
   ]
 
 let test_codec_every_record_constructor () =
@@ -435,6 +472,31 @@ let gen_message =
       (let* txn = gen_txn and* committed = bool in
        return (Wire.Decision { txn; committed }));
       (let* txn = gen_txn in return (Wire.Ack_req { txn }));
+      (let* txn = gen_txn
+       and* updates = list_size (int_bound 4) gen_update in
+       return (Wire.Vote_req { txn; updates }));
+      (let* txn = gen_txn and* vote = bool in
+       return (Wire.Vote { txn; vote }));
+      (let* txn = gen_txn
+       and* owner = int_bound 64
+       and* updates = list_size (int_bound 4) gen_update in
+       return (Wire.Rep_store { txn; owner; updates }));
+      (let* txn = gen_txn in return (Wire.Rep_ack { txn }));
+      (let* txn = gen_txn
+       and* commit = bool
+       and* updates = list_size (int_bound 4) gen_update in
+       return (Wire.Decide { txn; commit; updates }));
+      (let* txn = gen_txn in return (Wire.Decide_ack { txn }));
+      (let* txn = gen_txn in return (Wire.Rep_drop { txn }));
+      (let* owner = int_bound 64 in return (Wire.Recover_req { owner }));
+      (let* owner = int_bound 64
+       and* items =
+         list_size (int_bound 3)
+           (let* txn = gen_txn
+            and* updates = list_size (int_bound 3) gen_update in
+            return (txn, updates))
+       in
+       return (Wire.Recover_resp { owner; items }));
     ]
 
 let prop_codec_message_roundtrip =

@@ -157,17 +157,62 @@ let test_shrink_through_runner () =
   Alcotest.(check int) "every event removed" before r.Chaos.Shrink.removed
 
 (* ------------------------------------------------------------------ *)
+(* SAN-outage differential: 1PC needs the SAN, L1PC does not           *)
+(* ------------------------------------------------------------------ *)
+
+(* A partition long enough for the failure detector drives a 1PC
+   coordinator into fence-and-read; with the SAN's fencing service down
+   the request is silently dropped and the coordinator wedges in its
+   recovery phase — the liveness oracle trips. L1PC on the *same* seed
+   and schedule recovers by asking the replica group, touching neither
+   the log nor the SAN, and sails through. The no-outage control proves
+   it is the SAN's loss, not the partition, that kills 1PC. *)
+let test_san_outage_differential () =
+  let schedule ~outage =
+    {
+      Chaos.Schedule.window_ms = 600;
+      events =
+        ((if outage then
+            [ Chaos.Schedule.San_outage { at_ms = 0; until_ms = 600 } ]
+          else [])
+        @ [
+            Chaos.Schedule.Partition_pair { a = 0; b = 1; at_ms = 50 };
+            Chaos.Schedule.Heal_all { at_ms = 450 };
+          ]);
+    }
+  in
+  let run ~outage k =
+    Chaos.Runner.execute ~schedule:(schedule ~outage)
+      Chaos.Runner.default_spec ~protocol:k ~seed:8
+  in
+  (* Control: both protocols survive the partition when the SAN is up. *)
+  Alcotest.(check bool) "1PC passes without outage" true
+    (Chaos.Runner.passed (run ~outage:false Acp.Protocol.Opc));
+  Alcotest.(check bool) "L1PC passes without outage" true
+    (Chaos.Runner.passed (run ~outage:false Acp.Protocol.Lp1));
+  (* Differential: the outage wedges 1PC's fence-based recovery... *)
+  let opc = run ~outage:true Acp.Protocol.Opc in
+  Alcotest.(check bool) "1PC fails under SAN outage" false
+    (Chaos.Runner.passed opc);
+  Alcotest.(check bool) "1PC failure is a liveness violation" true
+    (List.exists Chaos.Oracle.is_liveness opc.Chaos.Runner.violations);
+  (* ...while L1PC's quorum read never needs the SAN at all. *)
+  Alcotest.(check bool) "L1PC passes under SAN outage" true
+    (Chaos.Runner.passed (run ~outage:true Acp.Protocol.Lp1))
+
+(* ------------------------------------------------------------------ *)
 (* Smoke campaign                                                      *)
 (* ------------------------------------------------------------------ *)
 
 (* A bounded slice of what bin/chaos runs at scale: 50 seeds against
-   the two extremes of the protocol space (PrN pays the most writes,
-   1PC commits unilaterally and leans on fencing). Any oracle violation
-   is a real protocol or harness bug — print it with its schedule. *)
+   the extremes of the protocol space (PrN pays the most writes, 1PC
+   commits unilaterally and leans on fencing, L1PC never logs at all).
+   Any oracle violation is a real protocol or harness bug — print it
+   with its schedule. *)
 let test_smoke_campaign () =
   let campaign =
     Chaos.Runner.campaign
-      ~protocols:[ Acp.Protocol.Prn; Acp.Protocol.Opc ]
+      ~protocols:[ Acp.Protocol.Prn; Acp.Protocol.Opc; Acp.Protocol.Lp1 ]
       ~seeds:50 small_spec
   in
   match Chaos.Runner.failures campaign with
@@ -204,5 +249,9 @@ let () =
             test_shrink_through_runner;
         ] );
       ( "campaign",
-        [ Alcotest.test_case "chaos smoke" `Slow test_smoke_campaign ] );
+        [
+          Alcotest.test_case "chaos smoke" `Slow test_smoke_campaign;
+          Alcotest.test_case "SAN outage: 1PC wedges, L1PC survives" `Quick
+            test_san_outage_differential;
+        ] );
     ]

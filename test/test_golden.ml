@@ -26,6 +26,9 @@ let fig6_golden =
     (Acp.Protocol.Prc, "19.49", 100, 0, 3_092_240_000, 51_194_200);
     (Acp.Protocol.Ep, "19.53", 100, 0, 3_087_339_500, 51_096_190);
     (Acp.Protocol.Opc, "24.60", 100, 0, 2_544_941_400, 40_552_400);
+    (* No disk anywhere in the transaction path: throughput is bounded
+       by the network and the simulated CPU alone. *)
+    (Acp.Protocol.Lp1, "2487.56", 100, 0, 20_301_000, 402_000);
   ]
 
 let test_fig6 () =
@@ -90,6 +93,7 @@ let table1_golden =
     (Acp.Protocol.Prc, "4.00", "1.00", "3.00");
     (Acp.Protocol.Ep, "4.00", "1.00", "1.00");
     (Acp.Protocol.Opc, "3.00", "1.00", "1.00");
+    (Acp.Protocol.Lp1, "0.00", "0.00", "8.00");
   ]
 
 let test_table1 () =
@@ -123,6 +127,7 @@ let chaos_golden =
     (Acp.Protocol.Prc, [ (76, 6); (78, 5); (72, 6); (72, 7); (70, 10) ]);
     (Acp.Protocol.Ep, [ (76, 6); (77, 6); (72, 6); (72, 7); (70, 10) ]);
     (Acp.Protocol.Opc, [ (70, 12); (73, 9); (69, 12); (76, 4); (74, 6) ]);
+    (Acp.Protocol.Lp1, [ (81, 1); (70, 12); (75, 6); (76, 3); (74, 7) ]);
   ]
 
 let test_chaos () =
@@ -169,6 +174,25 @@ let test_scale_point () =
   Alcotest.(check int) "p99 ns" 276_176_000
     (Simkit.Time.span_to_ns p.latency_p99)
 
+(* The same point for the logless protocol: with no log device the
+   sharded-store regime collapses to pure message latency. *)
+let test_scale_point_l1pc () =
+  let p =
+    Experiment.run_scale_point ~servers:8 ~txns:2000 ~seed:1
+      Acp.Protocol.Lp1
+  in
+  Alcotest.(check int) "submitted" 1898 p.Experiment.submitted;
+  Alcotest.(check int) "committed" 1898 p.committed;
+  Alcotest.(check int) "aborted" 0 p.aborted;
+  Alcotest.(check int) "events" 26976 p.events;
+  Alcotest.(check int) "sim elapsed ns" 125_436_000
+    (Simkit.Time.span_to_ns p.sim_elapsed);
+  Alcotest.(check int) "p50 ns" 804_000 (Simkit.Time.span_to_ns p.latency_p50);
+  Alcotest.(check int) "p95 ns" 2_012_000
+    (Simkit.Time.span_to_ns p.latency_p95);
+  Alcotest.(check int) "p99 ns" 2_814_000
+    (Simkit.Time.span_to_ns p.latency_p99)
+
 let () =
   Alcotest.run "golden"
     [
@@ -180,6 +204,8 @@ let () =
           Alcotest.test_case "table I measured columns" `Quick test_table1;
           Alcotest.test_case "scale point (8 servers)" `Quick
             test_scale_point;
+          Alcotest.test_case "scale point (8 servers, L1PC)" `Quick
+            test_scale_point_l1pc;
         ] );
       ( "chaos",
         [ Alcotest.test_case "seeds 1-5 verdicts" `Slow test_chaos ] );

@@ -168,10 +168,16 @@ let test_breakdown_matches_table1 () =
         (pname kind ^ " critical messages")
         (Some costs.Acp.Cost_model.critical_messages)
         s.uniform_messages;
+      (* L1PC is logless: its force share must be identically zero, the
+         logged protocols must actually pay theirs. *)
+      let force_ok =
+        if kind = Acp.Protocol.Lp1 then s.mean_log_force = 0.
+        else s.mean_log_force > 0.
+      in
       Alcotest.(check bool)
         (pname kind ^ " decomposition is positive")
         true
-        (s.mean_network >= 0. && s.mean_log_force > 0. && s.mean_window > 0.))
+        (s.mean_network >= 0. && force_ok && s.mean_window > 0.))
     Acp.Protocol.all
 
 (* Every nanosecond of every window lands in exactly one category. *)

@@ -97,6 +97,7 @@ let make_harness ?(initial_log = []) () =
       max_soft_retries = 2;
       tombstone_ttl = Simkit.Time.span_ms 800;
       tombstone_cap = 4096;
+      replicas = [ 1; 2 ];
       suspects =
         (fun peer -> Hashtbl.mem suspected (Netsim.Address.index peer));
       ledger = Metrics.Ledger.create ();
@@ -160,7 +161,7 @@ let test_2pc_coord_started_only () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "abort sent to the worker" [ (1, "abort") ] (sent_labels h);
   check_replies h [ (true, "aborted (coordinator crashed)") ];
@@ -185,7 +186,7 @@ let test_2pc_coord_prepared () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "prepare resent" [ (1, "prepare") ] (sent_labels h);
   (* Our updates were replayed into the volatile cache. *)
@@ -219,7 +220,7 @@ let test_2pc_coord_prepared_worker_lost () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   clear_sent h;
   p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
@@ -245,7 +246,7 @@ let test_prn_coord_committed () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "commit resent" [ (1, "commit") ] (sent_labels h);
   Alcotest.(check bool) "updates hardened by recovery" true
@@ -272,7 +273,7 @@ let test_prc_coord_committed () =
       ()
   in
   let p = instance Protocol.Prc h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "commit forwarded" [ (1, "commit") ] (sent_labels h);
   check_replies h [ (true, "committed") ];
@@ -293,7 +294,7 @@ let test_2pc_coord_prepared_multi_worker_commit () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "prepare to both"
     [ (1, "prepare"); (2, "prepare") ]
@@ -330,7 +331,7 @@ let test_2pc_coord_prepared_multi_worker_one_no () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   clear_sent h;
   p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
@@ -360,7 +361,7 @@ let test_2pc_worker_prepared_commit () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "asks the coordinator" [ (3, "decision_req") ] (sent_labels h);
   clear_sent h;
@@ -382,7 +383,7 @@ let test_2pc_worker_prepared_abort () =
       ()
   in
   let p = instance Protocol.Prn h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   clear_sent h;
   p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
@@ -393,6 +394,23 @@ let test_2pc_worker_prepared_abort () =
     (h.ctx.Context.is_hardened foreign);
   Alcotest.(check bool) "volatile clean" true
     (Mds.State.inode (Mds.Store.volatile h.store) 7 = None)
+
+(* An unprepared worker forces a lone [ABORTED] on receiving the
+   decision; a crash during that force can land it as the image's only
+   record (the in-service write outlives the host). Recovery must claim
+   and collect it — there is nothing to resolve, but an orphan record
+   would keep the log from ever draining. *)
+let test_2pc_worker_aborted_unprepared () =
+  let h =
+    make_harness ~initial_log:[ Log_record.Aborted { txn = foreign } ] ()
+  in
+  let p = instance Protocol.Prn h in
+  p.Protocol.recover ~on_done:(fun () -> ());
+  step h;
+  check_sent "nothing to ask" [] (sent_labels h);
+  Alcotest.(check bool) "nothing hardened" false
+    (h.ctx.Context.is_hardened foreign);
+  Alcotest.(check (list string)) "orphan record collected" [] (log_labels h)
 
 (* "no entry in the log": a PREPARE for an unknown transaction is
    answered NOT-PREPARED; a COMMIT for an unknown transaction means we
@@ -446,7 +464,7 @@ let test_1pc_coord_restart_reexecutes () =
       ()
   in
   let p = instance Protocol.Opc h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "update req resubmitted" [ (1, "update_req") ] (sent_labels h);
   Alcotest.(check (option int)) "local update redone" (Some 7)
@@ -475,7 +493,7 @@ let test_1pc_coord_restart_committed () =
       ()
   in
   let p = instance Protocol.Opc h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "ack resent" [ (1, "ack") ] (sent_labels h);
   check_replies h [ (true, "committed") ];
@@ -495,7 +513,7 @@ let test_1pc_worker_restart_ack_req () =
       ()
   in
   let p = instance Protocol.Opc h in
-  p.Protocol.recover ();
+  p.Protocol.recover ~on_done:(fun () -> ());
   step h;
   check_sent "asks for the ACK" [ (3, "ack_req") ] (sent_labels h);
   Alcotest.(check bool) "hardened" true (h.ctx.Context.is_hardened foreign);
@@ -686,6 +704,155 @@ let test_1pc_tombstone_cap () =
   | [ (3, Wire.Updated { ok = false; _ }) ] -> ()
   | _ -> Alcotest.fail "evicted tombstone must still vote NO"
 
+(* ------------------------------------------------------------------ *)
+(* L1PC — logless vote parking, stateless answers, quorum-read restart *)
+(* ------------------------------------------------------------------ *)
+
+(* The worker parks its vote on both ring successors before casting it,
+   votes on the FIRST ack, and never touches the log or the SAN. *)
+let test_l1pc_worker_vote_flow () =
+  let h = make_harness () in
+  let p = instance Protocol.Lp1 h in
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Vote_req { txn = foreign; updates = updates_w });
+  step h;
+  check_sent "replicate before voting"
+    [ (1, "rep_store"); (2, "rep_store") ]
+    (sent_labels h);
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Rep_ack { txn = foreign });
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Vote { vote = true; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected YES after the first REP_ACK");
+  clear_sent h;
+  (* The second ack deepens the quorum but must not re-vote. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 2)
+    (Wire.Rep_ack { txn = foreign });
+  step h;
+  check_sent "no duplicate vote" [] (sent_labels h);
+  (* DECIDE(commit): harden, ack, release the parked copies. *)
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Decide { txn = foreign; commit = true; updates = [] });
+  step h;
+  Alcotest.(check bool) "hardened" true (h.ctx.Context.is_hardened foreign);
+  check_sent "ack then drop"
+    [ (3, "decide_ack"); (1, "rep_drop"); (2, "rep_drop") ]
+    (sent_labels h);
+  Alcotest.(check (list string)) "log never written" [] (log_labels h);
+  Alcotest.(check int) "no fencing" 0 (List.length !(h.fence_requests))
+
+(* A coordinator with no volatile state answers votes from the durable
+   image: hardened means commit, anything else is presumed abort —
+   the logged protocols' log-read rule without a log. *)
+let test_l1pc_stateless_coordinator_answers () =
+  let h = make_harness () in
+  let p = instance Protocol.Lp1 h in
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Vote { txn = txn1; vote = true });
+  step h;
+  (match List.rev !(h.sent) with
+  | [ (1, Wire.Decide { commit = false; _ }) ] -> ()
+  | _ -> Alcotest.fail "unknown vote must be presumed abort");
+  clear_sent h;
+  h.ctx.Context.harden txn1 [];
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Vote { txn = txn1; vote = true });
+  step h;
+  match List.rev !(h.sent) with
+  | [ (1, Wire.Decide { commit = true; _ }) ] -> ()
+  | _ -> Alcotest.fail "hardened image proves commit"
+
+(* Restart: a quorum read of the replica group replaces fence-and-scan.
+   A parked vote comes back, re-acquires its locks, re-votes; no SAN
+   request and no log read anywhere in the path. *)
+let test_l1pc_recovery_quorum_read () =
+  let h = make_harness () in
+  let p = instance Protocol.Lp1 h in
+  let recovered = ref false in
+  p.Protocol.recover ~on_done:(fun () -> recovered := true);
+  step h;
+  check_sent "ask the whole group"
+    [ (1, "recover_req"); (2, "recover_req") ]
+    (sent_labels h);
+  Alcotest.(check bool) "not done before quorum" false !recovered;
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Recover_resp { owner = 0; items = [ (foreign, updates_w) ] });
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 2)
+    (Wire.Recover_resp { owner = 0; items = [] });
+  step h;
+  Alcotest.(check bool) "done after quorum" true !recovered;
+  (* The resurrected vote is live again: YES re-sent to its coordinator. *)
+  (match List.rev !(h.sent) with
+  | [ (3, Wire.Vote { vote = true; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected the parked vote to be re-cast");
+  clear_sent h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 3)
+    (Wire.Decide { txn = foreign; commit = true; updates = [] });
+  step h;
+  Alcotest.(check bool) "hardened after decide" true
+    (h.ctx.Context.is_hardened foreign);
+  (* The whole crash-to-serving path consulted nothing durable. *)
+  Alcotest.(check int) "zero fence requests" 0
+    (List.length !(h.fence_requests));
+  Alcotest.(check int) "zero fence ledger" 0
+    (Metrics.Ledger.get h.ctx.Context.ledger "acp.fence");
+  Alcotest.(check (list string)) "log never read or written" []
+    (log_labels h)
+
+(* A group member that never answers cannot wedge recovery: after the
+   soft-retry budget the quorum read proceeds on the copies it has. *)
+let test_l1pc_recovery_short_quorum () =
+  let h = make_harness () in
+  let p = instance Protocol.Lp1 h in
+  let recovered = ref false in
+  p.Protocol.recover ~on_done:(fun () -> recovered := true);
+  step h;
+  p.Protocol.on_message ~src:(h.ctx.Context.address_of 1)
+    (Wire.Recover_resp { owner = 0; items = [] });
+  step h;
+  Alcotest.(check bool) "still waiting on member 2" false !recovered;
+  clear_sent h;
+  run_timers h (Simkit.Time.span_ms 1000);
+  Alcotest.(check bool) "proceeds short after retries" true !recovered;
+  (* Only the silent member was re-asked. *)
+  List.iter
+    (fun (dst, label) ->
+      if label = "recover_req" then
+        Alcotest.(check int) "resend targets the silent member" 2 dst)
+    (sent_labels h)
+
+(* Cluster-level: crash a server mid-burst under L1PC and let the full
+   stack recover it. The unavailability window must close with a fence
+   segment of exactly zero — recovery is a quorum read, never a SAN
+   fence — while the segments still telescope exactly to the total. *)
+let test_l1pc_fence_free_mttr () =
+  let p = Experiment.run_timeline Protocol.Lp1 in
+  Alcotest.(check bool) "some work committed" true (p.Experiment.committed > 0);
+  Alcotest.(check bool) "window closed" true (p.Experiment.windows <> []);
+  let ns = Simkit.Time.span_to_ns in
+  List.iter
+    (fun (w : Obs.Mttr.window) ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d fence segment is zero" w.Obs.Mttr.node)
+        0
+        (ns w.Obs.Mttr.fence);
+      Alcotest.(check int)
+        (Printf.sprintf "node %d segments telescope" w.Obs.Mttr.node)
+        (ns (Obs.Mttr.total w))
+        (ns w.detect + ns w.fence + ns w.scan + ns w.resolve))
+    p.Experiment.windows;
+  (* The lifecycle journal confirms the SAN was never asked to fence. *)
+  List.iter
+    (fun (e : Obs.Journal.entry) ->
+      match e.Obs.Journal.kind with
+      | Obs.Journal.Fence_begin _ | Obs.Journal.Fence_end _ ->
+          Alcotest.fail "L1PC recovery must not fence"
+      | _ -> ())
+    p.Experiment.journal
+
 (* Fuzz: recovery must never raise, whatever record soup the log
    contains — including shapes no run of this implementation would
    produce (a recovering server cannot afford to die on a surprising
@@ -727,7 +894,7 @@ let prop_recovery_never_raises kind =
          impossible against an empty store, so treat only unexpected
          exceptions as failures. *)
       match
-        p.Protocol.recover ();
+        p.Protocol.recover ~on_done:(fun () -> ());
         step h;
         run_timers h (Simkit.Time.span_ms 500)
       with
@@ -767,6 +934,8 @@ let () =
             test_2pc_worker_prepared_commit;
           Alcotest.test_case "PREPARED => ask, abort" `Quick
             test_2pc_worker_prepared_abort;
+          Alcotest.test_case "lone ABORTED record is collected" `Quick
+            test_2pc_worker_aborted_unprepared;
           Alcotest.test_case "no log entry" `Quick test_2pc_worker_no_entry;
           Alcotest.test_case "decision presumption" `Quick
             test_decision_presumption;
@@ -791,6 +960,19 @@ let () =
             test_1pc_tombstone_expiry_still_nacks;
           Alcotest.test_case "tombstone cap force-expires" `Quick
             test_1pc_tombstone_cap;
+        ] );
+      ( "l1pc",
+        [
+          Alcotest.test_case "worker parks vote, first ack casts it" `Quick
+            test_l1pc_worker_vote_flow;
+          Alcotest.test_case "stateless coordinator answers from image"
+            `Quick test_l1pc_stateless_coordinator_answers;
+          Alcotest.test_case "restart = quorum read, no fence" `Quick
+            test_l1pc_recovery_quorum_read;
+          Alcotest.test_case "short quorum proceeds after retries" `Quick
+            test_l1pc_recovery_short_quorum;
+          Alcotest.test_case "cluster crash: fence segment exactly zero"
+            `Quick test_l1pc_fence_free_mttr;
         ] );
       ( "fuzz",
         List.map
