@@ -1113,6 +1113,128 @@ let timeline ~smoke () =
     !failures = 0 )
 
 (* ------------------------------------------------------------------ *)
+(* Drill — crash-and-recover campaign against recovery SLOs            *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate MTTR percentiles per protocol over seeded crash drills and
+   gate on the committed recovery budgets (Opc.Drill.slo_for). The
+   structural headline: L1PC's fence budget is zero — logless recovery
+   that touches the SAN fencing controller is a regression, not noise.
+   [--impossible-slo] swaps in unmeetable budgets so CI can prove the
+   gate trips. *)
+let drill ~smoke ~seeds ~impossible_slo () =
+  section
+    (Fmt.str "drill: %d crash-and-recover drill(s) per protocol vs \
+              recovery SLOs%s"
+       seeds
+       (if impossible_slo then " (negative control: impossible budgets)"
+        else ""));
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:
+        [
+          "protocol"; "drills"; "windows"; "detect p99"; "fence p99";
+          "scan p99"; "resolve p99"; "MTTR p50"; "MTTR p99"; "d+f+s p99";
+          "status";
+        ]
+  in
+  let span = Opc.Simkit.Time.pp_span in
+  let ns n = Fmt.str "%a" span (Opc.Simkit.Time.span_ns n) in
+  let failures = ref [] in
+  let rows =
+    List.map
+      (fun kind ->
+        let s = Opc.Drill.campaign ~seeds ~first_seed:1 kind in
+        let slo =
+          if impossible_slo then Opc.Drill.impossible_slo
+          else Opc.Drill.slo_for kind
+        in
+        let fails = Opc.Drill.check ~slo s in
+        failures := !failures @ fails;
+        let name = Opc.Acp.Protocol.name kind in
+        Opc.Metrics.Table.add_row t
+          [
+            name;
+            string_of_int (List.length s.Opc.Drill.runs);
+            string_of_int s.Opc.Drill.windows;
+            ns s.Opc.Drill.detect.p99_ns;
+            ns s.Opc.Drill.fence.p99_ns;
+            ns s.Opc.Drill.scan.p99_ns;
+            ns s.Opc.Drill.resolve.p99_ns;
+            ns s.Opc.Drill.total.p50_ns;
+            ns s.Opc.Drill.total.p99_ns;
+            ns s.Opc.Drill.dfs_p99_ns;
+            (if fails = [] then "ok" else "FAIL");
+          ];
+        let seg name (sg : Opc.Drill.segment) =
+          [
+            (name ^ "_p50_ns", Json.Int sg.p50_ns);
+            (name ^ "_p99_ns", Json.Int sg.p99_ns);
+          ]
+        in
+        let status (st : Opc.Drill.status) =
+          Json.Obj
+            [
+              ("committed", Json.Int st.committed);
+              ("aborted", Json.Int st.aborted);
+              ("serving", Json.Int st.serving);
+            ]
+        in
+        Json.Obj
+          ([
+             ("protocol", Json.Str name);
+             ("drills", Json.Int (List.length s.Opc.Drill.runs));
+             ("windows", Json.Int s.Opc.Drill.windows);
+           ]
+          @ seg "detect" s.Opc.Drill.detect
+          @ seg "fence" s.Opc.Drill.fence
+          @ seg "scan" s.Opc.Drill.scan
+          @ seg "resolve" s.Opc.Drill.resolve
+          @ seg "total" s.Opc.Drill.total
+          @ [
+              ("dfs_p99_ns", Json.Int s.Opc.Drill.dfs_p99_ns);
+              ( "slo",
+                Json.Obj
+                  [
+                    ("fence_p99_ns", Json.Int slo.Opc.Drill.fence_p99_ns);
+                    ("dfs_p99_ns", Json.Int slo.Opc.Drill.dfs_p99_ns);
+                    ("total_p99_ns", Json.Int slo.Opc.Drill.total_p99_ns);
+                  ] );
+              ( "runs",
+                Json.List
+                  (List.map
+                     (fun (r : Opc.Drill.run) ->
+                       Json.Obj
+                         [
+                           ("seed", Json.Int r.seed);
+                           ("crash_server", Json.Int r.crash_server);
+                           ("status_before", status r.before);
+                           ("status_after", status r.after);
+                           ("windows", Json.Int (List.length r.windows));
+                         ])
+                     s.Opc.Drill.runs) );
+              ( "failures",
+                Json.List (List.map (fun m -> Json.Str m) fails) );
+              ("ok", Json.Bool (fails = []));
+            ]))
+      (if smoke then [ Opc.Acp.Protocol.Opc; Opc.Acp.Protocol.Lp1 ]
+       else Opc.Acp.Protocol.all)
+  in
+  Opc.Metrics.Table.print t;
+  List.iter (fun m -> Fmt.epr "bench drill: %s@." m) !failures;
+  if !failures = [] then
+    Fmt.pr "all recovery SLOs hold (L1PC fence p99 = 0 enforced)@.";
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "drill");
+        ("seeds", Json.Int seeds);
+        ("impossible_slo", Json.Bool impossible_slo);
+        ("protocols", Json.List rows);
+        ("ok", Json.Bool (!failures = []));
+      ],
+    !failures = [] )
+
+(* ------------------------------------------------------------------ *)
 (* Check — events/s regression gate                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1315,9 +1437,56 @@ let regression_check ~against ~tolerance () =
                           ])
                       growths)
       in
+      (* A tripped perf gate is an incident too: bundle the verdict, the
+         verbatim repro and the profiled rerun's flame graph so the
+         regression ships with its own evidence. *)
+      let incident =
+        if ok then None
+        else begin
+          let _, rnow =
+            run_profiled_point ~servers ~txns ~seed Opc.Acp.Protocol.Opc
+          in
+          let source =
+            {
+              Obs.Autopsy.verdict =
+                Fmt.str
+                  "bench check: REGRESSION: %.0f events/s (cpu) below floor \
+                   %.0f (baseline %.0f, tolerance %.0f%%)"
+                  eps floor_eps base_eps (tolerance *. 100.);
+              protocol = opc_name;
+              seed;
+              repro =
+                Fmt.str
+                  "dune exec bench/main.exe -- check --against %s \
+                   --tolerance %g"
+                  against tolerance;
+              schedule = "";
+              diagnostics = "";
+              tracer = Obs.Tracer.disabled ();
+              journal = Obs.Journal.disabled ();
+              recorder = Obs.Recorder.disabled ();
+              gauge_columns = [||];
+              windows = [];
+              profile = Some rnow;
+            }
+          in
+          let dir = Fmt.str "INCIDENT_check_%d" seed in
+          ignore (Obs.Autopsy.write ~dir source);
+          (match Obs.Autopsy.validate dir with
+          | Ok () -> Fmt.pr "  incident bundle: %s@." dir
+          | Error e ->
+              Fmt.epr "bench check: incident bundle failed validation: %s@."
+                e);
+          Some dir
+        end
+      in
       ( Json.Obj
-          [
-            ("benchmark", Json.Str "check");
+          ((("benchmark", Json.Str "check")
+           ::
+           (match incident with
+           | Some d -> [ ("incident", Json.Str d) ]
+           | None -> []))
+          @ [
             ("against", Json.Str against);
             ("tolerance", Json.Float tolerance);
             ("protocol", Json.Str opc_name);
@@ -1334,7 +1503,7 @@ let regression_check ~against ~tolerance () =
             ("wall_s", Json.Float wall);
             ("ok", Json.Bool ok);
             ("attribution", Json.List attribution);
-          ],
+          ]),
         ok )
 
 (* ------------------------------------------------------------------ *)
@@ -1571,9 +1740,9 @@ let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
      [--txns N] [--against PATH] [--tolerance F] \
-     [--unbounded]@.subcommands: all \
+     [--unbounded] [--impossible-slo]@.subcommands: all \
      (default) | scale | breakdown | timeline | profile | check | \
-     overload | \
+     overload | drill | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
      txns/protocol), --txns N per protocol (default 20), \
@@ -1584,7 +1753,10 @@ let usage () =
      PATH (default BENCH_scale.json), --tolerance F (default \
      0.15)@.overload flags: --smoke (shorter sweep), --unbounded \
      (disable admission control; the graceful-degradation gate should \
-     then fail)@.every subcommand writes BENCH_<name>.json (override \
+     then fail)@.drill flags: --smoke (1PC and L1PC only, 3 seeds), \
+     --seeds N drills per protocol (default 5), --impossible-slo \
+     (negative control: zero budgets so the gate must trip)@.every \
+     subcommand writes BENCH_<name>.json (override \
      with --json) and prints the path@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
 
@@ -1593,8 +1765,10 @@ let () =
   let json_path = ref None in
   let smoke = ref false in
   let seeds = ref 2 in
+  let seeds_set = ref false in
   let txns = ref 20_000 in
   let txns_set = ref false in
+  let impossible_slo = ref false in
   let against = ref "BENCH_scale.json" in
   let tolerance = ref 0.15 in
   let unbounded = ref false in
@@ -1633,7 +1807,11 @@ let () =
           parse (i + 1)
       | "--seeds" ->
           seeds := int_arg "--seeds" (next_value "--seeds");
+          seeds_set := true;
           parse (i + 2)
+      | "--impossible-slo" ->
+          impossible_slo := true;
+          parse (i + 1)
       | "--txns" ->
           txns := int_arg "--txns" (next_value "--txns");
           txns_set := true;
@@ -1714,6 +1892,16 @@ let () =
        with Json_in.Parse_error msg ->
          Fmt.epr "overload: %s is invalid JSON: %s@." path msg;
          exit 1);
+      if not ok then exit 1
+  | "drill" ->
+      let drill_seeds =
+        if !seeds_set then !seeds else if !smoke then 3 else 5
+      in
+      let json, ok =
+        drill ~smoke:!smoke ~seeds:drill_seeds
+          ~impossible_slo:!impossible_slo ()
+      in
+      emit ~default:"BENCH_drill.json" json;
       if not ok then exit 1
   | name -> (
       match List.assoc_opt name (Lazy.force subcommands) with

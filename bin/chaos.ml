@@ -57,6 +57,22 @@ let shrink_arg =
   in
   Arg.(value & flag & info [ "shrink" ] ~doc)
 
+let autopsy_arg =
+  let doc = "On the first failure, shrink it, replay the minimal schedule \
+             with every collector enabled and write a self-describing \
+             incident bundle (INCIDENT_<protocol>_<seed>/) under $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "autopsy" ] ~doc ~docv:"DIR")
+
+let settle_deadline_arg =
+  let doc = "Settle deadline in milliseconds (default 120000). Lowering it \
+             turns slow convergence into a deterministic liveness failure — \
+             CI uses a tiny value to exercise the autopsy path."
+  in
+  Arg.(value & opt int Opc.Chaos.Runner.default_spec.settle_deadline_ms
+       & info [ "settle-deadline" ] ~doc)
+
 let overload_arg =
   let doc = "Run the overload campaign instead of the closed-loop one: \
              each seed pairs a below-knee reference run with an open-loop \
@@ -67,7 +83,7 @@ let overload_arg =
   in
   Arg.(value & flag & info [ "overload" ] ~doc)
 
-let run_overload protocols seeds first_seed duration servers shrink =
+let run_overload protocols seeds first_seed duration servers shrink autopsy =
   let spec =
     {
       Opc.Chaos.Overload.default_spec with
@@ -84,9 +100,15 @@ let run_overload protocols seeds first_seed duration servers shrink =
       Fmt.pr "all %d overload runs passed@." (seeds * List.length protocols);
       0
   | fails ->
+      if autopsy <> None then
+        Fmt.pr "(autopsy bundles cover closed-loop campaigns; printing \
+                repro command lines instead)@.";
       List.iter
         (fun (o : Opc.Chaos.Overload.outcome) ->
           Fmt.pr "@.%a@." Opc.Chaos.Overload.pp_outcome o;
+          Fmt.pr "repro: %s@."
+            (Opc.Chaos.Overload.repro_command spec ~protocol:o.protocol
+               ~seed:o.seed);
           if shrink then
             match Opc.Chaos.Overload.shrink spec o with
             | None -> Fmt.pr "(no fault schedule to shrink)@."
@@ -101,7 +123,7 @@ let run_overload protocols seeds first_seed duration servers shrink =
       1
 
 let chaos protocols seeds first_seed duration servers clients ops shrink
-    overload =
+    overload autopsy settle_deadline =
   let usage_error msg =
     Fmt.epr "chaos: %s@." msg;
     exit 2
@@ -111,6 +133,8 @@ let chaos protocols seeds first_seed duration servers clients ops shrink
   if seeds < 0 then usage_error "--seeds must be non-negative";
   if clients < 1 || ops < 1 then
     usage_error "--clients and --ops must be positive";
+  if settle_deadline < 1 then
+    usage_error "--settle-deadline must be positive (ms)";
   let spec =
     {
       Opc.Chaos.Runner.default_spec with
@@ -118,12 +142,14 @@ let chaos protocols seeds first_seed duration servers clients ops shrink
       clients;
       ops_per_client = ops;
       window_ms = duration;
+      settle_deadline_ms = settle_deadline;
     }
   in
   let protocols =
     match protocols with [] -> Opc.Acp.Protocol.all | ps -> ps
   in
-  if overload then run_overload protocols seeds first_seed duration servers shrink
+  if overload then
+    run_overload protocols seeds first_seed duration servers shrink autopsy
   else
   let campaign = Opc.Chaos.Runner.campaign ~protocols ~first_seed ~seeds spec in
   Opc.Metrics.Table.print (Opc.Chaos.Runner.table campaign);
@@ -132,9 +158,19 @@ let chaos protocols seeds first_seed duration servers clients ops shrink
       Fmt.pr "all %d runs passed@." (seeds * List.length protocols);
       0
   | fails ->
+      (* The bundle covers the first failure: one shrink + observed
+         replay is cheap; per-failure bundles of a broad sweep are not. *)
+      (match (autopsy, fails) with
+      | Some dir, o :: _ ->
+          let bundle = Opc.Chaos.Runner.autopsy ~dir spec o in
+          Fmt.pr "incident bundle: %s@." bundle
+      | _ -> ());
       List.iter
         (fun (o : Opc.Chaos.Runner.outcome) ->
           Fmt.pr "@.%a@." Opc.Chaos.Runner.pp_outcome o;
+          Fmt.pr "repro: %s@."
+            (Opc.Chaos.Runner.repro_command spec ~protocol:o.protocol
+               ~seed:o.seed);
           if shrink then begin
             let r = Opc.Chaos.Runner.shrink spec o in
             Fmt.pr
@@ -159,6 +195,7 @@ let main =
           atomicity/liveness oracles and counterexample shrinking.")
     Term.(
       const chaos $ protocols_arg $ seeds_arg $ first_seed_arg $ duration_arg
-      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg $ overload_arg)
+      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg $ overload_arg
+      $ autopsy_arg $ settle_deadline_arg)
 
 let () = exit (Cmd.eval' main)

@@ -32,7 +32,17 @@
 #    graceful-degradation gate must pass with admission control on,
 #    provably fail with it off (--unbounded), and the overload chaos
 #    campaign (reference/storm pairs with fault schedules, >= 30 runs)
-#    must satisfy every oracle.
+#    must satisfy every oracle;
+# 9. recovery-drill gate: crash-and-recover campaigns per protocol,
+#    MTTR decomposed into detect/fence/scan/resolve and the percentiles
+#    checked against the committed per-protocol recovery SLOs (L1PC
+#    fence p99 must be exactly 0) — plus a negative control with
+#    impossible budgets that must trip;
+# 10. autopsy smoke: force an oracle failure (unmeetable settle
+#    deadline) through bin/chaos --autopsy, demand a complete incident
+#    bundle (manifest, ring tail, journal, trace slice, MTTR, repro
+#    line) — the runner re-parses the bundle through its own reader
+#    before exiting, so a bundle that does not validate exits nonzero.
 set -eu
 
 cd "$(dirname "$0")"
@@ -141,5 +151,67 @@ echo "overload gate trips on unbounded admission as expected"
 
 echo "== overload chaos campaign: 8 seeds x 5 protocols (retry storms + faults) =="
 dune exec bin/chaos.exe -- --overload --seeds 8 --first-seed 1
+
+echo "== bench drill --smoke (MTTR percentiles vs committed recovery SLOs) =="
+# Crash-and-recover campaigns; the bench exits 1 unless every segment
+# percentile meets the protocol's committed budget — including L1PC's
+# structural claim that logless recovery never fences (fence p99 == 0).
+dune exec bench/main.exe -- drill --smoke
+
+echo "== bench drill negative test (impossible SLO must fail) =="
+# Zeroed budgets are unmeetable by construction: the gate must trip,
+# exit nonzero and name the SLO it failed. Proves the drill gate
+# compares instead of rubber-stamping.
+if dune exec bench/main.exe -- drill --smoke --impossible-slo \
+     --json BENCH_drill.negative.json > BENCH_drill.negative.out 2>&1; then
+  cat BENCH_drill.negative.out
+  rm -f BENCH_drill.negative.json BENCH_drill.negative.out
+  echo "FAIL: drill gate accepted impossible recovery SLOs" >&2
+  exit 1
+fi
+if ! grep -q "FAILS recovery SLO" BENCH_drill.negative.out; then
+  cat BENCH_drill.negative.out
+  rm -f BENCH_drill.negative.json BENCH_drill.negative.out
+  echo "FAIL: tripped drill gate named no recovery SLO" >&2
+  exit 1
+fi
+rm -f BENCH_drill.negative.json BENCH_drill.negative.out
+echo "drill gate trips on impossible SLOs as expected"
+
+echo "== autopsy smoke: forced failure must produce a valid incident bundle =="
+# An unmeetable settle deadline fails the liveness oracle on a healthy
+# run; --autopsy must then shrink it, replay it fully observed and
+# write an incident bundle that its own reader re-parses (the runner
+# exits nonzero on a bundle that fails validation). The repro line is
+# printed verbatim for every failed seed.
+rm -rf AUTOPSY_smoke
+if dune exec bin/chaos.exe -- -p 1pc --seeds 1 --first-seed 1 \
+     --settle-deadline 1 --autopsy AUTOPSY_smoke > AUTOPSY_smoke.out 2>&1; then
+  cat AUTOPSY_smoke.out
+  rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
+  echo "FAIL: chaos run with an unmeetable settle deadline passed" >&2
+  exit 1
+fi
+if ! grep -q "incident bundle: AUTOPSY_smoke/INCIDENT_1PC_1" AUTOPSY_smoke.out; then
+  cat AUTOPSY_smoke.out
+  rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
+  echo "FAIL: failed chaos run produced no incident bundle" >&2
+  exit 1
+fi
+if ! grep -q "^repro: " AUTOPSY_smoke.out; then
+  cat AUTOPSY_smoke.out
+  rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
+  echo "FAIL: failed chaos run printed no repro command" >&2
+  exit 1
+fi
+for f in incident.json ring.jsonl journal.jsonl trace.json mttr.json; do
+  if [ ! -s "AUTOPSY_smoke/INCIDENT_1PC_1/$f" ]; then
+    rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
+    echo "FAIL: incident bundle is missing $f" >&2
+    exit 1
+  fi
+done
+rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
+echo "autopsy bundle written, self-validated and complete"
 
 echo "CI OK"

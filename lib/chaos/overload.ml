@@ -274,3 +274,10 @@ let shrink ?max_attempts spec outcome =
            ~still_fails:
              (still_fails spec ~protocol:outcome.protocol ~seed:outcome.seed)
            schedule)
+
+let repro_command spec ~protocol ~seed =
+  Printf.sprintf
+    "dune exec bin/chaos.exe -- --overload -p %s --seeds 1 --first-seed %d \
+     --servers %d --duration %d"
+    (Acp.Protocol.name protocol)
+    seed spec.servers spec.window_ms

@@ -87,3 +87,8 @@ val table : campaign -> Metrics.Table.t
 val shrink : ?max_attempts:int -> spec -> outcome -> Shrink.result option
 (** Minimize a failing outcome's storm schedule ([None] when the run
     had no fault schedule to shrink). *)
+
+val repro_command : spec -> protocol:Acp.Protocol.kind -> seed:int -> string
+(** The verbatim shell command that reproduces this overload pair
+    through [bin/chaos] (assumes the spec's non-CLI fields are the
+    defaults). *)

@@ -69,14 +69,18 @@ let generate_schedule spec ~seed =
     ~rng:(Simkit.Rng.create ~seed)
     ~servers:spec.servers ~window_ms:spec.window_ms
 
-let execute ?schedule spec ~protocol ~seed =
+(* Common run body, parameterized by the cluster config so the autopsy
+   path can replay the same (spec, protocol, seed, schedule) with every
+   collector enabled. Returns the cluster too — observability callers
+   read the tracer/journal/recorder/profiler off it after the run. *)
+let run ?schedule spec ~(config : Opc_cluster.Config.t) ~seed =
+  let protocol = config.Opc_cluster.Config.protocol in
   let schedule =
     match schedule with Some s -> s | None -> generate_schedule spec ~seed
   in
   (match Schedule.validate ~servers:spec.servers schedule with
   | Ok () -> ()
   | Error e -> invalid_arg ("Runner.execute: bad schedule: " ^ e));
-  let config = config_of spec ~protocol ~seed in
   let cluster = Opc_cluster.Cluster.create config in
   let root = Opc_cluster.Cluster.root cluster in
   let dirs =
@@ -124,23 +128,29 @@ let execute ?schedule spec ~protocol ~seed =
     with exn -> [ Oracle.Run_exception (Printexc.to_string exn) ]
   in
   let committed, aborted = Opc_cluster.Cluster.txn_counts cluster in
-  {
-    seed;
-    protocol;
-    schedule;
-    origin;
-    violations;
-    committed;
-    aborted;
-    trace =
-      (if spec.record_trace then
-         Simkit.Trace.entries (Opc_cluster.Cluster.trace cluster)
-       else []);
-    journal =
-      (if spec.record_journal then
-         Obs.Journal.entries (Opc_cluster.Cluster.journal cluster)
-       else []);
-  }
+  let outcome =
+    {
+      seed;
+      protocol;
+      schedule;
+      origin;
+      violations;
+      committed;
+      aborted;
+      trace =
+        (if spec.record_trace then
+           Simkit.Trace.entries (Opc_cluster.Cluster.trace cluster)
+         else []);
+      journal =
+        (if Obs.Journal.is_recording (Opc_cluster.Cluster.journal cluster)
+         then Obs.Journal.entries (Opc_cluster.Cluster.journal cluster)
+         else []);
+    }
+  in
+  (outcome, cluster)
+
+let execute ?schedule spec ~protocol ~seed =
+  fst (run ?schedule spec ~config:(config_of spec ~protocol ~seed) ~seed)
 
 let pp_outcome ppf o =
   if passed o then
@@ -235,3 +245,83 @@ let repro_snippet spec ~protocol ~seed schedule =
     | Acp.Protocol.Opc -> "Opc"
     | Acp.Protocol.Lp1 -> "Lp1")
     seed
+
+(* ------------------------------------------------------------------ *)
+(* Observed replay and incident autopsy                                *)
+(* ------------------------------------------------------------------ *)
+
+let repro_command spec ~protocol ~seed =
+  Printf.sprintf
+    "dune exec bin/chaos.exe -- -p %s --seeds 1 --first-seed %d --servers %d \
+     --clients %d --ops %d --duration %d%s --shrink"
+    (Acp.Protocol.name protocol)
+    seed spec.servers spec.clients spec.ops_per_client spec.window_ms
+    (if spec.settle_deadline_ms = default_spec.settle_deadline_ms then ""
+     else Printf.sprintf " --settle-deadline %d" spec.settle_deadline_ms)
+
+let observed_config spec ~protocol ~seed =
+  {
+    (config_of spec ~protocol ~seed) with
+    record_spans = true;
+    record_journal = true;
+    sample_period = Some (Simkit.Time.span_ms 5);
+    record_prof = true;
+    recorder_size = Some 4096;
+  }
+
+let execute_observed ?schedule spec ~protocol ~seed =
+  let outcome, cluster =
+    run ?schedule spec ~config:(observed_config spec ~protocol ~seed) ~seed
+  in
+  let journal = Opc_cluster.Cluster.journal cluster in
+  let verdict =
+    if passed outcome then "pass"
+    else
+      Fmt.str "%a"
+        Fmt.(list ~sep:(any "; ") Oracle.pp_violation)
+        outcome.violations
+  in
+  let source =
+    {
+      Obs.Autopsy.verdict;
+      protocol = Acp.Protocol.name protocol;
+      seed;
+      repro = repro_command spec ~protocol ~seed;
+      schedule = Fmt.str "%a" Schedule.pp_ocaml outcome.schedule;
+      diagnostics =
+        Fmt.str "%a" Opc_cluster.Cluster.pp_diagnostics
+          (Opc_cluster.Cluster.settle_diagnostics cluster);
+      tracer = Opc_cluster.Cluster.obs cluster;
+      journal;
+      recorder = Opc_cluster.Cluster.recorder cluster;
+      gauge_columns =
+        Obs.Timeseries.columns (Opc_cluster.Cluster.timeseries cluster);
+      windows = Obs.Mttr.windows (Obs.Journal.entries journal);
+      profile =
+        (* [report] raises on a cluster torn down by a Run_exception
+           before profiling started; the bundle is still useful. *)
+        (try Some (Obs.Prof.report (Opc_cluster.Cluster.prof cluster))
+         with Invalid_argument _ -> None);
+    }
+  in
+  (outcome, source)
+
+let autopsy ?max_attempts ~dir spec (o : outcome) =
+  let schedule =
+    if passed o then o.schedule
+    else (shrink ?max_attempts spec o).Shrink.schedule
+  in
+  let _, source =
+    execute_observed ~schedule spec ~protocol:o.protocol ~seed:o.seed
+  in
+  let bundle_dir =
+    Filename.concat dir
+      (Printf.sprintf "INCIDENT_%s_%d" (Acp.Protocol.name o.protocol) o.seed)
+  in
+  ignore (Obs.Autopsy.write ~dir:bundle_dir source);
+  (* A bundle nobody can parse is worse than none: prove the artifacts
+     are well-formed before handing the directory to a human. *)
+  (match Obs.Autopsy.validate bundle_dir with
+  | Ok () -> ()
+  | Error e -> failwith ("Runner.autopsy: bundle failed validation: " ^ e));
+  bundle_dir

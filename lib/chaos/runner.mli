@@ -88,3 +88,36 @@ val repro_snippet :
   spec -> protocol:Acp.Protocol.kind -> seed:int -> Schedule.t -> string
 (** A self-contained OCaml fragment that re-runs the given schedule —
     paste into a test to freeze a counterexample. *)
+
+(** {1 Observed replay and incident autopsy} *)
+
+val repro_command : spec -> protocol:Acp.Protocol.kind -> seed:int -> string
+(** The verbatim shell command that reproduces this run through
+    [bin/chaos] (assumes the spec's [dir_count] is the default — the
+    CLI does not expose it). *)
+
+val observed_config :
+  spec -> protocol:Acp.Protocol.kind -> seed:int -> Opc_cluster.Config.t
+(** {!config_of} with every collector enabled: spans, journal, 5 ms
+    gauge sampling, host profiling and a 4096-slot flight recorder.
+    Collectors are passive, so the run's verdict and every simulated
+    metric are bit-identical to the unobserved replay. *)
+
+val execute_observed :
+  ?schedule:Schedule.t ->
+  spec ->
+  protocol:Acp.Protocol.kind ->
+  seed:int ->
+  outcome * Obs.Autopsy.source
+(** Replay a run under {!observed_config} and package everything the
+    collectors saw — plus the verdict, schedule literal, settle
+    diagnostics and {!repro_command} — as an autopsy source. *)
+
+val autopsy : ?max_attempts:int -> dir:string -> spec -> outcome -> string
+(** Condense a failing outcome into an incident bundle: shrink its
+    schedule ({!shrink}), replay the minimal schedule observed, write
+    [dir/INCIDENT_<protocol>_<seed>/] via {!Obs.Autopsy.write} and
+    re-parse it through {!Obs.Autopsy.validate}. Returns the bundle
+    directory. A passing outcome skips the shrink and bundles its own
+    schedule.
+    @raise Failure if the freshly written bundle fails validation. *)

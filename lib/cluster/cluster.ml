@@ -15,6 +15,7 @@ type t = {
   journal : Obs.Journal.t;
   timeseries : Obs.Timeseries.t;
   prof : Obs.Prof.t;
+  recorder : Obs.Recorder.t;
   ledger : Metrics.Ledger.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
@@ -46,6 +47,7 @@ let obs t = t.obs
 let journal t = t.journal
 let timeseries t = t.timeseries
 let prof t = t.prof
+let recorder t = t.recorder
 let ledger t = t.ledger
 let network t = t.network
 let san t = t.san
@@ -205,6 +207,17 @@ let create (config : Config.t) =
     if config.record_prof then Obs.Prof.create () else Obs.Prof.disabled ()
   in
   Obs.Prof.attach prof engine;
+  (* The flight recorder taps dispatch (engine), deliveries (network),
+     journal appends and gauge rows; all taps are passive, so the golden
+     tests can pin bit-identical metrics with it on. *)
+  let recorder =
+    match config.recorder_size with
+    | Some capacity -> Obs.Recorder.create ~capacity ()
+    | None -> Obs.Recorder.disabled ()
+  in
+  Obs.Recorder.attach recorder engine;
+  Obs.Recorder.tap_journal recorder journal;
+  Obs.Recorder.tap_timeseries recorder timeseries;
   let ledger = Metrics.Ledger.create () in
   (* Heartbeats are background chatter, not transaction causality; every
      protocol message becomes a transit span named after its wire label. *)
@@ -218,7 +231,7 @@ let create (config : Config.t) =
   in
   let network =
     Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace ~obs
-      ~journal ~span_of config.network
+      ~journal ~recorder ~span_of config.network
   in
   let size =
     if config.encoded_sizes then Acp.Codec.encoded_size
@@ -242,6 +255,7 @@ let create (config : Config.t) =
       journal;
       timeseries;
       prof;
+      recorder;
       ledger;
       network;
       san;

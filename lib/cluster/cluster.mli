@@ -38,6 +38,11 @@ val prof : t -> Obs.Prof.t
 (** Host profiler wrapping every engine dispatch when [record_prof] is
     set; disabled otherwise. Call {!Obs.Prof.report} after the run. *)
 
+val recorder : t -> Obs.Recorder.t
+(** Flight-recorder ring of the last [recorder_size] dispatches,
+    deliveries, journal entries and gauge rows; disabled (and empty)
+    when the size is [None]. The autopsy writer dumps its tail. *)
+
 val ledger : t -> Metrics.Ledger.t
 val network : t -> Msg.t Netsim.Network.t
 val san : t -> Acp.Log_record.t Storage.San.t

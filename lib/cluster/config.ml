@@ -24,6 +24,7 @@ type t = {
   record_journal : bool;
   sample_period : Simkit.Time.span option;
   record_prof : bool;
+  recorder_size : int option;
 }
 
 let default =
@@ -53,6 +54,7 @@ let default =
     record_journal = false;
     sample_period = None;
     record_prof = false;
+    recorder_size = None;
   }
 
 let validate t =
@@ -83,4 +85,7 @@ let validate t =
     match t.sample_period with
     | Some p when Simkit.Time.span_to_ns p <= 0 ->
         Error "sample period must be positive"
-    | _ -> Ok ()
+    | _ -> (
+        match t.recorder_size with
+        | Some n when n <= 0 -> Error "recorder size must be positive"
+        | _ -> Ok ())

@@ -71,6 +71,12 @@ type t = {
       (** profile host CPU and minor-heap allocation per
           (subsystem, event label) into an {!Obs.Prof}; off by default —
           the disabled path keeps dispatch at one load and one branch *)
+  recorder_size : int option;
+      (** when [Some n], keep the last [n] dispatched events, message
+          deliveries, journal entries and gauge rows in an
+          {!Obs.Recorder} flight-recorder ring for incident autopsies;
+          [None] (default) records nothing — the disabled path is one
+          load and one branch per dispatch *)
 }
 
 val default : t

@@ -304,15 +304,32 @@ let create sv ~server ~root =
 
 let rec heartbeat_loop t epoch =
   if t.up && t.epoch = epoch then begin
-    List.iter
-      (fun peer ->
-        Netsim.Network.send t.sv.network ~src:t.address ~dst:peer
-          Msg.Heartbeat)
-      (peers t);
-    ignore
-      (Simkit.Engine.schedule t.sv.engine ~label:label_heartbeat
-         ~after:t.sv.config.Config.heartbeat_interval (fun () ->
-           heartbeat_loop t epoch))
+    if Storage.San.is_fenced t.sv.san t.address then begin
+      (* Disk-lease check. Fencing assumes a STONITH follows, but when
+         two nodes fence each other concurrently the loser's fencer can
+         die (STONITH'd by us) before power-cycling us back — leaving a
+         zombie: expelled from the SAN, every log write silently
+         rejected, yet still heartbeating so no peer ever suspects or
+         recovers us, and every transaction we touch is stuck forever
+         (found via the seed-802 incident bundle; see EXPERIMENTS.md).
+         Like a SAN file system losing its disk lease, a live node that
+         finds itself fenced panics: power-cycle now and rejoin through
+         the normal recovery path instead of serving without a log. *)
+      trace_node t ~kind:"node.panic" "fenced while live; power-cycling";
+      Metrics.Ledger.incr t.sv.ledger "node.self_fence";
+      t.sv.stonith t.address
+    end
+    else begin
+      List.iter
+        (fun peer ->
+          Netsim.Network.send t.sv.network ~src:t.address ~dst:peer
+            Msg.Heartbeat)
+        (peers t);
+      ignore
+        (Simkit.Engine.schedule t.sv.engine ~label:label_heartbeat
+           ~after:t.sv.config.Config.heartbeat_interval (fun () ->
+             heartbeat_loop t epoch))
+    end
   end
 
 let bring_up t ~recover =

@@ -20,7 +20,9 @@
     - {!Chaos} — seeded fault schedules, correctness oracles and
       counterexample shrinking over the whole stack
     - {!Experiment} — runners reproducing the paper's Table I and
-      Figure 6, plus ablation sweeps *)
+      Figure 6, plus ablation sweeps
+    - {!Drill} — crash-and-recover campaigns aggregating MTTR
+      percentiles against per-protocol recovery SLOs *)
 
 module Simkit = Simkit
 module Netsim = Netsim
@@ -40,3 +42,4 @@ module Fault = Opc_cluster.Fault
 module Workload = Workload
 module Chaos = Chaos
 module Experiment = Experiment
+module Drill = Drill

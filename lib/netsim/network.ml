@@ -43,6 +43,7 @@ type 'msg t = {
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
   journal : Obs.Journal.t;
+  recorder : Obs.Recorder.t;
   (* Maps a payload to (name, txn token, baseline) for its transit span;
      [None] payloads (heartbeats) record nothing. Only consulted when
      [obs] is recording. *)
@@ -70,8 +71,8 @@ type 'msg t = {
   mutable in_flight : int;
 }
 
-let create ~engine ~rng ?trace ?obs ?journal ?(span_of = fun _ -> None)
-    (config : config) =
+let create ~engine ~rng ?trace ?obs ?journal ?recorder
+    ?(span_of = fun _ -> None) (config : config) =
   if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
     invalid_arg "Network.create: drop_probability outside [0, 1]";
   if
@@ -84,12 +85,16 @@ let create ~engine ~rng ?trace ?obs ?journal ?(span_of = fun _ -> None)
   let journal =
     match journal with Some j -> j | None -> Obs.Journal.disabled ()
   in
+  let recorder =
+    match recorder with Some r -> r | None -> Obs.Recorder.disabled ()
+  in
   {
     engine;
     rng;
     trace;
     obs;
     journal;
+    recorder;
     span_of;
     config;
     drop_probability = config.drop_probability;
@@ -266,6 +271,9 @@ let send t ~src ~dst payload =
         end
         else begin
           t.delivered <- t.delivered + 1;
+          if Obs.Recorder.is_recording t.recorder then
+            Obs.Recorder.record_delivery t.recorder ~time:at
+              ~src:(Address.index src) ~dst:(Address.index dst);
           if Simkit.Trace.is_recording t.trace then
             Simkit.Trace.emitf t.trace ~time:at ~source:(Address.name dst)
               ~kind:"net.recv" "from %a" Address.pp src;

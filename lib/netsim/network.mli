@@ -51,6 +51,7 @@ val create :
   ?trace:Simkit.Trace.t ->
   ?obs:Obs.Tracer.t ->
   ?journal:Obs.Journal.t ->
+  ?recorder:Obs.Recorder.t ->
   ?span_of:('msg -> (string * int * bool) option) ->
   config ->
   'msg t
@@ -62,7 +63,8 @@ val create :
     records nothing for that payload. Only consulted while [obs] is
     recording, so it may allocate freely. [journal] (default disabled)
     receives one cluster-wide [Heal] entry whenever {!heal} or
-    {!heal_pair} actually removes a cut. *)
+    {!heal_pair} actually removes a cut. [recorder] (default disabled)
+    gets one {!Obs.Recorder.record_delivery} per delivered message. *)
 
 val register : 'msg t -> name:string -> ('msg envelope -> unit) -> Address.t
 (** Register an endpoint with its delivery handler. Handlers run from

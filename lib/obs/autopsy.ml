@@ -1,0 +1,414 @@
+type source = {
+  verdict : string;
+  protocol : string;
+  seed : int;
+  repro : string;
+  schedule : string;
+  diagnostics : string;
+  tracer : Tracer.t;
+  journal : Journal.t;
+  recorder : Recorder.t;
+  gauge_columns : string array;
+  windows : Mttr.window list;
+  profile : Prof.report option;
+}
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let failure_instant s =
+  let latest = ref Simkit.Time.zero in
+  let bump t = if Simkit.Time.( > ) t !latest then latest := t in
+  Journal.iter (fun (e : Journal.entry) -> bump e.time) s.journal;
+  Recorder.iter_tail (fun (r : Recorder.record) -> bump r.time) s.recorder;
+  !latest
+
+let slice_radius = Simkit.Time.span_ms 100
+
+(* The slice keeps every span that overlaps [failure - radius,
+   failure + radius]: enough context to see what the cluster was doing
+   when the oracle tripped, small enough to open instantly. Open spans
+   (cut short by a crash) are kept too — Export skips them, but the
+   count is honest. *)
+let slice_tracer s =
+  let anchor = failure_instant s in
+  let anchor_ns = Simkit.Time.to_ns anchor in
+  let radius_ns = Simkit.Time.span_to_ns slice_radius in
+  let lo = max 0 (anchor_ns - radius_ns) and hi = anchor_ns + radius_ns in
+  let sliced = Tracer.create () in
+  Tracer.iter
+    (fun (sp : Span.t) ->
+      if
+        sp.closed
+        && Simkit.Time.to_ns sp.stop >= lo
+        && Simkit.Time.to_ns sp.start <= hi
+      then
+        Tracer.span sliced ~start:sp.start ~stop:sp.stop ~txn:sp.txn
+          ~baseline:sp.baseline ~category:sp.category ~track:sp.track
+          ~name:sp.name)
+    s.tracer;
+  sliced
+
+let write_mttr path windows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"windows\":[";
+  List.iteri
+    (fun i (w : Mttr.window) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"node\":%d,\"start_ns\":%d,\"detect_ns\":%d,\"fence_ns\":%d,\"scan_ns\":%d,\"resolve_ns\":%d,\"total_ns\":%d}"
+           w.node
+           (Simkit.Time.to_ns w.start)
+           (Simkit.Time.span_to_ns w.detect)
+           (Simkit.Time.span_to_ns w.fence)
+           (Simkit.Time.span_to_ns w.scan)
+           (Simkit.Time.span_to_ns w.resolve)
+           (Simkit.Time.span_to_ns (Mttr.total w))))
+    windows;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let write_manifest path s ~files =
+  let buf = Buffer.create 1024 in
+  let str k v =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":\"" k);
+    Json_str.add_escaped buf v;
+    Buffer.add_string buf "\","
+  in
+  Buffer.add_char buf '{';
+  str "verdict" s.verdict;
+  str "protocol" s.protocol;
+  Buffer.add_string buf (Printf.sprintf "\"seed\":%d," s.seed);
+  str "repro" s.repro;
+  str "schedule" s.schedule;
+  str "diagnostics" s.diagnostics;
+  Buffer.add_string buf
+    (Printf.sprintf "\"failure_t_ns\":%d,"
+       (Simkit.Time.to_ns (failure_instant s)));
+  Buffer.add_string buf
+    (Printf.sprintf "\"mttr_windows\":%d," (List.length s.windows));
+  Buffer.add_string buf "\"files\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Json_str.add_escaped buf f;
+      Buffer.add_char buf '"')
+    files;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let write ~dir s =
+  mkdirs dir;
+  let in_dir f = Filename.concat dir f in
+  let files = ref [] in
+  let add f = files := f :: !files in
+  Recorder.to_file ~gauge_columns:s.gauge_columns (in_dir "ring.jsonl")
+    s.recorder;
+  add "ring.jsonl";
+  Journal.to_file (in_dir "journal.jsonl") s.journal;
+  add "journal.jsonl";
+  Export.to_file (in_dir "trace.json") (slice_tracer s);
+  add "trace.json";
+  write_mttr (in_dir "mttr.json") s.windows;
+  add "mttr.json";
+  (match s.profile with
+  | Some report ->
+      Prof.speedscope_to_file
+        ~path:(in_dir "prof.speedscope.json")
+        ~name:(Printf.sprintf "%s seed %d" s.protocol s.seed)
+        report;
+      add "prof.speedscope.json"
+  | None -> ());
+  let files = List.rev !files in
+  write_manifest (in_dir "incident.json") s ~files;
+  "incident.json" :: files
+
+(* ------------------------------------------------------------------ *)
+(* Validation: a small strict JSON reader                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The bundle must be readable without this repo's bench tooling, so the
+   validator carries its own parser: strict recursive descent, whole
+   grammar, no extensions. Kept private — it exists to prove the writers
+   above emit valid JSON, not to be a general parser. *)
+module Json = struct
+  exception Bad of string
+
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  type state = { src : string; mutable pos : int }
+
+  let fail st msg = raise (Bad (Printf.sprintf "offset %d: %s" st.pos msg))
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let skip_ws st =
+    while
+      st.pos < String.length st.src
+      &&
+      match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    match peek st with
+    | Some d when d = c -> st.pos <- st.pos + 1
+    | Some d -> fail st (Printf.sprintf "expected %c, found %c" c d)
+    | None -> fail st (Printf.sprintf "expected %c, found end of input" c)
+
+  let literal st word value =
+    let n = String.length word in
+    if
+      st.pos + n <= String.length st.src
+      && String.sub st.src st.pos n = word
+    then begin
+      st.pos <- st.pos + n;
+      value
+    end
+    else fail st (Printf.sprintf "expected %s" word)
+
+  let parse_string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if st.pos >= String.length st.src then fail st "unterminated string";
+      let c = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if st.pos >= String.length st.src then fail st "unterminated escape");
+        let e = st.src.[st.pos] in
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if st.pos + 4 > String.length st.src then
+              fail st "truncated \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            (* Code points above one byte round-trip as UTF-8. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | c -> fail st (Printf.sprintf "bad escape \\%c" c));
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+
+  let parse_number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while
+      st.pos < String.length st.src && is_num_char st.src.[st.pos]
+    do
+      st.pos <- st.pos + 1
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail st (Printf.sprintf "bad number %S" text)
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then begin
+          st.pos <- st.pos + 1;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws st;
+            let k = parse_string st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                st.pos <- st.pos + 1;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail st "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then begin
+          st.pos <- st.pos + 1;
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                elements (v :: acc)
+            | Some ']' ->
+                st.pos <- st.pos + 1;
+                Arr (List.rev (v :: acc))
+            | _ -> fail st "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number st)
+    | Some c -> fail st (Printf.sprintf "unexpected %c" c)
+    | None -> fail st "unexpected end of input"
+
+  let of_string s =
+    let st = { src = s; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let ( let* ) = Result.bind
+
+let parse_file path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: missing" path)
+  else
+    let body = read_file path in
+    if Filename.check_suffix path ".jsonl" then begin
+      let lines = String.split_on_char '\n' body in
+      let rec go lineno = function
+        | [] -> Ok None
+        | line :: rest ->
+            if String.trim line = "" then go (lineno + 1) rest
+            else (
+              match Json.of_string line with
+              | Json.Obj _ -> go (lineno + 1) rest
+              | _ ->
+                  Error
+                    (Printf.sprintf "%s:%d: line is not a JSON object" path
+                       lineno)
+              | exception Json.Bad msg ->
+                  Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      go 1 lines
+    end
+    else
+      match Json.of_string body with
+      | v -> Ok (Some v)
+      | exception Json.Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let field name obj ~path =
+  match obj with
+  | Json.Obj members -> (
+      match List.assoc_opt name members with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "%s: missing field %S" path name))
+  | _ -> Error (Printf.sprintf "%s: manifest is not a JSON object" path)
+
+let string_field name obj ~path =
+  let* v = field name obj ~path in
+  match v with
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "%s: field %S is not a string" path name)
+
+let number_field name obj ~path =
+  let* v = field name obj ~path in
+  match v with
+  | Json.Num n -> Ok n
+  | _ -> Error (Printf.sprintf "%s: field %S is not a number" path name)
+
+let validate dir =
+  let manifest_path = Filename.concat dir "incident.json" in
+  let* manifest =
+    match parse_file manifest_path with
+    | Ok (Some v) -> Ok v
+    | Ok None -> Error (Printf.sprintf "%s: empty" manifest_path)
+    | Error e -> Error e
+  in
+  let* _ = string_field "verdict" manifest ~path:manifest_path in
+  let* _ = string_field "protocol" manifest ~path:manifest_path in
+  let* _ = string_field "repro" manifest ~path:manifest_path in
+  let* _ = number_field "seed" manifest ~path:manifest_path in
+  let* _ = number_field "failure_t_ns" manifest ~path:manifest_path in
+  let* files = field "files" manifest ~path:manifest_path in
+  let* names =
+    match files with
+    | Json.Arr vs ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Json.Str s -> Ok (s :: acc)
+            | _ ->
+                Error
+                  (Printf.sprintf "%s: \"files\" contains a non-string"
+                     manifest_path))
+          (Ok []) vs
+    | _ -> Error (Printf.sprintf "%s: field \"files\" is not an array" manifest_path)
+  in
+  List.fold_left
+    (fun acc name ->
+      let* () = acc in
+      (* The manifest validated above; siblings only need to parse. *)
+      if name = "incident.json" then Ok ()
+      else
+        let* _ = parse_file (Filename.concat dir name) in
+        Ok ())
+    (Ok ()) (List.rev names)

@@ -1,0 +1,54 @@
+(** Incident bundle writer and validator.
+
+    When a chaos oracle or a perf gate fails, the failing run is
+    replayed with every collector enabled and the result is condensed
+    into one self-describing directory — the incident bundle:
+
+    - [incident.json] — the manifest: verdict, protocol, seed, the
+      verbatim repro command line, the shrunk schedule, the failure
+      instant, settle diagnostics and the list of sibling files;
+    - [ring.jsonl] — the flight recorder's tail ({!Recorder}): the last
+      things the system did before the verdict;
+    - [journal.jsonl] — the full lifecycle journal ({!Journal});
+    - [trace.json] — a Chrome-trace slice of the spans overlapping a
+      window around the failure instant (open in Perfetto);
+    - [mttr.json] — the recovery decomposition ({!Mttr.windows});
+    - [prof.speedscope.json] — the host profile, when one was taken.
+
+    [write] returns the file list it put in the manifest; [validate]
+    re-reads a bundle through its own parser so CI can prove each
+    artifact is well-formed before a human ever opens it. *)
+
+type source = {
+  verdict : string;  (** the oracle's failure text (or gate message) *)
+  protocol : string;  (** protocol short name, e.g. ["1pc"] *)
+  seed : int;
+  repro : string;  (** verbatim shell command that reproduces the run *)
+  schedule : string;  (** OCaml literal of the shrunk schedule, or [""] *)
+  diagnostics : string;  (** settle diagnostics, or [""] *)
+  tracer : Tracer.t;
+  journal : Journal.t;
+  recorder : Recorder.t;
+  gauge_columns : string array;  (** names for the ring's gauge records *)
+  windows : Mttr.window list;
+  profile : Prof.report option;
+}
+
+val failure_instant : source -> Simkit.Time.t
+(** The bundle's anchor: the latest instant any collector saw — the
+    last journal entry or recorder record, whichever is later. *)
+
+val slice_radius : Simkit.Time.span
+(** Half-width of the trace slice around {!failure_instant} (100 ms of
+    simulated time). *)
+
+val write : dir:string -> source -> string list
+(** Write the bundle into [dir] (created if missing, files
+    overwritten). Returns the manifest's file list — [incident.json]
+    first, then every sibling artifact actually written. *)
+
+val validate : string -> (unit, string) result
+(** Re-parse a bundle directory: [incident.json] must be a JSON object
+    carrying the manifest fields, and every file it lists must exist
+    and parse ([.jsonl] line by line). This is the reader CI runs over
+    freshly written bundles. *)

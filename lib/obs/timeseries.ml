@@ -12,6 +12,10 @@ type t = {
   mutable next_at : Simkit.Time.t;
   mutable rows : row array;
   mutable len : int;
+  (* Mirror tap (the flight recorder's ring): sees each materialized row.
+     Only fires on an enabled sampler. *)
+  mutable has_tap : bool;
+  mutable tap : Simkit.Time.t -> int array -> unit;
 }
 
 let create ~period =
@@ -25,6 +29,8 @@ let create ~period =
     next_at = Simkit.Time.zero;
     rows = Array.make 256 dummy_row;
     len = 0;
+    has_tap = false;
+    tap = (fun _ _ -> ());
   }
 
 let disabled () =
@@ -36,9 +42,15 @@ let disabled () =
     next_at = Simkit.Time.zero;
     rows = [||];
     len = 0;
+    has_tap = false;
+    tap = (fun _ _ -> ());
   }
 
 let is_recording t = t.enabled
+
+let set_tap t f =
+  t.has_tap <- true;
+  t.tap <- f
 
 let register t ~name read =
   if t.enabled then begin
@@ -64,7 +76,8 @@ let sample t ~time =
   for i = 0 to n - 1 do
     values.(i) <- (t.frozen.(i)).read ()
   done;
-  push_row t { at = time; values }
+  push_row t { at = time; values };
+  if t.has_tap then t.tap time values
 
 (* Observer body: materialize one row for every whole sampling period the
    clock is about to cross. The sampler reads inter-event state, which is

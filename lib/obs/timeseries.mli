@@ -33,6 +33,13 @@ val attach : t -> Simkit.Engine.t -> unit
 (** Freeze the gauge set, take an initial sample at the engine's current
     time and install the clock observer. No-op when disabled. *)
 
+val set_tap : t -> (Simkit.Time.t -> int array -> unit) -> unit
+(** Install a mirror tap called with each materialized row (instant and
+    the stored value array — do not mutate it). The flight recorder's
+    feed ({!Recorder.tap_timeseries}); set it before [attach] to see the
+    initial row. Fires only on an enabled sampler; at most one tap,
+    later calls replace earlier ones. *)
+
 val columns : t -> string array
 (** Gauge names in sampling order (empty before [attach]). *)
 

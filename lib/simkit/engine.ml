@@ -25,6 +25,13 @@ type t = {
   mutable has_dispatch_observer : bool;
   mutable before_dispatch : unit -> unit;
   mutable after_dispatch : Label.t -> unit;
+  (* Dispatch tap: a second, independent hook called with (at, label)
+     just before each event's callback runs. Separate from the observer
+     pair so a flight recorder ({!Obs.Recorder}) can ride along with the
+     profiler — each slot holds at most one client. Same passivity
+     contract and same one-load-one-branch disabled cost. *)
+  mutable has_dispatch_tap : bool;
+  mutable dispatch_tap : Time.t -> Label.t -> unit;
   (* High-water mark of [qlen] (raw heap occupancy, cancelled tombstones
      included) since creation or the last [reset_pending_high_water]. *)
   mutable qlen_hwm : int;
@@ -64,6 +71,8 @@ let create () =
     has_dispatch_observer = false;
     before_dispatch = (fun () -> ());
     after_dispatch = (fun _ -> ());
+    has_dispatch_tap = false;
+    dispatch_tap = (fun _ _ -> ());
     qlen_hwm = 0;
   }
 
@@ -77,6 +86,10 @@ let set_dispatch_observer t ~before ~after =
   t.has_dispatch_observer <- true;
   t.before_dispatch <- before;
   t.after_dispatch <- after
+
+let set_dispatch_tap t f =
+  t.has_dispatch_tap <- true;
+  t.dispatch_tap <- f
 
 (* Every clock advance funnels through here so the observer sees each
    forward move exactly once, before state at the new instant runs. *)
@@ -185,6 +198,9 @@ let dispatch t h =
   advance_clock t h.at;
   h.state <- Done;
   t.dispatched <- t.dispatched + 1;
+  (* Tapped before the callback runs, so on a crash the recorder's last
+     entry is the event that was executing. *)
+  if t.has_dispatch_tap then t.dispatch_tap h.at h.label;
   if t.has_dispatch_observer then begin
     t.before_dispatch ();
     (try h.callback ()

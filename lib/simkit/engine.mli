@@ -101,3 +101,14 @@ val set_dispatch_observer :
     around each callback. At most one observer pair; later calls replace
     earlier ones. When none is installed the cost on the dispatch path is
     one load and one branch. *)
+
+val set_dispatch_tap : t -> (Time.t -> Label.t -> unit) -> unit
+(** Install [f], called with the event's timestamp and label immediately
+    before each event's callback runs — so after a crash the last tapped
+    entry names the event that was executing. A slot independent of
+    {!set_dispatch_observer} so a flight recorder ({!Obs.Recorder}) can
+    coexist with the host profiler: each slot holds at most one client,
+    later calls replace earlier ones. The same passivity contract
+    applies (no scheduling, no clock reads into simulation state, no
+    randomness), and when no tap is installed the cost on the dispatch
+    path is one load and one branch. *)

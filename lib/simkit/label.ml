@@ -40,6 +40,8 @@ let v subsystem name =
       all_rev := l :: !all_rev;
       l
 
+let of_id i = List.find_opt (fun l -> l.id = i) !all_rev
+
 let id l = l.id
 let name l = l.name
 let subsystem l = l.subsystem

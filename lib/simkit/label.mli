@@ -31,6 +31,11 @@ val v : subsystem -> string -> t
 val id : t -> int
 (** Dense from 0 in first-intern order; [0 <= id < count ()]. *)
 
+val of_id : int -> t option
+(** The label interned with that [id], if any. A linear scan of the
+    intern table — for renderers turning recorded ids back into names,
+    never for hot paths. *)
+
 val name : t -> string
 
 val subsystem : t -> subsystem

@@ -201,6 +201,57 @@ let test_san_outage_differential () =
     (Chaos.Runner.passed (run ~outage:true Acp.Protocol.Lp1))
 
 (* ------------------------------------------------------------------ *)
+(* Mutual fence race (1PC seed 802)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash mds3, then partition mds2|mds0: both sides of the partition
+   suspect each other and fence concurrently. mds0's STONITH of mds2
+   lands first, so mds2 — mds0's fencer — is already dead when its own
+   fence of mds0 completes, and the power-cycle that fencing assumes
+   never happens. mds0 was left a zombie: expelled from the SAN (every
+   log write silently rejected) yet still heartbeating, so no peer ever
+   suspected or recovered it and every transaction it touched hung to
+   the settle deadline. Diagnosed from the incident bundle's journal
+   (fence.end victim=0 with no crash/reboot for node 0 — see
+   EXPERIMENTS.md, "Recovery drills & incident autopsy"); fixed by the
+   disk-lease check in the heartbeat loop, which makes a live fenced
+   node panic and rejoin through normal recovery. Frozen here. *)
+let test_mutual_fence_race () =
+  let schedule =
+    Chaos.Schedule.
+      {
+        window_ms = 600;
+        events =
+          [
+            Crash { server = 3; at_ms = 214 };
+            Partition_pair { a = 2; b = 0; at_ms = 388 };
+          ];
+      }
+  in
+  let spec = { Chaos.Runner.default_spec with record_journal = true } in
+  let o =
+    Chaos.Runner.execute ~schedule spec ~protocol:Acp.Protocol.Opc ~seed:802
+  in
+  Alcotest.(check bool) "1PC seed 802 passes" true (Chaos.Runner.passed o);
+  (* The fix's signature: the fenced-but-live mds0 power-cycles itself
+     (a crash entry after the 388 ms partition) instead of serving
+     without a log until the liveness oracle trips. *)
+  Alcotest.(check bool) "zombie mds0 power-cycled itself" true
+    (List.exists
+       (fun (e : Obs.Journal.entry) ->
+         e.node = 0
+         && e.kind = Obs.Journal.Crash
+         && Simkit.Time.to_ns e.time > 388_000_000)
+       o.Chaos.Runner.journal);
+  Alcotest.(check bool) "mds0 served again" true
+    (List.exists
+       (fun (e : Obs.Journal.entry) ->
+         e.node = 0
+         && e.kind = Obs.Journal.Serving
+         && Simkit.Time.to_ns e.time > 388_000_000)
+       o.Chaos.Runner.journal)
+
+(* ------------------------------------------------------------------ *)
 (* Smoke campaign                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -253,5 +304,7 @@ let () =
           Alcotest.test_case "chaos smoke" `Slow test_smoke_campaign;
           Alcotest.test_case "SAN outage: 1PC wedges, L1PC survives" `Quick
             test_san_outage_differential;
+          Alcotest.test_case "mutual fence race leaves no zombie (seed 802)"
+            `Quick test_mutual_fence_race;
         ] );
     ]

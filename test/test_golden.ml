@@ -81,6 +81,36 @@ let test_fig6_spans_enabled () =
         (Simkit.Time.span_to_ns p.mean_lock_hold))
     fig6_golden
 
+(* The flight recorder must be equally passive: its ring writes are
+   plain array stores off the dispatch/journal/gauge taps, so a
+   figure-6 run with a recorder attached reproduces every digit. *)
+let test_fig6_recorder_enabled () =
+  let config =
+    { Experiment.fig6_config with Opc_cluster.Config.recorder_size = Some 512 }
+  in
+  List.iter
+    (fun (kind, throughput, committed, aborted, latency_ns, lock_ns) ->
+      let p = Experiment.run_fig6_point ~config kind in
+      Alcotest.(check string)
+        (pname kind ^ " throughput (recorder on)")
+        throughput
+        (Printf.sprintf "%.2f" p.Experiment.throughput);
+      Alcotest.(check int)
+        (pname kind ^ " committed (recorder on)")
+        committed p.committed;
+      Alcotest.(check int)
+        (pname kind ^ " aborted (recorder on)")
+        aborted p.aborted;
+      Alcotest.(check int)
+        (pname kind ^ " mean latency ns (recorder on)")
+        latency_ns
+        (Simkit.Time.span_to_ns p.mean_latency);
+      Alcotest.(check int)
+        (pname kind ^ " mean lock hold ns (recorder on)")
+        lock_ns
+        (Simkit.Time.span_to_ns p.mean_lock_hold))
+    fig6_golden
+
 (* ------------------------------------------------------------------ *)
 (* Table I (measured)                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -126,7 +156,7 @@ let chaos_golden =
     (Acp.Protocol.Prn, [ (77, 5); (76, 6); (73, 6); (73, 6); (70, 10) ]);
     (Acp.Protocol.Prc, [ (76, 6); (78, 5); (72, 6); (72, 7); (70, 10) ]);
     (Acp.Protocol.Ep, [ (76, 6); (77, 6); (72, 6); (72, 7); (70, 10) ]);
-    (Acp.Protocol.Opc, [ (70, 12); (73, 9); (69, 12); (76, 4); (74, 6) ]);
+    (Acp.Protocol.Opc, [ (78, 4); (73, 9); (69, 12); (76, 4); (74, 6) ]);
     (Acp.Protocol.Lp1, [ (81, 1); (70, 12); (75, 6); (76, 3); (74, 7) ]);
   ]
 
@@ -193,6 +223,32 @@ let test_scale_point_l1pc () =
   Alcotest.(check int) "p99 ns" 2_814_000
     (Simkit.Time.span_to_ns p.latency_p99)
 
+(* The scale-point pins under a live flight recorder: every digit
+   bit-identical, and the ring actually saw the run. *)
+let test_scale_point_recorder_enabled () =
+  let config =
+    {
+      (Experiment.scale_config ~servers:8 ~seed:1) with
+      Opc_cluster.Config.recorder_size = Some 512;
+    }
+  in
+  let p =
+    Experiment.run_scale_point ~config ~servers:8 ~txns:2000 ~seed:1
+      Acp.Protocol.Opc
+  in
+  Alcotest.(check int) "submitted (recorder on)" 1896 p.Experiment.submitted;
+  Alcotest.(check int) "committed (recorder on)" 1896 p.committed;
+  Alcotest.(check int) "aborted (recorder on)" 0 p.aborted;
+  Alcotest.(check int) "events (recorder on)" 37944 p.events;
+  Alcotest.(check int) "sim elapsed ns (recorder on)" 11_937_751_000
+    (Simkit.Time.span_to_ns p.sim_elapsed);
+  Alcotest.(check int) "p50 ns (recorder on)" 82_220_000
+    (Simkit.Time.span_to_ns p.latency_p50);
+  Alcotest.(check int) "p95 ns (recorder on)" 185_228_000
+    (Simkit.Time.span_to_ns p.latency_p95);
+  Alcotest.(check int) "p99 ns (recorder on)" 276_176_000
+    (Simkit.Time.span_to_ns p.latency_p99)
+
 let () =
   Alcotest.run "golden"
     [
@@ -201,11 +257,15 @@ let () =
           Alcotest.test_case "figure 6 digits" `Quick test_fig6;
           Alcotest.test_case "figure 6 digits, spans enabled" `Quick
             test_fig6_spans_enabled;
+          Alcotest.test_case "figure 6 digits, recorder enabled" `Quick
+            test_fig6_recorder_enabled;
           Alcotest.test_case "table I measured columns" `Quick test_table1;
           Alcotest.test_case "scale point (8 servers)" `Quick
             test_scale_point;
           Alcotest.test_case "scale point (8 servers, L1PC)" `Quick
             test_scale_point_l1pc;
+          Alcotest.test_case "scale point (8 servers, recorder enabled)"
+            `Quick test_scale_point_recorder_enabled;
         ] );
       ( "chaos",
         [ Alcotest.test_case "seeds 1-5 verdicts" `Slow test_chaos ] );

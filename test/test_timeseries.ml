@@ -350,8 +350,8 @@ let test_chaos_journal_is_passive () =
   let spec = { Chaos.Runner.default_spec with record_journal = true } in
   let o = Chaos.Runner.execute spec ~protocol:Acp.Protocol.Opc ~seed:1 in
   Alcotest.(check bool) "passes" true (Chaos.Runner.passed o);
-  Alcotest.(check int) "committed" 70 o.Chaos.Runner.committed;
-  Alcotest.(check int) "aborted" 12 o.aborted;
+  Alcotest.(check int) "committed" 78 o.Chaos.Runner.committed;
+  Alcotest.(check int) "aborted" 4 o.aborted;
   Alcotest.(check bool) "journal recorded" true (o.journal <> [])
 
 let () =
