@@ -1468,6 +1468,7 @@ let regression_check ~against ~tolerance () =
               gauge_columns = [||];
               windows = [];
               profile = Some rnow;
+              coverage = [];
             }
           in
           let dir = Fmt.str "INCIDENT_check_%d" seed in
@@ -1711,6 +1712,448 @@ let overload ~smoke ~unbounded () =
     ok )
 
 (* ------------------------------------------------------------------ *)
+(* A16 — protocol coverage observatory                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Committed per-protocol floors: the fraction of each declared
+   transition map the standard campaigns must traverse. Raising a floor
+   is cheap; lowering one means the campaigns lost reach and is a
+   finding in itself. *)
+let coverage_floors =
+  [
+    (Opc.Acp.Protocol.Prn, 0.90);
+    (Opc.Acp.Protocol.Prc, 0.90);
+    (Opc.Acp.Protocol.Ep, 0.90);
+    (Opc.Acp.Protocol.Opc, 0.90);
+    (Opc.Acp.Protocol.Lp1, 0.90);
+  ]
+
+let coverage ~smoke ~seeds ~inflated_floors () =
+  section "A16: protocol coverage observatory";
+  let spec = Opc.Chaos.Runner.default_spec in
+  let merged = Array.make Opc.Acp.Edges.count 0 in
+  let outcomes = ref [] in
+  let runs = ref 0 in
+  let absorb (o : Opc.Chaos.Runner.outcome) =
+    incr runs;
+    outcomes := o :: !outcomes;
+    Array.iteri (fun i n -> merged.(i) <- merged.(i) + n) o.edge_hits
+  in
+  (* Standard chaos campaign: the same seeded fault schedules and
+     workloads for all five protocols. *)
+  let campaign_seeds = if smoke then min seeds 4 else seeds in
+  List.iter
+    (fun protocol ->
+      for s = 1 to campaign_seeds do
+        absorb (Opc.Chaos.Runner.execute spec ~protocol ~seed:s)
+      done)
+    Opc.Acp.Protocol.all;
+  Fmt.pr "campaign: %d runs (%d seeds x 5 protocols)@." !runs campaign_seeds;
+  (* Directed supplements for edges the uniform campaign cannot reach:
+     each stresses one axis (contention, crash placement, replica
+     churn, message loss) over a few seeds. *)
+  let directed_seeds = if smoke then 2 else 4 in
+  let directed ?(seeds = directed_seeds) name ~protocol ?schedule
+      ?(spec = spec) mutate =
+    for s = 1 to seeds do
+      let seed = 9_000 + s in
+      let config =
+        mutate (Opc.Chaos.Runner.config_of spec ~protocol ~seed)
+      in
+      absorb (Opc.Chaos.Runner.execute_config ?schedule spec ~config ~seed)
+    done;
+    Fmt.pr "directed %-16s %d runs@." name seeds
+  in
+  (* Contention: every client fights over one directory with a short
+     transaction timeout, so lock queues overflow into timeouts — NACKed
+     UPDATEDs, abort paths, and (1PC) NO-vote tombstones cycling through
+     a tiny TTL and cap into the stale-sequence horizon. *)
+  let contention_spec =
+    { spec with dir_count = 1; clients = 10; ops_per_client = 25 }
+  in
+  List.iter
+    (fun protocol ->
+      directed
+        (Printf.sprintf "contention-%s" (Opc.Acp.Protocol.name protocol))
+        ~protocol ~spec:contention_spec
+        (fun c ->
+          {
+            c with
+            Opc.Config.txn_timeout = Opc.Simkit.Time.span_ms 80;
+            tombstone_ttl = Some (Opc.Simkit.Time.span_ms 30);
+            tombstone_cap = 1;
+            network =
+              {
+                c.Opc.Config.network with
+                Opc.Netsim.Network.duplicate_probability = 0.2;
+              };
+          }))
+    Opc.Acp.Protocol.all;
+  (* Crash storm: staggered crashes through a duplicate-heavy window
+     with an 8x-slower log device, so crashes land while commits are
+     still in flight — recovery log scans, hardened-replay answers and
+     in-doubt decision queries all need exactly that placement. *)
+  let storm_schedule =
+    {
+      Opc.Chaos.Schedule.window_ms = spec.window_ms;
+      events =
+        [
+          Opc.Chaos.Schedule.Duplicate_burst
+            { pct = 25; at_ms = 1; until_ms = spec.window_ms - 1 };
+          Disk_degrade
+            { factor_x10 = 80; at_ms = 1; until_ms = spec.window_ms - 1 };
+          Crash { server = 1; at_ms = 60 };
+          Crash { server = 2; at_ms = 170 };
+          Crash { server = 3; at_ms = 280 };
+          Crash { server = 0; at_ms = 390 };
+        ];
+    }
+  in
+  List.iter
+    (fun protocol ->
+      directed
+        (Printf.sprintf "crash-storm-%s" (Opc.Acp.Protocol.name protocol))
+        ~protocol ~schedule:storm_schedule
+        ~spec:{ spec with clients = 8 }
+        (fun c -> c))
+    Opc.Acp.Protocol.all;
+  (* Replica churn: a tiny replica store (the cap is shared with the
+     tombstone table) forces L1PC REP_STORE evictions; a near-double
+     crash with slow restarts and fast resends makes the recovering
+     owner's quorum read run short of a downed member. *)
+  let replica_storm =
+    {
+      Opc.Chaos.Schedule.window_ms = spec.window_ms;
+      events =
+        [
+          Opc.Chaos.Schedule.Crash { server = 1; at_ms = 50 };
+          Crash { server = 2; at_ms = 60 };
+        ];
+    }
+  in
+  directed "replica-churn" ~protocol:Opc.Acp.Protocol.Lp1
+    ~schedule:replica_storm (fun c ->
+      {
+        c with
+        Opc.Config.tombstone_cap = 2;
+        restart_delay = Opc.Simkit.Time.span_ms 800;
+        resend_interval = Some (Opc.Simkit.Time.span_ms 30);
+        network =
+          {
+            c.Opc.Config.network with
+            Opc.Netsim.Network.duplicate_probability = 0.2;
+            drop_probability = 0.1;
+          };
+      });
+  (* Loss storm over the 2PC family: dropped PREPARE/DECISION traffic
+     exercises vote timeouts, decision retries and presumed-abort
+     queries that a clean fabric never needs. *)
+  List.iter
+    (fun protocol ->
+      directed
+        (Printf.sprintf "loss-storm-%s" (Opc.Acp.Protocol.name protocol))
+        ~protocol
+        (fun c ->
+          {
+            c with
+            Opc.Config.network =
+              {
+                c.Opc.Config.network with
+                Opc.Netsim.Network.drop_probability = 0.25;
+                duplicate_probability = 0.15;
+              };
+          }))
+    [ Opc.Acp.Protocol.Prn; Opc.Acp.Protocol.Prc; Opc.Acp.Protocol.Ep ];
+  (* Fence on first silent retry: zero soft retries against a lossy
+     fabric escalate straight to the 1PC coordinator's
+     retries-exhausted recovery query. *)
+  directed "fence-retries" ~protocol:Opc.Acp.Protocol.Opc (fun c ->
+      {
+        c with
+        Opc.Config.max_soft_retries = 0;
+        detector_timeout = Opc.Simkit.Time.span_ms 10_000;
+        network =
+          {
+            c.Opc.Config.network with
+            Opc.Netsim.Network.drop_probability = 0.3;
+          };
+      });
+  (* Recovery storm: seven staggered crashes with fast restarts and a
+     hot resend clock, so log scans land mid-protocol on every role —
+     committed-image replays, in-doubt worker parks, planless
+     coordinators. *)
+  let recovery_storm =
+    {
+      Opc.Chaos.Schedule.window_ms = spec.window_ms;
+      events =
+        [
+          Opc.Chaos.Schedule.Crash { server = 1; at_ms = 50 };
+          Crash { server = 2; at_ms = 120 };
+          Crash { server = 3; at_ms = 190 };
+          Crash { server = 1; at_ms = 260 };
+          Crash { server = 2; at_ms = 330 };
+          Crash { server = 3; at_ms = 400 };
+          Crash { server = 0; at_ms = 470 };
+        ];
+    }
+  in
+  List.iter
+    (fun protocol ->
+      directed
+        ~seeds:(if smoke then 2 else 8)
+        (Printf.sprintf "recovery-storm-%s" (Opc.Acp.Protocol.name protocol))
+        ~protocol ~schedule:recovery_storm
+        ~spec:{ spec with clients = 8 }
+        (fun c ->
+          {
+            c with
+            Opc.Config.restart_delay = Opc.Simkit.Time.span_ms 25;
+            resend_interval = Some (Opc.Simkit.Time.span_ms 8);
+            max_soft_retries = 10;
+            detector_timeout = Opc.Simkit.Time.span_ms 10_000;
+            network =
+              {
+                c.Opc.Config.network with
+                Opc.Netsim.Network.drop_probability = 0.15;
+              };
+          }))
+    Opc.Acp.Protocol.all;
+  (* Deterministic conflict probes ({!Opc.Chaos.Probes}): dentry races
+     and an exactly-placed partition reach the NACK/tombstone edges no
+     seeded schedule can, and must themselves settle with a balanced
+     message ledger. *)
+  let probe_rows =
+    List.map
+      (fun (name, (p : Opc.Chaos.Probes.outcome)) ->
+        Array.iteri (fun i n -> merged.(i) <- merged.(i) + n) p.edge_hits;
+        (name, p))
+      (Opc.Chaos.Probes.all ())
+  in
+  let probes_ok =
+    List.for_all
+      (fun (_, (p : Opc.Chaos.Probes.outcome)) -> p.settled && p.conserved)
+      probe_rows
+  in
+  List.iter
+    (fun (name, (p : Opc.Chaos.Probes.outcome)) ->
+      Fmt.pr "probe %-16s settled=%b conserved=%b@." name p.settled
+        p.conserved)
+    probe_rows;
+  let all_passed =
+    List.for_all Opc.Chaos.Runner.passed !outcomes
+  in
+  if not all_passed then
+    List.iter
+      (fun o ->
+        if not (Opc.Chaos.Runner.passed o) then
+          Fmt.pr "@.%a@." Opc.Chaos.Runner.pp_outcome o)
+      (List.rev !outcomes);
+  (* Per-protocol edge coverage against the committed floors. *)
+  let floor_for p =
+    let f = List.assoc p coverage_floors in
+    if inflated_floors then 1.01
+      (* The smoke campaign runs a fraction of the seeds, so it reaches
+         fewer rare edges; the committed floors apply to the full run. *)
+    else if smoke then f *. 0.9
+    else f
+  in
+  let proto_rows, floors_ok =
+    List.fold_left
+      (fun (rows, ok) p ->
+        let edges = Opc.Acp.Edges.of_protocol p in
+        let never =
+          List.filter
+            (fun (e : Opc.Acp.Edges.edge) -> merged.(e.id) = 0)
+            edges
+        in
+        let declared = List.length edges in
+        let hit = declared - List.length never in
+        let pct = float_of_int hit /. float_of_int declared in
+        let floor = floor_for p in
+        let this_ok = pct >= floor in
+        if not this_ok then begin
+          Fmt.pr "coverage FLOOR MISS %s: %.1f%% < %.0f%%, never hit:@."
+            (Opc.Acp.Protocol.name p) (100.0 *. pct) (100.0 *. floor);
+          List.iter
+            (fun e -> Fmt.pr "  %s@." (Opc.Acp.Edges.name e))
+            never
+        end;
+        let row =
+          Json.Obj
+            [
+              ("protocol", Json.Str (Opc.Acp.Protocol.name p));
+              ("declared", Json.Int declared);
+              ("hit", Json.Int hit);
+              ("coverage", Json.Float pct);
+              ("floor", Json.Float floor);
+              ("ok", Json.Bool this_ok);
+              ( "never_hit",
+                Json.List
+                  (List.map
+                     (fun e -> Json.Str (Opc.Acp.Edges.name e))
+                     never) );
+            ]
+        in
+        (row :: rows, ok && this_ok))
+      ([], true) (List.map fst coverage_floors)
+  in
+  let proto_rows = List.rev proto_rows in
+  (* Print the summary table. *)
+  let t =
+    Opc.Metrics.Table.create
+      ~columns:[ "protocol"; "declared"; "hit"; "coverage"; "floor"; "ok" ]
+  in
+  List.iter
+    (fun p ->
+      let edges = Opc.Acp.Edges.of_protocol p in
+      let declared = List.length edges in
+      let hit =
+        List.length
+          (List.filter
+             (fun (e : Opc.Acp.Edges.edge) -> merged.(e.id) > 0)
+             edges)
+      in
+      let pct = 100.0 *. float_of_int hit /. float_of_int declared in
+      Opc.Metrics.Table.add_rowf t "%s|%d|%d|%.1f%%|%.0f%%|%s"
+        (Opc.Acp.Protocol.name p) declared hit pct
+        (100.0 *. floor_for p)
+        (if pct /. 100.0 >= floor_for p then "yes" else "NO"))
+    (List.map fst coverage_floors);
+  Opc.Metrics.Table.print t;
+  (* Message-conservation ledger, aggregated across every run. The law
+     already held per run at tolerance zero (the oracle checks it and a
+     breach fails the run); the table shows where the traffic went. *)
+  let tag_totals : (string, int array) Hashtbl.t = Hashtbl.create 24 in
+  let tag_order = ref [] in
+  List.iter
+    (fun (o : Opc.Chaos.Runner.outcome) ->
+      List.iter
+        (fun (ts : Opc.Chaos.Runner.tag_stats) ->
+          let acc =
+            match Hashtbl.find_opt tag_totals ts.tag with
+            | Some a -> a
+            | None ->
+                let a = Array.make 6 0 in
+                Hashtbl.add tag_totals ts.tag a;
+                tag_order := ts.tag :: !tag_order;
+                a
+          in
+          acc.(0) <- acc.(0) + ts.sent;
+          acc.(1) <- acc.(1) + ts.delivered;
+          acc.(2) <- acc.(2) + ts.dup_delivered;
+          acc.(3) <- acc.(3) + ts.dropped;
+          acc.(4) <- acc.(4) + ts.rejected;
+          acc.(5) <- acc.(5) + ts.in_flight)
+        o.meter)
+    !outcomes;
+  let tag_order = List.rev !tag_order in
+  let conservation_rows =
+    List.filter_map
+      (fun tag ->
+        let a = Hashtbl.find tag_totals tag in
+        if a.(0) = 0 && a.(4) = 0 then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("tag", Json.Str tag);
+                 ("sent", Json.Int a.(0));
+                 ("delivered", Json.Int a.(1));
+                 ("dup_delivered", Json.Int a.(2));
+                 ("dropped", Json.Int a.(3));
+                 ("rejected", Json.Int a.(4));
+                 ("in_flight", Json.Int a.(5));
+               ]))
+      tag_order
+  in
+  let ct =
+    Opc.Metrics.Table.create
+      ~columns:
+        [ "tag"; "sent"; "delivered"; "dup"; "dropped"; "rejected";
+          "in_flight" ]
+  in
+  List.iter
+    (fun tag ->
+      let a = Hashtbl.find tag_totals tag in
+      if a.(0) > 0 || a.(4) > 0 then
+        Opc.Metrics.Table.add_rowf ct "%s|%d|%d|%d|%d|%d|%d" tag a.(0)
+          a.(1) a.(2) a.(3) a.(4) a.(5))
+    tag_order;
+  Opc.Metrics.Table.print ct;
+  Fmt.pr "conservation: sent = delivered + dup + dropped + in_flight \
+          held exactly on all %d runs@."
+    !runs;
+  (* Fault-phase matrix: which protocol phase each injected fault
+     landed in, keyed by the fault's kind (first word). *)
+  let matrix : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Opc.Chaos.Runner.outcome) ->
+      List.iter
+        (fun (_, desc, phase) ->
+          let kind =
+            match String.index_opt desc ' ' with
+            | Some i -> String.sub desc 0 i
+            | None -> desc
+          in
+          let k = (kind, phase) in
+          Hashtbl.replace matrix k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt matrix k)))
+        o.fault_phases)
+    !outcomes;
+  let matrix_rows =
+    Hashtbl.fold (fun (kind, phase) n acc -> (kind, phase, n) :: acc) matrix []
+    |> List.sort compare
+  in
+  let mt =
+    Opc.Metrics.Table.create ~columns:[ "fault"; "phase"; "count" ]
+  in
+  List.iter
+    (fun (kind, phase, n) ->
+      Opc.Metrics.Table.add_rowf mt "%s|%s|%d" kind phase n)
+    matrix_rows;
+  Opc.Metrics.Table.print mt;
+  let ok = all_passed && floors_ok && probes_ok in
+  if inflated_floors then
+    Fmt.pr "(negative control: floors inflated past 100%%, the gate \
+            must trip)@.";
+  Fmt.pr "coverage gate: %s@." (if ok then "pass" else "FAIL");
+  ( Json.Obj
+      [
+        ("benchmark", Json.Str "coverage");
+        ("campaign_seeds", Json.Int campaign_seeds);
+        ("directed_seeds", Json.Int directed_seeds);
+        ("runs", Json.Int !runs);
+        ("all_runs_passed", Json.Bool all_passed);
+        ("inflated_floors", Json.Bool inflated_floors);
+        ("protocols", Json.List proto_rows);
+        ( "probes",
+          Json.List
+            (List.map
+               (fun (name, (p : Opc.Chaos.Probes.outcome)) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("settled", Json.Bool p.settled);
+                     ("conserved", Json.Bool p.conserved);
+                   ])
+               probe_rows) );
+        ("conservation", Json.List conservation_rows);
+        ( "fault_phases",
+          Json.List
+            (List.map
+               (fun (kind, phase, n) ->
+                 Json.Obj
+                   [
+                     ("fault", Json.Str kind);
+                     ("phase", Json.Str phase);
+                     ("count", Json.Int n);
+                   ])
+               matrix_rows) );
+        ("ok", Json.Bool ok);
+      ],
+    ok )
+
+(* ------------------------------------------------------------------ *)
 
 let subcommands :
     (string * (unit -> Json.t)) list Lazy.t =
@@ -1740,9 +2183,9 @@ let usage () =
   Fmt.epr
     "usage: bench [SUBCOMMAND] [--json PATH] [--smoke] [--seeds N] \
      [--txns N] [--against PATH] [--tolerance F] \
-     [--unbounded] [--impossible-slo]@.subcommands: all \
-     (default) | scale | breakdown | timeline | profile | check | \
-     overload | drill | \
+     [--unbounded] [--impossible-slo] [--inflated-floors]@.subcommands: \
+     all (default) | scale | breakdown | timeline | profile | check | \
+     overload | drill | coverage | \
      %s@.scale flags: --smoke (tiny sweep), --seeds N (default 2), \
      --txns N per point (default 20000)@.breakdown flags: --smoke (5 \
      txns/protocol), --txns N per protocol (default 20), \
@@ -1755,7 +2198,11 @@ let usage () =
      (disable admission control; the graceful-degradation gate should \
      then fail)@.drill flags: --smoke (1PC and L1PC only, 3 seeds), \
      --seeds N drills per protocol (default 5), --impossible-slo \
-     (negative control: zero budgets so the gate must trip)@.every \
+     (negative control: zero budgets so the gate must trip)@.coverage \
+     flags: --smoke (4 seeds/protocol), --seeds N chaos seeds per \
+     protocol (default 25), --inflated-floors (negative control: \
+     floors past 100%% so the gate must trip, naming never-hit \
+     edges)@.every \
      subcommand writes BENCH_<name>.json (override \
      with --json) and prints the path@."
     (String.concat " | " (List.map fst (Lazy.force subcommands)))
@@ -1773,6 +2220,7 @@ let () =
   let tolerance = ref 0.15 in
   let unbounded = ref false in
   let wrong_l1pc_row = ref false in
+  let inflated_floors = ref false in
   let bad fmt =
     Fmt.kstr
       (fun msg ->
@@ -1804,6 +2252,9 @@ let () =
           parse (i + 1)
       | "--wrong-l1pc-row" ->
           wrong_l1pc_row := true;
+          parse (i + 1)
+      | "--inflated-floors" ->
+          inflated_floors := true;
           parse (i + 1)
       | "--seeds" ->
           seeds := int_arg "--seeds" (next_value "--seeds");
@@ -1902,6 +2353,22 @@ let () =
           ~impossible_slo:!impossible_slo ()
       in
       emit ~default:"BENCH_drill.json" json;
+      if not ok then exit 1
+  | "coverage" ->
+      let cov_seeds =
+        if !seeds_set then !seeds else if !smoke then 4 else 25
+      in
+      let json, ok =
+        coverage ~smoke:!smoke ~seeds:cov_seeds
+          ~inflated_floors:!inflated_floors ()
+      in
+      emit ~default:"BENCH_coverage.json" json;
+      (* Round-trip the artifact through our own strict parser. *)
+      let path = Option.value !json_path ~default:"BENCH_coverage.json" in
+      (try ignore (Json_in.of_file path)
+       with Json_in.Parse_error msg ->
+         Fmt.epr "coverage: %s is invalid JSON: %s@." path msg;
+         exit 1);
       if not ok then exit 1
   | name -> (
       match List.assoc_opt name (Lazy.force subcommands) with

@@ -73,6 +73,14 @@ let settle_deadline_arg =
   Arg.(value & opt int Opc.Chaos.Runner.default_spec.settle_deadline_ms
        & info [ "settle-deadline" ] ~doc)
 
+let coverage_arg =
+  let doc = "Print each run's state-machine edge coverage and wire-tag \
+             ledger, then a merged per-protocol summary naming every \
+             declared edge the whole campaign never took. Chaos runs \
+             always record coverage; this flag only prints it."
+  in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
 let overload_arg =
   let doc = "Run the overload campaign instead of the closed-loop one: \
              each seed pairs a below-knee reference run with an open-loop \
@@ -122,8 +130,54 @@ let run_overload protocols seeds first_seed duration servers shrink autopsy =
         fails;
       1
 
+(* --coverage: one line per run (edges per hosted protocol map, wire
+   tags exercised), then a campaign-wide merge that names the edges no
+   seed ever took — the same never-hit list `bench coverage` gates on. *)
+let print_coverage (campaign : Opc.Chaos.Runner.campaign) protocols =
+  List.iter
+    (fun (o : Opc.Chaos.Runner.outcome) ->
+      let summaries =
+        Opc.Chaos.Runner.coverage_summaries ~protocol:o.protocol o.edge_hits
+      in
+      let tags_seen =
+        List.length
+          (List.filter
+             (fun (ts : Opc.Chaos.Runner.tag_stats) -> ts.sent > 0)
+             o.meter)
+      in
+      Fmt.pr "coverage %a seed %d: %a; %d/%d wire tags@."
+        Opc.Acp.Protocol.pp o.protocol o.seed
+        Fmt.(
+          list ~sep:(any ", ")
+            (fun ppf (c : Opc.Obs.Autopsy.coverage_summary) ->
+              Fmt.pf ppf "%s %d/%d edges" c.cov_protocol c.edges_hit
+                c.declared))
+        summaries tags_seen (List.length o.meter))
+    campaign.outcomes;
+  List.iter
+    (fun p ->
+      let merged = Array.make Opc.Acp.Edges.count 0 in
+      List.iter
+        (fun (o : Opc.Chaos.Runner.outcome) ->
+          if o.protocol = p && Array.length o.edge_hits > 0 then
+            Array.iteri
+              (fun i n -> merged.(i) <- merged.(i) + n)
+              o.edge_hits)
+        campaign.outcomes;
+      List.iter
+        (fun (c : Opc.Obs.Autopsy.coverage_summary) ->
+          Fmt.pr "merged %a: %s %d/%d edges" Opc.Acp.Protocol.pp p
+            c.cov_protocol c.edges_hit c.declared;
+          if c.never_hit <> [] then begin
+            Fmt.pr ", never hit:@.";
+            List.iter (fun e -> Fmt.pr "  %s@." e) c.never_hit
+          end
+          else Fmt.pr "@.")
+        (Opc.Chaos.Runner.coverage_summaries ~protocol:p merged))
+    protocols
+
 let chaos protocols seeds first_seed duration servers clients ops shrink
-    overload autopsy settle_deadline =
+    coverage overload autopsy settle_deadline =
   let usage_error msg =
     Fmt.epr "chaos: %s@." msg;
     exit 2
@@ -148,11 +202,16 @@ let chaos protocols seeds first_seed duration servers clients ops shrink
   let protocols =
     match protocols with [] -> Opc.Acp.Protocol.all | ps -> ps
   in
-  if overload then
+  if overload then begin
+    if coverage then
+      Fmt.pr "(--coverage covers closed-loop campaigns; ignored with \
+              --overload)@.";
     run_overload protocols seeds first_seed duration servers shrink autopsy
+  end
   else
   let campaign = Opc.Chaos.Runner.campaign ~protocols ~first_seed ~seeds spec in
   Opc.Metrics.Table.print (Opc.Chaos.Runner.table campaign);
+  if coverage then print_coverage campaign protocols;
   match Opc.Chaos.Runner.failures campaign with
   | [] ->
       Fmt.pr "all %d runs passed@." (seeds * List.length protocols);
@@ -195,7 +254,7 @@ let main =
           atomicity/liveness oracles and counterexample shrinking.")
     Term.(
       const chaos $ protocols_arg $ seeds_arg $ first_seed_arg $ duration_arg
-      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg $ overload_arg
-      $ autopsy_arg $ settle_deadline_arg)
+      $ servers_arg $ clients_arg $ ops_arg $ shrink_arg $ coverage_arg
+      $ overload_arg $ autopsy_arg $ settle_deadline_arg)
 
 let () = exit (Cmd.eval' main)

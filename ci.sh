@@ -42,7 +42,14 @@
 #    deadline) through bin/chaos --autopsy, demand a complete incident
 #    bundle (manifest, ring tail, journal, trace slice, MTTR, repro
 #    line) — the runner re-parses the bundle through its own reader
-#    before exiting, so a bundle that does not validate exits nonzero.
+#    before exiting, so a bundle that does not validate exits nonzero;
+# 11. coverage gate: the full protocol-coverage observatory — chaos
+#    campaign + directed supplements + deterministic probes merged into
+#    one per-protocol transition bitmap; fails unless all five
+#    protocols cover >= 90% of their declared edge maps, every run
+#    conserves messages exactly (sent = delivered + dup + dropped +
+#    in-flight) and every probe settles — plus a negative control with
+#    floors inflated past 100% that must trip and name never-hit edges.
 set -eu
 
 cd "$(dirname "$0")"
@@ -213,5 +220,34 @@ for f in incident.json ring.jsonl journal.jsonl trace.json mttr.json; do
 done
 rm -rf AUTOPSY_smoke AUTOPSY_smoke.out
 echo "autopsy bundle written, self-validated and complete"
+
+echo "== bench coverage negative test (inflated floors must fail) =="
+# Floors pushed past 100% are unmeetable by construction: the gate must
+# exit nonzero and name at least one never-hit edge per protocol.
+# Proves the gate compares instead of rubber-stamping. Run before the
+# real gate so the BENCH_coverage.json left on disk is the passing one.
+if dune exec bench/main.exe -- coverage --smoke --inflated-floors \
+     --json BENCH_coverage.negative.json > BENCH_coverage.negative.out 2>&1; then
+  cat BENCH_coverage.negative.out
+  rm -f BENCH_coverage.negative.json BENCH_coverage.negative.out
+  echo "FAIL: coverage gate accepted inflated floors" >&2
+  exit 1
+fi
+if ! grep -q "FLOOR MISS .*never hit:" BENCH_coverage.negative.out; then
+  cat BENCH_coverage.negative.out
+  rm -f BENCH_coverage.negative.json BENCH_coverage.negative.out
+  echo "FAIL: tripped coverage gate named no never-hit edge" >&2
+  exit 1
+fi
+rm -f BENCH_coverage.negative.json BENCH_coverage.negative.out
+echo "coverage gate trips on inflated floors and names never-hit edges"
+
+echo "== bench coverage (transition-map floors + conservation ledger) =="
+# The full observatory: standard chaos campaign, directed supplements
+# and the four deterministic probes merged into one per-protocol edge
+# bitmap. Exits 1 unless every protocol covers >= 90% of its declared
+# transition map, message conservation holds exactly on every run, and
+# every probe settles with a balanced ledger.
+dune exec bench/main.exe -- coverage
 
 echo "CI OK"

@@ -420,3 +420,56 @@ let decode_plan = decode_all read_plan
 let encode_message = with_buffer write_message
 let decode_message = decode_all read_message
 let encoded_message_size m = String.length (encode_message m)
+
+(* ------------------------------------------------------------------ *)
+(* Wire-tag reflection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The conservation ledger counts messages by the same tag the encoder
+   writes, so the accounting dimension is pinned to the wire format: a
+   new constructor cannot be added without extending both (the
+   round-trip property test covers every tag). *)
+let tag : Wire.t -> int = function
+  | Update_req _ -> 0
+  | Updated _ -> 1
+  | Prepare _ -> 2
+  | Prepared _ -> 3
+  | Commit _ -> 4
+  | Abort _ -> 5
+  | Ack _ -> 6
+  | Decision_req _ -> 7
+  | Decision _ -> 8
+  | Ack_req _ -> 9
+  | Vote_req _ -> 10
+  | Vote _ -> 11
+  | Rep_store _ -> 12
+  | Rep_ack _ -> 13
+  | Decide _ -> 14
+  | Decide_ack _ -> 15
+  | Rep_drop _ -> 16
+  | Recover_req _ -> 17
+  | Recover_resp _ -> 18
+
+let tag_count = 19
+
+let tag_name = function
+  | 0 -> "UPDATE_REQ"
+  | 1 -> "UPDATED"
+  | 2 -> "PREPARE"
+  | 3 -> "PREPARED"
+  | 4 -> "COMMIT"
+  | 5 -> "ABORT"
+  | 6 -> "ACK"
+  | 7 -> "DECISION_REQ"
+  | 8 -> "DECISION"
+  | 9 -> "ACK_REQ"
+  | 10 -> "VOTE_REQ"
+  | 11 -> "VOTE"
+  | 12 -> "REP_STORE"
+  | 13 -> "REP_ACK"
+  | 14 -> "DECIDE"
+  | 15 -> "DECIDE_ACK"
+  | 16 -> "REP_DROP"
+  | 17 -> "RECOVER_REQ"
+  | 18 -> "RECOVER_RESP"
+  | _ -> "?"

@@ -39,6 +39,18 @@ val decode_message : string -> Wire.t
 val encoded_message_size : Wire.t -> int
 (** [String.length (encode_message m)]. *)
 
+val tag : Wire.t -> int
+(** The constructor's wire tag — the byte {!encode_message} writes
+    first. The message-conservation ledger counts per tag, so the
+    accounting dimension is exactly the wire format's. *)
+
+val tag_count : int
+(** Tags are dense in [0 .. tag_count - 1]. *)
+
+val tag_name : int -> string
+(** Protocol-speak name of a wire tag (["UPDATE_REQ"], ...); ["?"] for
+    anything outside [0 .. tag_count - 1]. *)
+
 (**/**)
 
 (** Primitive layer, exposed for tests. *)

@@ -31,9 +31,12 @@ type t = {
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;
+  cover : Obs.Coverage.t;
   client_reply : Txn.id -> Txn.outcome -> unit;
   mark : Txn.id -> string -> unit;
 }
+
+let hit t id = Obs.Coverage.hit t.cover id
 
 let obs_phase t txn name =
   if Obs.Tracer.is_recording t.obs then

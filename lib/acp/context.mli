@@ -58,9 +58,15 @@ type t = {
   ledger : Metrics.Ledger.t;
   trace : Simkit.Trace.t;
   obs : Obs.Tracer.t;  (** span tracer for the latency breakdown *)
+  cover : Obs.Coverage.t;
+      (** transition-coverage tap, sized for {!Edges.count} *)
   client_reply : Txn.id -> Txn.outcome -> unit;
   mark : Txn.id -> string -> unit;
 }
+
+val hit : t -> int -> unit
+(** Record one traversal of a declared {!Edges} edge (no-op when the
+    tap is disabled or the id is [-1]). *)
 
 val trace_txn : t -> Txn.id -> kind:string -> string -> unit
 (** Emit a trace entry attributed to this server about a transaction. *)

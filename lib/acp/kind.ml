@@ -1,0 +1,22 @@
+type t = Prn | Prc | Ep | Opc | Lp1
+
+let all = [ Prn; Prc; Ep; Opc; Lp1 ]
+
+let name = function
+  | Prn -> "PrN"
+  | Prc -> "PrC"
+  | Ep -> "EP"
+  | Opc -> "1PC"
+  | Lp1 -> "L1PC"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "prn" | "2pc" -> Some Prn
+  | "prc" -> Some Prc
+  | "ep" -> Some Ep
+  | "1pc" | "opc" -> Some Opc
+  | "l1pc" | "lp1" -> Some Lp1
+  | _ -> None
+
+let pp ppf k = Fmt.string ppf (name k)
+let max_workers = function Prn | Prc | Ep -> None | Opc | Lp1 -> Some 1

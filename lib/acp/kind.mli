@@ -1,0 +1,25 @@
+(** Protocol identifiers.
+
+    A leaf module so data-only layers ({!Edges}, configuration) can name
+    a protocol without pulling in the implementations; {!Protocol}
+    re-exports the type as [Protocol.kind] — the name the rest of the
+    tree uses. *)
+
+type t = Prn | Prc | Ep | Opc | Lp1
+
+val all : t list
+(** In the paper's presentation order — PrN, PrC, EP, 1PC — with the
+    logless extension L1PC last. *)
+
+val name : t -> string
+(** ["PrN"], ["PrC"], ["EP"], ["1PC"], ["L1PC"]. *)
+
+val of_name : string -> t option
+(** Case-insensitive; also accepts ["2pc"] for PrN, ["opc"] for 1PC,
+    and ["lp1"] for L1PC. *)
+
+val pp : Format.formatter -> t -> unit
+
+val max_workers : t -> int option
+(** [Some 1] for 1PC and L1PC (two-server transactions only); [None] =
+    unlimited for the 2PC family. *)

@@ -99,6 +99,7 @@ let send_to t server msg =
   t.ctx.Context.send ~dst:(t.ctx.Context.address_of server) msg
 
 let trace t id ~kind detail = Context.trace_txn t.ctx id ~kind detail
+let hit t id = Context.hit t.ctx id
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator                                                         *)
@@ -145,6 +146,7 @@ let rec arm_decide_timer t c =
          ~after:(Common.resend_after t.ctx ~attempt:c.retries) (fun () ->
            c.timer := None;
            if c.phase = C_deciding then begin
+             hit t Edges.Lp1.c_decide_resend;
              c.retries <- c.retries + 1;
              send_decide t c;
              arm_decide_timer t c
@@ -155,6 +157,7 @@ let rec arm_decide_timer t c =
    without any log force — reply and release immediately (the paper's
    critical-path cut, now with zero forces on it). *)
 let coord_decide_commit t c =
+  hit t Edges.Lp1.c_vote_yes;
   Common.cancel_timer c.timer;
   c.phase <- C_deciding;
   c.retries <- 0;
@@ -176,12 +179,17 @@ let rec arm_vote_timer t c =
          ~after:(Common.resend_after t.ctx ~attempt:c.retries) (fun () ->
            c.timer := None;
            if c.phase = C_voting then
-             if
-               t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
-               || c.retries >= t.ctx.Context.max_soft_retries
-             then
+             if t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
+             then begin
+               hit t Edges.Lp1.c_suspect_abort;
                coord_abort ~notify_worker:true t c "worker failed to vote"
+             end
+             else if c.retries >= t.ctx.Context.max_soft_retries then begin
+               hit t Edges.Lp1.c_timeout_abort;
+               coord_abort ~notify_worker:true t c "worker failed to vote"
+             end
              else begin
+               hit t Edges.Lp1.c_resend;
                c.retries <- c.retries + 1;
                send_vote_req t c;
                arm_vote_timer t c
@@ -210,6 +218,7 @@ let coord_of_plan (txn : Txn.t) =
 
 let submit t (txn : Txn.t) =
   let c = coord_of_plan txn in
+  hit t Edges.Lp1.c_submit;
   Hashtbl.replace t.coords (key c.id) c;
   c.ospan <- Context.obs_start t.ctx c.id ~name:"l1pc.coord";
   t.ctx.Context.mark c.id "submit";
@@ -232,8 +241,10 @@ let submit t (txn : Txn.t) =
             | Error _, _ -> ())
       end)
     ~on_timeout:(fun () ->
-      if c.phase = C_starting then
-        coord_abort t c "lock timeout at coordinator")
+      if c.phase = C_starting then begin
+        hit t Edges.Lp1.c_lock_timeout;
+        coord_abort t c "lock timeout at coordinator"
+      end)
 
 let coord_on_vote t ~src txn vote =
   match Hashtbl.find_opt t.coords (key txn) with
@@ -241,9 +252,13 @@ let coord_on_vote t ~src txn vote =
       match c.phase with
       | C_voting ->
           if vote then coord_decide_commit t c
-          else coord_abort t c "worker voted no"
+          else begin
+            hit t Edges.Lp1.c_vote_no;
+            coord_abort t c "worker voted no"
+          end
       | C_deciding ->
           (* Duplicate/retransmitted vote: the decision got lost. *)
+          hit t Edges.Lp1.c_vote_dup;
           if vote then send_decide t c
       | C_starting -> ())
   | None ->
@@ -251,14 +266,19 @@ let coord_on_vote t ~src txn vote =
          was commit (we harden before dropping state); anything else is
          presumed abort — exactly the rule a logged protocol reads from
          its log, answered here from the durable metadata image. *)
-      if t.ctx.Context.is_hardened txn then
+      if t.ctx.Context.is_hardened txn then begin
+        hit t Edges.Lp1.c_stateless_commit;
         t.ctx.Context.send ~dst:src (Wire.Decide { txn; commit = true; updates = [] })
-      else
+      end
+      else begin
+        hit t Edges.Lp1.c_stateless_abort;
         t.ctx.Context.send ~dst:src (Wire.Decide { txn; commit = false; updates = [] })
+      end
 
 let coord_on_decide_ack t txn =
   match Hashtbl.find_opt t.coords (key txn) with
   | Some c when c.phase = C_deciding ->
+      hit t Edges.Lp1.c_decide_ack;
       Common.cancel_timer c.timer;
       coord_drop t c
   | Some _ | None -> ()
@@ -303,6 +323,7 @@ let rec arm_work_timer t w =
              (match w.wstate with
              | W_replicating -> send_rep_store t w
              | W_voted ->
+                 hit t Edges.Lp1.w_vote_resend;
                  send_to t w.coordinator
                    (Wire.Vote { txn = w.w_id; vote = true })
              | W_locking -> ());
@@ -355,13 +376,17 @@ let work_on_vote_req t ~src txn updates =
   match Hashtbl.find_opt t.works (key txn) with
   | Some w when w.wstate = W_voted ->
       (* Coordinator retry racing our vote. *)
+      hit t Edges.Lp1.w_vote_dup;
       t.ctx.Context.send ~dst:src (Wire.Vote { txn; vote = true })
   | Some _ -> ()
   | None ->
-      if t.ctx.Context.is_hardened txn then
+      if t.ctx.Context.is_hardened txn then begin
         (* Committed in a previous incarnation. *)
+        hit t Edges.Lp1.w_hardened;
         t.ctx.Context.send ~dst:src (Wire.Vote { txn; vote = true })
+      end
       else if must_die t txn (Common.lock_oids_of_updates updates) then begin
+        hit t Edges.Lp1.w_die;
         trace t txn ~kind:"txn.die"
           "L1PC worker: wait-die, older coordinator holds a needed lock";
         t.ctx.Context.send ~dst:src (Wire.Vote { txn; vote = false })
@@ -381,6 +406,7 @@ let work_on_vote_req t ~src txn updates =
             w_timer = ref None;
           }
         in
+        hit t Edges.Lp1.w_fresh;
         Hashtbl.replace t.works (key txn) w;
         w.w_ospan <- Context.obs_start t.ctx txn ~name:"l1pc.worker";
         trace t txn ~kind:"txn.start" "L1PC worker";
@@ -414,12 +440,14 @@ let work_on_vote_req t ~src txn updates =
                           arm_work_timer t w
                     end
                 | Error e ->
+                    hit t Edges.Lp1.w_reject;
                     trace t txn ~kind:"txn.reject"
                       (Fmt.str "%a" Mds.State.pp_error e);
                     Common.release t.ctx txn;
                     work_drop t w;
                     send_to t w.coordinator (Wire.Vote { txn; vote = false })))
           ~on_timeout:(fun () ->
+            hit t Edges.Lp1.w_reject;
             Common.release t.ctx txn;
             work_drop t w;
             send_to t w.coordinator (Wire.Vote { txn; vote = false }))
@@ -432,7 +460,10 @@ let work_on_rep_ack t ~src txn =
       let first = w.rep_acked = [] in
       if not (List.mem member w.rep_acked) then
         w.rep_acked <- member :: w.rep_acked;
-      if first && w.wstate = W_replicating then work_vote_yes t w
+      if first && w.wstate = W_replicating then begin
+        hit t Edges.Lp1.w_rep_ack;
+        work_vote_yes t w
+      end
   | None -> ()
 
 let work_on_decide t ~src txn commit updates =
@@ -442,9 +473,13 @@ let work_on_decide t ~src txn commit updates =
       | W_locking ->
           (* Commit before our vote is impossible; an abort means the
              coordinator gave up while we queued for locks. *)
-          if not commit then w.doomed <- true
+          if not commit then begin
+            hit t Edges.Lp1.w_doomed;
+            w.doomed <- true
+          end
       | W_replicating | W_voted ->
           if commit then begin
+            hit t Edges.Lp1.w_commit;
             Common.cancel_timer w.w_timer;
             Context.obs_phase t.ctx txn "l1pc.worker.commit";
             t.ctx.Context.harden txn w.w_updates;
@@ -455,6 +490,7 @@ let work_on_decide t ~src txn commit updates =
             work_drop t w
           end
           else begin
+            hit t Edges.Lp1.w_abort;
             Common.cancel_timer w.w_timer;
             Common.undo t.ctx w.w_undo;
             Common.release t.ctx txn;
@@ -464,11 +500,14 @@ let work_on_decide t ~src txn commit updates =
           end)
   | None ->
       if commit then
-        if t.ctx.Context.is_hardened txn then
+        if t.ctx.Context.is_hardened txn then begin
           (* Already committed (recovery resurrected and finished it, or
              a duplicate DECIDE); the coordinator only needs its ack. *)
+          hit t Edges.Lp1.w_decide_hardened;
           t.ctx.Context.send ~dst:src (Wire.Decide_ack { txn })
+        end
         else begin
+          hit t Edges.Lp1.w_decide_replay;
           (* Everything volatile is gone — this node crashed *and* its
              recovery quorum had no copy. The decision message carries
              the updates precisely for this last-ditch path. *)
@@ -497,6 +536,7 @@ let replica_gc t =
     match Queue.pop t.replica_fifo with
     | k ->
         if Hashtbl.mem t.replica k then begin
+          hit t Edges.Lp1.rep_evict;
           Hashtbl.remove t.replica k;
           Metrics.Ledger.incr t.ctx.Context.ledger "l1pc.replica.evicted"
         end
@@ -505,12 +545,14 @@ let replica_gc t =
 
 let replica_on_store t ~src txn owner updates =
   let k = key txn in
+  hit t Edges.Lp1.rep_store;
   if not (Hashtbl.mem t.replica k) then Queue.push k t.replica_fifo;
   Hashtbl.replace t.replica k (owner, updates);
   replica_gc t;
   t.ctx.Context.send ~dst:src (Wire.Rep_ack { txn })
 
 let replica_on_recover_req t ~src owner =
+  hit t Edges.Lp1.rep_recover_req;
   let items =
     Hashtbl.fold
       (fun (origin, seq) (o, updates) acc ->
@@ -540,6 +582,7 @@ let rec arm_recover_timer t r =
            r.rec_timer := None;
            if (not r.collected) && r.awaiting <> [] then
              if r.rec_attempts >= t.ctx.Context.max_soft_retries then begin
+               hit t Edges.Lp1.r_short;
                (* A group member is down (possibly in the same failure
                   burst). Proceed on the copies we have: every vote
                   reached the quorum before it was cast, so only votes
@@ -553,6 +596,7 @@ let rec arm_recover_timer t r =
                finish_collection t r
              end
              else begin
+               hit t Edges.Lp1.r_resend;
                r.rec_attempts <- r.rec_attempts + 1;
                List.iter
                  (fun m ->
@@ -579,6 +623,7 @@ and resurrection_done t r =
 and resurrect t r (id : Txn.id) updates =
   if t.ctx.Context.is_hardened id then begin
     (* Crashed between hardening and the coordinator's DECIDE_ACK. *)
+    hit t Edges.Lp1.r_resurrect_hardened;
     rep_drop_all t id;
     send_to t id.origin (Wire.Decide_ack { txn = id })
   end
@@ -607,9 +652,11 @@ and resurrect t r (id : Txn.id) updates =
         Common.apply_updates t.ctx updates ~k:(fun result ->
             (match result with
             | Ok inverses ->
+                hit t Edges.Lp1.r_resurrect_revote;
                 w.w_undo <- inverses;
                 work_vote_yes t w
             | Error e ->
+                hit t Edges.Lp1.r_stale;
                 trace t id ~kind:"txn.recover"
                   (Fmt.str "stale replica entry (%a); dropping"
                      Mds.State.pp_error e);
@@ -618,6 +665,7 @@ and resurrect t r (id : Txn.id) updates =
                 rep_drop_all t id);
             resurrection_done t r))
       ~on_timeout:(fun () ->
+        hit t Edges.Lp1.r_stale;
         Common.release t.ctx id;
         work_drop t w;
         rep_drop_all t id;
@@ -643,6 +691,7 @@ let on_recover_resp t ~src owner items =
     | Some r when not r.collected ->
         let member = Netsim.Address.index src in
         if List.mem member r.awaiting then begin
+          hit t Edges.Lp1.r_resp;
           r.awaiting <- List.filter (fun m -> m <> member) r.awaiting;
           List.iter
             (fun (id, updates) ->
@@ -657,6 +706,7 @@ let recover t ~on_done =
   match t.ctx.Context.replicas with
   | [] -> on_done ()
   | members ->
+      hit t Edges.Lp1.r_start;
       let r =
         {
           awaiting = members;
@@ -690,7 +740,11 @@ let on_message t ~src (msg : Wire.t) =
   | Wire.Decide { txn; commit; updates } ->
       work_on_decide t ~src txn commit updates
   | Wire.Decide_ack { txn } -> coord_on_decide_ack t txn
-  | Wire.Rep_drop { txn } -> Hashtbl.remove t.replica (key txn)
+  | Wire.Rep_drop { txn } ->
+      if Hashtbl.mem t.replica (key txn) then begin
+        hit t Edges.Lp1.rep_drop;
+        Hashtbl.remove t.replica (key txn)
+      end
   | Wire.Recover_req { owner } -> replica_on_recover_req t ~src owner
   | Wire.Recover_resp { owner; items } -> on_recover_resp t ~src owner items
   | Wire.Update_req _ | Wire.Updated _ | Wire.Ack _ | Wire.Ack_req _
@@ -713,6 +767,8 @@ let on_suspect t peer =
   in
   List.iter
     (fun c ->
-      if c.phase = C_voting then
-        coord_abort ~notify_worker:true t c "worker suspected before voting")
+      if c.phase = C_voting then begin
+        hit t Edges.Lp1.c_suspect_abort;
+        coord_abort ~notify_worker:true t c "worker suspected before voting"
+      end)
     victims

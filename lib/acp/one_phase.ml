@@ -78,6 +78,7 @@ let create ctx =
 (* ------------------------------------------------------------------ *)
 
 let tombstone_count t = Hashtbl.length t.rejected
+let hit t id = Context.hit t.ctx id
 
 let expire_tombstone t k =
   Hashtbl.remove t.rejected k;
@@ -95,7 +96,9 @@ let gc_tombstones t =
     | Some (k, deadline) when Simkit.Time.( <= ) deadline now -> (
         ignore (Queue.pop t.reject_fifo);
         (match Hashtbl.find_opt t.rejected k with
-        | Some live when Simkit.Time.( <= ) live now -> expire_tombstone t k
+        | Some live when Simkit.Time.( <= ) live now ->
+            hit t Edges.Opc.w_tomb_expire;
+            expire_tombstone t k
         | Some _ | None -> ());
         drain ())
     | _ -> ()
@@ -105,7 +108,11 @@ let gc_tombstones t =
      widens the stale horizon, which is safe (see the table comment). *)
   while tombstone_count t > t.ctx.Context.tombstone_cap do
     match Queue.pop t.reject_fifo with
-    | k, _ -> if Hashtbl.mem t.rejected k then expire_tombstone t k
+    | k, _ ->
+        if Hashtbl.mem t.rejected k then begin
+          hit t Edges.Opc.w_tomb_cap;
+          expire_tombstone t k
+        end
     | exception Queue.Empty -> assert false (* fifo covers every entry *)
   done
 
@@ -156,6 +163,7 @@ let coord_worker_committed t c =
       Log_record.Committed { txn = c.id };
     ]
     ~on_durable:(fun () ->
+      hit t Edges.Opc.c_commit;
       t.ctx.Context.harden c.id c.own_updates;
       send_to t c.worker (Wire.Ack { txn = c.id });
       t.ctx.Context.log_gc c.id;
@@ -174,6 +182,7 @@ let coord_abort t c reason =
   t.ctx.Context.force
     [ Log_record.Aborted { txn = c.id } ]
     ~on_durable:(fun () ->
+      hit t Edges.Opc.c_abort;
       Common.release t.ctx c.id;
       t.ctx.Context.mark c.id "released";
       t.ctx.Context.client_reply c.id (Txn.Aborted reason);
@@ -200,9 +209,11 @@ let coord_fence_and_decide t c =
               images
           with
           | Some img when img.committed ->
+              hit t Edges.Opc.c_fence_committed;
               trace t c.id ~kind:"txn.fence" "worker log says COMMITTED";
               coord_worker_committed t c
           | Some _ | None ->
+              hit t Edges.Opc.c_fence_empty;
               trace t c.id ~kind:"txn.fence" "no commit record; aborting";
               coord_abort t c "worker failed before committing")
   end
@@ -215,13 +226,19 @@ let rec arm_updated_timer t c =
          ~after:(Common.resend_after t.ctx ~attempt:c.retries) (fun () ->
            c.timer := None;
            if c.phase = C_working then
-             if
-               t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
-               || c.retries >= t.ctx.Context.max_soft_retries
-             then coord_fence_and_decide t c
+             if t.ctx.Context.suspects (t.ctx.Context.address_of c.worker)
+             then begin
+               hit t Edges.Opc.c_fence_suspect;
+               coord_fence_and_decide t c
+             end
+             else if c.retries >= t.ctx.Context.max_soft_retries then begin
+               hit t Edges.Opc.c_fence_retries;
+               coord_fence_and_decide t c
+             end
              else begin
                (* Alive but slow (or a lost message): retry — the worker
                   deduplicates. *)
+               hit t Edges.Opc.c_resend;
                c.retries <- c.retries + 1;
                send_to t c.worker
                  (Wire.Update_req
@@ -247,6 +264,7 @@ let rec coord_run t c ~replayed =
         Common.apply_updates t.ctx c.own_updates ~k:(fun result ->
             match (result, c.phase) with
             | Ok inverses, C_starting ->
+                hit t Edges.Opc.c_started;
                 c.undo_list <- inverses;
                 c.phase <- C_working;
                 send_to t c.worker
@@ -284,6 +302,7 @@ let rec coord_run t c ~replayed =
                               after the worker committed (%s)"
                              Txn.pp_id c.id reason)
                       else begin
+                        hit t Edges.Opc.c_fence_empty;
                         c.phase <- C_starting;
                         coord_abort t c reason
                       end)
@@ -292,8 +311,14 @@ let rec coord_run t c ~replayed =
       end)
     ~on_timeout:(fun () ->
       if c.phase = C_starting then
-        if replayed then coord_run t c ~replayed
-        else coord_abort t c "lock timeout at coordinator")
+        if replayed then begin
+          hit t Edges.Opc.c_replay_lock_retry;
+          coord_run t c ~replayed
+        end
+        else begin
+          hit t Edges.Opc.c_lock_timeout;
+          coord_abort t c "lock timeout at coordinator"
+        end)
 
 let coord_of_plan (txn : Txn.t) =
   match txn.plan.Mds.Plan.workers with
@@ -318,6 +343,7 @@ let coord_of_plan (txn : Txn.t) =
 
 let submit t (txn : Txn.t) =
   let c = coord_of_plan txn in
+  hit t Edges.Opc.c_submit;
   Hashtbl.replace t.coords (key c.id) c;
   c.ospan <- Context.obs_start t.ctx c.id ~name:"1pc.coord";
   t.ctx.Context.mark c.id "submit";
@@ -332,18 +358,25 @@ let submit t (txn : Txn.t) =
 let coord_on_updated t c ~ok =
   match c.phase with
   | C_working ->
-      if ok then coord_worker_committed t c
-      else coord_abort t c "worker rejected updates"
+      if ok then begin
+        hit t Edges.Opc.c_updated_ok;
+        coord_worker_committed t c
+      end
+      else begin
+        hit t Edges.Opc.c_updated_nack;
+        coord_abort t c "worker rejected updates"
+      end
   | C_starting | C_recovering | C_committing | C_aborting -> ()
 
 let coord_on_ack_req t ~src txn =
   match Hashtbl.find_opt t.coords (key txn) with
   | Some _ ->
       (* Still committing our side; the ACK will go out when it is done. *)
-      ()
+      hit t Edges.Opc.c_ack_req_pending
   | None ->
       (* Finished (and possibly checkpointed) long ago: the worker only
          needs its acknowledgement. *)
+      hit t Edges.Opc.c_ack_req_gone;
       t.ctx.Context.send ~dst:src (Wire.Ack { txn })
 
 (* ------------------------------------------------------------------ *)
@@ -363,28 +396,35 @@ let rec arm_ack_req_timer t w =
          ~after:(Common.resend_after t.ctx ~attempt:w.w_resends) (fun () ->
            w.w_timer := None;
            if w.committed then begin
+             hit t Edges.Opc.w_ack_req_resend;
              w.w_resends <- w.w_resends + 1;
              send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
              arm_ack_req_timer t w
            end))
 
-let work_reject t txn = touch_tombstone t (key txn)
+let work_reject t txn =
+  hit t Edges.Opc.w_reject;
+  touch_tombstone t (key txn)
 
 let work_on_update_req t ~src txn updates =
   gc_tombstones t;
   match Hashtbl.find_opt t.works (key txn) with
   | Some w when w.committed ->
       (* Coordinator retry racing our reply. *)
+      hit t Edges.Opc.w_dup_committed;
       t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
-  | Some _ -> ()
+  | Some _ -> hit t Edges.Opc.w_dup_inprogress
   | None ->
-      if t.ctx.Context.is_hardened txn then
+      if t.ctx.Context.is_hardened txn then begin
         (* Committed in a previous incarnation. *)
+        hit t Edges.Opc.w_hardened;
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+      end
       else if Hashtbl.mem t.rejected (key txn) then begin
         (* Already voted NO: a duplicate or retried request gets the
            same vote. Re-executing could commit a transaction the
            coordinator has meanwhile aborted on our earlier vote. *)
+        hit t Edges.Opc.w_tombstone_nack;
         touch_tombstone t (key txn);
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = false })
       end
@@ -394,6 +434,7 @@ let work_on_update_req t ~src txn updates =
            conservatively. Any transaction submitted after the expired
            one holds a higher cluster-wide sequence number and is
            unaffected. *)
+        hit t Edges.Opc.w_stale_nack;
         Metrics.Ledger.incr t.ctx.Context.ledger "acp.stale_nack";
         t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = false })
       end
@@ -409,6 +450,7 @@ let work_on_update_req t ~src txn updates =
             w_timer = ref None;
           }
         in
+        hit t Edges.Opc.w_fresh;
         Hashtbl.replace t.works (key txn) w;
         w.w_ospan <- Context.obs_start t.ctx txn ~name:"1pc.worker";
         trace t txn ~kind:"txn.start" "1PC worker";
@@ -426,6 +468,7 @@ let work_on_update_req t ~src txn updates =
                       Log_record.Committed { txn };
                     ]
                     ~on_durable:(fun () ->
+                      hit t Edges.Opc.w_commit;
                       w.committed <- true;
                       Context.obs_phase t.ctx txn "1pc.worker.commit";
                       t.ctx.Context.harden txn updates;
@@ -451,6 +494,7 @@ let work_on_update_req t ~src txn updates =
 let work_on_ack t txn =
   match Hashtbl.find_opt t.works (key txn) with
   | Some w when w.committed ->
+      hit t Edges.Opc.w_ack;
       Common.cancel_timer w.w_timer;
       let id = w.w_id in
       t.ctx.Context.append_async
@@ -494,8 +538,10 @@ let on_suspect t peer =
   let server = Netsim.Address.index peer in
   Hashtbl.iter
     (fun _ c ->
-      if c.worker = server && c.phase = C_working then
-        coord_fence_and_decide t c)
+      if c.worker = server && c.phase = C_working then begin
+        hit t Edges.Opc.c_fence_suspect;
+        coord_fence_and_decide t c
+      end)
     t.coords
 
 (* ------------------------------------------------------------------ *)
@@ -504,6 +550,7 @@ let on_suspect t peer =
 
 let recover_coordinator t (img : Log_scan.image) =
   if img.committed then begin
+    hit t Edges.Opc.r_coord_committed;
     (* Decided before the crash; the generic pass hardened the updates.
        The worker may still be waiting for its acknowledgement. *)
     (match img.participants with
@@ -513,6 +560,7 @@ let recover_coordinator t (img : Log_scan.image) =
     t.ctx.Context.log_gc img.id
   end
   else if img.aborted then begin
+    hit t Edges.Opc.r_coord_aborted;
     t.ctx.Context.client_reply img.id (Txn.Aborted "aborted before crash");
     t.ctx.Context.log_gc img.id
   end
@@ -523,8 +571,10 @@ let recover_coordinator t (img : Log_scan.image) =
         (* The crash hit between the force's two records? Impossible:
            they are one atomic write. A missing plan means a foreign log
            format; drop the transaction. *)
+        hit t Edges.Opc.r_coord_gc;
         t.ctx.Context.log_gc img.id
     | Some plan ->
+        hit t Edges.Opc.r_coord_redo;
         trace t img.id ~kind:"txn.recover" "re-executing from REDO";
         let c = coord_of_plan { Txn.id = img.id; plan } in
         Hashtbl.replace t.coords (key c.id) c;
@@ -533,6 +583,7 @@ let recover_coordinator t (img : Log_scan.image) =
 
 let recover_worker t (img : Log_scan.image) =
   if img.committed && not img.ended then begin
+    hit t Edges.Opc.r_worker_committed;
     (* Ask for the acknowledgement so the log can be finalized. *)
     let w =
       {
@@ -551,7 +602,10 @@ let recover_worker t (img : Log_scan.image) =
     send_to t w.coordinator (Wire.Ack_req { txn = w.w_id });
     arm_ack_req_timer t w
   end
-  else t.ctx.Context.log_gc img.id
+  else begin
+    hit t Edges.Opc.r_worker_gc;
+    t.ctx.Context.log_gc img.id
+  end
 
 (* Mirror of Two_phase.owns_image: 1PC coordinator images always carry a
    REDO plan (forced atomically with STARTED) and 1PC workers never write

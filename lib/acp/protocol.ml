@@ -1,26 +1,10 @@
-type kind = Prn | Prc | Ep | Opc | Lp1
+type kind = Kind.t = Prn | Prc | Ep | Opc | Lp1
 
-let all = [ Prn; Prc; Ep; Opc; Lp1 ]
-
-let name = function
-  | Prn -> "PrN"
-  | Prc -> "PrC"
-  | Ep -> "EP"
-  | Opc -> "1PC"
-  | Lp1 -> "L1PC"
-
-let of_name s =
-  match String.lowercase_ascii s with
-  | "prn" | "2pc" -> Some Prn
-  | "prc" -> Some Prc
-  | "ep" -> Some Ep
-  | "1pc" | "opc" -> Some Opc
-  | "l1pc" | "lp1" -> Some Lp1
-  | _ -> None
-
-let pp ppf k = Fmt.string ppf (name k)
-
-let max_workers = function Prn | Prc | Ep -> None | Opc | Lp1 -> Some 1
+let all = Kind.all
+let name = Kind.name
+let of_name = Kind.of_name
+let pp = Kind.pp
+let max_workers = Kind.max_workers
 
 type instance = {
   kind : kind;

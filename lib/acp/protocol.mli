@@ -6,7 +6,9 @@
     crashing a node is modelled by dropping its instance (all volatile
     protocol state lives inside) and creating + recovering a new one. *)
 
-type kind = Prn | Prc | Ep | Opc | Lp1
+type kind = Kind.t = Prn | Prc | Ep | Opc | Lp1
+(** Re-export of {!Kind.t} — the leaf module breaks the dependency cycle
+    between this registry and the data-only {!Edges} declarations. *)
 
 val all : kind list
 (** In the paper's presentation order — PrN, PrC, EP, 1PC — with the

@@ -63,6 +63,7 @@ type work = {
 
 type t = {
   v : variant;
+  e : Edges.tp;  (* this variant's declared edge map (EP skips some) *)
   ctx : Context.t;
   coords : (int * int, coord) Hashtbl.t;
   works : (int * int, work) Hashtbl.t;
@@ -71,7 +72,16 @@ type t = {
 let key (id : Txn.id) = (id.origin, id.seq)
 
 let create v ctx =
-  { v; ctx; coords = Hashtbl.create 64; works = Hashtbl.create 64 }
+  let e =
+    Edges.tp_for
+      (match (v.presume_commit, v.early_prepare) with
+      | false, _ -> Kind.Prn
+      | true, false -> Kind.Prc
+      | true, true -> Kind.Ep)
+  in
+  { v; e; ctx; coords = Hashtbl.create 64; works = Hashtbl.create 64 }
+
+let hit t id = Context.hit t.ctx id
 
 let variant t = t.v
 let outstanding t = Hashtbl.length t.coords + Hashtbl.length t.works
@@ -95,6 +105,7 @@ let all_workers_in set workers =
 
 (* Commit epilogue shared by the live path and recovery. *)
 let rec coord_commit_decided t c =
+  hit t t.e.Edges.c_commit;
   c.phase <- Committing;
   Context.obs_phase t.ctx c.id "2pc.coord.decided";
   Common.cancel_timer c.timer;
@@ -138,6 +149,7 @@ and coord_abort_decided t c reason =
     [ Log_record.Aborted { txn = c.id } ]
     ~on_durable:(fun () ->
       if c.phase = Aborting then begin
+        hit t t.e.Edges.c_abort;
         Common.release t.ctx c.id;
         t.ctx.Context.mark c.id "released";
         t.ctx.Context.client_reply c.id (Txn.Aborted reason);
@@ -149,6 +161,7 @@ and coord_abort_decided t c reason =
       end)
 
 and coord_finalize t c =
+  hit t t.e.Edges.c_all_acked;
   Common.cancel_timer c.timer;
   (* Checkpoint once the ENDED record itself is durable, so the log
      really drains (the record would otherwise outlive the GC). *)
@@ -168,6 +181,7 @@ and arm_ack_resend t c =
            c.timer := None;
            match c.phase with
            | Committed_waiting_acks ->
+               hit t t.e.Edges.c_ack_resend;
                c.ack_resends <- c.ack_resends + 1;
                List.iter
                  (fun w ->
@@ -176,6 +190,7 @@ and arm_ack_resend t c =
                  c.workers;
                arm_ack_resend t c
            | Aborted_waiting_acks ->
+               hit t t.e.Edges.c_ack_resend;
                c.ack_resends <- c.ack_resends + 1;
                List.iter
                  (fun w ->
@@ -219,6 +234,7 @@ let coord_enter_voting t c =
     c.phase = Working && (not t.v.early_prepare) && c.local_done
     && all_workers_in c.updated_from c.workers
   then begin
+    hit t t.e.Edges.c_all_updated;
     c.phase <- Voting;
     Context.obs_phase t.ctx c.id "2pc.coord.voting";
     List.iter (fun w -> send_to t w (Wire.Prepare { txn = c.id })) c.workers;
@@ -234,6 +250,7 @@ let arm_vote_timer t c =
            c.timer := None;
            match c.phase with
            | Working | Voting ->
+               hit t t.e.Edges.c_vote_timeout;
                coord_abort_decided t c "timeout collecting votes"
            | Committing | Committed_waiting_acks | Aborting
            | Aborted_waiting_acks ->
@@ -265,6 +282,7 @@ let submit t (txn : Txn.t) =
       timer = ref None;
     }
   in
+  hit t t.e.Edges.c_submit;
   Hashtbl.replace t.coords (key c.id) c;
   c.ospan <- Context.obs_start t.ctx c.id ~name:"2pc.coord";
   t.ctx.Context.mark c.id "submit";
@@ -307,12 +325,15 @@ let submit t (txn : Txn.t) =
                   | Error _, _ -> ())
             end)
           ~on_timeout:(fun () ->
-            if c.phase = Working then
-              coord_abort_decided t c "lock timeout at coordinator"))
+            if c.phase = Working then begin
+              hit t t.e.Edges.c_lock_timeout;
+              coord_abort_decided t c "lock timeout at coordinator"
+            end))
 
 let coord_on_updated t c ~src_server ~ok =
   match c.phase with
   | Working when ok ->
+      hit t t.e.Edges.c_updated_ok;
       c.updated_from <- ISet.add src_server c.updated_from;
       if t.v.early_prepare then begin
         (* Under EP the worker's UPDATED is its PREPARED vote. *)
@@ -321,6 +342,7 @@ let coord_on_updated t c ~src_server ~ok =
       end
       else coord_enter_voting t c
   | (Working | Voting) when not ok ->
+      hit t t.e.Edges.c_updated_nack;
       coord_abort_decided t c
         (Fmt.str "worker %d rejected updates" src_server)
   | _ -> ()
@@ -328,9 +350,12 @@ let coord_on_updated t c ~src_server ~ok =
 let coord_on_prepared t c ~src_server ~vote =
   match c.phase with
   | Voting when vote ->
+      hit t t.e.Edges.c_prepared_yes;
       c.votes <- ISet.add src_server c.votes;
       coord_check_votes t c
-  | Voting -> coord_abort_decided t c (Fmt.str "worker %d voted no" src_server)
+  | Voting ->
+      hit t t.e.Edges.c_prepared_no;
+      coord_abort_decided t c (Fmt.str "worker %d voted no" src_server)
   | Working when t.v.early_prepare && vote ->
       (* A re-vote provoked by coordinator recovery. *)
       c.votes <- ISet.add src_server c.votes;
@@ -340,6 +365,7 @@ let coord_on_prepared t c ~src_server ~vote =
   | _ -> ()
 
 let coord_on_ack t c ~src_server =
+  hit t t.e.Edges.c_ack;
   c.acks <- ISet.add src_server c.acks;
   match c.phase with
   | Committed_waiting_acks when all_workers_in c.acks c.workers ->
@@ -356,6 +382,7 @@ let coord_on_decision_req t ~src txn =
   in
   match Hashtbl.find_opt t.coords (key txn) with
   | Some c -> (
+      hit t t.e.Edges.c_decision_req_live;
       match c.phase with
       | Committed_waiting_acks -> answer true
       | Aborting | Aborted_waiting_acks -> answer false
@@ -364,12 +391,17 @@ let coord_on_decision_req t ~src txn =
           ())
   | None -> (
       match Log_scan.find (t.ctx.Context.own_log ()) txn with
-      | Some img when img.committed -> answer true
-      | Some img when img.aborted -> answer false
+      | Some img when img.committed ->
+          hit t t.e.Edges.c_decision_req_log;
+          answer true
+      | Some img when img.aborted ->
+          hit t t.e.Edges.c_decision_req_log;
+          answer false
       | Some _ | None ->
           (* No outcome on record: PrC/EP presume commit; PrN retains its
              log until the worker acknowledged, so an unknown transaction
              can only have been aborted and forgotten. *)
+          hit t t.e.Edges.c_decision_req_presumed;
           answer t.v.presume_commit)
 
 (* ------------------------------------------------------------------ *)
@@ -389,6 +421,7 @@ let rec arm_decision_timer t w =
          ~after:(Common.resend_after t.ctx ~attempt:w.d_resends) (fun () ->
            w.w_timer := None;
            if w.wstate = W_prepared then begin
+             hit t t.e.Edges.w_decision_retry;
              w.d_resends <- w.d_resends + 1;
              send_to t w.coordinator (Wire.Decision_req { txn = w.w_id });
              arm_decision_timer t w
@@ -406,6 +439,7 @@ let arm_abandon_timer t w =
          ~after:(Simkit.Time.mul_span t.ctx.Context.timeout 2) (fun () ->
            w.w_timer := None;
            if w.wstate = W_updated then begin
+             hit t t.e.Edges.w_abandon;
              trace t w.w_id ~kind:"txn.abandon"
                "worker abandoned before voting";
              Common.undo t.ctx w.w_undo;
@@ -439,6 +473,7 @@ let rec work_force_prepare t w ~reply_with_updated =
 
 and apply_decision t w = function
   | `Commit ->
+      hit t t.e.Edges.w_commit;
       Common.cancel_timer w.w_timer;
       w.wstate <- W_finishing;
       if t.v.presume_commit then begin
@@ -468,6 +503,7 @@ and apply_decision t w = function
               work_drop t w
             end)
   | `Abort ->
+      hit t t.e.Edges.w_abort;
       Common.cancel_timer w.w_timer;
       w.wstate <- W_finishing;
       Common.undo t.ctx w.w_undo;
@@ -482,10 +518,13 @@ and apply_decision t w = function
           work_drop t w)
 
 let work_on_update_req t ~src txn updates piggyback_prepare =
-  if Hashtbl.mem t.works (key txn) then ()
+  if Hashtbl.mem t.works (key txn) then
     (* duplicate — first execution wins *)
-  else if t.ctx.Context.is_hardened txn then
+    hit t t.e.Edges.w_dup
+  else if t.ctx.Context.is_hardened txn then begin
+    hit t t.e.Edges.w_hardened;
     t.ctx.Context.send ~dst:src (Wire.Updated { txn; ok = true })
+  end
   else begin
     let w =
       {
@@ -500,6 +539,7 @@ let work_on_update_req t ~src txn updates piggyback_prepare =
         w_timer = ref None;
       }
     in
+    hit t t.e.Edges.w_fresh;
     Hashtbl.replace t.works (key txn) w;
     w.w_ospan <- Context.obs_start t.ctx txn ~name:"2pc.worker";
     trace t txn ~kind:"txn.start" (Fmt.str "%s worker" t.v.variant_name);
@@ -522,12 +562,14 @@ let work_on_update_req t ~src txn updates piggyback_prepare =
                     arm_abandon_timer t w
                   end
               | Error e ->
+                  hit t t.e.Edges.w_reject;
                   trace t txn ~kind:"txn.reject"
                     (Fmt.str "%a" Mds.State.pp_error e);
                   Common.release t.ctx txn;
                   work_drop t w;
                   send_to t w.coordinator (Wire.Updated { txn; ok = false })))
       ~on_timeout:(fun () ->
+        hit t t.e.Edges.w_reject;
         Common.release t.ctx txn;
         work_drop t w;
         send_to t w.coordinator (Wire.Updated { txn; ok = false }))
@@ -538,12 +580,15 @@ let work_on_prepare t ~src txn =
   | Some w -> (
       match w.wstate with
       | W_updated ->
+          hit t t.e.Edges.w_prepare;
           Common.cancel_timer w.w_timer;
           work_force_prepare t w ~reply_with_updated:false
       | W_prepared ->
+          hit t t.e.Edges.w_prepare_dup;
           t.ctx.Context.send ~dst:src (Wire.Prepared { txn; vote = true })
       | W_locking | W_preparing | W_finishing -> ())
   | None ->
+      hit t t.e.Edges.w_prepare_unknown;
       let vote = t.ctx.Context.is_hardened txn in
       t.ctx.Context.send ~dst:src (Wire.Prepared { txn; vote })
 
@@ -552,10 +597,15 @@ let work_on_decision t ~src txn decision =
   | Some w -> (
       match w.wstate with
       | W_prepared | W_updated -> apply_decision t w decision
-      | W_locking -> w.pending_decision <- Some decision
-      | W_preparing -> w.pending_decision <- Some decision
+      | W_locking ->
+          hit t t.e.Edges.w_decision_parked;
+          w.pending_decision <- Some decision
+      | W_preparing ->
+          hit t t.e.Edges.w_decision_parked;
+          w.pending_decision <- Some decision
       | W_finishing -> ())
   | None -> (
+      hit t t.e.Edges.w_decision_unknown;
       (* No state: either never started (abort trivially) or committed
          and checkpointed long ago (the paper's "reply ACKNOWLEDGE"
          case). Either way the coordinator just needs its ACK. *)
@@ -636,12 +686,17 @@ let recover_coordinator t (img : Log_scan.image) =
   if not img.started then begin
     (* A single-server (no-ACP) transaction's image: its one forced write
        carried updates + COMMITTED, so there is nothing to resolve. *)
+    hit t t.e.Edges.r_coord_trivial;
     if img.committed then t.ctx.Context.client_reply img.id Txn.Committed;
     t.ctx.Context.log_gc img.id
   end
-  else if img.ended then t.ctx.Context.log_gc img.id
+  else if img.ended then begin
+    hit t t.e.Edges.r_coord_trivial;
+    t.ctx.Context.log_gc img.id
+  end
   else if img.committed then
     if t.v.presume_commit then begin
+      hit t t.e.Edges.r_coord_committed;
       (* Crashed between deciding and finalizing: the updates were
          hardened by the generic pass; replay the epilogue. *)
       t.ctx.Context.client_reply img.id Txn.Committed;
@@ -651,12 +706,14 @@ let recover_coordinator t (img : Log_scan.image) =
       t.ctx.Context.log_gc img.id
     end
     else begin
+      hit t t.e.Edges.r_coord_committed;
       let c = reconstruct Committed_waiting_acks in
       trace t c.id ~kind:"txn.recover" "resending COMMIT";
       List.iter (fun w -> send_to t w (Wire.Commit { txn = c.id })) c.workers;
       arm_ack_resend t c
     end
   else if img.aborted then begin
+    hit t t.e.Edges.r_coord_aborted;
     let c = reconstruct Aborted_waiting_acks in
     trace t c.id ~kind:"txn.recover" "resending ABORT";
     t.ctx.Context.client_reply c.id (Txn.Aborted "aborted before crash");
@@ -666,6 +723,7 @@ let recover_coordinator t (img : Log_scan.image) =
   else if img.prepared then begin
     (* Prepared but undecided: re-lock, replay our updates and re-run the
        voting phase ("resubmit the PREPARE request"). *)
+    hit t t.e.Edges.r_coord_prepared;
     let c = reconstruct Voting in
     trace t c.id ~kind:"txn.recover" "re-voting after crash";
     Common.acquire_locks t.ctx ~txn:c.id ~oids:c.own_lock_oids
@@ -684,6 +742,7 @@ let recover_coordinator t (img : Log_scan.image) =
   end
   else begin
     (* STARTED only: the updates died with the cache; abort (§II-C). *)
+    hit t t.e.Edges.r_coord_started;
     let c = reconstruct Aborting in
     c.local_done <- false;
     c.self_prepared <- false;
@@ -703,12 +762,15 @@ let recover_coordinator t (img : Log_scan.image) =
   end
 
 let rec recover_worker t (img : Log_scan.image) =
-  if img.committed || img.aborted || img.ended then
+  if img.committed || img.aborted || img.ended then begin
     (* Outcome already durable; the generic pass hardened committed
        updates. Just drop the records. *)
+    hit t t.e.Edges.r_worker_decided;
     t.ctx.Context.log_gc img.id
+  end
   else if img.prepared then begin
     (* Blocked in-doubt: re-lock, replay, ask for the outcome. *)
+    hit t t.e.Edges.r_worker_indoubt;
     let w =
       {
         w_id = img.id;
@@ -747,7 +809,10 @@ let rec recover_worker t (img : Log_scan.image) =
         work_drop t w;
         recover_worker t img)
   end
-  else t.ctx.Context.log_gc img.id
+  else begin
+    hit t t.e.Edges.r_worker_decided;
+    t.ctx.Context.log_gc img.id
+  end
 
 (* A server can host a 1PC engine alongside this one (1PC nodes fall
    back to PrN for multi-worker plans), so recovery must only touch this

@@ -17,6 +17,7 @@ type violation =
       storm : float;
       floor : float;  (** required fraction of [reference] *)
     }
+  | Conservation of { tag : string; imbalance : int }
 
 let pp_violation ppf = function
   | Stuck diag -> Fmt.pf ppf "liveness: stuck short of quiescence@,%s" diag
@@ -54,6 +55,11 @@ let pp_violation ppf = function
         "goodput collapsed past the knee: %.1f/s under storm vs %.1f/s \
          reference (floor %.0f%%)"
         storm reference (floor *. 100.)
+  | Conservation { tag; imbalance } ->
+      Fmt.pf ppf
+        "message conservation broken for %s: sent - (delivered + dup + \
+         dropped + in_flight) = %d"
+        tag imbalance
 
 let is_liveness = function
   | Stuck _ | Deadline_exceeded _ -> true
@@ -93,6 +99,23 @@ let expected_namespace records =
           Hashtbl.replace model (dst_dir, dst_name) ())
     by_rank;
   model
+
+(* Per-tag message conservation: at quiescence every send the network
+   accepted must be accounted for, exactly — sent = delivered +
+   dup_delivered + dropped + in_flight, tolerance zero. Empty unless
+   the run recorded coverage (the meter is otherwise disabled). *)
+let conservation cluster =
+  let meter = Opc_cluster.Cluster.meter cluster in
+  if not (Netsim.Network.Meter.is_recording meter) then []
+  else
+    List.map
+      (fun (tag, imbalance) ->
+        let tag =
+          if tag = Acp.Codec.tag_count then "HEARTBEAT"
+          else Acp.Codec.tag_name tag
+        in
+        Conservation { tag; imbalance })
+      (Netsim.Network.Meter.check meter)
 
 let durable_of cluster dir =
   let owner =
@@ -164,6 +187,7 @@ let check cluster ~workload ~dirs ~settled =
                 add (Phantom_entry { dir; name }))
             actual)
         dirs;
+      List.iter add (conservation cluster);
       List.rev !violations
 
 (* ------------------------------------------------------------------ *)
@@ -297,6 +321,7 @@ let check_open_loop cluster ~ingress ~open_loop ~dirs ~settled =
                 else add (Phantom_entry { dir; name }))
             actual)
         dirs;
+      List.iter add (conservation cluster);
       List.rev !violations
 
 (* The graceful-degradation oracle proper: goodput past the knee must

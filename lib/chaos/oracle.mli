@@ -48,6 +48,11 @@ type violation =
       (** an operation answered BUSY on every attempt left state behind *)
   | Goodput_collapse of { reference : float; storm : float; floor : float }
       (** goodput past the knee fell under [floor * reference] *)
+  | Conservation of { tag : string; imbalance : int }
+      (** the per-tag message ledger broke
+          [sent = delivered + dup + dropped + in_flight] — a network
+          accounting bug, checked at tolerance zero whenever the run
+          recorded coverage *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -1,0 +1,50 @@
+(** Directed coverage probes.
+
+    Hand-built scenarios for protocol edges the randomized chaos
+    campaigns cannot reach: they need a {e semantic} conflict (two
+    transactions racing for one dentry) or an exactly-placed network
+    cut, neither of which a conflict-free closed-loop workload or a
+    seeded fault schedule produces. Each probe drives a private
+    four-server cluster to quiescence with the coverage tap on and
+    reports the edges it took, so the coverage benchmark can fold them
+    into the campaign bitmap and unit tests can pin each one to the
+    specific transition it exists to reach.
+
+    Probes are deterministic: no seeds, no randomness — the same
+    binary produces the same edge counts every run. *)
+
+type outcome = {
+  edge_hits : int array;  (** per-{!Acp.Edges} id, [Acp.Edges.count] wide *)
+  settled : bool;  (** the cluster reached quiescence *)
+  conserved : bool;  (** the message ledger balanced on every tag *)
+}
+
+val conflict : Acp.Protocol.kind -> outcome
+(** Race CREATE(dst/y) against RENAME(src/x -> dst/y) for eight name
+    pairs. The create commits first (the rename's remote worker waits
+    behind its directory lock), so the rename's apply fails and the
+    worker votes NO: [updated_nack] on the 2PC family coordinators,
+    [reject]->tombstone on 1PC workers, [vote_no] on L1PC. *)
+
+val tombstone_ttl : unit -> outcome
+(** 1PC conflict churn under a 100 microsecond tombstone TTL and a fast
+    resend clock, over two waves: the second wave's UPDATE_REQ arrivals
+    run the lazy GC over the first wave's tombstones — [ttl_expired]. *)
+
+val tombstone_cap : unit -> outcome
+(** Same conflict shape with a 10 s TTL but [tombstone_cap = 1]: the
+    second NO vote evicts the first tombstone early — [cap_evicted]. *)
+
+val stale_replay : unit -> outcome
+(** One conflict pair, with the coordinator<->worker link cut just
+    before the worker's NO vote leaves, then healed 25 ms later. The
+    first resend through the healed link finds the tombstone long past
+    its 100 microsecond TTL: the arrival's GC expires it
+    ([ttl_expired]) and the request falls below the stale-sequence
+    horizon ([update_req_stale]). The cut instant is calibrated by a
+    ledger-polling twin run, so the probe survives timing shifts in
+    the disk or lock models. *)
+
+val all : unit -> (string * outcome) list
+(** Every probe, labelled: the five per-protocol conflicts plus the
+    three 1PC tombstone scenarios. *)

@@ -28,6 +28,16 @@ let chaos_mix =
     { create_weight = 55; delete_weight = 20; rename_weight = 15;
       lookup_weight = 10 }
 
+type tag_stats = {
+  tag : string;
+  sent : int;
+  delivered : int;
+  dup_delivered : int;
+  dropped : int;
+  rejected : int;
+  in_flight : int;
+}
+
 type outcome = {
   seed : int;
   protocol : Acp.Protocol.kind;
@@ -38,6 +48,11 @@ type outcome = {
   aborted : int;
   trace : Simkit.Trace.entry list;
   journal : Obs.Journal.entry list;
+  edge_hits : int array;
+      (* per-Edges.id traversal counters, [||] when coverage was off *)
+  fault_phases : (int * string * string) list;
+      (* (schedule index, fault, protocol phase it landed in) *)
+  meter : tag_stats list;  (* per-wire-tag conservation ledger *)
 }
 
 let passed o = o.violations = []
@@ -56,6 +71,10 @@ let config_of spec ~protocol ~seed =
     seed;
     record_trace = spec.record_trace;
     record_journal = spec.record_journal;
+    (* Coverage is passive (no RNG draws, no engine events), so turning
+       it on for every chaos run changes nothing about the runs while
+       arming the conservation oracle and the fault-phase matrix. *)
+    record_coverage = true;
   }
 
 (* Workload draws must not depend on how many draws schedule generation
@@ -68,6 +87,23 @@ let generate_schedule spec ~seed =
   Schedule.generate
     ~rng:(Simkit.Rng.create ~seed)
     ~servers:spec.servers ~window_ms:spec.window_ms
+
+let meter_stats cluster =
+  let m = Opc_cluster.Cluster.meter cluster in
+  if not (Netsim.Network.Meter.is_recording m) then []
+  else
+    List.init (Netsim.Network.Meter.tags m) (fun tag ->
+        {
+          tag =
+            (if tag = Acp.Codec.tag_count then "HEARTBEAT"
+             else Acp.Codec.tag_name tag);
+          sent = Netsim.Network.Meter.sent m tag;
+          delivered = Netsim.Network.Meter.delivered m tag;
+          dup_delivered = Netsim.Network.Meter.dup_delivered m tag;
+          dropped = Netsim.Network.Meter.dropped m tag;
+          rejected = Netsim.Network.Meter.rejected m tag;
+          in_flight = Netsim.Network.Meter.in_flight m tag;
+        })
 
 (* Common run body, parameterized by the cluster config so the autopsy
    path can replay the same (spec, protocol, seed, schedule) with every
@@ -95,9 +131,25 @@ let run ?schedule spec ~(config : Opc_cluster.Config.t) ~seed =
       ~rng:(workload_rng seed) ()
   in
   let origin = Opc_cluster.Cluster.now cluster in
+  (* Fault-phase attribution: at the instant a fault fires, the
+     cluster's most recent coverage edge names the protocol phase it
+     landed in ("idle" before any transition). The hook rides the
+     existing on_fire slot, so it cannot perturb event order. *)
+  let fault_phases = ref [] in
+  let cover = Opc_cluster.Cluster.coverage cluster in
+  let observe ~index e =
+    let phase =
+      match Obs.Coverage.last_hit cover with
+      | -1 -> "idle"
+      | id -> (Acp.Edges.get id).Acp.Edges.dst
+    in
+    fault_phases :=
+      (index, Fmt.str "@[<h>%a@]" Opc_cluster.Fault.pp_event e, phase)
+      :: !fault_phases
+  in
   let violations =
     try
-      Opc_cluster.Fault.inject cluster
+      Opc_cluster.Fault.inject ~observe cluster
         (Schedule.to_faults ~origin ~servers:spec.servers schedule);
       (* Once the window closes, restore a fault-free environment so a
          failure to quiesce afterwards is a genuine liveness bug, not a
@@ -145,12 +197,18 @@ let run ?schedule spec ~(config : Opc_cluster.Config.t) ~seed =
         (if Obs.Journal.is_recording (Opc_cluster.Cluster.journal cluster)
          then Obs.Journal.entries (Opc_cluster.Cluster.journal cluster)
          else []);
+      edge_hits = Obs.Coverage.counts cover;
+      fault_phases = List.rev !fault_phases;
+      meter = meter_stats cluster;
     }
   in
   (outcome, cluster)
 
 let execute ?schedule spec ~protocol ~seed =
   fst (run ?schedule spec ~config:(config_of spec ~protocol ~seed) ~seed)
+
+let execute_config ?schedule spec ~config ~seed =
+  fst (run ?schedule spec ~config ~seed)
 
 let pp_outcome ppf o =
   if passed o then
@@ -259,6 +317,31 @@ let repro_command spec ~protocol ~seed =
     (if spec.settle_deadline_ms = default_spec.settle_deadline_ms then ""
      else Printf.sprintf " --settle-deadline %d" spec.settle_deadline_ms)
 
+(* A 1PC or L1PC cluster also hosts the PrN fallback engine, so a
+   run's bitmap meaningfully covers both maps; reporting the other
+   three protocols' edges as "never hit" would be noise, not a gap. *)
+let hosted_protocols = function
+  | Acp.Protocol.Opc -> [ Acp.Protocol.Opc; Acp.Protocol.Prn ]
+  | Acp.Protocol.Lp1 -> [ Acp.Protocol.Lp1; Acp.Protocol.Prn ]
+  | p -> [ p ]
+
+let coverage_summaries ~protocol edge_hits =
+  if Array.length edge_hits = 0 then []
+  else
+    List.map
+      (fun p ->
+        let edges = Acp.Edges.of_protocol p in
+        let never =
+          List.filter (fun (e : Acp.Edges.edge) -> edge_hits.(e.id) = 0) edges
+        in
+        {
+          Obs.Autopsy.cov_protocol = Acp.Protocol.name p;
+          declared = List.length edges;
+          edges_hit = List.length edges - List.length never;
+          never_hit = List.map Acp.Edges.name never;
+        })
+      (hosted_protocols protocol)
+
 let observed_config spec ~protocol ~seed =
   {
     (config_of spec ~protocol ~seed) with
@@ -302,6 +385,7 @@ let execute_observed ?schedule spec ~protocol ~seed =
            before profiling started; the bundle is still useful. *)
         (try Some (Obs.Prof.report (Opc_cluster.Cluster.prof cluster))
          with Invalid_argument _ -> None);
+      coverage = coverage_summaries ~protocol outcome.edge_hits;
     }
   in
   (outcome, source)

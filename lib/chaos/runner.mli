@@ -28,6 +28,20 @@ val default_spec : spec
 val chaos_mix : Workload.mix
 (** 55/20/15 create/delete/rename plus 10% shared-lock lookups. *)
 
+(** One wire tag's row of the message-conservation ledger. The law
+    [sent = delivered + dup_delivered + dropped + in_flight] is checked
+    by the oracle at tolerance zero; [rejected] counts send-time
+    refusals that never entered the fabric and sits outside the law. *)
+type tag_stats = {
+  tag : string;  (** {!Acp.Codec.tag_name}, or ["HEARTBEAT"] *)
+  sent : int;
+  delivered : int;
+  dup_delivered : int;
+  dropped : int;
+  rejected : int;
+  in_flight : int;
+}
+
 type outcome = {
   seed : int;
   protocol : Acp.Protocol.kind;
@@ -40,6 +54,15 @@ type outcome = {
   aborted : int;
   trace : Simkit.Trace.entry list;  (** [] unless [record_trace] *)
   journal : Obs.Journal.entry list;  (** [] unless [record_journal] *)
+  edge_hits : int array;
+      (** traversal counters indexed by {!Acp.Edges} id — chaos runs
+          always record coverage, so this is never empty *)
+  fault_phases : (int * string * string) list;
+      (** per fired fault: schedule index, description, and the
+          protocol phase it landed in (the destination state of the
+          newest coverage edge; ["idle"] before any transition) *)
+  meter : tag_stats list;
+      (** per-wire-tag conservation ledger at quiescence *)
 }
 
 val passed : outcome -> bool
@@ -58,6 +81,24 @@ val execute :
     are caught and reported as {!Oracle.Run_exception}.
     @raise Invalid_argument if an explicit schedule fails
     {!Schedule.validate}. *)
+
+val config_of :
+  spec -> protocol:Acp.Protocol.kind -> seed:int -> Opc_cluster.Config.t
+(** The cluster config {!execute} derives from [(spec, protocol, seed)]
+    — chaos timeouts, spread placement, auto-restart, coverage
+    recording on. *)
+
+val execute_config :
+  ?schedule:Schedule.t ->
+  spec ->
+  config:Opc_cluster.Config.t ->
+  seed:int ->
+  outcome
+(** {!execute} with an explicit cluster config. Coverage campaigns use
+    it to stress rare edges (tiny tombstone TTL/cap, duplicate storms)
+    the default chaos config cannot reach; start from {!config_of} and
+    override fields so [servers], [protocol] and [seed] stay consistent
+    with the [spec] and [seed] given here. *)
 
 (** {1 Campaigns} *)
 
@@ -95,6 +136,18 @@ val repro_command : spec -> protocol:Acp.Protocol.kind -> seed:int -> string
 (** The verbatim shell command that reproduces this run through
     [bin/chaos] (assumes the spec's [dir_count] is the default — the
     CLI does not expose it). *)
+
+val hosted_protocols : Acp.Protocol.kind -> Acp.Protocol.kind list
+(** The protocol maps a cluster running this primary actually hosts:
+    the primary itself, plus the PrN fallback when the primary is 1PC
+    or L1PC. *)
+
+val coverage_summaries :
+  protocol:Acp.Protocol.kind ->
+  int array ->
+  Obs.Autopsy.coverage_summary list
+(** Digest an outcome's [edge_hits] into per-hosted-protocol coverage
+    summaries (declared/hit/never-hit); [[]] for an empty array. *)
 
 val observed_config :
   spec -> protocol:Acp.Protocol.kind -> seed:int -> Opc_cluster.Config.t

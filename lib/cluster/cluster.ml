@@ -16,6 +16,7 @@ type t = {
   timeseries : Obs.Timeseries.t;
   prof : Obs.Prof.t;
   recorder : Obs.Recorder.t;
+  cover : Obs.Coverage.t;
   ledger : Metrics.Ledger.t;
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
@@ -48,6 +49,8 @@ let journal t = t.journal
 let timeseries t = t.timeseries
 let prof t = t.prof
 let recorder t = t.recorder
+let coverage t = t.cover
+let meter t = Netsim.Network.meter t.network
 let ledger t = t.ledger
 let network t = t.network
 let san t = t.san
@@ -166,13 +169,20 @@ let sweep_orphans t server =
    already-up node it could abort a client request whose transaction is
    still being set up, and the later real reply would then be a
    duplicate. Crash schedules (and auto-restart racing an explicit
-   restart) can ask to restart an up node, so every path guards. *)
+   restart) can ask to restart an up node, so every path guards.
+
+   It must also wait for the recovery scan to finish, not run at the
+   reboot instant: a STARTED record that was in service at the device
+   when the coordinator crashed lands durably *after* reboot, so an
+   instant [log_has] check misses it, presumes abort to the client —
+   and then recovery finds the record and faithfully re-executes the
+   transaction to commit. Sweeping from [on_recovered] closes the race:
+   by then the scan has read everything the disk will ever surface and
+   reconstructed transactions show up via [Node.owns]. *)
 let restart_if_down t server =
   let n = t.nodes.(server) in
-  if not (Node.is_up n) then begin
-    Node.restart n;
-    sweep_orphans t server
-  end
+  if not (Node.is_up n) then
+    Node.restart n ~on_recovered:(fun () -> sweep_orphans t server)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -229,9 +239,25 @@ let create (config : Config.t) =
             Acp.Txn.owner_token (Acp.Wire.txn wire),
             Acp.Wire.is_baseline wire )
   in
+  (* The coverage observatory: an edge tap sized for the declared
+     transition maps plus the per-wire-tag conservation meter, with
+     heartbeats on their own tag past the codec's. Both passive. *)
+  let cover =
+    if config.record_coverage then Obs.Coverage.create ~size:Acp.Edges.count
+    else Obs.Coverage.disabled ()
+  in
+  let meter =
+    if config.record_coverage then
+      Netsim.Network.Meter.create ~tags:(Acp.Codec.tag_count + 1)
+    else Netsim.Network.Meter.disabled ()
+  in
+  let tag_of = function
+    | Msg.Heartbeat -> Acp.Codec.tag_count
+    | Msg.Acp wire -> Acp.Codec.tag wire
+  in
   let network =
     Netsim.Network.create ~engine ~rng:(Simkit.Rng.split rng) ~trace ~obs
-      ~journal ~recorder ~span_of config.network
+      ~journal ~recorder ~span_of ~tag_of ~meter config.network
   in
   let size =
     if config.encoded_sizes then Acp.Codec.encoded_size
@@ -256,6 +282,7 @@ let create (config : Config.t) =
       timeseries;
       prof;
       recorder;
+      cover;
       ledger;
       network;
       san;
@@ -284,6 +311,7 @@ let create (config : Config.t) =
       network;
       san;
       ledger;
+      cover;
       config;
       client_reply = (fun id outcome -> client_reply t id outcome);
       stonith =

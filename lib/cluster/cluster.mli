@@ -43,6 +43,14 @@ val recorder : t -> Obs.Recorder.t
     deliveries, journal entries and gauge rows; disabled (and empty)
     when the size is [None]. The autopsy writer dumps its tail. *)
 
+val coverage : t -> Obs.Coverage.t
+(** Protocol transition-coverage tap, sized for {!Acp.Edges.count} when
+    [record_coverage] is set; disabled otherwise. *)
+
+val meter : t -> Netsim.Network.Meter.t
+(** Per-wire-tag message-conservation ledger (heartbeats on tag
+    [Acp.Codec.tag_count]); disabled unless [record_coverage] is set. *)
+
 val ledger : t -> Metrics.Ledger.t
 val network : t -> Msg.t Netsim.Network.t
 val san : t -> Acp.Log_record.t Storage.San.t

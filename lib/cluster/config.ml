@@ -25,6 +25,7 @@ type t = {
   sample_period : Simkit.Time.span option;
   record_prof : bool;
   recorder_size : int option;
+  record_coverage : bool;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     sample_period = None;
     record_prof = false;
     recorder_size = None;
+    record_coverage = false;
   }
 
 let validate t =

@@ -77,6 +77,12 @@ type t = {
           {!Obs.Recorder} flight-recorder ring for incident autopsies;
           [None] (default) records nothing — the disabled path is one
           load and one branch per dispatch *)
+  record_coverage : bool;
+      (** count protocol state-machine transitions against the declared
+          {!Acp.Edges} maps in an {!Obs.Coverage} tap and keep the
+          per-wire-tag message-conservation ledger
+          ({!Netsim.Network.Meter}); off by default — both disabled
+          paths are one load and one branch *)
 }
 
 val default : t

@@ -160,7 +160,7 @@ let san_outage_at ?(on_fire = ignore) cluster ~at ~until =
     (Simkit.Engine.schedule_at engine ~label:label_san_outage_end ~at:until
        (fun () -> Cluster.set_fencing_available cluster true))
 
-let inject cluster events =
+let inject ?(observe = fun ~index:_ _ -> ()) cluster events =
   let journal = Cluster.journal cluster in
   List.iteri
     (fun index e ->
@@ -168,6 +168,7 @@ let inject cluster events =
          schedule index, making counterexamples self-describing. The
          closure only materializes an entry when the journal records. *)
       let on_fire () =
+        observe ~index e;
         if Obs.Journal.is_recording journal then
           Obs.Journal.emit journal
             ~time:(Cluster.now cluster)

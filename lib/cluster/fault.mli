@@ -103,8 +103,12 @@ val san_outage_at :
   until:Simkit.Time.t ->
   unit
 
-val inject : Cluster.t -> event list -> unit
+val inject :
+  ?observe:(index:int -> event -> unit) -> Cluster.t -> event list -> unit
 (** Arm a whole plan. Events in the past raise (the engine refuses
     retroactive scheduling). When the cluster records a journal, each
     event that fires appends a [Fault_injected] entry carrying its index
-    in [events] and its rendered description. *)
+    in [events] and its rendered description. [observe] runs on each
+    firing, before the fault acts — same [on_fire] slot, so it cannot
+    perturb event order; the chaos runner uses it to attribute each
+    fault to the protocol phase it landed in. *)

@@ -11,6 +11,7 @@ type services = {
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;
+  cover : Obs.Coverage.t;
   config : Config.t;
   client_reply : Acp.Txn.id -> Acp.Txn.outcome -> unit;
   stonith : Netsim.Address.t -> unit;
@@ -255,6 +256,7 @@ let make_context t =
     ledger = t.sv.ledger;
     trace = t.sv.trace;
     obs = t.sv.obs;
+    cover = t.sv.cover;
     client_reply =
       (fun txn outcome -> guard (fun () -> t.sv.client_reply txn outcome));
     mark = (fun txn label -> guard (fun () -> t.sv.mark txn label));
@@ -332,7 +334,7 @@ let rec heartbeat_loop t epoch =
     end
   end
 
-let bring_up t ~recover =
+let bring_up ?(on_recovered = fun () -> ()) t ~recover =
   t.up <- true;
   t.epoch <- t.epoch + 1;
   Netsim.Network.set_up t.sv.network t.address;
@@ -409,7 +411,8 @@ let bring_up t ~recover =
             let finish () =
               if t.up && t.epoch = epoch then begin
                 t.serving <- true;
-                journal_node t Obs.Journal.Serving
+                journal_node t Obs.Journal.Serving;
+                on_recovered ()
               end
             in
             primary.Acp.Protocol.recover ~on_done:(fun () ->
@@ -461,12 +464,12 @@ let crash t =
     t.fallback <- None
   end
 
-let restart t =
+let restart ?on_recovered t =
   if not t.up then begin
     trace_node t ~kind:"node.restart" "power on";
     Metrics.Ledger.incr t.sv.ledger "node.restart";
     journal_node t Obs.Journal.Reboot;
-    bring_up t ~recover:true
+    bring_up ?on_recovered t ~recover:true
   end
 
 (* ------------------------------------------------------------------ *)

@@ -24,6 +24,7 @@ type services = {
   network : Msg.t Netsim.Network.t;
   san : Acp.Log_record.t Storage.San.t;
   ledger : Metrics.Ledger.t;
+  cover : Obs.Coverage.t;  (** transition-coverage tap shared by every node *)
   config : Config.t;
   client_reply : Acp.Txn.id -> Acp.Txn.outcome -> unit;
   stonith : Netsim.Address.t -> unit;
@@ -84,9 +85,14 @@ val run_read :
 val crash : t -> unit
 (** Power off. Idempotent. *)
 
-val restart : t -> unit
+val restart : ?on_recovered:(unit -> unit) -> t -> unit
 (** Power on after a crash: rejoin the SAN (unfence), recover from the
-    log, resume heartbeats. Idempotent if already up. *)
+    log, resume heartbeats. Idempotent if already up. [on_recovered]
+    fires once recovery has finished and the node is serving again —
+    only then is the durable log fully scanned, so decisions that
+    presume from its absence (the orphan sweep) must wait for it. It
+    never fires if the node crashes again mid-recovery or the scan was
+    fenced out; the next power-on supplies a fresh callback. *)
 
 val outstanding : t -> int
 (** Transactions the protocol engines still track (0 when down). *)

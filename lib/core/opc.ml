@@ -12,6 +12,8 @@
     - {!Storage} — shared disk, write-ahead logs, SAN fencing
     - {!Locks} — two-phase-locking lock manager
     - {!Mds} — inodes, dentries, placement, plans, invariants
+    - {!Obs} — passive observability: tracer, journal, flight recorder,
+      edge-coverage taps and autopsy bundles
     - {!Acp} — the commitment protocols: PrN (2PC), PrC, EP and the
       paper's 1PC
     - {!Cluster} (with {!Config}, {!Node}, {!Fault}, {!Msg}) — the
@@ -30,6 +32,7 @@ module Storage = Storage
 module Locks = Locks
 module Mds = Mds
 module Acp = Acp
+module Obs = Obs
 module Metrics = Metrics
 module Config = Opc_cluster.Config
 module Msg = Opc_cluster.Msg

@@ -1,5 +1,101 @@
 let label_deliver = Simkit.Label.v Net "net.deliver"
 
+(* Message-conservation ledger: per-tag counters over every copy the
+   fabric accepts, classified at the delivery event by the branch taken
+   there. The books must balance exactly —
+
+     sent = delivered + dup_delivered + dropped + in_flight
+
+   per tag at any instant. [in_flight] is maintained at the schedule /
+   delivery-callback boundaries while the other terms come from the
+   classification branches, so a new delivery-side branch that forgets
+   to classify (the historical way message accounting drifts) breaks
+   the law instead of vanishing. Send-time refusals ([rejected]) never
+   enter the fabric and sit outside the law. *)
+module Meter = struct
+  type t = {
+    enabled : bool;
+    tags : int;
+    sent : int array;  (* copies accepted for transmission *)
+    delivered : int array;  (* primary copies handed to the endpoint *)
+    dup_delivered : int array;  (* duplicate copies handed to the endpoint *)
+    dropped : int array;  (* copies dropped in flight (down / partition) *)
+    rejected : int array;  (* refused at send time, before [sent] *)
+    in_flight : int array;
+  }
+
+  let create ~tags =
+    if tags <= 0 then invalid_arg "Network.Meter.create: tags must be positive";
+    {
+      enabled = true;
+      tags;
+      sent = Array.make tags 0;
+      delivered = Array.make tags 0;
+      dup_delivered = Array.make tags 0;
+      dropped = Array.make tags 0;
+      rejected = Array.make tags 0;
+      in_flight = Array.make tags 0;
+    }
+
+  let disabled () =
+    {
+      enabled = false;
+      tags = 0;
+      sent = [||];
+      delivered = [||];
+      dup_delivered = [||];
+      dropped = [||];
+      rejected = [||];
+      in_flight = [||];
+    }
+
+  let is_recording m = m.enabled
+  let tags m = m.tags
+  let sent m tag = m.sent.(tag)
+  let delivered m tag = m.delivered.(tag)
+  let dup_delivered m tag = m.dup_delivered.(tag)
+  let dropped m tag = m.dropped.(tag)
+  let rejected m tag = m.rejected.(tag)
+  let in_flight m tag = m.in_flight.(tag)
+
+  (* Negative tags mean "meter off" at the call sites (the tag is only
+     computed while recording), so the notes need no enabled check. *)
+  let note_rejected m tag =
+    if tag >= 0 then m.rejected.(tag) <- m.rejected.(tag) + 1
+
+  let note_sent m tag =
+    if tag >= 0 then begin
+      m.sent.(tag) <- m.sent.(tag) + 1;
+      m.in_flight.(tag) <- m.in_flight.(tag) + 1
+    end
+
+  let note_arrival m tag =
+    if tag >= 0 then m.in_flight.(tag) <- m.in_flight.(tag) - 1
+
+  let note_dropped m tag =
+    if tag >= 0 then m.dropped.(tag) <- m.dropped.(tag) + 1
+
+  let note_delivered m tag ~dup =
+    if tag >= 0 then
+      if dup then m.dup_delivered.(tag) <- m.dup_delivered.(tag) + 1
+      else m.delivered.(tag) <- m.delivered.(tag) + 1
+
+  let imbalance m tag =
+    m.sent.(tag)
+    - (m.delivered.(tag) + m.dup_delivered.(tag) + m.dropped.(tag)
+       + m.in_flight.(tag))
+
+  (* Exact check, tolerance 0: one (tag, difference) pair per broken
+     tag, empty when every tag balances (or the meter is off). *)
+  let check m =
+    let bad = ref [] in
+    for tag = m.tags - 1 downto 0 do
+      let d = imbalance m tag in
+      if d <> 0 then bad := (tag, d) :: !bad
+    done;
+    !bad
+end
+
 type 'msg envelope = {
   src : Address.t;
   dst : Address.t;
@@ -48,6 +144,10 @@ type 'msg t = {
      [None] payloads (heartbeats) record nothing. Only consulted when
      [obs] is recording. *)
   span_of : 'msg -> (string * int * bool) option;
+  (* Maps a payload to its meter tag; only consulted while [meter] is
+     recording. *)
+  tag_of : 'msg -> int;
+  meter : Meter.t;
   config : config;
   (* Live loss/duplication rates, initialized from [config] and adjustable
      at runtime (fault-injection bursts arm and disarm them mid-run). *)
@@ -72,7 +172,8 @@ type 'msg t = {
 }
 
 let create ~engine ~rng ?trace ?obs ?journal ?recorder
-    ?(span_of = fun _ -> None) (config : config) =
+    ?(span_of = fun _ -> None) ?(tag_of = fun _ -> 0) ?meter
+    (config : config) =
   if config.drop_probability < 0.0 || config.drop_probability > 1.0 then
     invalid_arg "Network.create: drop_probability outside [0, 1]";
   if
@@ -88,6 +189,7 @@ let create ~engine ~rng ?trace ?obs ?journal ?recorder
   let recorder =
     match recorder with Some r -> r | None -> Obs.Recorder.disabled ()
   in
+  let meter = match meter with Some m -> m | None -> Meter.disabled () in
   {
     engine;
     rng;
@@ -96,6 +198,8 @@ let create ~engine ~rng ?trace ?obs ?journal ?recorder
     journal;
     recorder;
     span_of;
+    tag_of;
+    meter;
     config;
     drop_probability = config.drop_probability;
     duplicate_probability = config.duplicate_probability;
@@ -222,12 +326,17 @@ let delivery_time t ~src ~dst =
 
 let send t ~src ~dst payload =
   let src_ep = endpoint t src and dst_ep = endpoint t dst in
+  (* One flag load + branch when the meter is off; the negative tag
+     turns every note below into a no-op without further checks. *)
+  let mtag = if t.meter.Meter.enabled then t.tag_of payload else -1 in
   if not src_ep.up then begin
     t.dropped_down <- t.dropped_down + 1;
+    Meter.note_rejected t.meter mtag;
     trace_drop t ~src ~dst "source down"
   end
   else if not (reachable t src dst) then begin
     t.dropped_partition <- t.dropped_partition + 1;
+    Meter.note_rejected t.meter mtag;
     trace_drop t ~src ~dst "partitioned"
   end
   else if
@@ -235,6 +344,7 @@ let send t ~src ~dst payload =
     && Simkit.Rng.bernoulli t.rng t.drop_probability
   then begin
     t.dropped_loss <- t.dropped_loss + 1;
+    Meter.note_rejected t.meter mtag;
     trace_drop t ~src ~dst "loss"
   end
   else begin
@@ -250,8 +360,13 @@ let send t ~src ~dst payload =
       end
       else 1
     in
-    for _ = 1 to copies do
+    for copy = 1 to copies do
+      (* The first copy on the FIFO link is the logical message; later
+         copies are the duplication fault, classified separately so the
+         conservation law stays exact under duplicate bursts. *)
+      let is_dup = copy > 1 in
       t.in_flight <- t.in_flight + 1;
+      Meter.note_sent t.meter mtag;
       let at = delivery_time t ~src ~dst in
       (if Obs.Tracer.is_recording t.obs then
          match t.span_of payload with
@@ -261,16 +376,20 @@ let send t ~src ~dst payload =
                ~category:Obs.Span.Network ~track:"net" ~name);
       let deliver () =
         t.in_flight <- t.in_flight - 1;
+        Meter.note_arrival t.meter mtag;
         if not dst_ep.up then begin
           t.dropped_down <- t.dropped_down + 1;
+          Meter.note_dropped t.meter mtag;
           trace_drop t ~src ~dst "destination down"
         end
         else if not (reachable t src dst) then begin
           t.dropped_partition <- t.dropped_partition + 1;
+          Meter.note_dropped t.meter mtag;
           trace_drop t ~src ~dst "partitioned in flight"
         end
         else begin
           t.delivered <- t.delivered + 1;
+          Meter.note_delivered t.meter mtag ~dup:is_dup;
           if Obs.Recorder.is_recording t.recorder then
             Obs.Recorder.record_delivery t.recorder ~time:at
               ~src:(Address.index src) ~dst:(Address.index dst);
@@ -284,6 +403,8 @@ let send t ~src ~dst payload =
         (Simkit.Engine.schedule_at t.engine ~label:label_deliver ~at deliver)
     done
   end
+
+let meter t = t.meter
 
 let stats t =
   {

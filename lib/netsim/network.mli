@@ -36,6 +36,62 @@ val default_config : config
 
 type 'msg t
 
+(** Message-conservation ledger: per-tag counters over every message
+    copy the fabric accepts, classified at the delivery event. The
+    books balance exactly per tag at any instant:
+
+    {[ sent = delivered + dup_delivered + dropped + in_flight ]}
+
+    [in_flight] is maintained at the schedule / delivery-callback
+    boundaries while the other right-hand terms come from the
+    classification branches, so a delivery-side code path that forgets
+    to classify breaks the law instead of drifting silently. Send-time
+    refusals (source down, partitioned link, random loss) are counted
+    as [rejected] and never enter the law. The meter is passive: no
+    allocation, no engine interaction, one flag load and one branch per
+    [send] when disabled. *)
+module Meter : sig
+  type t
+
+  val create : tags:int -> t
+  (** Counters for tags [0 .. tags-1]; the payload-to-tag map is the
+      [tag_of] argument of {!val:create}. *)
+
+  val disabled : unit -> t
+  val is_recording : t -> bool
+
+  val tags : t -> int
+
+  val sent : t -> int -> int
+  (** Copies accepted for transmission (a duplicated message counts
+      twice — the fabric really carries two copies). *)
+
+  val delivered : t -> int -> int
+  (** Primary copies handed to the destination endpoint. *)
+
+  val dup_delivered : t -> int -> int
+  (** Duplicate copies handed to the destination endpoint (the
+      receiver's dedup logic suppresses them above this layer). *)
+
+  val dropped : t -> int -> int
+  (** Copies dropped in flight: destination down or link partitioned at
+      the delivery instant. *)
+
+  val rejected : t -> int -> int
+  (** Messages refused at send time, before entering the fabric. *)
+
+  val in_flight : t -> int -> int
+  (** Copies accepted but not yet classified at a delivery event. *)
+
+  val imbalance : t -> int -> int
+  (** [sent - (delivered + dup_delivered + dropped + in_flight)] for
+      one tag; [0] iff the tag's books balance. *)
+
+  val check : t -> (int * int) list
+  (** All [(tag, imbalance)] pairs with a nonzero imbalance — the empty
+      list is the conservation law holding exactly (tolerance 0). *)
+end
+
 type stats = {
   sent : int;  (** accepted for transmission *)
   delivered : int;  (** including duplicate deliveries *)
@@ -53,6 +109,8 @@ val create :
   ?journal:Obs.Journal.t ->
   ?recorder:Obs.Recorder.t ->
   ?span_of:('msg -> (string * int * bool) option) ->
+  ?tag_of:('msg -> int) ->
+  ?meter:Meter.t ->
   config ->
   'msg t
 (** [obs] (default disabled) records one {!Obs.Span.Network} transit
@@ -64,7 +122,11 @@ val create :
     recording, so it may allocate freely. [journal] (default disabled)
     receives one cluster-wide [Heal] entry whenever {!heal} or
     {!heal_pair} actually removes a cut. [recorder] (default disabled)
-    gets one {!Obs.Recorder.record_delivery} per delivered message. *)
+    gets one {!Obs.Recorder.record_delivery} per delivered message.
+    [meter] (default disabled) keeps the per-tag conservation ledger,
+    with [tag_of] mapping each payload to its tag in
+    [0 .. Meter.tags - 1]; [tag_of] is only consulted while the meter
+    records. *)
 
 val register : 'msg t -> name:string -> ('msg envelope -> unit) -> Address.t
 (** Register an endpoint with its delivery handler. Handlers run from
@@ -120,6 +182,10 @@ val duplicate_probability : 'msg t -> float
 (** The currently armed rates. *)
 
 val stats : 'msg t -> stats
+
+val meter : 'msg t -> Meter.t
+(** The conservation ledger passed at {!val:create} (disabled
+    otherwise). *)
 
 val in_flight : 'msg t -> int
 (** Messages accepted but not yet delivered or dropped. *)

@@ -1,3 +1,10 @@
+type coverage_summary = {
+  cov_protocol : string;
+  declared : int;
+  edges_hit : int;
+  never_hit : string list;
+}
+
 type source = {
   verdict : string;
   protocol : string;
@@ -11,6 +18,7 @@ type source = {
   gauge_columns : string array;
   windows : Mttr.window list;
   profile : Prof.report option;
+  coverage : coverage_summary list;
 }
 
 let rec mkdirs dir =
@@ -93,6 +101,25 @@ let write_manifest path s ~files =
        (Simkit.Time.to_ns (failure_instant s)));
   Buffer.add_string buf
     (Printf.sprintf "\"mttr_windows\":%d," (List.length s.windows));
+  Buffer.add_string buf "\"coverage\":[";
+  List.iteri
+    (fun i (c : coverage_summary) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"protocol\":\"";
+      Json_str.add_escaped buf c.cov_protocol;
+      Buffer.add_string buf
+        (Printf.sprintf "\",\"declared\":%d,\"hit\":%d,\"never_hit\":["
+           c.declared c.edges_hit);
+      List.iteri
+        (fun j e ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Json_str.add_escaped buf e;
+          Buffer.add_char buf '"')
+        c.never_hit;
+      Buffer.add_string buf "]}")
+    s.coverage;
+  Buffer.add_string buf "],";
   Buffer.add_string buf "\"files\":[";
   List.iteri
     (fun i f ->

@@ -19,6 +19,18 @@
     re-reads a bundle through its own parser so CI can prove each
     artifact is well-formed before a human ever opens it. *)
 
+(** One protocol's edge-coverage digest for the manifest: how many
+    edges its declared transition map holds, how many this run
+    traversed, and the names of the ones it never took. The bundle
+    builder supplies the summaries (this layer knows nothing of
+    protocol edge maps). *)
+type coverage_summary = {
+  cov_protocol : string;  (** protocol short name, e.g. ["1PC"] *)
+  declared : int;
+  edges_hit : int;
+  never_hit : string list;
+}
+
 type source = {
   verdict : string;  (** the oracle's failure text (or gate message) *)
   protocol : string;  (** protocol short name, e.g. ["1pc"] *)
@@ -32,6 +44,10 @@ type source = {
   gauge_columns : string array;  (** names for the ring's gauge records *)
   windows : Mttr.window list;
   profile : Prof.report option;
+  coverage : coverage_summary list;
+      (** per hosted protocol (primary, plus the PrN fallback when the
+          primary is 1PC or L1PC); [[]] when the run recorded no
+          coverage *)
 }
 
 val failure_instant : source -> Simkit.Time.t

@@ -1,0 +1,41 @@
+(* Edge-coverage tap: a flat hit-count array indexed by a dense edge id
+   space the observed subsystem declares (see [Acp.Edges]). The tap is
+   generic on purpose — this library sits below the protocol layer, so
+   it stores integers and lets the declarer attach names. *)
+
+type t = {
+  enabled : bool;
+  hits : int array;
+  mutable last : int;  (* most recently hit edge id; -1 before any *)
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Obs.Coverage.create: size must be positive";
+  { enabled = true; hits = Array.make size 0; last = -1 }
+
+let disabled () = { enabled = false; hits = [||]; last = -1 }
+let is_recording t = t.enabled
+let size t = Array.length t.hits
+
+(* The disabled path must cost one flag load and one branch — the
+   protocol hot paths call this on every transition. Negative ids are
+   accepted and ignored so family-shared machines (the 2PC variants) can
+   carry [-1] for edges absent from their variant's declared map. *)
+let hit t id =
+  if t.enabled && id >= 0 then begin
+    t.hits.(id) <- t.hits.(id) + 1;
+    t.last <- id
+  end
+
+let count t id = if t.enabled then t.hits.(id) else 0
+let last_hit t = t.last
+let hit_edges t = Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.hits
+let total t = Array.fold_left ( + ) 0 t.hits
+let counts t = Array.copy t.hits
+
+let merge_into ~acc t =
+  if t.enabled then begin
+    if Array.length acc <> Array.length t.hits then
+      invalid_arg "Obs.Coverage.merge_into: size mismatch";
+    Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) t.hits
+  end

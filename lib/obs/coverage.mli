@@ -1,0 +1,46 @@
+(** Passive state-machine edge-coverage tap.
+
+    A dense array of hit counters indexed by edge id. The observed
+    subsystem declares its (role x state x event) edge set as data and
+    burns each edge's id into the transition site; this module only
+    counts. Same passivity contract as every other observer: a
+    {!disabled} tap costs one flag load and one branch per call, an
+    enabled one two int stores — no allocation, no engine interaction,
+    so golden runs stay bit-identical with coverage on. *)
+
+type t
+
+val create : size:int -> t
+(** Counters for edge ids [0 .. size-1], all zero. *)
+
+val disabled : unit -> t
+val is_recording : t -> bool
+
+val size : t -> int
+(** Declared id space ([0] when disabled). *)
+
+val hit : t -> int -> unit
+(** Count one traversal of the edge. Ignores negative ids (a shared
+    state machine passes [-1] for edges its variant does not declare)
+    and does nothing when disabled. *)
+
+val count : t -> int -> int
+(** Traversals recorded for one edge ([0] when disabled). *)
+
+val last_hit : t -> int
+(** Id of the most recently hit edge, [-1] before any — the phase
+    anchor for fault attribution: at any instant the cluster's newest
+    transition tells which protocol phase a fault landed in. *)
+
+val hit_edges : t -> int
+(** Number of distinct edges with at least one traversal. *)
+
+val total : t -> int
+(** Sum of all counters. *)
+
+val counts : t -> int array
+(** Snapshot copy of the counters (empty when disabled). *)
+
+val merge_into : acc:int array -> t -> unit
+(** Add this tap's counters into [acc] (a campaign-wide bitmap merge).
+    No-op when disabled; raises [Invalid_argument] on size mismatch. *)

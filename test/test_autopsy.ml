@@ -118,6 +118,26 @@ let test_autopsy_bundle_roundtrip () =
             (Sys.file_exists (Filename.concat bundle f)))
         [ "incident.json"; "ring.jsonl"; "journal.jsonl"; "trace.json";
           "mttr.json" ];
+      (* incident.json carries the coverage summary: the replayed
+         protocol's declared edge count and what the failing run hit. *)
+      let incident =
+        let ic = open_in (Filename.concat bundle "incident.json") in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let contains needle hay =
+        let rec find i =
+          i + String.length needle <= String.length hay
+          && (String.sub hay i (String.length needle) = needle || find (i + 1))
+        in
+        find 0
+      in
+      Alcotest.(check bool) "incident has coverage summary" true
+        (contains "\"coverage\":[{\"protocol\":\"1PC\"" incident);
+      Alcotest.(check bool) "coverage summary declares edges" true
+        (contains "\"declared\":" incident && contains "\"never_hit\":" incident);
       match Obs.Autopsy.validate bundle with
       | Ok () -> ()
       | Error e -> Alcotest.failf "bundle failed validation: %s" e)

@@ -273,6 +273,120 @@ let test_smoke_campaign () =
         Fmt.(list ~sep:cut Chaos.Runner.pp_outcome)
         fails
 
+(* ------------------------------------------------------------------ *)
+(* Directed coverage probes                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each probe exists to reach one specific never-hit edge of the
+   declared transition maps — edges the randomized campaigns cannot
+   produce because they need a semantic dentry conflict or an
+   exactly-placed cut. Pinning the probe to its target edge (and to a
+   quiescent, message-conserving finish) keeps the edge reachable: a
+   protocol or planner change that silently breaks the scenario trips
+   here, not as a slow drift in bench coverage. *)
+
+let edge kind event =
+  try
+    (List.find
+       (fun (e : Acp.Edges.edge) -> e.event = event)
+       (Acp.Edges.of_protocol kind))
+      .id
+  with Not_found ->
+    Alcotest.failf "no %s edge declares event %s" (Acp.Protocol.name kind)
+      event
+
+let check_probe name (o : Chaos.Probes.outcome) kind events =
+  Alcotest.(check bool) (name ^ " settles") true o.settled;
+  Alcotest.(check bool) (name ^ " conserves messages") true o.conserved;
+  List.iter
+    (fun event ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reaches %s.%s" name (Acp.Protocol.name kind)
+           event)
+        true
+        (o.edge_hits.(edge kind event) > 0))
+    events
+
+(* A committed CREATE beats a racing RENAME to the same dentry: the
+   rename's remote worker fails the apply and votes NO — the NACKed
+   abort path on every coordinator flavor. *)
+let test_probe_conflict_nack () =
+  List.iter
+    (fun kind ->
+      check_probe
+        ("conflict-" ^ Acp.Protocol.name kind)
+        (Chaos.Probes.conflict kind)
+        kind [ "updated_nack" ])
+    [ Acp.Protocol.Prn; Acp.Protocol.Prc; Acp.Protocol.Ep ];
+  (* The same race through a 1PC worker leaves a NO-vote tombstone. *)
+  check_probe "conflict-1PC"
+    (Chaos.Probes.conflict Acp.Protocol.Opc)
+    Acp.Protocol.Opc
+    [ "updated_nack"; "reject" ];
+  (* And through L1PC, a replicated NO vote. *)
+  check_probe "conflict-L1PC"
+    (Chaos.Probes.conflict Acp.Protocol.Lp1)
+    Acp.Protocol.Lp1 [ "vote_no" ]
+
+(* A second conflict wave runs the lazy GC over the first wave's
+   long-expired 100us tombstones. *)
+let test_probe_tombstone_ttl () =
+  check_probe "tombstone-ttl"
+    (Chaos.Probes.tombstone_ttl ())
+    Acp.Protocol.Opc
+    [ "reject"; "ttl_expired" ]
+
+(* With [tombstone_cap = 1], the second NO vote force-expires the
+   first tombstone before its 10s TTL. *)
+let test_probe_tombstone_cap () =
+  check_probe "tombstone-cap"
+    (Chaos.Probes.tombstone_cap ())
+    Acp.Protocol.Opc
+    [ "reject"; "cap_evicted" ]
+
+(* The calibrated partition drops the NO vote; the first resend
+   through the healed link finds the tombstone expired and the
+   sequence number below the stale horizon. *)
+let test_probe_stale_replay () =
+  check_probe "stale-replay"
+    (Chaos.Probes.stale_replay ())
+    Acp.Protocol.Opc
+    [ "reject"; "ttl_expired"; "update_req_stale" ]
+
+(* ------------------------------------------------------------------ *)
+(* Conservation and coverage on chaos runs                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every chaos run must balance the message ledger exactly (the runner
+   oracle enforces it; this pins the outcome surface) and must record
+   a non-trivial slice of its protocol's transition map. *)
+let test_chaos_outcome_coverage () =
+  List.iter
+    (fun protocol ->
+      let o = Chaos.Runner.execute small_spec ~protocol ~seed:11 in
+      Alcotest.(check bool)
+        (Acp.Protocol.name protocol ^ " passes")
+        true (Chaos.Runner.passed o);
+      let hit =
+        List.length
+          (List.filter
+             (fun (e : Acp.Edges.edge) -> o.edge_hits.(e.id) > 0)
+             (Acp.Edges.of_protocol protocol))
+      in
+      Alcotest.(check bool)
+        (Acp.Protocol.name protocol ^ " records transitions")
+        true (hit > 5);
+      List.iter
+        (fun (s : Chaos.Runner.tag_stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s tag %s balances" (Acp.Protocol.name protocol)
+               s.tag)
+            0
+            (s.sent
+            - (s.delivered + s.dup_delivered + s.dropped + s.in_flight)))
+        o.meter)
+    Acp.Protocol.all
+
 let () =
   Alcotest.run "chaos"
     [
@@ -306,5 +420,18 @@ let () =
             test_san_outage_differential;
           Alcotest.test_case "mutual fence race leaves no zombie (seed 802)"
             `Quick test_mutual_fence_race;
+        ] );
+      ( "coverage probes",
+        [
+          Alcotest.test_case "conflict NACK paths" `Slow
+            test_probe_conflict_nack;
+          Alcotest.test_case "tombstone ttl expiry" `Slow
+            test_probe_tombstone_ttl;
+          Alcotest.test_case "tombstone cap eviction" `Slow
+            test_probe_tombstone_cap;
+          Alcotest.test_case "stale update_req replay" `Slow
+            test_probe_stale_replay;
+          Alcotest.test_case "outcome coverage + conservation" `Slow
+            test_chaos_outcome_coverage;
         ] );
     ]

@@ -111,6 +111,36 @@ let test_fig6_recorder_enabled () =
         (Simkit.Time.span_to_ns p.mean_lock_hold))
     fig6_golden
 
+(* The coverage tap is two int stores per transition and the message
+   meter a few per send — neither schedules events nor reads clocks,
+   so a figure-6 run with both enabled reproduces every digit. *)
+let test_fig6_coverage_enabled () =
+  let config =
+    { Experiment.fig6_config with Opc_cluster.Config.record_coverage = true }
+  in
+  List.iter
+    (fun (kind, throughput, committed, aborted, latency_ns, lock_ns) ->
+      let p = Experiment.run_fig6_point ~config kind in
+      Alcotest.(check string)
+        (pname kind ^ " throughput (coverage on)")
+        throughput
+        (Printf.sprintf "%.2f" p.Experiment.throughput);
+      Alcotest.(check int)
+        (pname kind ^ " committed (coverage on)")
+        committed p.committed;
+      Alcotest.(check int)
+        (pname kind ^ " aborted (coverage on)")
+        aborted p.aborted;
+      Alcotest.(check int)
+        (pname kind ^ " mean latency ns (coverage on)")
+        latency_ns
+        (Simkit.Time.span_to_ns p.mean_latency);
+      Alcotest.(check int)
+        (pname kind ^ " mean lock hold ns (coverage on)")
+        lock_ns
+        (Simkit.Time.span_to_ns p.mean_lock_hold))
+    fig6_golden
+
 (* ------------------------------------------------------------------ *)
 (* Table I (measured)                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -156,8 +186,8 @@ let chaos_golden =
     (Acp.Protocol.Prn, [ (77, 5); (76, 6); (73, 6); (73, 6); (70, 10) ]);
     (Acp.Protocol.Prc, [ (76, 6); (78, 5); (72, 6); (72, 7); (70, 10) ]);
     (Acp.Protocol.Ep, [ (76, 6); (77, 6); (72, 6); (72, 7); (70, 10) ]);
-    (Acp.Protocol.Opc, [ (78, 4); (73, 9); (69, 12); (76, 4); (74, 6) ]);
-    (Acp.Protocol.Lp1, [ (81, 1); (70, 12); (75, 6); (76, 3); (74, 7) ]);
+    (Acp.Protocol.Opc, [ (78, 4); (76, 6); (70, 10); (76, 4); (74, 6) ]);
+    (Acp.Protocol.Lp1, [ (81, 1); (70, 12); (75, 6); (75, 4); (74, 7) ]);
   ]
 
 let test_chaos () =
@@ -249,6 +279,32 @@ let test_scale_point_recorder_enabled () =
   Alcotest.(check int) "p99 ns (recorder on)" 276_176_000
     (Simkit.Time.span_to_ns p.latency_p99)
 
+(* The scale-point pins with the coverage tap and message meter live:
+   every digit bit-identical, and the tap actually saw the run. *)
+let test_scale_point_coverage_enabled () =
+  let config =
+    {
+      (Experiment.scale_config ~servers:8 ~seed:1) with
+      Opc_cluster.Config.record_coverage = true;
+    }
+  in
+  let p =
+    Experiment.run_scale_point ~config ~servers:8 ~txns:2000 ~seed:1
+      Acp.Protocol.Opc
+  in
+  Alcotest.(check int) "submitted (coverage on)" 1896 p.Experiment.submitted;
+  Alcotest.(check int) "committed (coverage on)" 1896 p.committed;
+  Alcotest.(check int) "aborted (coverage on)" 0 p.aborted;
+  Alcotest.(check int) "events (coverage on)" 37944 p.events;
+  Alcotest.(check int) "sim elapsed ns (coverage on)" 11_937_751_000
+    (Simkit.Time.span_to_ns p.sim_elapsed);
+  Alcotest.(check int) "p50 ns (coverage on)" 82_220_000
+    (Simkit.Time.span_to_ns p.latency_p50);
+  Alcotest.(check int) "p95 ns (coverage on)" 185_228_000
+    (Simkit.Time.span_to_ns p.latency_p95);
+  Alcotest.(check int) "p99 ns (coverage on)" 276_176_000
+    (Simkit.Time.span_to_ns p.latency_p99)
+
 let () =
   Alcotest.run "golden"
     [
@@ -259,6 +315,8 @@ let () =
             test_fig6_spans_enabled;
           Alcotest.test_case "figure 6 digits, recorder enabled" `Quick
             test_fig6_recorder_enabled;
+          Alcotest.test_case "figure 6 digits, coverage enabled" `Quick
+            test_fig6_coverage_enabled;
           Alcotest.test_case "table I measured columns" `Quick test_table1;
           Alcotest.test_case "scale point (8 servers)" `Quick
             test_scale_point;
@@ -266,6 +324,8 @@ let () =
             test_scale_point_l1pc;
           Alcotest.test_case "scale point (8 servers, recorder enabled)"
             `Quick test_scale_point_recorder_enabled;
+          Alcotest.test_case "scale point (8 servers, coverage enabled)"
+            `Quick test_scale_point_coverage_enabled;
         ] );
       ( "chaos",
         [ Alcotest.test_case "seeds 1-5 verdicts" `Slow test_chaos ] );

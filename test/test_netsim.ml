@@ -311,6 +311,73 @@ let test_detector_unknown_peer () =
   Alcotest.(check bool) "unknown never suspected" false
     (Failure_detector.is_suspected d q)
 
+(* ------------------------------------------------------------------ *)
+(* Message-conservation meter                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One metered fabric under loss, duplication, a downed receiver and a
+   message parked in flight: the ledger must satisfy
+   sent = delivered + dup_delivered + dropped + in_flight exactly, and
+   flag any tag where it does not. *)
+let test_meter_conservation () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:7 in
+  let meter = Network.Meter.create ~tags:2 in
+  let tag_of s = if String.length s > 0 && s.[0] = 'b' then 1 else 0 in
+  let config =
+    { Network.default_config with duplicate_probability = 0.5 }
+  in
+  let net : string Network.t =
+    Network.create ~engine ~rng ~tag_of ~meter config
+  in
+  let a = Network.register net ~name:"a" (fun _ -> ()) in
+  let b = Network.register net ~name:"b" (fun _ -> ()) in
+  for _ = 1 to 20 do
+    Network.send net ~src:a ~dst:b "apple";
+    Network.send net ~src:b ~dst:a "banana"
+  done;
+  ignore (Engine.run engine);
+  (* Copies cut in flight are drops; sends into a cut are refusals
+     (never accepted, so outside the sent-side of the law). *)
+  Network.send net ~src:a ~dst:b "apple";
+  Network.partition net [ a ] [ b ];
+  for _ = 1 to 5 do
+    Network.send net ~src:a ~dst:b "apple"
+  done;
+  ignore (Engine.run engine);
+  Network.heal net;
+  (* Leave one message in flight at the end of the run. *)
+  Network.send net ~src:a ~dst:b "apple";
+  Alcotest.(check (list (pair int int)))
+    "conservation holds on every tag" []
+    (Network.Meter.check meter);
+  Alcotest.(check bool) "message parked in flight" true
+    (Network.Meter.in_flight meter 0 >= 1);
+  Alcotest.(check bool) "in-flight copies died at the cut" true
+    (Network.Meter.dropped meter 0 >= 1);
+  Alcotest.(check int) "sends into the cut were refused" 5
+    (Network.Meter.rejected meter 0);
+  let sent0 = Network.Meter.sent meter 0 in
+  Alcotest.(check bool) "duplicates counted as extra copies" true
+    (sent0 > 22);
+  Alcotest.(check int)
+    "imbalance is the law's residual"
+    (sent0
+    - (Network.Meter.delivered meter 0
+      + Network.Meter.dup_delivered meter 0
+      + Network.Meter.dropped meter 0
+      + Network.Meter.in_flight meter 0))
+    (Network.Meter.imbalance meter 0);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "drained" 0 (Network.Meter.in_flight meter 0)
+
+let test_meter_disabled () =
+  let m = Network.Meter.disabled () in
+  Alcotest.(check bool) "not recording" false (Network.Meter.is_recording m);
+  Alcotest.(check int) "no tags" 0 (Network.Meter.tags m);
+  Alcotest.(check (list (pair int int))) "vacuously balanced" []
+    (Network.Meter.check m)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -329,6 +396,12 @@ let () =
           Alcotest.test_case "self send" `Quick test_self_send;
           Alcotest.test_case "in flight count" `Quick test_in_flight_count;
           Alcotest.test_case "endpoints" `Quick test_endpoints;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "conservation law" `Quick
+            test_meter_conservation;
+          Alcotest.test_case "disabled is inert" `Quick test_meter_disabled;
         ] );
       ( "failure detector",
         [

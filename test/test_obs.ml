@@ -414,6 +414,78 @@ let test_export_creates_parent_dirs () =
   | exception Json.Bad msg -> Alcotest.failf "exported file invalid: %s" msg);
   Sys.remove path
 
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_disabled () =
+  let c = Obs.Coverage.disabled () in
+  Alcotest.(check bool) "not recording" false (Obs.Coverage.is_recording c);
+  Obs.Coverage.hit c 3;
+  Alcotest.(check int) "size 0" 0 (Obs.Coverage.size c);
+  Alcotest.(check int) "count 0" 0 (Obs.Coverage.count c 3);
+  Alcotest.(check int) "no last hit" (-1) (Obs.Coverage.last_hit c);
+  Alcotest.(check int) "no distinct edges" 0 (Obs.Coverage.hit_edges c);
+  Alcotest.(check int) "empty snapshot" 0
+    (Array.length (Obs.Coverage.counts c));
+  (* Merging a disabled tap must leave the accumulator alone. *)
+  let acc = [| 7; 7 |] in
+  Obs.Coverage.merge_into ~acc c;
+  Alcotest.(check (list int)) "merge no-op" [ 7; 7 ] (Array.to_list acc)
+
+let test_coverage_counts () =
+  let c = Obs.Coverage.create ~size:4 in
+  Alcotest.(check bool) "recording" true (Obs.Coverage.is_recording c);
+  Obs.Coverage.hit c 1;
+  Obs.Coverage.hit c 1;
+  Obs.Coverage.hit c 3;
+  (* A shared state machine passes -1 for edges its variant lacks. *)
+  Obs.Coverage.hit c (-1);
+  Alcotest.(check int) "edge 1 twice" 2 (Obs.Coverage.count c 1);
+  Alcotest.(check int) "edge 0 never" 0 (Obs.Coverage.count c 0);
+  Alcotest.(check int) "last hit" 3 (Obs.Coverage.last_hit c);
+  Alcotest.(check int) "distinct" 2 (Obs.Coverage.hit_edges c);
+  Alcotest.(check int) "total" 3 (Obs.Coverage.total c);
+  Alcotest.(check (list int)) "snapshot" [ 0; 2; 0; 1 ]
+    (Array.to_list (Obs.Coverage.counts c));
+  (* The snapshot is a copy, not a view. *)
+  (Obs.Coverage.counts c).(1) <- 99;
+  Alcotest.(check int) "snapshot detached" 2 (Obs.Coverage.count c 1)
+
+let test_coverage_merge () =
+  let c = Obs.Coverage.create ~size:3 in
+  Obs.Coverage.hit c 0;
+  Obs.Coverage.hit c 2;
+  let acc = [| 1; 0; 5 |] in
+  Obs.Coverage.merge_into ~acc c;
+  Alcotest.(check (list int)) "merged" [ 2; 0; 6 ] (Array.to_list acc);
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Obs.Coverage.merge_into: size mismatch") (fun () ->
+      Obs.Coverage.merge_into ~acc:[| 0; 0 |] c)
+
+(* Every declared edge id must be dense and self-describing: ids round
+   trip through the registry and each protocol's slice is non-empty. *)
+let test_edge_registry () =
+  Alcotest.(check int) "dense ids" Acp.Edges.count
+    (List.length Acp.Edges.all);
+  List.iteri
+    (fun i (e : Acp.Edges.edge) ->
+      Alcotest.(check int) "id in declaration order" i e.id)
+    Acp.Edges.all;
+  List.iter
+    (fun kind ->
+      let edges = Acp.Edges.of_protocol kind in
+      Alcotest.(check bool)
+        (pname kind ^ " declares edges")
+        true
+        (List.length edges > 0);
+      List.iter
+        (fun (e : Acp.Edges.edge) ->
+          Alcotest.(check bool) "registry round trip" true
+            (Acp.Edges.get e.id == e))
+        edges)
+    Acp.Protocol.all
+
 let () =
   Alcotest.run "obs"
     [
@@ -442,5 +514,14 @@ let () =
           Alcotest.test_case "chrome trace schema" `Quick test_export_schema;
           Alcotest.test_case "creates parent dirs" `Quick
             test_export_creates_parent_dirs;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_coverage_disabled;
+          Alcotest.test_case "counts and snapshots" `Quick
+            test_coverage_counts;
+          Alcotest.test_case "merge" `Quick test_coverage_merge;
+          Alcotest.test_case "edge registry is dense" `Quick
+            test_edge_registry;
         ] );
     ]

@@ -103,6 +103,7 @@ let make_harness ?(initial_log = []) () =
       ledger = Metrics.Ledger.create ();
       trace = Simkit.Trace.disabled ();
       obs = Obs.Tracer.disabled ();
+      cover = Obs.Coverage.disabled ();
       client_reply = (fun txn outcome -> replies := (txn, outcome) :: !replies);
       mark = (fun _ _ -> ());
     }
